@@ -1,0 +1,40 @@
+"""Ablation bench: all-qubit features vs own-qubit features under crosstalk.
+
+The paper merges every qubit's matched-filter scores into each per-qubit
+network input so the heads can undo readout crosstalk. This ablation
+trains the identical architecture with and without neighbor features on
+the same (crosstalky) corpus.
+"""
+
+from repro.discriminators import MLRDiscriminator
+from repro.experiments.common import NN_LEARNING_RATE, get_readout_bundle
+from repro.ml.metrics import geometric_mean_fidelity, per_qubit_fidelity
+
+
+def test_ablation_neighbor_features(benchmark, profile):
+    bundle = get_readout_bundle(profile)
+
+    def run():
+        out = {}
+        for label, neighbor in (("all-qubit", True), ("own-qubit", False)):
+            disc = MLRDiscriminator(
+                neighbor_features=neighbor,
+                epochs=profile.nn_epochs,
+                learning_rate=NN_LEARNING_RATE,
+                seed=profile.seed + 99,
+            )
+            disc.fit(bundle.corpus, bundle.train_idx)
+            pred = disc.predict(bundle.corpus, bundle.test_idx)
+            fid = per_qubit_fidelity(
+                bundle.test_labels, pred,
+                bundle.corpus.n_qubits, bundle.corpus.n_levels,
+            )
+            out[label] = geometric_mean_fidelity(fid)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nneighbor-feature (crosstalk) ablation (F5Q):")
+    for label, f5q in results.items():
+        print(f"  {label:10s}: {f5q:.4f}")
+    # Crosstalk correction requires neighbor information.
+    assert results["all-qubit"] > results["own-qubit"] + 0.02

@@ -1,0 +1,21 @@
+"""Fig 1(c) bench: per-qubit classification inaccuracy, three designs.
+
+Asserted shape: the paper's design has the lowest inaccuracy on every
+qubit among the matched-filter designs, and the hard qubit (Q2) is the
+worst qubit for every design.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig1c import run_fig1c
+
+
+def test_fig1c_per_qubit_inaccuracy(benchmark, profile):
+    result = run_once(benchmark, run_fig1c, profile)
+    print("\n" + result.format_table())
+    ours = np.asarray(result.inaccuracy["ours"])
+    herq = np.asarray(result.inaccuracy["herqules"])
+    assert np.all(ours <= herq + 0.01)
+    for design, values in result.inaccuracy.items():
+        assert int(np.argmax(values)) == 1, design  # Q2 worst everywhere

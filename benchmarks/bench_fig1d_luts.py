@@ -1,0 +1,18 @@
+"""Fig 1(d) bench: LUT utilization of the three designs on the xczu7ev.
+
+Paper: FNN ~420% (does not fit), HERQULES ~28%, OURS ~7%.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig1d import run_fig1d
+
+
+def test_fig1d_lut_utilization(benchmark, profile):
+    result = run_once(benchmark, run_fig1d, profile)
+    print("\n" + result.format_table())
+    assert result.utilization["fnn"] == pytest.approx(4.20, abs=0.05)
+    assert result.utilization["herqules"] == pytest.approx(0.28, abs=0.01)
+    assert result.utilization["ours"] == pytest.approx(0.07, abs=0.005)
+    assert result.fnn_over_ours == pytest.approx(60, rel=0.05)

@@ -1,0 +1,21 @@
+"""Fig 5(a) bench: FPGA resources, HERQULES vs the paper's design.
+
+Paper: >4x fewer LUTs and >5x fewer flip-flops than HERQULES.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5a import run_fig5a
+from repro.fpga import XCZU7EV
+
+
+def test_fig5a_resource_utilization(benchmark, profile):
+    result = run_once(benchmark, run_fig5a, profile)
+    print("\n" + result.format_table())
+    assert result.ratio("lut") == pytest.approx(4, rel=0.05)
+    assert result.ratio("ff") == pytest.approx(5, rel=0.05)
+    assert result.ratio("bram") > 1.0
+    assert result.ratio("dsp") > 1.0
+    # OURS fits comfortably on the target part.
+    assert result.resources["ours"]["lut"] < 0.1 * XCZU7EV.luts

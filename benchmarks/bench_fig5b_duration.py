@@ -1,0 +1,24 @@
+"""Fig 5(b) bench: mean accuracy vs readout duration.
+
+Paper: accuracy is ~flat from 1000 ns down to 800 ns (enabling the 20%
+readout-time cut) and degrades at shorter windows — including in the
+no-retraining (kernel truncation) mode.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5b import run_fig5b
+
+
+def test_fig5b_duration_sweep(benchmark, profile):
+    result = run_once(benchmark, run_fig5b, profile)
+    print("\n" + result.format_table())
+    full = result.accuracy_at(1000)
+    at_800 = result.accuracy_at(800)
+    at_500 = result.accuracy_at(500)
+    # 20% shorter readout costs little...
+    assert at_800 > full - 0.02
+    # ...but going to half the window costs visibly more.
+    assert full - at_500 > full - at_800
+    # The no-retraining mode also holds at 800 ns.
+    truncated_800 = result.truncated_accuracy[result.durations_ns.index(800)]
+    assert truncated_800 > full - 0.03

@@ -1,0 +1,22 @@
+"""FNN data-scaling bench (the Table II deviation, made quantitative).
+
+Asserted shape: the FNN's F5Q improves monotonically with corpus size
+while the paper's design is already converged at small corpora — the
+sample-efficiency consequence of the 100x parameter gap.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fnn_scaling import run_fnn_scaling
+
+
+def test_fnn_data_scaling(benchmark, profile):
+    result = run_once(benchmark, run_fnn_scaling, profile)
+    print("\n" + result.format_table())
+    fnn = result.fnn_f5q
+    ours = result.ours_f5q
+    # FNN improves with data (allow small statistical wiggle).
+    assert fnn[-1] > fnn[0] - 0.01
+    # OURS is converged and dominant across the whole ladder.
+    for f, o in zip(fnn, ours):
+        assert o > f
+    assert max(ours) - min(ours) < 0.08

@@ -1,0 +1,19 @@
+"""Headline bench: model-size and LUT ratios from the abstract.
+
+Paper: ~100x smaller model than the FNN, ~10x than HERQULES; 60x fewer
+LUTs than the FNN.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.headline import run_headline
+
+
+def test_headline_ratios(benchmark, profile):
+    result = run_once(benchmark, run_headline, profile)
+    print("\n" + result.format_table())
+    assert result.model_size_vs_fnn == pytest.approx(105.6, rel=0.02)
+    assert 4 < result.model_size_vs_herqules < 12
+    assert result.lut_ratio_vs_fnn == pytest.approx(60, rel=0.05)
+    assert result.lut_ratio_vs_herqules == pytest.approx(4, rel=0.05)

@@ -1,0 +1,31 @@
+"""Sec V.C bench: polynomial vs exponential model-size scaling.
+
+The paper's core architectural claim: joint-head designs (FNN, HERQULES)
+scale exponentially with qubit count through their k^n output layer, while
+the modular design grows polynomially. Asserted via tail growth ratios:
+adding the 10th qubit triples the joint heads (~k = 3x per qubit) but
+grows the modular design by only ~(10/9)^3.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.scaling import run_scaling
+
+
+def test_scaling_polynomial_vs_exponential(benchmark, profile):
+    result = run_once(benchmark, run_scaling, profile)
+    print("\n" + result.format_table())
+    tail = {}
+    for design in ("fnn", "herqules", "ours"):
+        tail[design] = (
+            result.parameters[design][(10, 3)]
+            / result.parameters[design][(9, 3)]
+        )
+    # Exponential designs approach 3x per added qubit in the tail...
+    assert tail["fnn"] > 2.5
+    assert tail["herqules"] > 2.5
+    # ...the modular design stays polynomial (~(10/9)^3 = 1.37).
+    assert tail["ours"] < 1.6
+    # At the paper's operating point the counts are exact.
+    assert result.parameters["fnn"][(5, 3)] == 686_743
+    assert result.parameters["herqules"][(5, 3)] == 38_583
+    assert result.parameters["ours"][(5, 3)] == 6_505

@@ -1,0 +1,19 @@
+"""Sec III.A bench: CNOT malfunction with a leaked control.
+
+Paper: ~3x leakage growth within 12 CNOTs, 1.5-2% transfer per gate.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.sec3 import run_sec3_cnot_leakage
+
+
+def test_sec3_repeated_cnot_leakage(benchmark, profile):
+    result = run_once(benchmark, run_sec3_cnot_leakage, profile)
+    print("\n" + result.format_table())
+    assert 0.015 <= result.single_gate_transfer <= 0.02
+    assert result.growth_ratio_at_12 == pytest.approx(3.0, abs=0.6)
+    leaked = result.leaked_control_population
+    normal = result.normal_control_population
+    assert all(a >= b for a, b in zip(leaked, normal))

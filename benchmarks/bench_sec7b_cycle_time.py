@@ -1,0 +1,16 @@
+"""Sec VII.B bench: QEC cycle-time reduction from the faster readout.
+
+Paper: up to 17% for surface-17.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.sec7b import run_sec7b_cycle_time
+
+
+def test_sec7b_cycle_time_reduction(benchmark, profile):
+    result = run_once(benchmark, run_sec7b_cycle_time, profile)
+    print("\n" + result.format_table())
+    assert result.reduction == pytest.approx(0.17, abs=0.005)
+    assert result.baseline_cycle_ns > result.reduced_cycle_ns

@@ -1,0 +1,17 @@
+"""Sec VII.D bench: power/latency of the deployed design.
+
+Paper: 1.561 mW at 1 GHz, 5-cycle latency, 6,505 parameters.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.sec7d import run_sec7d_power
+
+
+def test_sec7d_power_and_latency(benchmark, profile):
+    result = run_once(benchmark, run_sec7d_power, profile)
+    print("\n" + result.format_table())
+    assert result.power_mw == pytest.approx(1.561, abs=1e-3)
+    assert result.latency_cycles == 5
+    assert result.total_parameters == 6505

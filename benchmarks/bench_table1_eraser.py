@@ -1,0 +1,22 @@
+"""Table I bench: ERASER vs ERASER+M speculation (d=7, 10 cycles).
+
+Paper: ERASER 0.957 / 4.19e-3; ERASER+M 0.971 / 2.97e-3. Shape asserted:
++M wins on accuracy and on leakage population.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_eraser_speculation(benchmark, profile):
+    result = run_once(benchmark, run_table1, profile)
+    print("\n" + result.format_table())
+    by_name = {r["design"]: r for r in result.rows}
+    assert by_name["ERASER+M"]["accuracy"] >= by_name["ERASER"]["accuracy"]
+    assert (
+        by_name["ERASER+M"]["leakage_population"]
+        < by_name["ERASER"]["leakage_population"]
+    )
+    # Absolute scale within a factor-3 band of the paper's numbers.
+    assert 0.9 < by_name["ERASER"]["accuracy"] <= 1.0
+    assert 1e-3 < by_name["ERASER"]["leakage_population"] < 2e-2

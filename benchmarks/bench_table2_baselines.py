@@ -1,0 +1,27 @@
+"""Table II bench: three-level fidelity of the FNN and HERQULES baselines.
+
+Paper: FNN F5Q = 0.898, HERQULES F5Q = 0.591 (the joint-head collapse).
+At quick-profile corpus sizes the 687k-parameter FNN is data-starved, so
+its absolute F5Q is low (it recovers with shots; see EXPERIMENTS.md);
+the asserted shape is that *neither* baseline reaches the paper's design
+(bench_table4) and that both produce valid fidelity tables.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import get_trained
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_baseline_fidelities(benchmark, profile):
+    result = run_once(benchmark, run_table2, profile)
+    print("\n" + result.format_table())
+    by_name = {r["design"]: r for r in result.rows}
+    for row in result.rows:
+        assert all(0.0 < f <= 1.0 for f in row["fidelities"])
+    # The hard qubit (Q2) is the worst for every design, as in the paper.
+    for row in result.rows:
+        assert min(row["fidelities"]) == row["fidelities"][1]
+    # Both baselines fall short of the paper's design at equal budget.
+    ours = get_trained(profile, "ours")
+    assert ours.f5q > by_name["herqules"]["f5q"]
+    assert ours.f5q > by_name["fnn"]["f5q"]

@@ -1,0 +1,22 @@
+"""Table IV bench: the paper's design vs the FNN baseline.
+
+Paper: OURS F5Q = 0.9052 vs FNN 0.8985 (6.6% relative improvement).
+Asserted shape: OURS improves on the FNN and lands in the paper's
+absolute band, with a ~100x smaller model.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table4 import run_table4
+
+
+def test_table4_ours_vs_fnn(benchmark, profile):
+    result = run_once(benchmark, run_table4, profile)
+    print("\n" + result.format_table())
+    by_name = {r["design"]: r for r in result.rows}
+    assert by_name["ours"]["f5q"] > by_name["fnn"]["f5q"]
+    assert result.relative_improvement > 0.0
+    # OURS absolute F5Q in the paper's neighborhood.
+    assert 0.85 < by_name["ours"]["f5q"] <= 1.0
+    # Model-size headline: ~100x smaller.
+    ratio = by_name["fnn"]["n_parameters"] / by_name["ours"]["n_parameters"]
+    assert 80 < ratio < 130

@@ -1,0 +1,23 @@
+"""Benchmark configuration: shared profile and single-round defaults.
+
+Each bench regenerates one of the paper's tables/figures at the ``quick``
+profile, printing paper-vs-measured values. Corpora and trained models are
+cached in-process (see repro.experiments.common), so a full bench session
+trains each design once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import QUICK
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return QUICK
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""FPGA deployment study: quantize the trained model and cost it out.
+
+Trains the paper's discriminator, converts it to a fixed-point HLS-style
+model, verifies the quantized accuracy, and prints the resource / latency
+/ power estimates of Sec VII.C-D.
+
+Run with::
+
+    python examples/fpga_deployment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import generate_corpus
+from repro.discriminators import MLRDiscriminator
+from repro.fpga import (
+    XCZU7EV,
+    FixedPointFormat,
+    HLSNetworkModel,
+    estimate_network_resources,
+    pipeline_latency_ns,
+)
+from repro.fpga.power import estimate_design_power_mw
+from repro.ml import stratified_split
+from repro.physics import default_five_qubit_chip
+
+
+def main() -> None:
+    chip = default_five_qubit_chip()
+    corpus = generate_corpus(chip, shots_per_state=12, seed=3)
+    train_idx, test_idx = stratified_split(corpus.labels, 0.3, seed=4)
+
+    disc = MLRDiscriminator(epochs=80, learning_rate=3e-3, seed=5)
+    disc.fit(corpus, train_idx)
+
+    # Quantize each per-qubit network and compare float vs fixed accuracy.
+    features = disc.scaler.transform(
+        disc.extractor.transform(corpus, test_idx)
+    )
+    print("per-qubit float vs 8-bit-quantized accuracy:")
+    for q, model in enumerate(disc.models):
+        hls = HLSNetworkModel.from_classifier(
+            model,
+            weight_format=FixedPointFormat(8, 3),
+            activation_format=FixedPointFormat(16, 8),
+        )
+        y = corpus.qubit_labels(q)[test_idx]
+        float_acc = float(np.mean(model.predict(features) == y))
+        fixed_acc = float(np.mean(hls.predict(features) == y))
+        print(f"  qubit {q + 1}: float {float_acc:.3f} -> fixed {fixed_acc:.3f}")
+
+    # Resource, latency, and power estimates for the full 5-network design.
+    arch = disc.models[0].layer_sizes
+    est = estimate_network_resources(arch, n_replicas=len(disc.models))
+    util = est.utilization(XCZU7EV)
+    print(f"\narchitecture per qubit: {arch}")
+    print(f"estimated LUT utilization on xczu7ev: {util['lut']:.1%} "
+          f"(paper ~7%)")
+    print(f"estimated FF utilization:  {util['ff']:.1%}")
+    print(f"pipeline latency: {pipeline_latency_ns(arch):.0f} ns at 1 GHz "
+          f"(paper: 5 ns)")
+    print(f"power at one inference per microsecond: "
+          f"{estimate_design_power_mw(disc.n_parameters):.3f} mW "
+          f"(paper: 1.561 mW)")
+
+
+if __name__ == "__main__":
+    main()

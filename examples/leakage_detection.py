@@ -1,0 +1,59 @@
+"""Calibration-free leakage detection (Sec V.A / Fig 3).
+
+Preparing |2> explicitly is an extra calibration burden; this example
+shows the paper's alternative: spectral-cluster the mean-trace-value (MTV)
+points of ordinary two-level calibration shots and label the small cluster
+as naturally occurring leakage. Ground truth from the simulator scores the
+detection.
+
+Run with::
+
+    python examples/leakage_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import generate_calibration_shots
+from repro.discriminators import detect_leakage_clusters
+from repro.physics import default_five_qubit_chip
+
+
+def main() -> None:
+    chip = default_five_qubit_chip()
+    # Two-level calibration shots: qubits prepared only in |0>/|1>, but
+    # preparation errors occasionally leave a qubit leaked.
+    calibration = generate_calibration_shots(chip, n_shots=900, seed=7)
+    print(f"calibration corpus: {calibration.n_traces} two-level shots\n")
+
+    for qubit in range(chip.n_qubits):
+        result = detect_leakage_clusters(calibration, qubit, seed=8 + qubit)
+        truly_leaked = int((calibration.initial_levels[:, qubit] == 2).sum())
+        print(
+            f"qubit {qubit + 1} ({chip.qubits[qubit].name}): "
+            f"clusters 0/1/L = {tuple(int(c) for c in result.cluster_sizes)}, "
+            f"truly leaked {truly_leaked}, flagged {result.n_detected} "
+            f"(precision {result.precision:.2f}, recall {result.recall:.2f})"
+        )
+
+    # The leak-prone qubit in detail: average MTV positions per cluster.
+    qubit = 3
+    result = detect_leakage_clusters(calibration, qubit, seed=20)
+    print(f"\nqubit {qubit + 1} cluster centroids in the IQ plane:")
+    for level, name in enumerate(("|0>", "|1>", "L")):
+        members = result.mtv[result.assigned_levels == level]
+        if members.size:
+            center = members.mean(axis=0)
+            print(f"  {name}: I={center[0]:+.3f}, Q={center[1]:+.3f} "
+                  f"({members.shape[0]} shots)")
+
+    # Ablation: k-means instead of spectral clustering.
+    kmeans = detect_leakage_clusters(calibration, qubit, method="kmeans", seed=21)
+    print(f"\nspectral recall {result.recall:.2f} vs k-means recall "
+          f"{kmeans.recall:.2f} (spectral handles the tiny leaked cluster "
+          f"better)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Leakage speculation on a distance-7 surface code (Sec III / Table I).
+
+Shows the downstream value of multi-level readout: the repeated-CNOT
+malfunction of a leaked control, then ERASER vs ERASER+M speculation over
+10 QEC cycles.
+
+Run with::
+
+    python examples/qec_speculation.py
+"""
+
+from __future__ import annotations
+
+from repro.qec import EraserConfig, RotatedSurfaceCode, run_eraser
+from repro.qudit import QuditCircuit
+
+
+def main() -> None:
+    # --- Part 1: why leakage must be caught (Sec III.A) -----------------
+    print("repeated CNOTs with a leaked control (density-matrix exact):")
+    circuit = QuditCircuit(2)
+    for n in range(1, 13):
+        circuit.leaky_cnot(0, 1)
+        if n in (1, 6, 12):
+            rho = circuit.run((2, 0))
+            print(f"  after {n:2d} CNOTs: target leakage "
+                  f"{rho.leakage_population(1):.3f}")
+    baseline = QuditCircuit(2)
+    for _ in range(12):
+        baseline.leaky_cnot(0, 1)
+    rho_norm = baseline.run((1, 0))
+    rho_leak = circuit.run((2, 0))
+    print(f"  growth ratio vs normal control: "
+          f"{rho_leak.leakage_population(1) / rho_norm.leakage_population(1):.1f}x "
+          f"(paper ~3x)\n")
+
+    # --- Part 2: ERASER vs ERASER+M on a d=7 patch (Table I) ------------
+    code = RotatedSurfaceCode(7)
+    print(f"surface code d=7: {code.n_data} data qubits, "
+          f"{code.n_ancilla} stabilizers")
+    for name, multi_level in (("ERASER", False), ("ERASER+M", True)):
+        report = run_eraser(
+            code,
+            cycles=10,
+            shots=200,
+            config=EraserConfig(multi_level=multi_level),
+            seed=11,
+        )
+        print(
+            f"  {name:9s}: speculation accuracy {report.accuracy:.3f}, "
+            f"leakage population {report.leakage_population:.2e}, "
+            f"LRCs/shot {report.lrc_applications:.1f}"
+        )
+    print("\nmulti-level readout detects leaked ancillas directly, cleans the")
+    print("syndrome stream, and catches transported leakage sooner — better")
+    print("accuracy AND lower residual leakage (paper Table I).")
+
+
+if __name__ == "__main__":
+    main()

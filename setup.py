@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs to build a PEP 660 wheel, which requires the
+``wheel`` distribution; on offline boxes without it, ``python setup.py
+develop`` provides the equivalent editable install. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Small shared helpers: RNG handling and array validation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = ["check_random_state", "as_2d_float", "as_1d_int", "child_rng"]
+
+
+def check_random_state(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def child_rng(rng: np.random.Generator, *tags: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng`` and integer tags.
+
+    Used to give each sub-experiment its own stream so the order in which
+    experiments run does not perturb each other's draws.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=max(1, len(tags)), dtype=np.int64)
+    material = [int(s) for s in seeds] + [int(t) for t in tags]
+    return np.random.default_rng(np.random.SeedSequence(material))
+
+
+def as_2d_float(x: np.ndarray | Sequence, name: str = "X") -> np.ndarray:
+    """Validate and return ``x`` as a 2-D float64 array (n_samples, n_features)."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ShapeError(f"{name} must contain at least one sample")
+    return arr
+
+
+def as_1d_int(y: np.ndarray | Sequence, name: str = "y") -> np.ndarray:
+    """Validate and return ``y`` as a 1-D int64 label array."""
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ShapeError(f"{name} must contain at least one label")
+    if not np.issubdtype(arr.dtype, np.integer):
+        rounded = np.rint(arr)
+        if not np.allclose(arr, rounded):
+            raise ShapeError(f"{name} must hold integer labels")
+        arr = rounded
+    return arr.astype(np.int64)

@@ -1,0 +1,87 @@
+"""Command-line entry point: run any paper experiment from the shell.
+
+Examples::
+
+    repro list
+    repro table4 --profile quick
+    repro fig5b --profile full --seed 7
+    repro all --profile quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import get_profile
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Efficient and Scalable Architectures for "
+            "Multi-level Superconducting Qubit Readout' (DAC 2025)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (table1/table2/.../headline), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        help="sizing profile: quick, full, or paper (default: quick)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the profile's base seed"
+    )
+    return parser
+
+
+def _run_one(name: str, profile) -> None:
+    start = time.perf_counter()
+    result = EXPERIMENTS[name](profile)
+    elapsed = time.perf_counter() - start
+    print(result.format_table())
+    print(f"[{name} completed in {elapsed:.1f} s]\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    profile = get_profile(args.profile)
+    if args.seed is not None:
+        profile = profile.with_seed(args.seed)
+
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            _run_one(name, profile)
+        return 0
+
+    if args.experiment not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        print(
+            f"unknown experiment {args.experiment!r}; expected one of: {known}",
+            file=sys.stderr,
+        )
+        return 2
+
+    _run_one(args.experiment, profile)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+"""Experiment sizing profiles.
+
+The paper's corpus (32 basis states x 50,000 shots of 1 us traces) is far too
+large for a CI box, so every experiment runner takes a :class:`Profile` that
+scales shot counts and training budgets while preserving every architectural
+dimension (qubit count, level count, trace length, network topology).
+
+Three named profiles are provided:
+
+``quick``
+    Smallest corpus that still separates the designs; used by the test suite
+    and the default for benchmarks.
+``full``
+    Larger corpus for overnight runs; tighter statistics, same shapes.
+``paper``
+    Mirrors the published setup (50k shots per basis state). Provided for
+    completeness; not intended for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Profile", "QUICK", "FULL", "PAPER", "get_profile"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Sizing knobs shared by all experiment runners.
+
+    Parameters
+    ----------
+    name:
+        Human-readable profile name.
+    shots_per_state:
+        Readout traces generated per joint basis state (the paper uses 50k).
+    calibration_shots:
+        Two-level calibration shots per prepared computational state, used by
+        the leakage-cluster detection study (Fig 3).
+    nn_epochs:
+        Training epochs for the lightweight per-qubit networks (OURS,
+        HERQULES head).
+    fnn_epochs:
+        Training epochs for the large FNN baseline (it is the slow one, so it
+        gets its own budget).
+    batch_size:
+        Minibatch size for all NN training.
+    qec_shots:
+        Monte-Carlo repetitions for the surface-code leakage studies.
+    qudit_shots:
+        Shots for the repeated-CNOT leakage experiments (paper: 10,000).
+    spectral_max_points:
+        Cap on points fed to spectral clustering (it is O(m^2)); the
+        remainder is assigned to the nearest cluster centroid.
+    seed:
+        Base RNG seed; experiments derive sub-seeds deterministically.
+    """
+
+    name: str
+    shots_per_state: int
+    calibration_shots: int
+    nn_epochs: int
+    fnn_epochs: int
+    batch_size: int
+    qec_shots: int
+    qudit_shots: int
+    spectral_max_points: int
+    seed: int = 20250607
+
+    def __post_init__(self) -> None:
+        positive = {
+            "shots_per_state": self.shots_per_state,
+            "calibration_shots": self.calibration_shots,
+            "nn_epochs": self.nn_epochs,
+            "fnn_epochs": self.fnn_epochs,
+            "batch_size": self.batch_size,
+            "qec_shots": self.qec_shots,
+            "qudit_shots": self.qudit_shots,
+            "spectral_max_points": self.spectral_max_points,
+        }
+        for field_name, value in positive.items():
+            if value <= 0:
+                raise ConfigurationError(
+                    f"Profile.{field_name} must be positive, got {value!r}"
+                )
+
+    def with_seed(self, seed: int) -> "Profile":
+        """Return a copy of this profile with a different base seed."""
+        return replace(self, seed=seed)
+
+
+QUICK = Profile(
+    name="quick",
+    shots_per_state=16,
+    calibration_shots=2000,
+    nn_epochs=150,
+    fnn_epochs=15,
+    batch_size=128,
+    qec_shots=150,
+    qudit_shots=2000,
+    spectral_max_points=1200,
+)
+
+FULL = Profile(
+    name="full",
+    shots_per_state=120,
+    calibration_shots=6000,
+    nn_epochs=120,
+    fnn_epochs=40,
+    batch_size=256,
+    qec_shots=3000,
+    qudit_shots=10000,
+    spectral_max_points=3000,
+)
+
+PAPER = Profile(
+    name="paper",
+    shots_per_state=50_000,
+    calibration_shots=100_000,
+    nn_epochs=120,
+    fnn_epochs=60,
+    batch_size=512,
+    qec_shots=100_000,
+    qudit_shots=10_000,
+    spectral_max_points=5000,
+)
+
+_PROFILES = {p.name: p for p in (QUICK, FULL, PAPER)}
+
+
+def get_profile(name: str) -> Profile:
+    """Look up a named profile (``quick``, ``full``, or ``paper``)."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise ConfigurationError(f"unknown profile {name!r}; expected one of {known}")

@@ -1,0 +1,20 @@
+"""Synthetic readout corpora and basis-state bookkeeping."""
+
+from repro.data.basis import (
+    digits_to_state,
+    n_basis_states,
+    state_label,
+    state_to_digits,
+)
+from repro.data.dataset import ReadoutCorpus
+from repro.data.synthetic import generate_corpus, generate_calibration_shots
+
+__all__ = [
+    "n_basis_states",
+    "state_to_digits",
+    "digits_to_state",
+    "state_label",
+    "ReadoutCorpus",
+    "generate_corpus",
+    "generate_calibration_shots",
+]

@@ -1,0 +1,150 @@
+"""Readout trace corpus: the container every discriminator trains on."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.basis import marginal_labels
+from repro.exceptions import DataError, ShapeError
+from repro.physics.device import ChipConfig
+
+__all__ = ["ReadoutCorpus"]
+
+
+@dataclass(frozen=True)
+class ReadoutCorpus:
+    """A labeled set of multiplexed readout traces.
+
+    Attributes
+    ----------
+    feedline:
+        complex64 (n_traces, trace_len): digitized feedline IQ signal.
+    labels:
+        int64 (n_traces,): joint prepared-state index (base ``n_levels``,
+        qubit 0 most significant). These are the *training* labels, exactly
+        as a calibration run would assign them.
+    prepared_levels, initial_levels, final_levels:
+        int8 (n_traces, n_qubits): intended levels, actual t=0 levels after
+        preparation errors, and end-of-window levels after jumps. The last
+        two are simulator ground truth used for validation and for the
+        error-trace studies, never by the discriminators themselves.
+    chip:
+        The device the corpus was generated on.
+    """
+
+    feedline: np.ndarray
+    labels: np.ndarray
+    prepared_levels: np.ndarray
+    initial_levels: np.ndarray
+    final_levels: np.ndarray
+    chip: ChipConfig
+
+    def __post_init__(self) -> None:
+        n = self.feedline.shape[0]
+        if self.feedline.ndim != 2:
+            raise ShapeError(f"feedline must be 2-D, got {self.feedline.shape}")
+        for name in ("labels", "prepared_levels", "initial_levels", "final_levels"):
+            arr = getattr(self, name)
+            if arr.shape[0] != n:
+                raise ShapeError(
+                    f"{name} has {arr.shape[0]} rows, feedline has {n}"
+                )
+        if self.prepared_levels.shape[1] != self.chip.n_qubits:
+            raise ShapeError(
+                "prepared_levels column count must equal chip.n_qubits"
+            )
+
+    @property
+    def n_traces(self) -> int:
+        return self.feedline.shape[0]
+
+    @property
+    def trace_len(self) -> int:
+        return self.feedline.shape[1]
+
+    @property
+    def n_qubits(self) -> int:
+        return self.chip.n_qubits
+
+    @property
+    def n_levels(self) -> int:
+        return self.chip.n_levels
+
+    def qubit_labels(self, qubit: int) -> np.ndarray:
+        """Prepared level of one qubit for every trace."""
+        return marginal_labels(self.labels, qubit, self.n_qubits, self.n_levels)
+
+    def iq_features(self) -> np.ndarray:
+        """Raw ADC features for the FNN baseline: ``[I(t), Q(t)]`` rows.
+
+        Shape (n_traces, 2 * trace_len), float32, I samples then Q samples —
+        the paper's 1000-neuron input layout for 500-sample traces.
+        """
+        return np.concatenate(
+            [self.feedline.real, self.feedline.imag], axis=1
+        ).astype(np.float32)
+
+    def subset(self, indices: np.ndarray) -> "ReadoutCorpus":
+        """A new corpus restricted to ``indices`` (copies, no views)."""
+        idx = np.asarray(indices)
+        if idx.ndim != 1:
+            raise ShapeError("indices must be 1-D")
+        return ReadoutCorpus(
+            feedline=self.feedline[idx].copy(),
+            labels=self.labels[idx].copy(),
+            prepared_levels=self.prepared_levels[idx].copy(),
+            initial_levels=self.initial_levels[idx].copy(),
+            final_levels=self.final_levels[idx].copy(),
+            chip=self.chip,
+        )
+
+    def truncated(self, trace_len: int) -> "ReadoutCorpus":
+        """Corpus with traces cut to the first ``trace_len`` samples.
+
+        This is how the readout-duration sweep (Fig 5b) shortens the
+        measurement window without re-simulating: discarding late samples
+        is exactly what ending the integration earlier does. (Ground-truth
+        final levels still refer to the original window end.)
+        """
+        if not 2 <= trace_len <= self.trace_len:
+            raise DataError(
+                f"trace_len must be in [2, {self.trace_len}], got {trace_len}"
+            )
+        return ReadoutCorpus(
+            feedline=self.feedline[:, :trace_len].copy(),
+            labels=self.labels.copy(),
+            prepared_levels=self.prepared_levels.copy(),
+            initial_levels=self.initial_levels.copy(),
+            final_levels=self.final_levels.copy(),
+            chip=self.chip.with_trace_len(trace_len),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the corpus to an ``.npz`` file (chip config as JSON)."""
+        np.savez_compressed(
+            path,
+            feedline=self.feedline,
+            labels=self.labels,
+            prepared_levels=self.prepared_levels,
+            initial_levels=self.initial_levels,
+            final_levels=self.final_levels,
+            chip_json=np.array(json.dumps(self.chip.to_dict())),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReadoutCorpus":
+        """Load a corpus written by :meth:`save`."""
+        with np.load(path) as data:
+            chip = ChipConfig.from_dict(json.loads(str(data["chip_json"])))
+            return cls(
+                feedline=data["feedline"],
+                labels=data["labels"],
+                prepared_levels=data["prepared_levels"],
+                initial_levels=data["initial_levels"],
+                final_levels=data["final_levels"],
+                chip=chip,
+            )

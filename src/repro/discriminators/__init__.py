@@ -1,0 +1,36 @@
+"""State discriminators: the paper's design and both baselines.
+
+- :class:`MLRDiscriminator` — the paper's contribution (Sec V): per-qubit
+  banks of qubit/relaxation/excitation matched filters feeding small
+  modular per-qubit neural networks.
+- :class:`FNNBaseline` — Lienhard et al.'s feedforward network over raw
+  ADC samples, with the output layer widened to 3^n states.
+- :class:`HerqulesDiscriminator` — HERQULES (ISCA'23) extended to three
+  levels: qubit + relaxation matched filters and a joint 3^n-way head.
+- :mod:`repro.discriminators.calibration` — calibration-free leakage
+  cluster detection (Sec V.A).
+"""
+
+from repro.discriminators.base import Discriminator
+from repro.discriminators.calibration import (
+    LeakageDetectionResult,
+    detect_leakage_clusters,
+)
+from repro.discriminators.error_traces import tag_error_traces
+from repro.discriminators.features import MatchedFilterFeatureExtractor
+from repro.discriminators.fnn_baseline import FNNBaseline
+from repro.discriminators.hmm import HMMDiscriminator
+from repro.discriminators.herqules import HerqulesDiscriminator
+from repro.discriminators.mlr import MLRDiscriminator
+
+__all__ = [
+    "Discriminator",
+    "MatchedFilterFeatureExtractor",
+    "tag_error_traces",
+    "FNNBaseline",
+    "HMMDiscriminator",
+    "HerqulesDiscriminator",
+    "MLRDiscriminator",
+    "detect_leakage_clusters",
+    "LeakageDetectionResult",
+]

@@ -1,0 +1,66 @@
+"""Common interface for multi-level readout discriminators."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.data.basis import state_to_digits
+from repro.data.dataset import ReadoutCorpus
+from repro.exceptions import NotFittedError
+
+__all__ = ["Discriminator"]
+
+
+class Discriminator(ABC):
+    """A trainable map from readout traces to joint multi-level states.
+
+    Implementations train on a :class:`ReadoutCorpus` (restricted to given
+    indices so train/test splits never leak) and predict joint basis-state
+    labels; per-qubit levels derive from the joint label.
+    """
+
+    name: str = "discriminator"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    @abstractmethod
+    def n_parameters(self) -> int:
+        """Trainable parameter count — the paper's model-size metric.
+
+        Counts NN weights and biases only: matched-filter kernels are
+        calibration data, not trained parameters, matching how the paper
+        reports model sizes.
+        """
+
+    @abstractmethod
+    def fit(self, corpus: ReadoutCorpus, indices: np.ndarray) -> "Discriminator":
+        """Train on the corpus rows selected by ``indices``."""
+
+    @abstractmethod
+    def predict(
+        self, corpus: ReadoutCorpus, indices: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Joint state labels for the selected corpus rows."""
+
+    def predict_qubit_levels(
+        self, corpus: ReadoutCorpus, indices: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-qubit levels (n_shots, n_qubits) from the joint prediction."""
+        joint = self.predict(corpus, indices)
+        return state_to_digits(joint, corpus.n_qubits, corpus.n_levels)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+
+    @staticmethod
+    def _resolve_indices(
+        corpus: ReadoutCorpus, indices: np.ndarray | None
+    ) -> np.ndarray:
+        if indices is None:
+            return np.arange(corpus.n_traces)
+        return np.asarray(indices)

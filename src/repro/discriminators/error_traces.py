@@ -1,0 +1,70 @@
+"""Error-trace mining via the centroid rule (Sec V.B).
+
+"Traces belonging to a particular state but positioned closer to other
+cluster centroids can be tagged as error traces." Given MTV points and
+prepared labels, this module tags each trace with the state whose centroid
+it is nearest to; traces whose nearest centroid disagrees with their label
+are relaxation candidates (nearest level below the prepared one) or
+excitation candidates (nearest level above).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError, ShapeError
+
+__all__ = ["state_centroids", "tag_error_traces"]
+
+
+def state_centroids(
+    points: np.ndarray, labels: np.ndarray, n_levels: int
+) -> np.ndarray:
+    """Mean MTV point per prepared level; rows of shape (n_levels, dim).
+
+    Raises
+    ------
+    DataError
+        If any level has no traces (centroids would be undefined).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.ndim != 2:
+        raise ShapeError(f"points must be 2-D, got {points.shape}")
+    if labels.shape[0] != points.shape[0]:
+        raise ShapeError("labels and points disagree on sample count")
+    centroids = np.empty((n_levels, points.shape[1]))
+    for level in range(n_levels):
+        members = points[labels == level]
+        if members.shape[0] == 0:
+            raise DataError(f"no traces prepared in level {level}")
+        centroids[level] = members.mean(axis=0)
+    return centroids
+
+
+def tag_error_traces(
+    points: np.ndarray, labels: np.ndarray, n_levels: int
+) -> dict[tuple[int, int], np.ndarray]:
+    """Tag traces whose MTV sits nearest a different state's centroid.
+
+    Returns a dict mapping ordered pairs ``(prepared, nearest)`` with
+    ``prepared != nearest`` to boolean masks over all traces. Pairs with
+    ``nearest < prepared`` are relaxation-error candidates; pairs with
+    ``nearest > prepared`` are excitation-error candidates.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    centroids = state_centroids(points, labels, n_levels)
+    d2 = (
+        np.sum(points * points, axis=1)[:, None]
+        - 2.0 * points @ centroids.T
+        + np.sum(centroids * centroids, axis=1)[None, :]
+    )
+    nearest = np.argmin(d2, axis=1)
+    masks: dict[tuple[int, int], np.ndarray] = {}
+    for prepared in range(n_levels):
+        for target in range(n_levels):
+            if prepared == target:
+                continue
+            masks[(prepared, target)] = (labels == prepared) & (nearest == target)
+    return masks

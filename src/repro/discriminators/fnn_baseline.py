@@ -1,0 +1,100 @@
+"""FNN baseline (Lienhard et al., PRApplied 2022), widened to three levels.
+
+The network consumes every raw ADC sample without demodulation: 500 I and
+500 Q samples give the 1000-neuron input layer; hidden layers of 500 and
+250 feed an output layer of ``3**n`` joint states (243 for five qubits,
+~687k parameters — the paper's quoted size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_random_state, child_rng
+from repro.data.basis import n_basis_states
+from repro.data.dataset import ReadoutCorpus
+from repro.discriminators.base import Discriminator
+from repro.exceptions import ConfigurationError
+from repro.ml.dataset import StandardScaler
+from repro.ml.nn import Adam, MLPClassifier, train_classifier
+
+__all__ = ["FNNBaseline"]
+
+
+class FNNBaseline(Discriminator):
+    """Joint-state classifier over raw IQ samples.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Hidden layer widths; the paper's architecture is (500, 250).
+    epochs, batch_size, learning_rate:
+        Training budget (Adam with early stopping on a 15% validation
+        split).
+    seed:
+        Controls weight init, shuffling, and the validation split.
+    """
+
+    name = "fnn"
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (500, 250),
+        epochs: int = 20,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-3,
+        patience: int = 20,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if not hidden_sizes:
+            raise ConfigurationError("hidden_sizes must not be empty")
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.patience = patience
+        self._rng = check_random_state(seed)
+        self.model: MLPClassifier | None = None
+        self.scaler: StandardScaler | None = None
+
+    @property
+    def n_parameters(self) -> int:
+        if self.model is None:
+            raise ConfigurationError(
+                "architecture unknown before fit(); call fit() first"
+            )
+        return self.model.n_parameters
+
+    def fit(self, corpus: ReadoutCorpus, indices: np.ndarray) -> "FNNBaseline":
+        subset = corpus.subset(np.asarray(indices))
+        features = subset.iq_features()
+        self.scaler = StandardScaler()
+        x = self.scaler.fit_transform(features)
+        n_out = n_basis_states(corpus.n_qubits, corpus.n_levels)
+        self.model = MLPClassifier(
+            (x.shape[1], *self.hidden_sizes, n_out),
+            seed=child_rng(self._rng, 0),
+        )
+        train_classifier(
+            self.model,
+            x,
+            subset.labels,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            optimizer=Adam(self.learning_rate, weight_decay=self.weight_decay),
+            patience=self.patience,
+            seed=child_rng(self._rng, 1),
+        )
+        self._fitted = True
+        return self
+
+    def predict(
+        self, corpus: ReadoutCorpus, indices: np.ndarray | None = None
+    ) -> np.ndarray:
+        self._require_fitted()
+        idx = self._resolve_indices(corpus, indices)
+        features = corpus.subset(idx).iq_features()
+        return self.model.predict(self.scaler.transform(features))

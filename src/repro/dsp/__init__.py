@@ -1,0 +1,36 @@
+"""Classical signal processing for readout traces.
+
+Implements the filtering stage of the readout pipeline (Fig 1b): digital
+down-conversion of the multiplexed feedline to per-qubit baseband,
+decimation, mean-trace values, and the matched filters of Sec V.B.
+"""
+
+from repro.dsp.demod import demodulate, demodulate_all_qubits
+from repro.dsp.filters import boxcar_decimate, fir_lowpass, moving_average
+from repro.dsp.matched_filter import (
+    MatchedFilterBank,
+    apply_matched_filter,
+    matched_filter_kernel,
+)
+from repro.dsp.mtv import mean_trace_value, mtv_points
+from repro.dsp.snr import (
+    cloud_separation_snr,
+    gaussian_overlap_fidelity,
+    pairwise_snr_matrix,
+)
+
+__all__ = [
+    "demodulate",
+    "demodulate_all_qubits",
+    "boxcar_decimate",
+    "moving_average",
+    "fir_lowpass",
+    "mean_trace_value",
+    "mtv_points",
+    "matched_filter_kernel",
+    "apply_matched_filter",
+    "MatchedFilterBank",
+    "cloud_separation_snr",
+    "gaussian_overlap_fidelity",
+    "pairwise_snr_matrix",
+]

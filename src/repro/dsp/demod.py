@@ -1,0 +1,60 @@
+"""Digital down-conversion of the multiplexed feedline.
+
+Each qubit's tone is brought to baseband by multiplying the feedline with
+``exp(-i 2 pi f_q t)`` — the two-FMA-per-sample operation the paper notes
+is cheap enough for inline FPGA implementation. Neighboring tones remain
+as fast-rotating terms; boxcar decimation (see filters.py) suppresses them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.physics.device import ChipConfig
+
+__all__ = ["demodulate", "demodulate_all_qubits"]
+
+TWO_PI = 2.0 * math.pi
+
+
+def demodulate(
+    feedline: np.ndarray, if_frequency_ghz: float, times_ns: np.ndarray
+) -> np.ndarray:
+    """Shift one qubit's tone to baseband.
+
+    Parameters
+    ----------
+    feedline:
+        Complex traces (n_shots, trace_len) or a single trace (trace_len,).
+    if_frequency_ghz:
+        The qubit's intermediate frequency.
+    times_ns:
+        Sample timestamps matching the trace length.
+    """
+    feedline = np.asarray(feedline)
+    times_ns = np.asarray(times_ns)
+    if feedline.shape[-1] != times_ns.shape[0]:
+        raise ShapeError(
+            f"trace length {feedline.shape[-1]} != {times_ns.shape[0]} timestamps"
+        )
+    tone = np.exp(-1j * TWO_PI * if_frequency_ghz * times_ns)
+    return feedline * tone
+
+
+def demodulate_all_qubits(
+    feedline: np.ndarray, chip: ChipConfig, trace_len: int | None = None
+) -> np.ndarray:
+    """Demodulate every qubit of a chip; returns (n_qubits, n_shots, T)."""
+    feedline = np.atleast_2d(np.asarray(feedline))
+    times = chip.sample_times(
+        feedline.shape[-1] if trace_len is None else trace_len
+    )
+    out = np.empty(
+        (chip.n_qubits,) + feedline.shape, dtype=np.complex128
+    )
+    for q, qubit in enumerate(chip.qubits):
+        out[q] = demodulate(feedline, qubit.if_frequency_ghz, times)
+    return out

@@ -1,0 +1,82 @@
+"""Decimation and smoothing filters for demodulated traces."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.exceptions import ConfigurationError, ShapeError
+
+__all__ = ["boxcar_decimate", "moving_average", "fir_lowpass"]
+
+
+def boxcar_decimate(traces: np.ndarray, factor: int) -> np.ndarray:
+    """Average consecutive groups of ``factor`` samples.
+
+    The workhorse decimator of readout DSP: cheap on an FPGA (an
+    accumulator per channel) and near-optimal when the baseband bandwidth
+    is far below the decimated rate. Trailing samples that do not fill a
+    whole group are dropped, matching streaming-hardware behavior.
+    """
+    if factor < 1:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    traces = np.asarray(traces)
+    if traces.ndim not in (1, 2):
+        raise ShapeError(f"traces must be 1-D or 2-D, got {traces.shape}")
+    if factor == 1:
+        return traces.copy()
+    length = traces.shape[-1]
+    n_bins = length // factor
+    if n_bins == 0:
+        raise ShapeError(
+            f"trace length {length} shorter than decimation factor {factor}"
+        )
+    trimmed = traces[..., : n_bins * factor]
+    shape = trimmed.shape[:-1] + (n_bins, factor)
+    return trimmed.reshape(shape).mean(axis=-1)
+
+
+def moving_average(traces: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average along the time axis (same length out)."""
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    traces = np.asarray(traces)
+    if window == 1:
+        return traces.copy()
+    kernel = np.ones(window) / window
+    if traces.ndim == 1:
+        return np.convolve(traces, kernel, mode="same")
+    if traces.ndim == 2:
+        return np.apply_along_axis(
+            lambda row: np.convolve(row, kernel, mode="same"), 1, traces
+        )
+    raise ShapeError(f"traces must be 1-D or 2-D, got {traces.shape}")
+
+
+def fir_lowpass(
+    traces: np.ndarray,
+    cutoff_ghz: float,
+    sample_rate_ghz: float,
+    n_taps: int = 31,
+) -> np.ndarray:
+    """Linear-phase FIR low-pass along the time axis.
+
+    Used where a sharper anti-alias response than the boxcar is needed
+    (e.g. when neighboring readout tones sit close in frequency).
+    """
+    if n_taps < 3 or n_taps % 2 == 0:
+        raise ConfigurationError(
+            f"n_taps must be an odd integer >= 3, got {n_taps}"
+        )
+    nyquist = sample_rate_ghz / 2.0
+    if not 0 < cutoff_ghz < nyquist:
+        raise ConfigurationError(
+            f"cutoff must be in (0, {nyquist}) GHz, got {cutoff_ghz}"
+        )
+    taps = sp_signal.firwin(n_taps, cutoff_ghz / nyquist)
+    traces = np.asarray(traces)
+    if traces.ndim == 1:
+        return sp_signal.lfilter(taps, 1.0, traces)
+    if traces.ndim == 2:
+        return sp_signal.lfilter(taps, 1.0, traces, axis=1)
+    raise ShapeError(f"traces must be 1-D or 2-D, got {traces.shape}")

@@ -1,0 +1,30 @@
+"""Mean Trace Value (MTV) — the per-trace temporal mean of Sec V.A.
+
+For a demodulated trace ``Tr``, ``MTV = mean_t Tr(t)``: one complex point
+per shot. MTV clouds of different prepared states form the clusters that
+spectral clustering separates to find naturally leaked traces (Fig 3a/3b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = ["mean_trace_value", "mtv_points"]
+
+
+def mean_trace_value(traces: np.ndarray) -> np.ndarray:
+    """Temporal mean of each trace; complex scalar per shot."""
+    traces = np.asarray(traces)
+    if traces.ndim == 1:
+        return traces.mean()
+    if traces.ndim == 2:
+        return traces.mean(axis=1)
+    raise ShapeError(f"traces must be 1-D or 2-D, got {traces.shape}")
+
+
+def mtv_points(traces: np.ndarray) -> np.ndarray:
+    """MTVs as real (n_shots, 2) points — the IQ-plane scatter of Fig 3."""
+    mtv = np.atleast_1d(mean_trace_value(traces))
+    return np.column_stack([mtv.real, mtv.imag])

@@ -1,0 +1,77 @@
+"""Readout SNR analysis utilities.
+
+Quantifies state distinguishability the way experimentalists do: the
+separation of integrated IQ clouds in units of their spread, and the
+Gaussian-overlap bound on assignment fidelity. Used to characterize
+devices, to validate the simulator against target operating points, and
+by the duration-sweep analysis (longer integration raises SNR as sqrt(T)
+until relaxation takes over).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erf
+
+from repro.exceptions import DataError, ShapeError
+
+__all__ = [
+    "cloud_separation_snr",
+    "gaussian_overlap_fidelity",
+    "pairwise_snr_matrix",
+]
+
+
+def cloud_separation_snr(points_a: np.ndarray, points_b: np.ndarray) -> float:
+    """Separation of two IQ clouds in pooled-standard-deviation units.
+
+    ``SNR = |mu_a - mu_b| / sqrt((var_a + var_b) / 2)`` with isotropic
+    per-cloud variance (the scalar convention used in readout papers).
+    """
+    a = np.asarray(points_a, dtype=np.float64)
+    b = np.asarray(points_b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ShapeError("point clouds must be 2-D with matching width")
+    if a.shape[0] < 2 or b.shape[0] < 2:
+        raise DataError("need >= 2 points per cloud")
+    mu_a, mu_b = a.mean(axis=0), b.mean(axis=0)
+    # Isotropic spread: mean per-axis variance.
+    var_a = float(np.mean(a.var(axis=0)))
+    var_b = float(np.mean(b.var(axis=0)))
+    separation = float(np.linalg.norm(mu_a - mu_b))
+    pooled = math.sqrt(max((var_a + var_b) / 2.0, 1e-300))
+    return separation / pooled
+
+
+def gaussian_overlap_fidelity(snr: float) -> float:
+    """Assignment fidelity bound for two isotropic Gaussian clouds.
+
+    With a midpoint threshold along the separation axis the error per
+    class is ``Q(SNR / 2)``, so ``F = (1 + erf(SNR / (2 sqrt(2)))) / 2``.
+    """
+    if snr < 0:
+        raise DataError(f"snr must be >= 0, got {snr}")
+    return 0.5 * (1.0 + float(erf(snr / (2.0 * math.sqrt(2.0)))))
+
+
+def pairwise_snr_matrix(
+    points: np.ndarray, labels: np.ndarray, n_levels: int
+) -> np.ndarray:
+    """Symmetric matrix of cloud-separation SNRs between all level pairs."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if labels.shape[0] != points.shape[0]:
+        raise ShapeError("labels and points disagree on sample count")
+    snr = np.zeros((n_levels, n_levels))
+    clouds = []
+    for level in range(n_levels):
+        members = points[labels == level]
+        if members.shape[0] < 2:
+            raise DataError(f"need >= 2 points for level {level}")
+        clouds.append(members)
+    for a in range(n_levels):
+        for b in range(a + 1, n_levels):
+            snr[a, b] = snr[b, a] = cloud_separation_snr(clouds[a], clouds[b])
+    return snr

@@ -1,0 +1,143 @@
+"""Shared corpus construction and discriminator training for experiments.
+
+All readout tables/figures use the same corpus pipeline: the default
+five-qubit chip, all 243 joint basis states at ``profile.shots_per_state``
+shots, and the paper's 30-70 train/test split per state. Corpora and
+trained discriminators are cached per (profile name, seed) so a bench
+suite touching several tables trains each model once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import Profile
+from repro.data import generate_corpus
+from repro.data.dataset import ReadoutCorpus
+from repro.discriminators import (
+    FNNBaseline,
+    HerqulesDiscriminator,
+    MLRDiscriminator,
+)
+from repro.ml import stratified_split
+from repro.ml.metrics import geometric_mean_fidelity, per_qubit_fidelity
+from repro.physics.device import default_five_qubit_chip
+
+__all__ = [
+    "ReadoutBundle",
+    "TrainedDesign",
+    "get_readout_bundle",
+    "get_trained",
+    "clear_caches",
+]
+
+#: Learning rate shared by the matched-filter discriminator heads.
+NN_LEARNING_RATE = 3e-3
+TRAIN_FRACTION = 0.30
+
+
+@dataclass(frozen=True)
+class ReadoutBundle:
+    """A corpus with its train/test split."""
+
+    corpus: ReadoutCorpus
+    train_idx: np.ndarray
+    test_idx: np.ndarray
+
+    @property
+    def test_labels(self) -> np.ndarray:
+        return self.corpus.labels[self.test_idx]
+
+
+@dataclass(frozen=True)
+class TrainedDesign:
+    """A fitted discriminator with its test-set fidelity numbers."""
+
+    name: str
+    discriminator: object
+    fidelities: np.ndarray
+    f5q: float
+    n_parameters: int
+
+
+_BUNDLE_CACHE: dict[tuple[str, int], ReadoutBundle] = {}
+_TRAINED_CACHE: dict[tuple[str, int, str], TrainedDesign] = {}
+
+
+def clear_caches() -> None:
+    """Drop all cached corpora and trained models (frees memory)."""
+    _BUNDLE_CACHE.clear()
+    _TRAINED_CACHE.clear()
+
+
+def get_readout_bundle(profile: Profile) -> ReadoutBundle:
+    """Corpus + 30-70 per-state split for a profile (cached)."""
+    key = (profile.name, profile.seed)
+    if key not in _BUNDLE_CACHE:
+        chip = default_five_qubit_chip()
+        corpus = generate_corpus(
+            chip, shots_per_state=profile.shots_per_state, seed=profile.seed
+        )
+        train_idx, test_idx = stratified_split(
+            corpus.labels, TRAIN_FRACTION, seed=profile.seed + 1
+        )
+        _BUNDLE_CACHE[key] = ReadoutBundle(corpus, train_idx, test_idx)
+    return _BUNDLE_CACHE[key]
+
+
+def _build(profile: Profile, design: str):
+    if design == "ours":
+        return MLRDiscriminator(
+            epochs=profile.nn_epochs,
+            batch_size=profile.batch_size,
+            learning_rate=NN_LEARNING_RATE,
+            seed=profile.seed + 10,
+        )
+    if design == "herqules":
+        return HerqulesDiscriminator(
+            epochs=profile.nn_epochs,
+            batch_size=profile.batch_size,
+            learning_rate=NN_LEARNING_RATE,
+            seed=profile.seed + 11,
+        )
+    if design == "fnn":
+        return FNNBaseline(
+            epochs=profile.fnn_epochs,
+            batch_size=profile.batch_size,
+            seed=profile.seed + 12,
+        )
+    raise ValueError(f"unknown design {design!r}")
+
+
+def get_trained(profile: Profile, design: str) -> TrainedDesign:
+    """Fit a named design on the profile's corpus (cached) and score it.
+
+    ``design`` is one of ``"ours"``, ``"herqules"``, ``"fnn"``.
+    """
+    key = (profile.name, profile.seed, design)
+    if key not in _TRAINED_CACHE:
+        bundle = get_readout_bundle(profile)
+        disc = _build(profile, design)
+        disc.fit(bundle.corpus, bundle.train_idx)
+        pred = disc.predict(bundle.corpus, bundle.test_idx)
+        fid = per_qubit_fidelity(
+            bundle.test_labels, pred, bundle.corpus.n_qubits, bundle.corpus.n_levels
+        )
+        _TRAINED_CACHE[key] = TrainedDesign(
+            name=design,
+            discriminator=disc,
+            fidelities=fid,
+            f5q=geometric_mean_fidelity(fid),
+            n_parameters=disc.n_parameters,
+        )
+    return _TRAINED_CACHE[key]
+
+
+#: Published architectures (layer widths) used by the resource/power
+#: experiments; OURS is instantiated once per qubit.
+FNN_ARCHITECTURE = (1000, 500, 250, 243)
+HERQULES_ARCHITECTURE = (30, 60, 120, 243)
+OURS_ARCHITECTURE = (45, 22, 11, 3)
+OURS_REPLICAS = 5

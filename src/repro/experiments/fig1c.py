@@ -1,0 +1,37 @@
+"""Fig 1(c) — readout classification inaccuracy per qubit, three designs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import QUICK, Profile
+from repro.experiments.common import get_trained
+from repro.experiments.report import format_rows
+
+__all__ = ["Fig1cResult", "run_fig1c"]
+
+
+@dataclass(frozen=True)
+class Fig1cResult:
+    """Per-qubit inaccuracy (1 - fidelity) for each design."""
+
+    inaccuracy: dict  # {design: tuple per qubit}
+
+    def format_table(self) -> str:
+        return format_rows(
+            ("Design", "Q1", "Q2", "Q3", "Q4", "Q5"),
+            [
+                (design, *[float(v) for v in values])
+                for design, values in self.inaccuracy.items()
+            ],
+            title="Fig 1(c): readout classification inaccuracy per qubit",
+        )
+
+
+def run_fig1c(profile: Profile = QUICK) -> Fig1cResult:
+    """Compute 1 - F_i for HERQULES, FNN, and OURS."""
+    inaccuracy = {}
+    for design in ("herqules", "fnn", "ours"):
+        trained = get_trained(profile, design)
+        inaccuracy[design] = tuple(1.0 - f for f in trained.fidelities)
+    return Fig1cResult(inaccuracy=inaccuracy)

@@ -1,0 +1,68 @@
+"""Fig 1(d) — LUT utilization of HERQULES, the FNN, and the paper's design.
+
+Paper values on the xczu7ev: FNN ~420% (does not fit), HERQULES ~28%,
+OURS ~7% — a 60x reduction vs the FNN and 4x vs HERQULES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import QUICK, Profile
+from repro.experiments.common import (
+    FNN_ARCHITECTURE,
+    HERQULES_ARCHITECTURE,
+    OURS_ARCHITECTURE,
+    OURS_REPLICAS,
+)
+from repro.experiments.report import format_rows
+from repro.fpga import XCZU7EV, estimate_network_resources
+
+__all__ = ["Fig1dResult", "run_fig1d"]
+
+PAPER_LUT_UTILIZATION = {"herqules": 0.28, "fnn": 4.20, "ours": 0.07}
+
+
+@dataclass(frozen=True)
+class Fig1dResult:
+    """LUT utilization fraction per design (1.0 = full device)."""
+
+    utilization: dict
+
+    @property
+    def fnn_over_ours(self) -> float:
+        return self.utilization["fnn"] / self.utilization["ours"]
+
+    @property
+    def herqules_over_ours(self) -> float:
+        return self.utilization["herqules"] / self.utilization["ours"]
+
+    def format_table(self) -> str:
+        table = format_rows(
+            ("Design", "LUT util", "Paper"),
+            [
+                (d, round(u, 4), PAPER_LUT_UTILIZATION[d])
+                for d, u in self.utilization.items()
+            ],
+            title="Fig 1(d): LUT utilization on xczu7ev",
+        )
+        return (
+            f"{table}\n"
+            f"FNN/OURS = {self.fnn_over_ours:.1f}x (paper ~60x), "
+            f"HERQULES/OURS = {self.herqules_over_ours:.1f}x (paper ~4x)"
+        )
+
+
+def run_fig1d(profile: Profile = QUICK) -> Fig1dResult:
+    """Estimate LUT utilization of the three architectures."""
+    estimates = {
+        "herqules": estimate_network_resources(HERQULES_ARCHITECTURE),
+        "fnn": estimate_network_resources(FNN_ARCHITECTURE),
+        "ours": estimate_network_resources(
+            OURS_ARCHITECTURE, n_replicas=OURS_REPLICAS
+        ),
+    }
+    utilization = {
+        name: est.utilization(XCZU7EV)["lut"] for name, est in estimates.items()
+    }
+    return Fig1dResult(utilization=utilization)

@@ -1,0 +1,74 @@
+"""Fig 5(a) — FPGA resource utilization, HERQULES vs the paper's design.
+
+Paper: over 5x fewer flip-flops and 4x fewer LUTs than HERQULES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import QUICK, Profile
+from repro.experiments.common import (
+    HERQULES_ARCHITECTURE,
+    OURS_ARCHITECTURE,
+    OURS_REPLICAS,
+)
+from repro.experiments.report import format_rows
+from repro.fpga import XCZU7EV, estimate_network_resources
+
+__all__ = ["Fig5aResult", "run_fig5a"]
+
+
+@dataclass(frozen=True)
+class Fig5aResult:
+    """Resource estimates and HERQULES/OURS ratios."""
+
+    resources: dict  # {design: {resource: value}}
+
+    def ratio(self, resource: str) -> float:
+        """HERQULES-to-OURS ratio for one resource class."""
+        return self.resources["herqules"][resource] / self.resources["ours"][resource]
+
+    def format_table(self) -> str:
+        table = format_rows(
+            ("Design", "LUT", "FF", "BRAM", "DSP"),
+            [
+                (
+                    design,
+                    round(vals["lut"], 0),
+                    round(vals["ff"], 0),
+                    round(vals["bram"], 0),
+                    round(vals["dsp"], 0),
+                )
+                for design, vals in self.resources.items()
+            ],
+            title="Fig 5(a): FPGA resource utilization (xczu7ev counts)",
+        )
+        return (
+            f"{table}\n"
+            f"HERQULES/OURS: LUT {self.ratio('lut'):.1f}x (paper >4x), "
+            f"FF {self.ratio('ff'):.1f}x (paper >5x)"
+        )
+
+
+def run_fig5a(profile: Profile = QUICK) -> Fig5aResult:
+    """Estimate LUT/FF/BRAM/DSP for HERQULES and OURS."""
+    resources = {}
+    for design, est in (
+        ("herqules", estimate_network_resources(HERQULES_ARCHITECTURE)),
+        (
+            "ours",
+            estimate_network_resources(
+                OURS_ARCHITECTURE, n_replicas=OURS_REPLICAS
+            ),
+        ),
+    ):
+        resources[design] = {
+            "lut": est.luts,
+            "ff": est.ffs,
+            "bram": est.brams,
+            "dsp": est.dsps,
+            "lut_util": est.utilization(XCZU7EV)["lut"],
+            "ff_util": est.utilization(XCZU7EV)["ff"],
+        }
+    return Fig5aResult(resources=resources)

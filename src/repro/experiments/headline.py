@@ -1,0 +1,81 @@
+"""Headline ratios from the abstract and introduction.
+
+Paper claims: ~100x smaller model than the FNN, ~10x smaller than
+HERQULES; 60x fewer LUTs than the FNN, 15x fewer than HERQULES; 20%
+readout-time reduction; 6.6% relative accuracy improvement over the FNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import QUICK, Profile
+from repro.experiments.common import (
+    FNN_ARCHITECTURE,
+    HERQULES_ARCHITECTURE,
+    OURS_ARCHITECTURE,
+    OURS_REPLICAS,
+)
+from repro.experiments.report import format_rows
+from repro.fpga import estimate_network_resources
+from repro.fpga.resources import network_shape_stats
+
+__all__ = ["HeadlineResult", "run_headline"]
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    """Model-size and LUT ratios between the three designs."""
+
+    parameters: dict
+    luts: dict
+
+    @property
+    def model_size_vs_fnn(self) -> float:
+        return self.parameters["fnn"] / self.parameters["ours"]
+
+    @property
+    def model_size_vs_herqules(self) -> float:
+        return self.parameters["herqules"] / self.parameters["ours"]
+
+    @property
+    def lut_ratio_vs_fnn(self) -> float:
+        return self.luts["fnn"] / self.luts["ours"]
+
+    @property
+    def lut_ratio_vs_herqules(self) -> float:
+        return self.luts["herqules"] / self.luts["ours"]
+
+    def format_table(self) -> str:
+        table = format_rows(
+            ("Design", "Parameters", "LUTs"),
+            [
+                (d, self.parameters[d], round(self.luts[d], 0))
+                for d in ("fnn", "herqules", "ours")
+            ],
+            title="Headline: model size and LUT comparison",
+        )
+        return (
+            f"{table}\n"
+            f"model size: {self.model_size_vs_fnn:.0f}x vs FNN (paper ~100x), "
+            f"{self.model_size_vs_herqules:.1f}x vs HERQULES (paper ~10x)\n"
+            f"LUTs: {self.lut_ratio_vs_fnn:.0f}x vs FNN (paper ~60x), "
+            f"{self.lut_ratio_vs_herqules:.1f}x vs HERQULES (paper ~15x... 4x in Fig 5a)"
+        )
+
+
+def run_headline(profile: Profile = QUICK) -> HeadlineResult:
+    """Compute the parameter and LUT ratios from the published shapes."""
+    parameters = {
+        "fnn": network_shape_stats(FNN_ARCHITECTURE)[0],
+        "herqules": network_shape_stats(HERQULES_ARCHITECTURE)[0],
+        "ours": network_shape_stats(OURS_ARCHITECTURE)[0] * OURS_REPLICAS,
+    }
+    luts = {
+        "fnn": estimate_network_resources(FNN_ARCHITECTURE).luts,
+        "herqules": estimate_network_resources(HERQULES_ARCHITECTURE).luts,
+        "ours": estimate_network_resources(
+            OURS_ARCHITECTURE, n_replicas=OURS_REPLICAS
+        ).luts,
+    }
+    return HeadlineResult(parameters=parameters, luts=luts)

@@ -1,0 +1,27 @@
+"""Plain-text table formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_rows"]
+
+
+def format_rows(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table (matplotlib-free figure substitute)."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [f"{v:.4f}" if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Model-size scaling with qubit count and level count (Sec V.C).
+
+The paper's central architectural argument: joint-head designs scale
+exponentially — their output layer enumerates ``k**n`` states — while the
+modular design's total size grows polynomially in (n, k): each qubit's
+network has input ``n * k * (k+1) * ... `` more precisely ``O(n k^2)``
+features (three filters per level pair per qubit) and a k-way output.
+
+This runner evaluates the closed-form parameter counts of all three
+architectures across a (n, k) grid, using the paper's published layer
+rules:
+
+- FNN: raw input ``2 * trace_len`` -> 500 -> 250 -> ``k**n``;
+- HERQULES: ``n * k * (k - 1)`` filter scores -> 60 -> 120 -> ``k**n``;
+- OURS: ``P = 3 * n * k * (k - 1) / 2`` scores -> ``P/2`` -> ``P/4`` -> k,
+  replicated n times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import QUICK, Profile
+from repro.exceptions import ConfigurationError
+from repro.experiments.report import format_rows
+from repro.fpga.resources import network_shape_stats
+
+__all__ = [
+    "ScalingResult",
+    "run_scaling",
+    "fnn_architecture",
+    "herqules_architecture",
+    "ours_architecture",
+]
+
+
+def _pairs(k: int) -> int:
+    """Level pairs per qubit: k choose 2."""
+    return k * (k - 1) // 2
+
+
+def fnn_architecture(n_qubits: int, n_levels: int, trace_len: int = 500):
+    """FNN layer widths for an (n, k) system."""
+    if n_qubits < 1 or n_levels < 2:
+        raise ConfigurationError("need n_qubits >= 1 and n_levels >= 2")
+    return (2 * trace_len, 500, 250, n_levels**n_qubits)
+
+
+def herqules_architecture(n_qubits: int, n_levels: int):
+    """HERQULES layer widths: QMF+RMF scores into a joint k^n head."""
+    if n_qubits < 1 or n_levels < 2:
+        raise ConfigurationError("need n_qubits >= 1 and n_levels >= 2")
+    n_features = n_qubits * 2 * _pairs(n_levels)
+    return (n_features, 60, 120, n_levels**n_qubits)
+
+
+def ours_architecture(n_qubits: int, n_levels: int):
+    """Per-qubit network widths of the paper's design (one of n replicas)."""
+    if n_qubits < 1 or n_levels < 2:
+        raise ConfigurationError("need n_qubits >= 1 and n_levels >= 2")
+    n_features = n_qubits * 3 * _pairs(n_levels)
+    return (n_features, max(2, n_features // 2), max(2, n_features // 4), n_levels)
+
+
+def total_parameters(design: str, n_qubits: int, n_levels: int) -> int:
+    """Closed-form parameter count of a design at (n, k)."""
+    if design == "fnn":
+        return network_shape_stats(fnn_architecture(n_qubits, n_levels))[0]
+    if design == "herqules":
+        return network_shape_stats(herqules_architecture(n_qubits, n_levels))[0]
+    if design == "ours":
+        per_net = network_shape_stats(ours_architecture(n_qubits, n_levels))[0]
+        return per_net * n_qubits
+    raise ConfigurationError(f"unknown design {design!r}")
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Parameter counts over the (n, k) grid.
+
+    ``parameters[design]`` is a dict mapping (n_qubits, n_levels) to the
+    total trainable parameter count.
+    """
+
+    qubit_range: tuple[int, ...]
+    level_range: tuple[int, ...]
+    parameters: dict
+
+    def growth_exponent(self, design: str, n_levels: int = 3) -> float:
+        """Fitted log-growth rate per added qubit at fixed k.
+
+        For exponential designs this approaches ``log(k)``; for the
+        modular design it approaches the polynomial's log-slope, which
+        tends to zero as n grows.
+        """
+        counts = np.array(
+            [self.parameters[design][(n, n_levels)] for n in self.qubit_range],
+            dtype=np.float64,
+        )
+        logs = np.log(counts)
+        return float(np.polyfit(self.qubit_range, logs, 1)[0])
+
+    def format_table(self) -> str:
+        rows = []
+        for n in self.qubit_range:
+            rows.append(
+                (
+                    n,
+                    self.parameters["fnn"][(n, 3)],
+                    self.parameters["herqules"][(n, 3)],
+                    self.parameters["ours"][(n, 3)],
+                )
+            )
+        table = format_rows(
+            ("n_qubits", "FNN", "HERQULES", "OURS"),
+            rows,
+            title="Sec V.C: model size vs qubit count (3-level)",
+        )
+        return (
+            f"{table}\n"
+            f"log-growth per qubit: FNN {self.growth_exponent('fnn'):.2f}, "
+            f"HERQULES {self.growth_exponent('herqules'):.2f}, "
+            f"OURS {self.growth_exponent('ours'):.2f} "
+            f"(log 3 = {np.log(3):.2f} is pure-exponential growth)"
+        )
+
+
+def run_scaling(
+    profile: Profile = QUICK,
+    qubit_range: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8, 9, 10),
+    level_range: tuple[int, ...] = (2, 3, 4),
+) -> ScalingResult:
+    """Tabulate parameter counts for all designs over the (n, k) grid."""
+    parameters: dict[str, dict] = {"fnn": {}, "herqules": {}, "ours": {}}
+    for design in parameters:
+        for n in qubit_range:
+            for k in level_range:
+                parameters[design][(n, k)] = total_parameters(design, n, k)
+    return ScalingResult(
+        qubit_range=tuple(qubit_range),
+        level_range=tuple(level_range),
+        parameters=parameters,
+    )

@@ -1,0 +1,47 @@
+"""Sec VII.B — QEC cycle-time reduction from faster readout.
+
+Paper: the 200 ns readout reduction yields up to a 17% decrease in QEC
+cycle time for the surface-17 circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import QUICK, Profile
+from repro.experiments.report import format_rows
+from repro.qec import cycle_time_ns, cycle_time_reduction
+
+__all__ = ["Sec7bResult", "run_sec7b_cycle_time"]
+
+BASELINE_READOUT_NS = 1000.0
+REDUCED_READOUT_NS = 800.0
+
+
+@dataclass(frozen=True)
+class Sec7bResult:
+    """Cycle times at both readout durations and the reduction."""
+
+    baseline_cycle_ns: float
+    reduced_cycle_ns: float
+    reduction: float
+
+    def format_table(self) -> str:
+        table = format_rows(
+            ("Readout(ns)", "Cycle(ns)"),
+            [
+                (int(BASELINE_READOUT_NS), round(self.baseline_cycle_ns, 1)),
+                (int(REDUCED_READOUT_NS), round(self.reduced_cycle_ns, 1)),
+            ],
+            title="Sec VII.B: surface-17 QEC cycle time",
+        )
+        return f"{table}\ncycle-time reduction: {self.reduction:.1%} (paper: up to 17%)"
+
+
+def run_sec7b_cycle_time(profile: Profile = QUICK) -> Sec7bResult:
+    """Evaluate the cycle-time model at 1000 ns and 800 ns readout."""
+    return Sec7bResult(
+        baseline_cycle_ns=cycle_time_ns(BASELINE_READOUT_NS),
+        reduced_cycle_ns=cycle_time_ns(REDUCED_READOUT_NS),
+        reduction=cycle_time_reduction(BASELINE_READOUT_NS, REDUCED_READOUT_NS),
+    )

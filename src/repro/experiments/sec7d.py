@@ -1,0 +1,53 @@
+"""Sec VII.D — power consumption of the deployed design.
+
+Paper (Synopsys DC, 45 nm): 1.561 mW total at a 1 GHz clock with a
+5-cycle (5 ns) latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import QUICK, Profile
+from repro.experiments.common import OURS_ARCHITECTURE, OURS_REPLICAS
+from repro.experiments.report import format_rows
+from repro.fpga import pipeline_latency_cycles
+from repro.fpga.power import estimate_design_power_mw
+from repro.fpga.resources import network_shape_stats
+
+__all__ = ["Sec7dResult", "run_sec7d_power"]
+
+PAPER_POWER_MW = 1.561
+PAPER_LATENCY_CYCLES = 5
+
+
+@dataclass(frozen=True)
+class Sec7dResult:
+    """Measured power and latency of the paper's architecture."""
+
+    total_parameters: int
+    power_mw: float
+    latency_cycles: int
+
+    def format_table(self) -> str:
+        table = format_rows(
+            ("Metric", "Measured", "Paper"),
+            [
+                ("power (mW @ 1 GHz)", round(self.power_mw, 3), PAPER_POWER_MW),
+                ("latency (cycles)", self.latency_cycles, PAPER_LATENCY_CYCLES),
+                ("parameters", self.total_parameters, 6505),
+            ],
+            title="Sec VII.D: power and latency of the deployed design",
+        )
+        return table
+
+
+def run_sec7d_power(profile: Profile = QUICK) -> Sec7dResult:
+    """Evaluate the power/latency models on the paper's architecture."""
+    per_network, _ = network_shape_stats(OURS_ARCHITECTURE)
+    total = per_network * OURS_REPLICAS
+    return Sec7dResult(
+        total_parameters=total,
+        power_mw=estimate_design_power_mw(total),
+        latency_cycles=pipeline_latency_cycles(OURS_ARCHITECTURE),
+    )

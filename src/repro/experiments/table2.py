@@ -1,0 +1,65 @@
+"""Table II — three-level fidelity of the existing baselines.
+
+Paper: FNN reaches F5Q = 0.898 while HERQULES collapses to 0.591; the
+collapse is driven by HERQULES' exponential joint head over 30 matched-
+filter scores. At reduced (profile) corpus sizes, the FNN is additionally
+data-starved (687k parameters), which lowers its absolute numbers; the
+HERQULES < OURS ordering and the joint-head weakness are preserved and the
+FNN's data-scaling is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import QUICK, Profile
+from repro.experiments.common import get_trained
+from repro.experiments.report import format_rows
+
+__all__ = ["Table2Result", "run_table2"]
+
+PAPER_VALUES = {
+    "fnn": {"fidelities": (0.967, 0.728, 0.927, 0.932, 0.962), "f5q": 0.898},
+    "herqules": {
+        "fidelities": (0.598, 0.549, 0.608, 0.607, 0.594),
+        "f5q": 0.591,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Measured per-qubit fidelity of FNN and HERQULES."""
+
+    rows: list[dict]
+
+    def format_table(self) -> str:
+        return format_rows(
+            ("Design", "Q1", "Q2", "Q3", "Q4", "Q5", "F5Q", "Paper F5Q"),
+            [
+                (
+                    r["design"],
+                    *[float(f) for f in r["fidelities"]],
+                    r["f5q"],
+                    PAPER_VALUES[r["design"]]["f5q"],
+                )
+                for r in self.rows
+            ],
+            title="Table II: three-level readout fidelity of existing designs",
+        )
+
+
+def run_table2(profile: Profile = QUICK) -> Table2Result:
+    """Fit and score the FNN and HERQULES baselines."""
+    rows = []
+    for design in ("fnn", "herqules"):
+        trained = get_trained(profile, design)
+        rows.append(
+            {
+                "design": design,
+                "fidelities": tuple(trained.fidelities),
+                "f5q": trained.f5q,
+                "n_parameters": trained.n_parameters,
+            }
+        )
+    return Table2Result(rows=rows)

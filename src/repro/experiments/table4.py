@@ -1,0 +1,72 @@
+"""Table IV — three-level fidelity: the paper's design vs the FNN.
+
+Paper: OURS F5Q = 0.9052 vs FNN 0.8985, a 6.6% relative improvement
+computed as (F_ours - F_fnn) / (1 - F_fnn). At profile scale the FNN is
+data-starved, so the measured relative improvement is larger; the
+direction and the OURS absolute level (~0.89-0.91) match the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import QUICK, Profile
+from repro.experiments.common import get_trained
+from repro.experiments.report import format_rows
+
+__all__ = ["Table4Result", "run_table4"]
+
+PAPER_VALUES = {
+    "fnn": {"fidelities": (0.967, 0.728, 0.928, 0.932, 0.962), "f5q": 0.8985},
+    "ours": {"fidelities": (0.971, 0.745, 0.923, 0.939, 0.969), "f5q": 0.9052},
+}
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Measured per-qubit fidelity of the FNN baseline and OURS."""
+
+    rows: list[dict]
+
+    @property
+    def relative_improvement(self) -> float:
+        """(F_ours - F_fnn) / (1 - F_fnn), the paper's 6.6% metric."""
+        by_name = {r["design"]: r["f5q"] for r in self.rows}
+        fnn, ours = by_name["fnn"], by_name["ours"]
+        return (ours - fnn) / (1.0 - fnn)
+
+    def format_table(self) -> str:
+        table = format_rows(
+            ("Design", "Q1", "Q2", "Q3", "Q4", "Q5", "F5Q", "Paper F5Q"),
+            [
+                (
+                    r["design"],
+                    *[float(f) for f in r["fidelities"]],
+                    r["f5q"],
+                    PAPER_VALUES[r["design"]]["f5q"],
+                )
+                for r in self.rows
+            ],
+            title="Table IV: three-level readout fidelity, FNN vs OURS",
+        )
+        return (
+            f"{table}\n"
+            f"relative improvement: {self.relative_improvement:.1%} "
+            f"(paper: 6.6%)"
+        )
+
+
+def run_table4(profile: Profile = QUICK) -> Table4Result:
+    """Fit and score the FNN baseline and the paper's design."""
+    rows = []
+    for design in ("fnn", "ours"):
+        trained = get_trained(profile, design)
+        rows.append(
+            {
+                "design": design,
+                "fidelities": tuple(trained.fidelities),
+                "f5q": trained.f5q,
+                "n_parameters": trained.n_parameters,
+            }
+        )
+    return Table4Result(rows=rows)

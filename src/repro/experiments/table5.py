@@ -1,0 +1,130 @@
+"""Table V — single-qubit three-level fidelity on the leak-prone qubits.
+
+Paper (qubits 3 and 4): LDA 0.8966/0.9181, QDA 0.914/0.921, NN
+0.939/0.926, OURS 0.959/0.930. The progression reflects feature quality:
+LDA/QDA act on the integrated IQ point (the classic discriminant-analysis
+readout), the NN adds qubit matched-filter scores, and OURS adds the
+relaxation/excitation matched filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import QUICK, Profile
+from repro.discriminators.features import MatchedFilterFeatureExtractor
+from repro.dsp.demod import demodulate
+from repro.dsp.filters import boxcar_decimate
+from repro.dsp.mtv import mtv_points
+from repro.experiments.common import (
+    NN_LEARNING_RATE,
+    get_readout_bundle,
+    get_trained,
+)
+from repro.experiments.report import format_rows
+from repro.ml import LinearDiscriminantAnalysis, QuadraticDiscriminantAnalysis
+from repro.ml.dataset import StandardScaler
+from repro.ml.nn import Adam, MLPClassifier, train_classifier
+
+__all__ = ["Table5Result", "run_table5"]
+
+#: Paper's qubit 3 and qubit 4 are indices 2 and 3.
+LEAK_PRONE_QUBITS = (2, 3)
+
+PAPER_VALUES = {
+    2: {"lda": 0.8966, "qda": 0.914, "nn": 0.939, "ours": 0.959},
+    3: {"lda": 0.9181, "qda": 0.921, "nn": 0.926, "ours": 0.930},
+}
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    """Per-design single-qubit fidelities for the leak-prone qubits."""
+
+    fidelities: dict  # {qubit: {design: fidelity}}
+
+    def format_table(self) -> str:
+        rows = []
+        for qubit, values in sorted(self.fidelities.items()):
+            rows.append(
+                (
+                    f"Qubit {qubit + 1}",
+                    values["lda"],
+                    values["qda"],
+                    values["nn"],
+                    values["ours"],
+                )
+            )
+        return format_rows(
+            ("Qubit", "LDA", "QDA", "NN", "OURS"),
+            rows,
+            title="Table V: single-qubit three-level fidelity (leak-prone qubits)",
+        )
+
+
+def _mtv_features(bundle, qubit: int) -> np.ndarray:
+    """Integrated IQ point of one qubit for every trace (2 features)."""
+    corpus = bundle.corpus
+    times = corpus.chip.sample_times(corpus.trace_len)
+    baseband = demodulate(
+        corpus.feedline, corpus.chip.qubits[qubit].if_frequency_ghz, times
+    )
+    return mtv_points(boxcar_decimate(baseband, 5))
+
+
+def run_table5(profile: Profile = QUICK) -> Table5Result:
+    """Score LDA, QDA, a QMF-fed NN, and OURS per leak-prone qubit."""
+    bundle = get_readout_bundle(profile)
+    corpus = bundle.corpus
+    tr, te = bundle.train_idx, bundle.test_idx
+
+    # QMF-only features for the plain-NN column: each qubit's own three
+    # qubit-matched-filter scores, without error filters or neighbor
+    # information (the simplest NN discriminator).
+    qmf_extractor = MatchedFilterFeatureExtractor(
+        include_rmf=False, include_emf=False
+    )
+    qmf_train_all = qmf_extractor.fit_transform(corpus, tr)
+    qmf_test_all = qmf_extractor.transform(corpus, te)
+    scaler = StandardScaler()
+    qmf_train_all = scaler.fit_transform(qmf_train_all)
+    qmf_test_all = scaler.transform(qmf_test_all)
+
+    ours = get_trained(profile, "ours")
+    ours_levels = ours.discriminator.predict_qubit_levels(corpus, te)
+
+    fidelities: dict[int, dict[str, float]] = {}
+    for qubit in LEAK_PRONE_QUBITS:
+        y_train = corpus.qubit_labels(qubit)[tr]
+        y_test = corpus.qubit_labels(qubit)[te]
+
+        mtv = _mtv_features(bundle, qubit)
+        lda = LinearDiscriminantAnalysis().fit(mtv[tr], y_train)
+        qda = QuadraticDiscriminantAnalysis().fit(mtv[tr], y_train)
+
+        own = slice(3 * qubit, 3 * qubit + 3)
+        qmf_train = qmf_train_all[:, own]
+        qmf_test = qmf_test_all[:, own]
+        nn = MLPClassifier(
+            (qmf_train.shape[1], 8, 3),
+            seed=profile.seed + 40 + qubit,
+        )
+        train_classifier(
+            nn,
+            qmf_train,
+            y_train,
+            epochs=profile.nn_epochs,
+            batch_size=profile.batch_size,
+            optimizer=Adam(NN_LEARNING_RATE),
+            seed=profile.seed + 41 + qubit,
+        )
+
+        fidelities[qubit] = {
+            "lda": float(np.mean(lda.predict(mtv[te]) == y_test)),
+            "qda": float(np.mean(qda.predict(mtv[te]) == y_test)),
+            "nn": float(np.mean(nn.predict(qmf_test) == y_test)),
+            "ours": float(np.mean(ours_levels[:, qubit] == y_test)),
+        }
+    return Table5Result(fidelities=fidelities)

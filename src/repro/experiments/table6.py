@@ -1,0 +1,141 @@
+"""Table VI — impact of multi-level readout quality on leakage speculation.
+
+Paper: speculation accuracy rises from 0.914 (LDA, 10% readout error) to
+0.947 (OURS, 5%); large models (FNN) are accurate but slow, OURS is both
+accurate and fast. Here each design's readout error is *measured* on the
+synthetic corpus (mean per-qubit infidelity excluding qubit 2, the paper's
+convention), then fed into the ERASER+M Monte-Carlo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import QUICK, Profile
+from repro.experiments.common import get_readout_bundle, get_trained
+from repro.experiments.report import format_rows
+from repro.experiments.table5 import _mtv_features
+from repro.ml import LinearDiscriminantAnalysis, QuadraticDiscriminantAnalysis
+from repro.ml.confusion import confusion_from_labels
+from repro.ml.metrics import assignment_error_rate
+from repro.qec import EraserConfig, LeakageParams, RotatedSurfaceCode, run_eraser
+
+__all__ = ["Table6Result", "run_table6"]
+
+PAPER_VALUES = {
+    "lda": {"error_pct": 10.0, "speed": "Fast", "accuracy": 0.914},
+    "qda": {"error_pct": 9.0, "speed": "Fast", "accuracy": 0.921},
+    "fnn": {"error_pct": 5.5, "speed": "Slow", "accuracy": 0.943},
+    "ours": {"error_pct": 5.0, "speed": "Fast", "accuracy": 0.947},
+}
+
+#: Qubit 2 (index 1) is excluded from the error average, as in the paper.
+EXCLUDED_QUBITS = (1,)
+#: Parameter count above which inference is classed "Slow" (FNN-scale
+#: models cannot run inline on the FPGA).
+SLOW_PARAMETER_THRESHOLD = 100_000
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    """Measured readout error and speculation accuracy per design."""
+
+    rows: list[dict]
+
+    def format_table(self) -> str:
+        return format_rows(
+            ("Design", "Error(%)", "Speed", "SpecAcc", "Paper SpecAcc"),
+            [
+                (
+                    r["design"].upper(),
+                    round(r["error_pct"], 2),
+                    r["speed"],
+                    r["speculation_accuracy"],
+                    PAPER_VALUES[r["design"]]["accuracy"],
+                )
+                for r in self.rows
+            ],
+            title="Table VI: multi-level readout quality vs leakage speculation",
+        )
+
+
+def _discriminant_error(bundle, cls, profile: Profile) -> float:
+    """Joint readout error of per-qubit LDA/QDA on integrated IQ points."""
+    corpus = bundle.corpus
+    tr, te = bundle.train_idx, bundle.test_idx
+    predictions = np.empty((te.size, corpus.n_qubits), dtype=np.int64)
+    for qubit in range(corpus.n_qubits):
+        features = _mtv_features(bundle, qubit)
+        model = cls().fit(features[tr], corpus.qubit_labels(qubit)[tr])
+        predictions[:, qubit] = model.predict(features[te])
+    keep = [q for q in range(corpus.n_qubits) if q not in EXCLUDED_QUBITS]
+    truth = np.column_stack(
+        [corpus.qubit_labels(q)[te] for q in range(corpus.n_qubits)]
+    )
+    return float(1.0 - np.mean(predictions[:, keep] == truth[:, keep]))
+
+
+def run_table6(profile: Profile = QUICK, distance: int = 7) -> Table6Result:
+    """Measure per-design readout error, then run ERASER+M with it."""
+    bundle = get_readout_bundle(profile)
+    code = RotatedSurfaceCode(distance)
+
+    designs: list[tuple[str, float, int]] = []
+    designs.append(
+        ("lda", _discriminant_error(bundle, LinearDiscriminantAnalysis, profile), 0)
+    )
+    designs.append(
+        ("qda", _discriminant_error(bundle, QuadraticDiscriminantAnalysis, profile), 0)
+    )
+    confusion_fraction = {}
+    for name in ("fnn", "ours"):
+        trained = get_trained(profile, name)
+        pred = trained.discriminator.predict(bundle.corpus, bundle.test_idx)
+        error = assignment_error_rate(
+            bundle.test_labels,
+            pred,
+            bundle.corpus.n_qubits,
+            bundle.corpus.n_levels,
+            exclude_qubits=EXCLUDED_QUBITS,
+        )
+        designs.append((name, error, trained.n_parameters))
+        # Measured |2>-confusion asymmetry, fed to the QEC simulator.
+        from repro.data.basis import state_to_digits
+
+        true_digits = state_to_digits(
+            bundle.test_labels, bundle.corpus.n_qubits, bundle.corpus.n_levels
+        )
+        pred_digits = state_to_digits(
+            pred, bundle.corpus.n_qubits, bundle.corpus.n_levels
+        )
+        confusion = confusion_from_labels(
+            true_digits.ravel(), pred_digits.ravel()
+        )
+        confusion_fraction[name] = confusion.false_two_fraction
+
+    rows = []
+    for name, error, n_params in designs:
+        params = LeakageParams(
+            readout_error=min(0.5, error),
+            false_two_fraction=confusion_fraction.get(name, 0.05),
+        )
+        report = run_eraser(
+            code,
+            cycles=10,
+            shots=profile.qec_shots,
+            params=params,
+            config=EraserConfig(multi_level=True),
+            seed=profile.seed + 60,
+        )
+        rows.append(
+            {
+                "design": name,
+                "error_pct": 100.0 * error,
+                "speed": "Slow" if n_params > SLOW_PARAMETER_THRESHOLD else "Fast",
+                "speculation_accuracy": report.accuracy,
+                "leakage_population": report.leakage_population,
+            }
+        )
+    return Table6Result(rows=rows)

@@ -1,0 +1,37 @@
+"""Analytic FPGA implementation models.
+
+The paper reports FPGA results from hls4ml + Vivado HLS on a Xilinx Zynq
+MPSoC (xczu7ev) and power from Synopsys DC at 45 nm. Without those tools,
+this package provides documented analytic models:
+
+- :mod:`repro.fpga.fixed_point` — fixed-point quantization, plus a
+  bit-accurate quantized-inference emulator in :mod:`repro.fpga.hls_model`.
+- :mod:`repro.fpga.resources` — LUT/FF/BRAM/DSP estimates for a dense-NN
+  datapath. LUT and FF coefficients are *calibrated against the paper's
+  three published design points* (FNN, HERQULES, OURS), so ratios between
+  architectures reproduce the published ratios and ablations interpolate
+  sensibly.
+- :mod:`repro.fpga.latency` — pipeline latency (the paper's design runs in
+  5 cycles at 1 GHz).
+- :mod:`repro.fpga.power` — energy/MAC + static power, calibrated to the
+  paper's 1.561 mW operating point.
+"""
+
+from repro.fpga.devices import FPGADevice, XCZU7EV
+from repro.fpga.fixed_point import FixedPointFormat
+from repro.fpga.hls_model import HLSNetworkModel
+from repro.fpga.latency import pipeline_latency_cycles, pipeline_latency_ns
+from repro.fpga.power import estimate_power_mw
+from repro.fpga.resources import ResourceEstimate, estimate_network_resources
+
+__all__ = [
+    "FPGADevice",
+    "XCZU7EV",
+    "FixedPointFormat",
+    "ResourceEstimate",
+    "estimate_network_resources",
+    "pipeline_latency_cycles",
+    "pipeline_latency_ns",
+    "estimate_power_mw",
+    "HLSNetworkModel",
+]

@@ -1,0 +1,34 @@
+"""FPGA device catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FPGADevice", "XCZU7EV"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource capacities of an FPGA part.
+
+    Attributes are the usual Xilinx headline counts: 6-input LUTs,
+    flip-flops, 36 Kb block RAMs, and DSP48 slices.
+    """
+
+    name: str
+    luts: int
+    ffs: int
+    brams: int
+    dsps: int
+
+    def __post_init__(self) -> None:
+        for attr in ("luts", "ffs", "brams", "dsps"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{attr} must be positive")
+
+
+#: The paper's target device: Xilinx Zynq UltraScale+ MPSoC
+#: xczu7ev-ffvc1156-2-i.
+XCZU7EV = FPGADevice(name="xczu7ev", luts=230_400, ffs=460_800, brams=312, dsps=1_728)

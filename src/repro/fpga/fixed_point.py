@@ -1,0 +1,81 @@
+"""Fixed-point number formats for FPGA datapath emulation.
+
+Mirrors the ``ap_fixed<W, I>`` types hls4ml generates: ``total_bits``
+overall width with ``integer_bits`` in front of the binary point (signed,
+two's complement, round-to-nearest, saturation at the extremes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FixedPointFormat"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format ``ap_fixed<total_bits, integer_bits>``.
+
+    Parameters
+    ----------
+    total_bits:
+        Word width including the sign bit.
+    integer_bits:
+        Bits in front of the binary point, including the sign bit.
+    """
+
+    total_bits: int = 16
+    integer_bits: int = 6
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.total_bits <= 64:
+            raise ConfigurationError(
+                f"total_bits must be in [2, 64], got {self.total_bits}"
+            )
+        if not 1 <= self.integer_bits <= self.total_bits:
+            raise ConfigurationError(
+                f"integer_bits must be in [1, {self.total_bits}], "
+                f"got {self.integer_bits}"
+            )
+
+    @property
+    def fraction_bits(self) -> int:
+        """Bits behind the binary point."""
+        return self.total_bits - self.integer_bits
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable step."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return 2.0 ** (self.integer_bits - 1) - self.resolution
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable value."""
+        return -(2.0 ** (self.integer_bits - 1))
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round to the nearest representable value, saturating at the ends."""
+        arr = np.asarray(values, dtype=np.float64)
+        scaled = np.rint(arr / self.resolution) * self.resolution
+        return np.clip(scaled, self.min_value, self.max_value)
+
+    def quantization_error(self, values: np.ndarray) -> np.ndarray:
+        """Element-wise error introduced by :meth:`quantize`."""
+        arr = np.asarray(values, dtype=np.float64)
+        return self.quantize(arr) - arr
+
+    def covers(self, values: np.ndarray) -> bool:
+        """True when no element of ``values`` would saturate."""
+        arr = np.asarray(values, dtype=np.float64)
+        return bool(
+            np.all(arr <= self.max_value) and np.all(arr >= self.min_value)
+        )

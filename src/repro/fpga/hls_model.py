@@ -1,0 +1,103 @@
+"""Bit-accurate emulation of the synthesized (quantized) network.
+
+hls4ml converts a trained float network into a fixed-point datapath; the
+deployed accuracy is the *quantized* accuracy. :class:`HLSNetworkModel`
+reproduces that conversion: weights, biases, and activations are rounded
+to configurable fixed-point formats, and inference runs layer by layer in
+those formats (wide accumulator, quantization at each layer boundary —
+hls4ml's default behavior).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.fpga.fixed_point import FixedPointFormat
+from repro.fpga.latency import pipeline_latency_cycles
+from repro.fpga.power import estimate_power_mw
+from repro.fpga.resources import ResourceEstimate, estimate_network_resources
+from repro.ml.nn.network import MLPClassifier
+
+__all__ = ["HLSNetworkModel"]
+
+
+class HLSNetworkModel:
+    """A fixed-point deployment of a trained :class:`MLPClassifier`.
+
+    Parameters
+    ----------
+    weights, biases:
+        Per-layer float arrays (taken from the trained model).
+    weight_format, activation_format:
+        Fixed-point formats for stored weights/biases and for the
+        inter-layer activations. Defaults follow common hls4ml choices:
+        8-bit weights, 16-bit activations.
+    """
+
+    def __init__(
+        self,
+        weights: list[np.ndarray],
+        biases: list[np.ndarray],
+        weight_format: FixedPointFormat | None = None,
+        activation_format: FixedPointFormat | None = None,
+    ) -> None:
+        if len(weights) != len(biases) or not weights:
+            raise ConfigurationError("need matching, non-empty weight/bias lists")
+        self.weight_format = weight_format or FixedPointFormat(8, 3)
+        self.activation_format = activation_format or FixedPointFormat(16, 8)
+        self.weights = [self.weight_format.quantize(w) for w in weights]
+        self.biases = [self.weight_format.quantize(b) for b in biases]
+        self.layer_sizes = (weights[0].shape[0],) + tuple(
+            w.shape[1] for w in weights
+        )
+
+    @classmethod
+    def from_classifier(
+        cls,
+        model: MLPClassifier,
+        weight_format: FixedPointFormat | None = None,
+        activation_format: FixedPointFormat | None = None,
+    ) -> "HLSNetworkModel":
+        """Quantize a trained classifier for deployment."""
+        weights, biases = [], []
+        for layer in model.network.layers:
+            weights.append(layer.weights.copy())
+            biases.append(layer.bias.copy())
+        return cls(weights, biases, weight_format, activation_format)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Quantized logits for a batch (n_samples, n_in)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.layer_sizes[0]:
+            raise ShapeError(
+                f"expected input (*, {self.layer_sizes[0]}), got {x.shape}"
+            )
+        act = self.activation_format.quantize(x)
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = act @ w + b  # wide accumulator: full precision inside
+            if i < last:
+                z = np.maximum(z, 0.0)
+            act = self.activation_format.quantize(z)
+        return act
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class decisions from the quantized datapath."""
+        return np.argmax(self.forward(x), axis=1)
+
+    @property
+    def resources(self) -> ResourceEstimate:
+        """Resource estimate at this model's weight precision."""
+        return estimate_network_resources(
+            self.layer_sizes, precision=self.weight_format
+        )
+
+    @property
+    def latency_cycles(self) -> int:
+        """Pipeline latency in clock cycles (reuse factor 1)."""
+        return pipeline_latency_cycles(self.layer_sizes)
+
+    def power_mw(self, inference_rate_mhz: float = 1.0) -> float:
+        """Power at a given inference rate (one per readout by default)."""
+        return estimate_power_mw(self.layer_sizes, inference_rate_mhz)

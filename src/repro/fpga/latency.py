@@ -1,0 +1,70 @@
+"""Pipeline latency model for the dense-NN datapath.
+
+A fully parallel (reuse factor 1) dense network evaluates one layer per
+clock, plus an input-registration stage and an output argmax stage:
+
+    cycles = n_dense_layers * reuse_factor + 2
+
+which reproduces the paper's published operating point — the 3-layer
+design runs in 5 cycles (5 ns at 1 GHz, Sec VII.D). Larger reuse factors
+serialize each layer's MACs over ``reuse_factor`` clocks, the standard
+hls4ml area/latency trade.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "pipeline_latency_cycles",
+    "pipeline_latency_ns",
+    "readout_decision_latency_ns",
+]
+
+_OVERHEAD_CYCLES = 2
+
+
+def pipeline_latency_cycles(
+    layer_sizes: Sequence[int], reuse_factor: int = 1
+) -> int:
+    """Clock cycles from input-valid to class-valid."""
+    sizes = [int(s) for s in layer_sizes]
+    if len(sizes) < 2:
+        raise ConfigurationError("layer_sizes needs input and output widths")
+    if reuse_factor < 1:
+        raise ConfigurationError(f"reuse_factor must be >= 1, got {reuse_factor}")
+    n_dense = len(sizes) - 1
+    return n_dense * reuse_factor + _OVERHEAD_CYCLES
+
+
+def pipeline_latency_ns(
+    layer_sizes: Sequence[int],
+    clock_ghz: float = 1.0,
+    reuse_factor: int = 1,
+) -> float:
+    """Latency in nanoseconds at a given clock."""
+    if clock_ghz <= 0:
+        raise ConfigurationError(f"clock_ghz must be positive, got {clock_ghz}")
+    return pipeline_latency_cycles(layer_sizes, reuse_factor) / clock_ghz
+
+
+def readout_decision_latency_ns(
+    integration_ns: float,
+    layer_sizes: Sequence[int],
+    clock_ghz: float = 1.0,
+    reuse_factor: int = 1,
+    filter_flush_cycles: int = 3,
+) -> float:
+    """Total time from probe-tone start to state decision.
+
+    Matched filters stream alongside the ADC, so they add only a small
+    pipeline flush after the last sample; the NN latency follows.
+    """
+    if integration_ns <= 0:
+        raise ConfigurationError("integration_ns must be positive")
+    if filter_flush_cycles < 0:
+        raise ConfigurationError("filter_flush_cycles must be >= 0")
+    nn_ns = pipeline_latency_ns(layer_sizes, clock_ghz, reuse_factor)
+    return integration_ns + filter_flush_cycles / clock_ghz + nn_ns

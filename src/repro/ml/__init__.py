@@ -1,0 +1,38 @@
+"""From-scratch numpy machine-learning substrate.
+
+scikit-learn and deep-learning frameworks are deliberately not used: the
+paper's models (feedforward networks trained with Adam, LDA/QDA baselines,
+k-means and spectral clustering for leakage detection) are re-implemented
+here on top of numpy/scipy so the whole pipeline is self-contained and
+auditable.
+"""
+
+from repro.ml.confusion import ReadoutConfusion, confusion_from_labels
+from repro.ml.dataset import StandardScaler, stratified_split
+from repro.ml.kmeans import KMeans
+from repro.ml.lda import LinearDiscriminantAnalysis
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    geometric_mean_fidelity,
+    per_qubit_fidelity,
+)
+from repro.ml.nn import MLPClassifier
+from repro.ml.qda import QuadraticDiscriminantAnalysis
+from repro.ml.spectral import SpectralClustering
+
+__all__ = [
+    "MLPClassifier",
+    "LinearDiscriminantAnalysis",
+    "QuadraticDiscriminantAnalysis",
+    "KMeans",
+    "SpectralClustering",
+    "StandardScaler",
+    "stratified_split",
+    "accuracy",
+    "confusion_matrix",
+    "per_qubit_fidelity",
+    "geometric_mean_fidelity",
+    "ReadoutConfusion",
+    "confusion_from_labels",
+]

@@ -1,0 +1,82 @@
+"""Readout confusion channels: from discriminator errors to QEC inputs.
+
+The QEC leakage simulator needs two numbers from the readout layer: the
+overall classification error and the *asymmetric* |2> confusion (how often
+a computational state is misreported as leaked, and vice versa). This
+module extracts both from a fitted discriminator's per-qubit confusion
+matrices, closing the loop between the measured discriminator quality and
+the Table I / Table VI Monte-Carlo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError, ShapeError
+from repro.ml.metrics import confusion_matrix
+
+__all__ = ["ReadoutConfusion", "confusion_from_labels"]
+
+
+@dataclass(frozen=True)
+class ReadoutConfusion:
+    """Per-qubit level-confusion statistics of a discriminator.
+
+    Attributes
+    ----------
+    matrix:
+        Row-normalized confusion matrix P(reported | true), (3, 3).
+    """
+
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrix, dtype=np.float64)
+        if m.shape != (3, 3):
+            raise ShapeError(f"matrix must be (3, 3), got {m.shape}")
+        if np.any(m < 0) or not np.allclose(m.sum(axis=1), 1.0, atol=1e-6):
+            raise DataError("rows must be probability distributions")
+        object.__setattr__(self, "matrix", m)
+
+    @property
+    def error_rate(self) -> float:
+        """Mean misclassification probability over true levels."""
+        return float(1.0 - np.mean(np.diag(self.matrix)))
+
+    @property
+    def missed_leak_rate(self) -> float:
+        """P(reported computational | truly leaked)."""
+        return float(self.matrix[2, 0] + self.matrix[2, 1])
+
+    @property
+    def false_leak_rate(self) -> float:
+        """P(reported leaked | truly computational), averaged over 0/1."""
+        return float(0.5 * (self.matrix[0, 2] + self.matrix[1, 2]))
+
+    @property
+    def false_two_fraction(self) -> float:
+        """The QEC simulator's knob: false-leak rate as a fraction of the
+        overall error rate (see LeakageParams.false_two_fraction)."""
+        err = max(self.error_rate, 1e-12)
+        return float(min(1.0, self.false_leak_rate / err))
+
+
+def confusion_from_labels(
+    true_levels: np.ndarray, reported_levels: np.ndarray
+) -> ReadoutConfusion:
+    """Build a :class:`ReadoutConfusion` from per-qubit label pairs.
+
+    Levels absent from ``true_levels`` get an identity row (no evidence of
+    confusion).
+    """
+    true_levels = np.asarray(true_levels)
+    reported_levels = np.asarray(reported_levels)
+    counts = confusion_matrix(true_levels, reported_levels, n_classes=3)
+    matrix = np.eye(3)
+    for level in range(3):
+        total = counts[level].sum()
+        if total > 0:
+            matrix[level] = counts[level] / total
+    return ReadoutConfusion(matrix=matrix)

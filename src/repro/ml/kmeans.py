@@ -1,0 +1,142 @@
+"""k-means clustering with k-means++ seeding (Lloyd's algorithm).
+
+Used as the final step of spectral clustering (on the Laplacian embedding)
+and directly as an ablation baseline for leakage-cluster detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_2d_float, check_random_state
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+
+__all__ = ["KMeans"]
+
+
+def _kmeans_plus_plus(
+    x: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Choose k initial centroids with the k-means++ D^2 weighting."""
+    n = x.shape[0]
+    centroids = np.empty((k, x.shape[1]))
+    centroids[0] = x[rng.integers(n)]
+    closest_sq = np.sum((x - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with a centroid; pick randomly.
+            centroids[i] = x[rng.integers(n)]
+            continue
+        probs = closest_sq / total
+        centroids[i] = x[rng.choice(n, p=probs)]
+        dist_sq = np.sum((x - centroids[i]) ** 2, axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centroids
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ initialization and restarts.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    n_init:
+        Independent restarts; the lowest-inertia run wins.
+    max_iter:
+        Lloyd iterations per restart.
+    tol:
+        Relative centroid-shift tolerance for convergence.
+    seed:
+        RNG seed or generator.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 8,
+        max_iter: int = 200,
+        tol: float = 1e-7,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ConfigurationError(f"n_clusters must be >= 1, got {n_clusters}")
+        if n_init < 1 or max_iter < 1:
+            raise ConfigurationError("n_init and max_iter must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+
+    def _single_run(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        centroids = _kmeans_plus_plus(x, self.n_clusters, rng)
+        labels = np.zeros(x.shape[0], dtype=np.int64)
+        for _ in range(self.max_iter):
+            dists = (
+                np.sum(x * x, axis=1)[:, None]
+                - 2.0 * x @ centroids.T
+                + np.sum(centroids * centroids, axis=1)[None, :]
+            )
+            labels = np.argmin(dists, axis=1)
+            new_centroids = centroids.copy()
+            for j in range(self.n_clusters):
+                members = x[labels == j]
+                if members.shape[0]:
+                    new_centroids[j] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point farthest from
+                    # its centroid, the standard empty-cluster repair.
+                    farthest = np.argmax(np.min(dists, axis=1))
+                    new_centroids[j] = x[farthest]
+            shift = np.linalg.norm(new_centroids - centroids)
+            scale = np.linalg.norm(centroids) + 1e-12
+            centroids = new_centroids
+            if shift / scale < self.tol:
+                break
+        dists = (
+            np.sum(x * x, axis=1)[:, None]
+            - 2.0 * x @ centroids.T
+            + np.sum(centroids * centroids, axis=1)[None, :]
+        )
+        labels = np.argmin(dists, axis=1)
+        inertia = float(np.sum(np.min(np.maximum(dists, 0.0), axis=1)))
+        return centroids, labels, inertia
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        """Cluster the rows of ``x``; results land on the fitted attributes."""
+        x = as_2d_float(x)
+        if x.shape[0] < self.n_clusters:
+            raise DataError(
+                f"need at least {self.n_clusters} points, got {x.shape[0]}"
+            )
+        rng = check_random_state(self.seed)
+        best = None
+        for _ in range(self.n_init):
+            centroids, labels, inertia = self._single_run(x, rng)
+            if best is None or inertia < best[2]:
+                best = (centroids, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        """Fit and return the cluster labels of the training points."""
+        return self.fit(x).labels_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Assign new points to the nearest fitted centroid."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans is not fitted")
+        x = as_2d_float(x)
+        dists = (
+            np.sum(x * x, axis=1)[:, None]
+            - 2.0 * x @ self.cluster_centers_.T
+            + np.sum(self.cluster_centers_**2, axis=1)[None, :]
+        )
+        return np.argmin(dists, axis=1)

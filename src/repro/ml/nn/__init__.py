@@ -1,0 +1,22 @@
+"""Minimal feedforward neural-network stack (numpy only).
+
+The stack provides exactly what the paper's discriminators need: dense
+layers, ReLU hidden activations, a softmax cross-entropy head, Adam, and a
+minibatch training loop with early stopping on a validation split.
+"""
+
+from repro.ml.nn.network import MLPClassifier, Sequential
+from repro.ml.nn.layers import Dense
+from repro.ml.nn.optimizers import SGD, Adam, Optimizer
+from repro.ml.nn.training import TrainingHistory, train_classifier
+
+__all__ = [
+    "Dense",
+    "Sequential",
+    "MLPClassifier",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "TrainingHistory",
+    "train_classifier",
+]

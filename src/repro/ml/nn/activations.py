@@ -1,0 +1,102 @@
+"""Activation functions and their derivatives.
+
+Each activation is a pair of vectorized callables ``f(z)`` and
+``df(z, a)`` where ``a = f(z)`` is passed back in so derivatives that are
+cheaper in terms of the output (sigmoid, tanh) avoid recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Activation", "get_activation", "softmax"]
+
+
+@dataclass(frozen=True)
+class Activation:
+    """A named activation with forward and derivative callables."""
+
+    name: str
+    forward: Callable[[np.ndarray], np.ndarray]
+    derivative: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _relu_derivative(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return (z > 0.0).astype(z.dtype)
+
+
+def _leaky_relu(z: np.ndarray) -> np.ndarray:
+    return np.where(z > 0.0, z, 0.01 * z)
+
+
+def _leaky_relu_derivative(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return np.where(z > 0.0, 1.0, 0.01).astype(z.dtype)
+
+
+def _tanh(z: np.ndarray) -> np.ndarray:
+    return np.tanh(z)
+
+
+def _tanh_derivative(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return 1.0 - a * a
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def _sigmoid_derivative(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return a * (1.0 - a)
+
+
+def _identity(z: np.ndarray) -> np.ndarray:
+    return z
+
+
+def _identity_derivative(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return np.ones_like(z)
+
+
+_REGISTRY = {
+    "relu": Activation("relu", _relu, _relu_derivative),
+    "leaky_relu": Activation("leaky_relu", _leaky_relu, _leaky_relu_derivative),
+    "tanh": Activation("tanh", _tanh, _tanh_derivative),
+    "sigmoid": Activation("sigmoid", _sigmoid, _sigmoid_derivative),
+    "identity": Activation("identity", _identity, _identity_derivative),
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by name.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is not one of the registered activations.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown activation {name!r}; expected one of {known}")
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    ez = np.exp(shifted)
+    return ez / np.sum(ez, axis=axis, keepdims=True)

@@ -1,0 +1,37 @@
+"""Weight initializers for dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["glorot_uniform", "he_normal", "get_initializer"]
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to tanh/linear layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization, suited to ReLU layers."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+_REGISTRY = {"glorot_uniform": glorot_uniform, "he_normal": he_normal}
+
+
+def get_initializer(name: str):
+    """Look up an initializer callable by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; expected one of {known}"
+        )

@@ -1,0 +1,92 @@
+"""Dense (fully connected) layer with explicit forward/backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.ml.nn.activations import get_activation
+from repro.ml.nn.initializers import get_initializer
+
+__all__ = ["Dense"]
+
+
+class Dense:
+    """A fully connected layer: ``a = act(x @ W + b)``.
+
+    Parameters
+    ----------
+    n_in, n_out:
+        Input and output widths.
+    activation:
+        Name of a registered activation (``relu``, ``tanh``, ``sigmoid``,
+        ``identity``, ...). The network's final layer normally uses
+        ``identity`` and defers softmax to the loss.
+    initializer:
+        Name of a registered weight initializer.
+    rng:
+        Generator used to draw the initial weights.
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        activation: str = "relu",
+        initializer: str = "he_normal",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_in <= 0 or n_out <= 0:
+            raise ShapeError(f"layer dims must be positive, got ({n_in}, {n_out})")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.n_in = int(n_in)
+        self.n_out = int(n_out)
+        self.activation = get_activation(activation)
+        self.weights = get_initializer(initializer)(self.n_in, self.n_out, rng)
+        self.bias = np.zeros(self.n_out)
+        # Caches populated by forward(), consumed by backward().
+        self._x: np.ndarray | None = None
+        self._z: np.ndarray | None = None
+        self._a: np.ndarray | None = None
+        # Gradients populated by backward().
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    @property
+    def n_parameters(self) -> int:
+        """Number of trainable scalars (weights + biases)."""
+        return self.weights.size + self.bias.size
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Apply the layer to a batch ``x`` of shape (n_samples, n_in)."""
+        if x.ndim != 2 or x.shape[1] != self.n_in:
+            raise ShapeError(
+                f"expected input of shape (*, {self.n_in}), got {x.shape}"
+            )
+        z = x @ self.weights + self.bias
+        a = self.activation.forward(z)
+        if training:
+            self._x, self._z, self._a = x, z, a
+        return a
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate ``dL/da`` and return ``dL/dx``.
+
+        Stores ``dL/dW`` and ``dL/db`` on the layer (averaged over the batch
+        is *not* applied here; the loss is expected to already carry the 1/N
+        factor).
+        """
+        if self._x is None or self._z is None or self._a is None:
+            raise ShapeError("backward() called before forward(training=True)")
+        dz = grad_out * self.activation.derivative(self._z, self._a)
+        self.grad_weights = self._x.T @ dz
+        self.grad_bias = dz.sum(axis=0)
+        return dz @ self.weights.T
+
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable arrays, in a stable order matched by :meth:`gradients`."""
+        return [self.weights, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradient arrays aligned with :meth:`parameters`."""
+        return [self.grad_weights, self.grad_bias]

@@ -1,0 +1,62 @@
+"""Loss functions returning (scalar loss, gradient w.r.t. network output)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.ml.nn.activations import softmax
+
+__all__ = ["softmax_cross_entropy", "mean_squared_error", "one_hot"]
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Encode integer ``labels`` as one-hot rows of width ``n_classes``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ShapeError(
+            f"labels must lie in [0, {n_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], n_classes))
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Cross-entropy of softmax(logits) against integer ``labels``.
+
+    Returns the mean loss over the batch and the gradient with respect to
+    the logits (already carrying the 1/N batch factor, so layer backward
+    passes can simply accumulate).
+    """
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be 2-D, got shape {logits.shape}")
+    n = logits.shape[0]
+    probs = softmax(logits)
+    targets = one_hot(labels, logits.shape[1])
+    eps = 1e-12
+    loss = float(-np.sum(targets * np.log(probs + eps)) / n)
+    grad = (probs - targets) / n
+    return loss, grad
+
+
+def mean_squared_error(
+    predictions: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``predictions``."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ShapeError(
+            f"shape mismatch: predictions {predictions.shape} vs "
+            f"targets {targets.shape}"
+        )
+    diff = predictions - targets
+    loss = float(np.mean(diff * diff))
+    grad = 2.0 * diff / diff.size
+    return loss, grad

@@ -1,0 +1,190 @@
+"""Sequential network container and the MLP classifier facade."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import as_1d_int, as_2d_float, check_random_state
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.ml.nn.activations import softmax
+from repro.ml.nn.layers import Dense
+
+__all__ = ["Sequential", "MLPClassifier"]
+
+
+class Sequential:
+    """A stack of :class:`Dense` layers evaluated in order."""
+
+    def __init__(self, layers: Sequence[Dense]) -> None:
+        layers = list(layers)
+        if not layers:
+            raise ConfigurationError("Sequential requires at least one layer")
+        for prev, nxt in zip(layers, layers[1:]):
+            if prev.n_out != nxt.n_in:
+                raise ShapeError(
+                    f"layer width mismatch: {prev.n_out} -> {nxt.n_in}"
+                )
+        self.layers = layers
+
+    @property
+    def n_in(self) -> int:
+        return self.layers[0].n_in
+
+    @property
+    def n_out(self) -> int:
+        return self.layers[-1].n_out
+
+    @property
+    def n_parameters(self) -> int:
+        """Total trainable scalar count across all layers."""
+        return sum(layer.n_parameters for layer in self.layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Evaluate the network on a batch (n_samples, n_in)."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate from the output gradient; returns input gradient."""
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients()]
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Copies of all parameter arrays (for checkpointing)."""
+        return [p.copy() for p in self.parameters()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Load parameter arrays previously returned by :meth:`get_weights`."""
+        params = self.parameters()
+        if len(weights) != len(params):
+            raise ShapeError(
+                f"expected {len(params)} arrays, got {len(weights)}"
+            )
+        for p, w in zip(params, weights):
+            if p.shape != w.shape:
+                raise ShapeError(f"shape mismatch: {p.shape} vs {w.shape}")
+            p[...] = w
+
+
+class MLPClassifier:
+    """Multi-layer perceptron classifier with a softmax head.
+
+    This is the model family used by all three discriminators in the paper:
+    the large FNN baseline, the HERQULES head, and the paper's lightweight
+    per-qubit networks differ only in their layer widths.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Widths including input and output, e.g. ``(45, 22, 11, 3)``.
+    hidden_activation:
+        Activation for all hidden layers; the output layer is linear and the
+        softmax lives in the loss.
+    seed:
+        Seed (or generator) for weight initialization.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        hidden_activation: str = "relu",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        sizes = [int(s) for s in layer_sizes]
+        if len(sizes) < 2:
+            raise ConfigurationError(
+                f"layer_sizes needs input and output widths, got {sizes}"
+            )
+        if any(s <= 0 for s in sizes):
+            raise ConfigurationError(f"layer widths must be positive: {sizes}")
+        rng = check_random_state(seed)
+        layers = []
+        for i, (n_in, n_out) in enumerate(zip(sizes, sizes[1:])):
+            last = i == len(sizes) - 2
+            layers.append(
+                Dense(
+                    n_in,
+                    n_out,
+                    activation="identity" if last else hidden_activation,
+                    initializer="glorot_uniform" if last else "he_normal",
+                    rng=rng,
+                )
+            )
+        self.layer_sizes = tuple(sizes)
+        self.network = Sequential(layers)
+        self._fitted = False
+
+    @property
+    def n_classes(self) -> int:
+        return self.layer_sizes[-1]
+
+    @property
+    def n_parameters(self) -> int:
+        """Trainable scalar count — the paper's "model size" metric."""
+        return self.network.n_parameters
+
+    def mark_fitted(self) -> None:
+        """Flag the model as trained (called by the training loop)."""
+        self._fitted = True
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                "MLPClassifier used before training; call train_classifier first"
+            )
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Raw logits for a batch; available even before training."""
+        return self.network.forward(as_2d_float(x), training=False)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities (softmax over logits)."""
+        self._require_fitted()
+        return softmax(self.decision_function(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class labels."""
+        self._require_fitted()
+        return np.argmax(self.decision_function(x), axis=1)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on ``(x, y)``."""
+        y = as_1d_int(y)
+        return float(np.mean(self.predict(x) == y))
+
+    def save(self, path: str | Path) -> None:
+        """Serialize architecture + weights to an ``.npz`` file."""
+        arrays = {f"param_{i}": p for i, p in enumerate(self.network.parameters())}
+        np.savez(
+            path,
+            layer_sizes=np.asarray(self.layer_sizes, dtype=np.int64),
+            fitted=np.asarray([int(self._fitted)]),
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MLPClassifier":
+        """Load a model previously written by :meth:`save`."""
+        with np.load(path) as data:
+            sizes = [int(s) for s in data["layer_sizes"]]
+            model = cls(sizes)
+            params = [
+                data[f"param_{i}"] for i in range(len(model.network.parameters()))
+            ]
+            model.network.set_weights(params)
+            if int(data["fitted"][0]):
+                model.mark_fitted()
+        return model

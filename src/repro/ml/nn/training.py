@@ -1,0 +1,155 @@
+"""Minibatch training loop with validation-based early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_1d_int, as_2d_float, check_random_state
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.ml.nn.losses import softmax_cross_entropy
+from repro.ml.nn.network import MLPClassifier
+from repro.ml.nn.optimizers import Adam, Optimizer
+
+__all__ = ["TrainingHistory", "train_classifier"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+    best_epoch: int = -1
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.train_loss)
+
+
+def _validation_metrics(
+    model: MLPClassifier, x: np.ndarray, y: np.ndarray
+) -> tuple[float, float]:
+    logits = model.network.forward(x, training=False)
+    loss, _ = softmax_cross_entropy(logits, y)
+    acc = float(np.mean(np.argmax(logits, axis=1) == y))
+    return loss, acc
+
+
+def train_classifier(
+    model: MLPClassifier,
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 30,
+    batch_size: int = 128,
+    optimizer: Optimizer | None = None,
+    validation_fraction: float = 0.15,
+    patience: int = 8,
+    seed: int | np.random.Generator | None = None,
+) -> TrainingHistory:
+    """Train ``model`` on ``(x, y)`` with Adam and early stopping.
+
+    The paper holds out 15% of the training set for validation; we follow
+    that default. The best-validation-loss weights are restored at the end,
+    and training stops after ``patience`` epochs without improvement.
+
+    Parameters
+    ----------
+    model:
+        The classifier to train in place.
+    x, y:
+        Training features (n_samples, n_features) and integer labels.
+    epochs:
+        Maximum number of passes over the training split.
+    batch_size:
+        Minibatch size (clipped to the training-split size).
+    optimizer:
+        Any :class:`Optimizer`; defaults to Adam(1e-3).
+    validation_fraction:
+        Fraction held out for early stopping; 0 disables the split and
+        early stopping.
+    patience:
+        Epochs without validation improvement before stopping.
+    seed:
+        Controls shuffling and the validation split.
+    """
+    x = as_2d_float(x)
+    y = as_1d_int(y)
+    if x.shape[0] != y.shape[0]:
+        raise ShapeError(
+            f"x has {x.shape[0]} rows but y has {y.shape[0]} labels"
+        )
+    if x.shape[1] != model.layer_sizes[0]:
+        raise ShapeError(
+            f"model expects {model.layer_sizes[0]} features, data has {x.shape[1]}"
+        )
+    if y.max() >= model.n_classes:
+        raise ShapeError(
+            f"label {y.max()} out of range for {model.n_classes} classes"
+        )
+    if epochs <= 0:
+        raise ConfigurationError(f"epochs must be positive, got {epochs}")
+    if not 0.0 <= validation_fraction < 1.0:
+        raise ConfigurationError(
+            f"validation_fraction must be in [0, 1), got {validation_fraction}"
+        )
+
+    rng = check_random_state(seed)
+    optimizer = optimizer if optimizer is not None else Adam()
+    optimizer.reset()
+
+    n = x.shape[0]
+    order = rng.permutation(n)
+    n_val = int(round(n * validation_fraction))
+    use_validation = 0 < n_val < n
+    if use_validation:
+        val_idx, train_idx = order[:n_val], order[n_val:]
+    else:
+        val_idx, train_idx = order[:0], order
+    x_train, y_train = x[train_idx], y[train_idx]
+    x_val, y_val = x[val_idx], y[val_idx]
+    batch_size = max(1, min(batch_size, x_train.shape[0]))
+
+    history = TrainingHistory()
+    best_val = np.inf
+    best_weights = model.network.get_weights()
+    epochs_since_best = 0
+
+    for epoch in range(epochs):
+        perm = rng.permutation(x_train.shape[0])
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, x_train.shape[0], batch_size):
+            idx = perm[start : start + batch_size]
+            logits = model.network.forward(x_train[idx], training=True)
+            loss, grad = softmax_cross_entropy(logits, y_train[idx])
+            model.network.backward(grad)
+            optimizer.step(model.network.parameters(), model.network.gradients())
+            epoch_loss += loss
+            n_batches += 1
+        history.train_loss.append(epoch_loss / max(1, n_batches))
+
+        if use_validation:
+            val_loss, val_acc = _validation_metrics(model, x_val, y_val)
+            history.val_loss.append(val_loss)
+            history.val_accuracy.append(val_acc)
+            if val_loss < best_val - 1e-9:
+                best_val = val_loss
+                best_weights = model.network.get_weights()
+                history.best_epoch = epoch
+                epochs_since_best = 0
+            else:
+                epochs_since_best += 1
+                if epochs_since_best >= patience:
+                    history.stopped_early = True
+                    break
+
+    if use_validation:
+        model.network.set_weights(best_weights)
+    else:
+        history.best_epoch = epochs - 1
+    model.mark_fitted()
+    return history

@@ -1,0 +1,178 @@
+"""Spectral clustering on a normalized graph Laplacian.
+
+The paper detects naturally occurring leakage by spectral-clustering the
+mean-trace-value (MTV) points of two-level calibration shots into three
+clusters (Sec V.A / Fig 3b). This module implements the standard
+Ng-Jordan-Weiss pipeline: an affinity graph, the symmetric normalized
+Laplacian, its bottom eigenvectors, row normalization, and k-means on the
+embedding.
+
+Spectral clustering is O(m^2) in memory, so :meth:`SpectralClustering.fit`
+subsamples to ``max_points`` and assigns the remaining points to the nearest
+cluster centroid in feature space — the same practical shortcut a control
+stack would use on millions of shots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import eigh
+
+from repro._util import as_2d_float, check_random_state
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.ml.kmeans import KMeans
+
+__all__ = ["SpectralClustering", "rbf_affinity", "knn_affinity"]
+
+
+def rbf_affinity(x: np.ndarray, gamma: float | None = None) -> np.ndarray:
+    """Dense RBF affinity ``exp(-gamma * ||xi - xj||^2)``.
+
+    When ``gamma`` is None it defaults to ``1 / (2 * median_sq_dist)``, a
+    robust bandwidth for clouds with very different populations (the leaked
+    cluster can be 100x smaller than the computational ones).
+    """
+    x = as_2d_float(x)
+    sq_norms = np.sum(x * x, axis=1)
+    d2 = sq_norms[:, None] - 2.0 * x @ x.T + sq_norms[None, :]
+    np.maximum(d2, 0.0, out=d2)
+    if gamma is None:
+        off_diag = d2[~np.eye(d2.shape[0], dtype=bool)]
+        med = float(np.median(off_diag)) if off_diag.size else 1.0
+        gamma = 1.0 / (2.0 * max(med, 1e-12))
+    if gamma <= 0:
+        raise ConfigurationError(f"gamma must be > 0, got {gamma}")
+    return np.exp(-gamma * d2)
+
+
+def knn_affinity(x: np.ndarray, n_neighbors: int = 10) -> np.ndarray:
+    """Symmetrized k-nearest-neighbor connectivity affinity (0/1 entries)."""
+    x = as_2d_float(x)
+    n = x.shape[0]
+    if not 1 <= n_neighbors < n:
+        raise ConfigurationError(
+            f"n_neighbors must be in [1, {n - 1}], got {n_neighbors}"
+        )
+    sq_norms = np.sum(x * x, axis=1)
+    d2 = sq_norms[:, None] - 2.0 * x @ x.T + sq_norms[None, :]
+    np.fill_diagonal(d2, np.inf)
+    idx = np.argpartition(d2, n_neighbors, axis=1)[:, :n_neighbors]
+    affinity = np.zeros((n, n))
+    rows = np.repeat(np.arange(n), n_neighbors)
+    affinity[rows, idx.ravel()] = 1.0
+    return np.maximum(affinity, affinity.T)
+
+
+class SpectralClustering:
+    """Normalized-cut spectral clustering with nearest-centroid extension.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters (3 for the paper's 0/1/leaked split).
+    affinity:
+        ``"rbf"`` (default) or ``"knn"``.
+    gamma:
+        RBF bandwidth; ``None`` selects the median heuristic.
+    n_neighbors:
+        Neighbor count for the knn affinity.
+    max_points:
+        Subsample cap before building the O(m^2) affinity.
+    seed:
+        RNG seed or generator (controls subsampling and k-means).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        affinity: str = "rbf",
+        gamma: float | None = None,
+        n_neighbors: int = 10,
+        max_points: int = 2000,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_clusters < 2:
+            raise ConfigurationError(f"n_clusters must be >= 2, got {n_clusters}")
+        if affinity not in ("rbf", "knn"):
+            raise ConfigurationError(
+                f"affinity must be 'rbf' or 'knn', got {affinity!r}"
+            )
+        if max_points < n_clusters:
+            raise ConfigurationError("max_points must be >= n_clusters")
+        self.n_clusters = n_clusters
+        self.affinity = affinity
+        self.gamma = gamma
+        self.n_neighbors = n_neighbors
+        self.max_points = max_points
+        self.seed = seed
+        self.labels_: np.ndarray | None = None
+        self.embedding_: np.ndarray | None = None
+        self.cluster_centers_: np.ndarray | None = None
+
+    def _build_affinity(self, x: np.ndarray) -> np.ndarray:
+        if self.affinity == "rbf":
+            return rbf_affinity(x, self.gamma)
+        return knn_affinity(x, self.n_neighbors)
+
+    def _embed(self, affinity: np.ndarray) -> np.ndarray:
+        degree = affinity.sum(axis=1)
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+        # Symmetric normalized Laplacian: L = I - D^-1/2 W D^-1/2.
+        normalized = affinity * inv_sqrt[:, None] * inv_sqrt[None, :]
+        laplacian = np.eye(affinity.shape[0]) - normalized
+        k = self.n_clusters
+        _, vecs = eigh(laplacian, subset_by_index=[0, k - 1])
+        norms = np.linalg.norm(vecs, axis=1, keepdims=True)
+        return vecs / np.maximum(norms, 1e-12)
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        """Cluster the rows of ``x`` and return integer labels."""
+        x = as_2d_float(x)
+        n = x.shape[0]
+        if n < self.n_clusters:
+            raise DataError(f"need at least {self.n_clusters} points, got {n}")
+        rng = check_random_state(self.seed)
+
+        if n > self.max_points:
+            subset = rng.choice(n, size=self.max_points, replace=False)
+        else:
+            subset = np.arange(n)
+        affinity = self._build_affinity(x[subset])
+        embedding = self._embed(affinity)
+        km = KMeans(self.n_clusters, n_init=10, seed=rng).fit(embedding)
+        sub_labels = km.labels_
+
+        # Centroids in *feature* space, used to extend labels to all points.
+        centers = np.vstack(
+            [
+                x[subset][sub_labels == j].mean(axis=0)
+                if np.any(sub_labels == j)
+                else x[subset[rng.integers(subset.size)]]
+                for j in range(self.n_clusters)
+            ]
+        )
+        d2 = (
+            np.sum(x * x, axis=1)[:, None]
+            - 2.0 * x @ centers.T
+            + np.sum(centers * centers, axis=1)[None, :]
+        )
+        labels = np.argmin(d2, axis=1)
+        # Keep the exact spectral assignment on the subsample.
+        labels[subset] = sub_labels
+        self.labels_ = labels
+        self.embedding_ = embedding
+        self.cluster_centers_ = centers
+        return labels
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Assign new points to the nearest fitted feature-space centroid."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("SpectralClustering is not fitted")
+        x = as_2d_float(x)
+        centers = self.cluster_centers_
+        d2 = (
+            np.sum(x * x, axis=1)[:, None]
+            - 2.0 * x @ centers.T
+            + np.sum(centers * centers, axis=1)[None, :]
+        )
+        return np.argmin(d2, axis=1)

@@ -1,0 +1,36 @@
+"""Dispersive-readout physics simulator.
+
+Replaces the paper's five-qubit hardware dataset (Lienhard et al.) with a
+first-principles synthetic equivalent. The chain is:
+
+1. :mod:`repro.physics.jumps` — continuous-time Markov sampling of each
+   qubit's level trajectory during the measurement window (relaxation and
+   measurement-induced excitation, including leakage to |2>).
+2. :mod:`repro.physics.dispersive` + :mod:`repro.physics.trajectories` —
+   the readout resonator's complex field, evolved exactly through each
+   piecewise-constant level segment (cavity ring-up, state-dependent pull).
+3. :mod:`repro.physics.multiplex` — frequency multiplexing of all qubits
+   onto one feedline with inter-resonator crosstalk.
+4. :mod:`repro.physics.noise` + :mod:`repro.physics.adc` — amplifier noise
+   and ADC sampling/quantization.
+"""
+
+from repro.physics.adc import ADCConfig
+from repro.physics.device import (
+    ChipConfig,
+    QubitParams,
+    default_five_qubit_chip,
+)
+from repro.physics.jumps import TransitionRates, sample_level_matrix
+from repro.physics.simulator import ReadoutSimulator, SimulationResult
+
+__all__ = [
+    "QubitParams",
+    "ChipConfig",
+    "ADCConfig",
+    "default_five_qubit_chip",
+    "TransitionRates",
+    "sample_level_matrix",
+    "ReadoutSimulator",
+    "SimulationResult",
+]

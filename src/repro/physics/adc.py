@@ -1,0 +1,73 @@
+"""ADC model: sampling grid and quantization of the two quadratures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ADCConfig"]
+
+
+@dataclass(frozen=True)
+class ADCConfig:
+    """A pair of matched ADCs digitizing I and Q.
+
+    Parameters
+    ----------
+    sample_rate_ghz:
+        Samples per nanosecond (0.5 = 500 MSamples/s, the paper's rate).
+    n_bits:
+        Resolution per quadrature.
+    full_scale:
+        Input range is ``[-full_scale, +full_scale]`` per quadrature;
+        inputs beyond it clip, as on real hardware.
+    """
+
+    sample_rate_ghz: float = 0.5
+    n_bits: int = 12
+    full_scale: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_ghz <= 0:
+            raise ConfigurationError("sample_rate_ghz must be positive")
+        if not 2 <= self.n_bits <= 24:
+            raise ConfigurationError(f"n_bits must be in [2, 24], got {self.n_bits}")
+        if self.full_scale <= 0:
+            raise ConfigurationError("full_scale must be positive")
+
+    @property
+    def lsb(self) -> float:
+        """Quantization step per quadrature."""
+        return 2.0 * self.full_scale / (2**self.n_bits)
+
+    def digitize(self, signal: np.ndarray) -> np.ndarray:
+        """Quantize a complex signal: each quadrature is clipped to the
+        full-scale range and rounded to the nearest code."""
+        signal = np.asarray(signal)
+        if not np.iscomplexobj(signal):
+            raise ConfigurationError("digitize expects a complex IQ signal")
+        max_code = 2 ** (self.n_bits - 1) - 1
+        min_code = -(2 ** (self.n_bits - 1))
+
+        def quantize(x: np.ndarray) -> np.ndarray:
+            codes = np.rint(x / self.lsb)
+            np.clip(codes, min_code, max_code, out=codes)
+            return codes * self.lsb
+
+        return quantize(signal.real) + 1j * quantize(signal.imag)
+
+    def to_dict(self) -> dict:
+        """Plain-value dictionary for serialization."""
+        return {
+            "sample_rate_ghz": self.sample_rate_ghz,
+            "n_bits": self.n_bits,
+            "full_scale": self.full_scale,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ADCConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)

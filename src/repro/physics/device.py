@@ -1,0 +1,330 @@
+"""Device parameter sets: qubits, readout resonators, and the 5-qubit chip.
+
+Units: time in nanoseconds, angular frequencies in rad/ns, linear
+frequencies in GHz. The default chip mirrors the setup of the paper's data
+source (Lienhard et al., PRApplied 2022): five transmons read out through
+individual resonators frequency-multiplexed onto one feedline, 500 MS/s
+ADCs, 1 us readout, T1 between 7 us and 40 us, with qubit 2 (index 1)
+deliberately hard to distinguish and qubits 3 and 4 (indices 2, 3) prone
+to |2> excitation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.physics.adc import ADCConfig
+
+__all__ = ["QubitParams", "ChipConfig", "default_five_qubit_chip"]
+
+TWO_PI = 2.0 * math.pi
+
+
+@dataclass(frozen=True)
+class QubitParams:
+    """Per-qubit readout parameters.
+
+    Parameters
+    ----------
+    name:
+        Display name (``"Q1"``...).
+    if_frequency_ghz:
+        Intermediate frequency of this qubit's readout tone after analog
+        down-mixing; must fit inside the ADC Nyquist band.
+    kappa:
+        Resonator linewidth (rad/ns). Ring-up time constant is ``2/kappa``.
+    chi:
+        Dispersive half-shift (rad/ns): the |0>/|1> pulls are ``-chi`` and
+        ``+chi`` around the probe tone.
+    level2_pull_factor:
+        The |2> pull is ``chi * level2_pull_factor`` (transmons pull
+        super-linearly with the level index).
+    amplitude:
+        Dimensionless drive amplitude; sets this qubit's steady-state
+        photon amplitude on the feedline and therefore its SNR.
+    t1_ns:
+        Relaxation time of |1> in nanoseconds.
+    t1_2_ns:
+        Relaxation time of |2> (|2> -> |1>); transmon |2> decays roughly
+        twice as fast as |1>.
+    direct_20_rate:
+        Small direct |2> -> |0> decay rate (1/ns).
+    excite_01_rate, excite_12_rate, excite_02_rate:
+        Measurement-induced excitation rates (1/ns) during the readout
+        window; leak-prone qubits have elevated ``excite_12_rate``.
+    prep_leak_prob:
+        Probability that preparing |1> actually lands in |2> (natural
+        leakage from gate/heating errors) — what Sec V.A's clustering digs
+        out of two-level calibration data.
+    prep_thermal_prob:
+        Probability that preparing |0> actually lands in |1|>.
+    lo_phase:
+        Fixed local-oscillator phase rotation applied to this qubit's tone.
+    """
+
+    name: str
+    if_frequency_ghz: float
+    kappa: float
+    chi: float
+    level2_pull_factor: float = 6.0
+    amplitude: float = 1.0
+    t1_ns: float = 30_000.0
+    t1_2_ns: float = 15_000.0
+    direct_20_rate: float = 0.0
+    excite_01_rate: float = 0.0
+    excite_12_rate: float = 0.0
+    excite_02_rate: float = 0.0
+    prep_leak_prob: float = 0.005
+    prep_thermal_prob: float = 0.002
+    lo_phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kappa <= 0 or self.chi <= 0:
+            raise ConfigurationError(
+                f"{self.name}: kappa and chi must be positive"
+            )
+        if self.amplitude <= 0:
+            raise ConfigurationError(f"{self.name}: amplitude must be positive")
+        if self.t1_ns <= 0 or self.t1_2_ns <= 0:
+            raise ConfigurationError(f"{self.name}: T1 times must be positive")
+        for attr in ("direct_20_rate", "excite_01_rate", "excite_12_rate",
+                     "excite_02_rate"):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(f"{self.name}: {attr} must be >= 0")
+        for attr in ("prep_leak_prob", "prep_thermal_prob"):
+            value = getattr(self, attr)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(
+                    f"{self.name}: {attr} must be in [0, 1), got {value}"
+                )
+
+    def level_pulls(self, n_levels: int = 3) -> np.ndarray:
+        """Resonator detuning from the probe for each qubit level (rad/ns)."""
+        if n_levels != 3:
+            raise ConfigurationError(
+                f"only 3-level devices are modeled, got n_levels={n_levels}"
+            )
+        return np.array([-self.chi, self.chi, self.chi * self.level2_pull_factor])
+
+    @property
+    def drive(self) -> float:
+        """Drive strength chosen so the steady-state field magnitude for the
+        computational states is approximately ``amplitude``."""
+        detuning_mag = math.hypot(self.chi, self.kappa / 2.0)
+        return self.amplitude * detuning_mag
+
+    def to_dict(self) -> dict:
+        """Plain-value dictionary for corpus serialization."""
+        return {
+            "name": self.name,
+            "if_frequency_ghz": self.if_frequency_ghz,
+            "kappa": self.kappa,
+            "chi": self.chi,
+            "level2_pull_factor": self.level2_pull_factor,
+            "amplitude": self.amplitude,
+            "t1_ns": self.t1_ns,
+            "t1_2_ns": self.t1_2_ns,
+            "direct_20_rate": self.direct_20_rate,
+            "excite_01_rate": self.excite_01_rate,
+            "excite_12_rate": self.excite_12_rate,
+            "excite_02_rate": self.excite_02_rate,
+            "prep_leak_prob": self.prep_leak_prob,
+            "prep_thermal_prob": self.prep_thermal_prob,
+            "lo_phase": self.lo_phase,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QubitParams":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """A multiplexed readout group: qubits sharing one feedline and ADC pair.
+
+    Parameters
+    ----------
+    qubits:
+        Per-qubit parameters, in feedline order.
+    adc:
+        ADC configuration (sample rate, resolution, full scale).
+    trace_len:
+        Number of ADC samples per readout window (500 at 500 MS/s = 1 us).
+    noise_std:
+        Standard deviation of the additive complex amplifier noise per
+        ADC sample (per quadrature it is ``noise_std / sqrt(2)``).
+    n_levels:
+        Levels per qubit; 3 throughout the paper.
+    crosstalk:
+        Complex matrix ``C`` with zero diagonal; the effective baseband
+        field of qubit q is ``alpha_q + sum_p C[q, p] * alpha_p``,
+        modeling inter-resonator coupling and spectral overlap.
+    """
+
+    qubits: tuple[QubitParams, ...]
+    adc: ADCConfig = field(default_factory=lambda: ADCConfig())
+    trace_len: int = 500
+    noise_std: float = 4.0
+    n_levels: int = 3
+    crosstalk: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if not self.qubits:
+            raise ConfigurationError("chip needs at least one qubit")
+        if self.trace_len < 2:
+            raise ConfigurationError(f"trace_len must be >= 2, got {self.trace_len}")
+        if self.noise_std < 0:
+            raise ConfigurationError("noise_std must be >= 0")
+        if self.n_levels != 3:
+            raise ConfigurationError("only 3-level chips are modeled")
+        n = len(self.qubits)
+        if self.crosstalk is None:
+            object.__setattr__(self, "crosstalk", np.zeros((n, n), dtype=complex))
+        else:
+            xt = np.asarray(self.crosstalk, dtype=complex)
+            if xt.shape != (n, n):
+                raise ConfigurationError(
+                    f"crosstalk must be ({n}, {n}), got {xt.shape}"
+                )
+            if np.any(np.abs(np.diag(xt)) > 0):
+                raise ConfigurationError("crosstalk diagonal must be zero")
+            object.__setattr__(self, "crosstalk", xt)
+        nyquist = self.adc.sample_rate_ghz / 2.0
+        for qubit in self.qubits:
+            if abs(qubit.if_frequency_ghz) >= nyquist:
+                raise ConfigurationError(
+                    f"{qubit.name}: IF {qubit.if_frequency_ghz} GHz outside "
+                    f"Nyquist band +-{nyquist} GHz"
+                )
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def dt_ns(self) -> float:
+        """ADC sample period in nanoseconds."""
+        return 1.0 / self.adc.sample_rate_ghz
+
+    @property
+    def duration_ns(self) -> float:
+        """Readout window length in nanoseconds."""
+        return self.trace_len * self.dt_ns
+
+    def sample_times(self, trace_len: int | None = None) -> np.ndarray:
+        """Sample timestamps (ns) for a window of ``trace_len`` samples."""
+        n = self.trace_len if trace_len is None else trace_len
+        return np.arange(n) * self.dt_ns
+
+    def with_trace_len(self, trace_len: int) -> "ChipConfig":
+        """Copy of this chip with a different readout window length."""
+        return replace(self, trace_len=trace_len)
+
+    def to_dict(self) -> dict:
+        """Plain-value dictionary for corpus serialization."""
+        return {
+            "qubits": [q.to_dict() for q in self.qubits],
+            "adc": self.adc.to_dict(),
+            "trace_len": self.trace_len,
+            "noise_std": self.noise_std,
+            "n_levels": self.n_levels,
+            "crosstalk_real": np.real(self.crosstalk).tolist(),
+            "crosstalk_imag": np.imag(self.crosstalk).tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChipConfig":
+        """Inverse of :meth:`to_dict`."""
+        crosstalk = np.asarray(data["crosstalk_real"]) + 1j * np.asarray(
+            data["crosstalk_imag"]
+        )
+        return cls(
+            qubits=tuple(QubitParams.from_dict(q) for q in data["qubits"]),
+            adc=ADCConfig.from_dict(data["adc"]),
+            trace_len=int(data["trace_len"]),
+            noise_std=float(data["noise_std"]),
+            n_levels=int(data["n_levels"]),
+            crosstalk=crosstalk,
+        )
+
+
+def _mhz(value: float) -> float:
+    """Convert a linear frequency in MHz to angular rad/ns."""
+    return TWO_PI * value * 1e-3
+
+
+def default_five_qubit_chip(
+    noise_std: float = 4.0, trace_len: int = 500
+) -> ChipConfig:
+    """The reproduction's stand-in for the paper's five-qubit device.
+
+    Qubit indices follow the paper's numbering minus one: index 1 ("Q2")
+    has low dispersive shift, weak drive, and the shortest T1 (its readout
+    was the hardest in the source dataset); indices 2 and 3 ("Q3", "Q4")
+    have elevated measurement-induced |1> -> |2> excitation and natural
+    leakage, matching the paper's observation that qubits 3 and 4 are the
+    leak-prone ones.
+    """
+    qubits = (
+        QubitParams(
+            name="Q1", if_frequency_ghz=-0.180, kappa=_mhz(2.0), chi=_mhz(1.0),
+            amplitude=1.00, t1_ns=40_000.0, t1_2_ns=20_000.0,
+            direct_20_rate=2e-7, excite_01_rate=1.0e-5, excite_12_rate=5e-6,
+            excite_02_rate=1e-6, prep_leak_prob=0.004, prep_thermal_prob=0.002,
+            lo_phase=0.3,
+        ),
+        QubitParams(
+            name="Q2", if_frequency_ghz=-0.090, kappa=_mhz(2.0), chi=_mhz(0.42),
+            amplitude=0.52, t1_ns=7_000.0, t1_2_ns=3_500.0,
+            direct_20_rate=4e-7, excite_01_rate=1.2e-5, excite_12_rate=8e-6,
+            excite_02_rate=1e-6, prep_leak_prob=0.006, prep_thermal_prob=0.004,
+            lo_phase=-0.7,
+        ),
+        QubitParams(
+            name="Q3", if_frequency_ghz=0.015, kappa=_mhz(2.0), chi=_mhz(0.85),
+            amplitude=0.92, t1_ns=25_000.0, t1_2_ns=12_500.0,
+            direct_20_rate=3e-7, excite_01_rate=1.5e-5, excite_12_rate=4.5e-5,
+            excite_02_rate=3e-6, prep_leak_prob=0.020, prep_thermal_prob=0.003,
+            lo_phase=1.1,
+        ),
+        QubitParams(
+            name="Q4", if_frequency_ghz=0.095, kappa=_mhz(2.0), chi=_mhz(0.85),
+            amplitude=0.90, t1_ns=20_000.0, t1_2_ns=10_000.0,
+            direct_20_rate=3e-7, excite_01_rate=1.8e-5, excite_12_rate=5.5e-5,
+            excite_02_rate=4e-6, prep_leak_prob=0.025, prep_thermal_prob=0.003,
+            lo_phase=-1.9,
+        ),
+        QubitParams(
+            name="Q5", if_frequency_ghz=0.185, kappa=_mhz(2.0), chi=_mhz(1.1),
+            amplitude=1.05, t1_ns=35_000.0, t1_2_ns=17_500.0,
+            direct_20_rate=2e-7, excite_01_rate=1.0e-5, excite_12_rate=6e-6,
+            excite_02_rate=1e-6, prep_leak_prob=0.005, prep_thermal_prob=0.002,
+            lo_phase=2.4,
+        ),
+    )
+    n = len(qubits)
+    crosstalk = np.zeros((n, n), dtype=complex)
+    for q in range(n):
+        for p in range(n):
+            if q == p:
+                continue
+            gap = abs(q - p)
+            if gap == 1:
+                crosstalk[q, p] = 0.12 * np.exp(1j * 0.9 * (q - p))
+            elif gap == 2:
+                crosstalk[q, p] = 0.03 * np.exp(1j * 0.4 * (q - p))
+    # The hard qubit also suffers the strongest incoming crosstalk.
+    crosstalk[1, :] *= 1.8
+    crosstalk[1, 1] = 0.0
+    return ChipConfig(
+        qubits=qubits,
+        adc=ADCConfig(),
+        trace_len=trace_len,
+        noise_std=noise_std,
+        crosstalk=crosstalk,
+    )

@@ -1,0 +1,62 @@
+"""Dispersive cavity response: steady states and exact segment evolution.
+
+With the qubit frozen in level ``s``, the driven readout resonator field
+obeys the linear Langevin equation
+
+    d alpha / dt = -(i delta_s + kappa/2) alpha - i epsilon,
+
+whose solution from any initial field ``alpha_0`` is
+
+    alpha(t) = alpha_ss(s) + (alpha_0 - alpha_ss(s)) exp(-(i delta_s + kappa/2) t),
+
+with the steady state ``alpha_ss(s) = -i epsilon / (i delta_s + kappa/2)``.
+Because qubit jumps make the level trajectory piecewise constant, the full
+trace is an exact chain of these segment solutions; trajectories.py applies
+the per-sample recurrence form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["steady_state_field", "segment_decay", "evolve_segment"]
+
+
+def steady_state_field(
+    drive: float | np.ndarray, delta: float | np.ndarray, kappa: float
+) -> np.ndarray:
+    """Steady-state complex field for drive ``epsilon`` and detuning ``delta``."""
+    if np.any(np.asarray(kappa) <= 0):
+        raise ConfigurationError("kappa must be positive")
+    return -1j * np.asarray(drive) / (1j * np.asarray(delta) + kappa / 2.0)
+
+
+def segment_decay(
+    delta: float | np.ndarray, kappa: float, dt: float
+) -> np.ndarray:
+    """One-sample propagator ``exp(-(i delta + kappa/2) dt)``."""
+    if dt <= 0:
+        raise ConfigurationError("dt must be positive")
+    return np.exp(-(1j * np.asarray(delta) + kappa / 2.0) * dt)
+
+
+def evolve_segment(
+    alpha0: np.ndarray,
+    alpha_ss: np.ndarray,
+    delta: float | np.ndarray,
+    kappa: float,
+    times: np.ndarray,
+) -> np.ndarray:
+    """Exact field at ``times`` (from segment start) given the initial field.
+
+    Broadcasts over leading axes of ``alpha0``/``alpha_ss``; ``times`` adds
+    a trailing axis.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    rate = 1j * np.asarray(delta) + kappa / 2.0
+    decay = np.exp(-np.multiply.outer(np.broadcast_to(rate, np.shape(alpha0)), times))
+    alpha0 = np.asarray(alpha0)[..., None]
+    alpha_ss = np.asarray(alpha_ss)[..., None]
+    return alpha_ss + (alpha0 - alpha_ss) * decay

@@ -1,0 +1,165 @@
+"""End-to-end readout simulation: preparation to digitized feedline traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_random_state
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.physics.device import ChipConfig
+from repro.physics.jumps import TransitionRates, sample_level_matrix
+from repro.physics.multiplex import combine_feedline
+from repro.physics.noise import complex_white_noise
+from repro.physics.trajectories import baseband_response
+
+__all__ = ["SimulationResult", "ReadoutSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Output of a batch simulation.
+
+    Attributes
+    ----------
+    feedline:
+        Digitized multiplexed IQ signal, complex64 (n_shots, trace_len).
+        Its real/imag parts are what the two ADCs record.
+    prepared_levels:
+        The *intended* per-qubit levels (n_shots, n_qubits) — the labels a
+        calibration run would assign.
+    initial_levels:
+        Levels actually occupied at t=0 after preparation errors (natural
+        leakage, thermal population).
+    final_levels:
+        Levels at the end of the window, after mid-readout jumps.
+    """
+
+    feedline: np.ndarray
+    prepared_levels: np.ndarray
+    initial_levels: np.ndarray
+    final_levels: np.ndarray
+
+    @property
+    def n_shots(self) -> int:
+        return self.feedline.shape[0]
+
+
+class ReadoutSimulator:
+    """Simulates multiplexed dispersive readout for one chip.
+
+    Parameters
+    ----------
+    chip:
+        Device description.
+    seed:
+        RNG seed or generator; all stochastic stages (preparation errors,
+        jumps, noise) draw from it.
+    """
+
+    def __init__(
+        self, chip: ChipConfig, seed: int | np.random.Generator | None = None
+    ) -> None:
+        self.chip = chip
+        self._rng = check_random_state(seed)
+        self._rates = [TransitionRates.from_qubit(q) for q in chip.qubits]
+
+    def _apply_preparation_errors(self, prepared: np.ndarray) -> np.ndarray:
+        """Sample actual initial levels given intended levels."""
+        initial = prepared.copy()
+        for q, qubit in enumerate(self.chip.qubits):
+            col = prepared[:, q]
+            u = self._rng.random(col.shape[0])
+            thermal = (col == 0) & (u < qubit.prep_thermal_prob)
+            leak = (col == 1) & (u < qubit.prep_leak_prob)
+            initial[thermal, q] = 1
+            initial[leak, q] = 2
+        return initial
+
+    def simulate(
+        self,
+        prepared_levels: np.ndarray,
+        trace_len: int | None = None,
+        include_preparation_errors: bool = True,
+    ) -> SimulationResult:
+        """Simulate one readout window for a batch of prepared states.
+
+        Parameters
+        ----------
+        prepared_levels:
+            Integer array (n_shots, n_qubits): intended level per qubit.
+        trace_len:
+            Override the chip's readout window length (used by the
+            readout-duration sweep of Fig 5b).
+        include_preparation_errors:
+            When False, qubits start exactly in their prepared level
+            (useful for controlled unit tests).
+        """
+        prepared = np.asarray(prepared_levels, dtype=np.int64)
+        if prepared.ndim != 2 or prepared.shape[1] != self.chip.n_qubits:
+            raise ShapeError(
+                f"prepared_levels must be (n_shots, {self.chip.n_qubits}), "
+                f"got {prepared.shape}"
+            )
+        if prepared.min() < 0 or prepared.max() >= self.chip.n_levels:
+            raise ConfigurationError(
+                f"levels must lie in [0, {self.chip.n_levels})"
+            )
+        trace_len = self.chip.trace_len if trace_len is None else int(trace_len)
+        if trace_len < 2:
+            raise ConfigurationError(f"trace_len must be >= 2, got {trace_len}")
+
+        if include_preparation_errors:
+            initial = self._apply_preparation_errors(prepared)
+        else:
+            initial = prepared.copy()
+
+        n_shots = prepared.shape[0]
+        dt = self.chip.dt_ns
+        times = self.chip.sample_times(trace_len)
+
+        basebands = np.empty(
+            (self.chip.n_qubits, n_shots, trace_len), dtype=np.complex128
+        )
+        final = np.empty_like(initial)
+        for q, qubit in enumerate(self.chip.qubits):
+            levels = sample_level_matrix(
+                initial[:, q], self._rates[q], trace_len, dt, self._rng
+            )
+            final[:, q] = levels[:, -1]
+            basebands[q] = baseband_response(qubit, levels, dt)
+
+        feedline = combine_feedline(self.chip, basebands, times)
+        feedline += complex_white_noise(
+            feedline.shape, self.chip.noise_std, self._rng
+        )
+        feedline = self.chip.adc.digitize(feedline)
+        return SimulationResult(
+            feedline=feedline.astype(np.complex64),
+            prepared_levels=prepared,
+            initial_levels=initial,
+            final_levels=final,
+        )
+
+    def simulate_joint_states(
+        self,
+        joint_states: np.ndarray,
+        shots_per_state: int,
+        n_levels: int | None = None,
+        trace_len: int | None = None,
+    ) -> tuple[SimulationResult, np.ndarray]:
+        """Simulate ``shots_per_state`` shots for each joint basis state.
+
+        Returns the batch result and the per-shot joint state labels.
+        """
+        from repro.data.basis import state_to_digits
+
+        if shots_per_state < 1:
+            raise ConfigurationError("shots_per_state must be >= 1")
+        n_levels = self.chip.n_levels if n_levels is None else n_levels
+        states = np.asarray(joint_states, dtype=np.int64)
+        labels = np.repeat(states, shots_per_state)
+        digits = state_to_digits(labels, self.chip.n_qubits, n_levels)
+        result = self.simulate(digits, trace_len=trace_len)
+        return result, labels

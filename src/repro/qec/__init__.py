@@ -1,0 +1,37 @@
+"""Surface-code leakage dynamics and leakage speculation.
+
+Implements the downstream-QEC side of the paper's evaluation:
+
+- :mod:`repro.qec.surface_code` — rotated surface code layout (any odd
+  distance) with the standard stabilizer adjacency.
+- :mod:`repro.qec.leakage_sim` — Monte-Carlo leakage dynamics over QEC
+  cycles: injection at entangling gates, transport between gate partners,
+  seepage, ancilla reset, and the leakage-conditioned random-syndrome
+  signature.
+- :mod:`repro.qec.eraser` — the ERASER speculation policy (MICRO'23) and
+  its multi-level-readout extension ERASER+M, wired to a readout error
+  rate so the discriminator comparisons of Table VI can be reproduced.
+- :mod:`repro.qec.lrc` — leakage reduction circuit model.
+- :mod:`repro.qec.cycle_time` — surface-17 QEC cycle-time model
+  (Sec VII.B's 17% cycle-time reduction).
+"""
+
+from repro.qec.cycle_time import SurfaceCodeTiming, cycle_time_ns, cycle_time_reduction
+from repro.qec.eraser import EraserConfig, SpeculationReport, run_eraser
+from repro.qec.leakage_sim import LeakageParams, LeakageSimulator
+from repro.qec.lrc import LRCModel
+from repro.qec.surface_code import RotatedSurfaceCode, Stabilizer
+
+__all__ = [
+    "RotatedSurfaceCode",
+    "Stabilizer",
+    "LeakageParams",
+    "LeakageSimulator",
+    "LRCModel",
+    "EraserConfig",
+    "SpeculationReport",
+    "run_eraser",
+    "SurfaceCodeTiming",
+    "cycle_time_ns",
+    "cycle_time_reduction",
+]

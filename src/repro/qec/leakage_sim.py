@@ -1,0 +1,212 @@
+"""Monte-Carlo leakage dynamics over surface-code QEC cycles.
+
+One simulated QEC cycle, per shot:
+
+1. **Entangling gates.** Every stabilizer couples its ancilla to each of
+   its data qubits. Each gate can inject leakage into either participant
+   (``p_leak_gate``), and a leaked participant can transport leakage to
+   its partner (``p_transport`` — the mechanism measured in Sec III.A).
+2. **Syndromes.** Each stabilizer's measurement flips with a background
+   Pauli-error probability; if the ancilla or any adjacent data qubit is
+   leaked, the outcome is *random* (p=1/2) — the leakage signature ERASER
+   keys on. Readout error adds classification noise on top.
+3. **Ancilla readout + reset.** Ancilla leakage state is reported through
+   the (multi-level) readout with error ``readout_error``; unconditional
+   reset then clears ancilla leakage with probability
+   ``ancilla_reset_efficiency``.
+4. **Seepage.** Leaked data qubits decay back to the computational
+   subspace with probability ``p_seep`` per cycle (T1 of |2>).
+
+This is the phenomenological level at which ERASER itself was evaluated;
+no Pauli-frame tracking is needed for leakage-speculation metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import check_random_state
+from repro.exceptions import ConfigurationError
+from repro.qec.surface_code import RotatedSurfaceCode
+
+__all__ = ["LeakageParams", "CycleRecord", "LeakageSimulator"]
+
+
+@dataclass(frozen=True)
+class LeakageParams:
+    """Physical rates for the leakage Monte-Carlo.
+
+    Defaults follow the literature values the paper cites: per-gate
+    leakage probability in the 1e-4..1e-3 range, transport per gate in the
+    1.5-2% range, |2> seepage set by T1 over a ~1 us cycle.
+
+    ``ancilla_reset_efficiency`` is deliberately low: the unconditional
+    per-round ancilla reset is a |1> -> |0> operation that leaves |2>
+    mostly untouched, so under plain two-level readout a leaked ancilla
+    *persists* and randomizes its stabilizer for several rounds — the
+    pollution that multi-level readout (which detects the |2> directly
+    and triggers a targeted reset) removes.
+    """
+
+    p_leak_gate: float = 4e-4
+    p_transport: float = 0.05
+    p_seep: float = 0.10
+    p_pauli: float = 0.03
+    p_leak_measurement: float = 6e-3
+    ancilla_reset_efficiency: float = 0.25
+    readout_error: float = 0.05
+    false_two_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "p_leak_gate",
+            "p_transport",
+            "p_seep",
+            "p_pauli",
+            "p_leak_measurement",
+            "ancilla_reset_efficiency",
+            "readout_error",
+            "false_two_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class CycleRecord:
+    """Observables produced by one QEC cycle (one shot).
+
+    Attributes
+    ----------
+    syndrome:
+        Measured stabilizer bits (already noisy).
+    ancilla_level_readout:
+        Readout of each ancilla's level in {0, 1, 2} *as reported by the
+        discriminator* (2 = leaked); only meaningful when the control
+        stack runs multi-level readout.
+    data_leaked_truth, ancilla_leaked_truth:
+        Ground-truth leakage flags *before* ancilla reset, for scoring.
+    """
+
+    syndrome: np.ndarray
+    ancilla_level_readout: np.ndarray
+    data_leaked_truth: np.ndarray
+    ancilla_leaked_truth: np.ndarray
+
+
+@dataclass
+class LeakageSimulator:
+    """Stateful per-shot leakage dynamics for one code patch."""
+
+    code: RotatedSurfaceCode
+    params: LeakageParams = field(default_factory=LeakageParams)
+    seed: int | np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        self.rng = check_random_state(self.seed)
+        self.data_leaked = np.zeros(self.code.n_data, dtype=bool)
+        self.ancilla_leaked = np.zeros(self.code.n_ancilla, dtype=bool)
+        self._prev_syndrome = np.zeros(self.code.n_ancilla, dtype=np.int8)
+        # Precompute the gate list: (ancilla, data) pairs.
+        self.gates = [
+            (stab.index, data)
+            for stab in self.code.stabilizers
+            for data in stab.data_qubits
+        ]
+
+    def reset(self) -> None:
+        """Clear all leakage and syndrome history (new shot)."""
+        self.data_leaked[:] = False
+        self.ancilla_leaked[:] = False
+        self._prev_syndrome[:] = 0
+
+    def inject_data_leakage(self, data_qubit: int) -> None:
+        """Force a data qubit into the leaked state (for controlled tests)."""
+        self.data_leaked[data_qubit] = True
+
+    def _apply_gates(self) -> None:
+        p = self.params
+        for ancilla, data in self.gates:
+            a_leak = self.ancilla_leaked[ancilla]
+            d_leak = self.data_leaked[data]
+            if a_leak and not d_leak:
+                if self.rng.random() < p.p_transport:
+                    self.data_leaked[data] = True
+            elif d_leak and not a_leak:
+                if self.rng.random() < p.p_transport:
+                    self.ancilla_leaked[ancilla] = True
+            if not self.ancilla_leaked[ancilla] and self.rng.random() < p.p_leak_gate:
+                self.ancilla_leaked[ancilla] = True
+            if not self.data_leaked[data] and self.rng.random() < p.p_leak_gate:
+                self.data_leaked[data] = True
+
+    def _measure_syndrome(self) -> np.ndarray:
+        p = self.params
+        syndrome = np.zeros(self.code.n_ancilla, dtype=np.int8)
+        for stab in self.code.stabilizers:
+            disturbed = self.ancilla_leaked[stab.index] or any(
+                self.data_leaked[q] for q in stab.data_qubits
+            )
+            if disturbed:
+                bit = self.rng.random() < 0.5
+            else:
+                bit = self.rng.random() < p.p_pauli
+            # Readout classification error flips the reported bit.
+            if self.rng.random() < p.readout_error:
+                bit = not bit
+            syndrome[stab.index] = int(bit)
+        return syndrome
+
+    def _read_ancilla_levels(self) -> np.ndarray:
+        """Multi-level readout of ancilla leakage with classification error.
+
+        The |2> confusion is asymmetric: a leaked ancilla is missed with
+        the full classification error, but a computational ancilla is
+        misreported as |2> only ``false_two_fraction`` of the time an
+        error occurs (most discriminator confusions are 0<->1).
+        """
+        p = self.params
+        reported = np.where(self.ancilla_leaked, 2, 1).astype(np.int8)
+        u = self.rng.random(self.code.n_ancilla)
+        missed = self.ancilla_leaked & (u < p.readout_error)
+        reported[missed] = 1
+        false_two = ~self.ancilla_leaked & (
+            u < p.readout_error * p.false_two_fraction
+        )
+        reported[false_two] = 2
+        return reported
+
+    def run_cycle(self) -> CycleRecord:
+        """Advance one QEC cycle and return its observables."""
+        p = self.params
+        self._apply_gates()
+        # Measurement-induced excitation leaks ancillas during readout —
+        # the error mechanism the readout simulator models as
+        # ``excite_12_rate`` (Sec IV.A).
+        meas_leak = self.rng.random(self.code.n_ancilla) < p.p_leak_measurement
+        self.ancilla_leaked |= meas_leak
+        data_truth = self.data_leaked.copy()
+        ancilla_truth = self.ancilla_leaked.copy()
+        syndrome = self._measure_syndrome()
+        levels = self._read_ancilla_levels()
+        # Unconditional ancilla reset clears (most) ancilla leakage.
+        stay = self.rng.random(self.code.n_ancilla) >= p.ancilla_reset_efficiency
+        self.ancilla_leaked &= stay
+        # Seepage of leaked data qubits.
+        seep = self.rng.random(self.code.n_data) < p.p_seep
+        self.data_leaked &= ~seep
+        self._prev_syndrome = syndrome
+        return CycleRecord(
+            syndrome=syndrome,
+            ancilla_level_readout=levels,
+            data_leaked_truth=data_truth,
+            ancilla_leaked_truth=ancilla_truth,
+        )
+
+    @property
+    def leakage_population(self) -> float:
+        """Current fraction of leaked data qubits."""
+        return float(np.mean(self.data_leaked))

@@ -1,0 +1,62 @@
+"""Leakage Reduction Circuit (LRC) model.
+
+LRCs return a leaked qubit to the computational subspace (via swap/reset
+style gadgets). They are imperfect: they fail to de-leak with some
+probability, and applying one to a qubit that was *not* leaked can itself
+induce leakage and extra errors — the reason ERASER speculates instead of
+applying LRCs everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LRCModel"]
+
+
+@dataclass(frozen=True)
+class LRCModel:
+    """Stochastic behavior of one LRC application.
+
+    Parameters
+    ----------
+    success_prob:
+        Probability a leaked qubit is returned to the computational
+        subspace.
+    induce_prob:
+        Probability that applying the LRC to a *non-leaked* qubit leaks it.
+    """
+
+    success_prob: float = 0.98
+    induce_prob: float = 0.002
+
+    def __post_init__(self) -> None:
+        for name in ("success_prob", "induce_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+    def apply(
+        self, leaked: np.ndarray, targets: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply LRCs to ``targets`` of a boolean leakage vector.
+
+        Returns the updated leakage vector (a copy).
+        """
+        leaked = np.asarray(leaked, dtype=bool).copy()
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.size == 0:
+            return leaked
+        u = rng.random(targets.size)
+        was_leaked = leaked[targets]
+        # Leaked targets de-leak with success_prob; clean targets leak
+        # with induce_prob.
+        leaked_targets = targets[was_leaked]
+        leaked[leaked_targets[u[was_leaked] < self.success_prob]] = False
+        clean_targets = targets[~was_leaked]
+        leaked[clean_targets[u[~was_leaked] < self.induce_prob]] = True
+        return leaked

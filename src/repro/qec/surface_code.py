@@ -1,0 +1,146 @@
+"""Rotated surface code layout.
+
+Data qubits sit on a d x d grid; stabilizer ancillas sit on the plaquette
+lattice between them — (d-1)^2 interior weight-4 plaquettes plus 2(d-1)
+boundary weight-2 plaquettes, for the standard d^2 - 1 stabilizers. X-type
+plaquettes terminate on the top/bottom boundaries and Z-type on the
+left/right, with the usual checkerboard coloring in the interior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Stabilizer", "RotatedSurfaceCode"]
+
+
+@dataclass(frozen=True)
+class Stabilizer:
+    """One stabilizer generator of the code.
+
+    Attributes
+    ----------
+    index:
+        Ancilla index in [0, d^2 - 1).
+    pauli_type:
+        ``"X"`` or ``"Z"``.
+    data_qubits:
+        Indices of the 2 or 4 data qubits the plaquette touches, in gate
+        order.
+    position:
+        Plaquette center (row, col) in data-grid coordinates.
+    """
+
+    index: int
+    pauli_type: str
+    data_qubits: tuple[int, ...]
+    position: tuple[float, float]
+
+    @property
+    def weight(self) -> int:
+        return len(self.data_qubits)
+
+
+class RotatedSurfaceCode:
+    """Rotated surface code of odd distance ``d``.
+
+    Provides the data/ancilla adjacency that the leakage simulator and the
+    ERASER policy consume.
+    """
+
+    def __init__(self, distance: int) -> None:
+        if distance < 3 or distance % 2 == 0:
+            raise ConfigurationError(
+                f"distance must be an odd integer >= 3, got {distance}"
+            )
+        self.distance = distance
+        self.n_data = distance * distance
+        self.stabilizers = self._build_stabilizers()
+        self.n_ancilla = len(self.stabilizers)
+        self._data_to_stabs: dict[int, list[int]] = {
+            q: [] for q in range(self.n_data)
+        }
+        for stab in self.stabilizers:
+            for q in stab.data_qubits:
+                self._data_to_stabs[q].append(stab.index)
+
+    def data_index(self, row: int, col: int) -> int:
+        """Data qubit index at grid position (row, col)."""
+        d = self.distance
+        if not (0 <= row < d and 0 <= col < d):
+            raise ConfigurationError(f"({row}, {col}) outside the {d}x{d} grid")
+        return row * d + col
+
+    def _plaquette_type(self, row: int, col: int) -> str:
+        return "X" if (row + col) % 2 == 0 else "Z"
+
+    def _keep_plaquette(self, row: int, col: int) -> bool:
+        d = self.distance
+        interior = 0 <= row <= d - 2 and 0 <= col <= d - 2
+        if interior:
+            return True
+        # Exactly one of row/col is outside for boundary plaquettes;
+        # corners (both outside) are never stabilizers.
+        row_out = row < 0 or row > d - 2
+        col_out = col < 0 or col > d - 2
+        if row_out and col_out:
+            return False
+        if row_out:
+            # Top/bottom boundaries host X-type plaquettes only.
+            return self._plaquette_type(row, col) == "X" and 0 <= col <= d - 2
+        # Left/right boundaries host Z-type plaquettes only.
+        return self._plaquette_type(row, col) == "Z" and 0 <= row <= d - 2
+
+    def _build_stabilizers(self) -> list[Stabilizer]:
+        d = self.distance
+        stabilizers: list[Stabilizer] = []
+        index = 0
+        for row in range(-1, d):
+            for col in range(-1, d):
+                if not self._keep_plaquette(row, col):
+                    continue
+                corners = [
+                    (row, col),
+                    (row, col + 1),
+                    (row + 1, col),
+                    (row + 1, col + 1),
+                ]
+                data = tuple(
+                    self.data_index(r, c)
+                    for r, c in corners
+                    if 0 <= r < d and 0 <= c < d
+                )
+                stabilizers.append(
+                    Stabilizer(
+                        index=index,
+                        pauli_type=self._plaquette_type(row, col),
+                        data_qubits=data,
+                        position=(row + 0.5, col + 0.5),
+                    )
+                )
+                index += 1
+        return stabilizers
+
+    @property
+    def x_stabilizers(self) -> list[Stabilizer]:
+        """All X-type stabilizers."""
+        return [s for s in self.stabilizers if s.pauli_type == "X"]
+
+    @property
+    def z_stabilizers(self) -> list[Stabilizer]:
+        """All Z-type stabilizers."""
+        return [s for s in self.stabilizers if s.pauli_type == "Z"]
+
+    def stabilizers_of_data(self, data_qubit: int) -> list[int]:
+        """Stabilizer indices adjacent to a data qubit."""
+        if not 0 <= data_qubit < self.n_data:
+            raise ConfigurationError(
+                f"data_qubit must be in [0, {self.n_data})"
+            )
+        return list(self._data_to_stabs[data_qubit])
+
+    def overlap(self, a: Stabilizer, b: Stabilizer) -> int:
+        """Number of shared data qubits between two stabilizers."""
+        return len(set(a.data_qubits) & set(b.data_qubits))

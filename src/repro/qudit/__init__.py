@@ -1,0 +1,52 @@
+"""Qutrit (d-level) density-matrix simulation.
+
+Built for the paper's Sec III.A study: the effect of leaked control qubits
+on CNOT gates, run on IBM hardware in the paper and reproduced here on a
+first-principles simulator with an explicit leakage-faulty CNOT channel.
+"""
+
+from repro.qudit.channels import (
+    amplitude_damping_kraus,
+    apply_kraus,
+    dephasing_kraus,
+    depolarizing_kraus,
+    leaky_cnot_kraus,
+)
+from repro.qudit.circuit import QuditCircuit
+from repro.qudit.density import DensityMatrix
+from repro.qudit.gates import (
+    cnot_embedded,
+    cz_embedded,
+    hadamard_embedded,
+    x01,
+    x12,
+    x_embedded,
+)
+from repro.qudit.states import basis_ket, basis_rho, joint_ket
+from repro.qudit.toffoli import (
+    controlled_shift,
+    qutrit_toffoli_circuit,
+    toffoli_truth_table,
+)
+
+__all__ = [
+    "DensityMatrix",
+    "QuditCircuit",
+    "basis_ket",
+    "basis_rho",
+    "joint_ket",
+    "x01",
+    "x12",
+    "x_embedded",
+    "hadamard_embedded",
+    "cnot_embedded",
+    "cz_embedded",
+    "amplitude_damping_kraus",
+    "dephasing_kraus",
+    "depolarizing_kraus",
+    "leaky_cnot_kraus",
+    "apply_kraus",
+    "controlled_shift",
+    "qutrit_toffoli_circuit",
+    "toffoli_truth_table",
+]

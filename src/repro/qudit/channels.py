@@ -1,0 +1,163 @@
+"""Kraus channels for qutrits, including the leakage-faulty CNOT.
+
+The leaky CNOT reproduces the paper's Sec III.A observations: with a
+leaked (|2>) control the gate malfunctions — the target suffers random
+bit flips, and leakage is transferred from control to target at the
+1.5-2% per-gate rate the paper measured on IBM Lagos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.qudit.gates import cnot_embedded, swap_full, x01, x12
+
+__all__ = [
+    "amplitude_damping_kraus",
+    "dephasing_kraus",
+    "depolarizing_kraus",
+    "leaky_cnot_kraus",
+    "apply_kraus",
+    "check_completeness",
+]
+
+
+def check_completeness(kraus: list[np.ndarray], atol: float = 1e-10) -> bool:
+    """True when ``sum_k K^dagger K = I`` (a trace-preserving channel)."""
+    if not kraus:
+        raise ConfigurationError("empty Kraus list")
+    dim = kraus[0].shape[0]
+    total = np.zeros((dim, dim), dtype=complex)
+    for op in kraus:
+        if op.shape != (dim, dim):
+            raise ShapeError("Kraus operators must share one square shape")
+        total += op.conj().T @ op
+    return bool(np.allclose(total, np.eye(dim), atol=atol))
+
+
+def amplitude_damping_kraus(
+    p10: float, p21: float, p20: float = 0.0, d: int = 3
+) -> list[np.ndarray]:
+    """Qutrit relaxation ladder: |1>->|0> (p10), |2>->|1| (p21), |2>->|0> (p20).
+
+    Probabilities are per application (e.g. per gate slot or idle window).
+    """
+    if d != 3:
+        raise ConfigurationError("amplitude damping implemented for d=3")
+    for name, p in (("p10", p10), ("p21", p21), ("p20", p20)):
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+    if p21 + p20 > 1.0:
+        raise ConfigurationError("p21 + p20 must not exceed 1")
+    k_no_jump = np.diag(
+        [1.0, np.sqrt(1.0 - p10), np.sqrt(max(0.0, 1.0 - p21 - p20))]
+    ).astype(complex)
+    k10 = np.zeros((3, 3), dtype=complex)
+    k10[0, 1] = np.sqrt(p10)
+    k21 = np.zeros((3, 3), dtype=complex)
+    k21[1, 2] = np.sqrt(p21)
+    kraus = [k_no_jump, k10, k21]
+    if p20 > 0:
+        k20 = np.zeros((3, 3), dtype=complex)
+        k20[0, 2] = np.sqrt(p20)
+        kraus.append(k20)
+    return kraus
+
+
+def dephasing_kraus(p: float, d: int = 3) -> list[np.ndarray]:
+    """Phase damping between every pair of levels with probability ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    identity = np.eye(d, dtype=complex)
+    kraus = [np.sqrt(1.0 - p) * identity]
+    for level in range(d):
+        proj = np.zeros((d, d), dtype=complex)
+        proj[level, level] = 1.0
+        kraus.append(np.sqrt(p) * proj)
+    return kraus
+
+
+def depolarizing_kraus(p: float, d: int = 3) -> list[np.ndarray]:
+    """Depolarizing channel via Heisenberg-Weyl operators."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    omega = np.exp(2j * np.pi / d)
+    shift = np.roll(np.eye(d, dtype=complex), 1, axis=0)
+    clock = np.diag(omega ** np.arange(d))
+    kraus = []
+    for a in range(d):
+        for b in range(d):
+            op = np.linalg.matrix_power(shift, a) @ np.linalg.matrix_power(
+                clock, b
+            )
+            weight = 1.0 - p + p / (d * d) if (a, b) == (0, 0) else p / (d * d)
+            kraus.append(np.sqrt(weight) * op)
+    return kraus
+
+
+def leaky_cnot_kraus(
+    p_flip: float = 0.05,
+    p_transfer: float = 0.0175,
+    p_leak: float = 0.011,
+    d: int = 3,
+) -> list[np.ndarray]:
+    """CNOT that malfunctions when its control is leaked.
+
+    Branches conditioned on the control-leaked projector ``P2``:
+
+    - control in the computational subspace: ideal embedded CNOT, except
+      that with probability ``p_leak`` the gate itself leaks the target
+      (|1> -> |2> drive error) — the intrinsic per-gate leakage that the
+      no-leaked-control baseline experiment accumulates;
+    - control leaked, probability ``1 - p_flip - p_transfer``: identity
+      (the drive is off-resonant for a leaked control);
+    - probability ``p_flip``: random bit flip on the target (the paper's
+      observed CNOT malfunction);
+    - probability ``p_transfer``: leakage transport — a full SWAP moves
+      the |2> population from control to target (the paper measured
+      1.5-2% transfer per gate).
+
+    The defaults sit inside the paper's measured ranges and give the
+    ~3x leakage-growth ratio of Sec III.A by 12 CNOTs.
+    """
+    if d != 3:
+        raise ConfigurationError("leaky CNOT implemented for d=3")
+    for name, p in (
+        ("p_flip", p_flip),
+        ("p_transfer", p_transfer),
+        ("p_leak", p_leak),
+    ):
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+    if p_flip + p_transfer > 1.0:
+        raise ConfigurationError("p_flip + p_transfer must not exceed 1")
+
+    dim = d * d
+    p2 = np.zeros((dim, dim), dtype=complex)
+    p2[2 * d : 3 * d, 2 * d : 3 * d] = np.eye(d)
+    p_comp = np.eye(dim, dtype=complex) - p2
+
+    ideal_u = cnot_embedded(d) @ p_comp
+    ideal = np.sqrt(1.0 - p_leak) * ideal_u
+    leak_inject = np.sqrt(p_leak) * (np.kron(np.eye(d), x12(d)) @ ideal_u)
+    stay = np.sqrt(1.0 - p_flip - p_transfer) * p2
+    flip = np.sqrt(p_flip) * (np.kron(np.eye(d), x01(d)) @ p2)
+    transfer = np.sqrt(p_transfer) * (swap_full(d) @ p2)
+    return [ideal, leak_inject, stay, flip, transfer]
+
+
+def apply_kraus(rho: np.ndarray, kraus: list[np.ndarray]) -> np.ndarray:
+    """Apply a channel to a density matrix on the operators' full space."""
+    rho = np.asarray(rho, dtype=complex)
+    dim = rho.shape[0]
+    if rho.shape != (dim, dim):
+        raise ShapeError(f"rho must be square, got {rho.shape}")
+    out = np.zeros_like(rho)
+    for op in kraus:
+        if op.shape != (dim, dim):
+            raise ShapeError(
+                f"Kraus shape {op.shape} incompatible with rho {rho.shape}"
+            )
+        out += op @ rho @ op.conj().T
+    return out

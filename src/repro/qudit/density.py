@@ -1,0 +1,135 @@
+"""n-qudit density-matrix state with gate/channel application."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_random_state
+from repro.exceptions import ConfigurationError, DataError, ShapeError
+from repro.qudit.states import joint_rho
+
+__all__ = ["DensityMatrix"]
+
+
+class DensityMatrix:
+    """Exact density-matrix simulation of ``n_qudits`` d-level systems.
+
+    Qudit 0 is the most significant tensor factor, matching the basis
+    conventions of :mod:`repro.data.basis`. Suitable for the small systems
+    of the paper's gate-level studies (memory is ``d**(2n)`` complex).
+    """
+
+    def __init__(self, n_qudits: int, d: int = 3) -> None:
+        if n_qudits < 1:
+            raise ConfigurationError(f"n_qudits must be >= 1, got {n_qudits}")
+        if d < 2:
+            raise ConfigurationError(f"d must be >= 2, got {d}")
+        if d**n_qudits > 4096:
+            raise ConfigurationError(
+                f"state space {d}^{n_qudits} too large for dense simulation"
+            )
+        self.n_qudits = n_qudits
+        self.d = d
+        self.dim = d**n_qudits
+        self.rho = joint_rho([0] * n_qudits, d)
+
+    @classmethod
+    def from_levels(
+        cls, levels: list[int] | tuple[int, ...], d: int = 3
+    ) -> "DensityMatrix":
+        """Initialize in a product basis state."""
+        state = cls(len(levels), d)
+        state.rho = joint_rho(list(levels), d)
+        return state
+
+    def _embed(self, op: np.ndarray, targets: tuple[int, ...]) -> np.ndarray:
+        """Lift an operator on ``targets`` to the full Hilbert space."""
+        k = len(targets)
+        if op.shape != (self.d**k, self.d**k):
+            raise ShapeError(
+                f"operator shape {op.shape} does not match {k} qudit(s)"
+            )
+        if len(set(targets)) != k:
+            raise ConfigurationError("duplicate target qudits")
+        for t in targets:
+            if not 0 <= t < self.n_qudits:
+                raise ConfigurationError(
+                    f"target {t} out of range [0, {self.n_qudits})"
+                )
+        n, d = self.n_qudits, self.d
+        # Reshape to one axis per qudit (rows), apply op via tensordot on
+        # the target axes, then move the contracted axes back in place.
+        op_tensor = op.reshape((d,) * k + (d,) * k)
+        full = np.eye(self.dim, dtype=complex).reshape((d,) * n + (self.dim,))
+        moved = np.tensordot(op_tensor, full, axes=(range(k, 2 * k), targets))
+        # tensordot puts the k output axes first; restore original order.
+        order = list(targets)
+        rest = [ax for ax in range(n) if ax not in targets]
+        current = order + rest  # axis layout after tensordot
+        perm = [current.index(ax) for ax in range(n)]
+        moved = np.transpose(moved, perm + [n])
+        return moved.reshape(self.dim, self.dim)
+
+    def apply_unitary(self, gate: np.ndarray, targets: tuple[int, ...]) -> None:
+        """Apply a unitary on the given qudits (in tensor order)."""
+        full = self._embed(np.asarray(gate, dtype=complex), tuple(targets))
+        self.rho = full @ self.rho @ full.conj().T
+
+    def apply_kraus(
+        self, kraus: list[np.ndarray], targets: tuple[int, ...]
+    ) -> None:
+        """Apply a Kraus channel on the given qudits."""
+        targets = tuple(targets)
+        embedded = [self._embed(np.asarray(op, dtype=complex), targets) for op in kraus]
+        out = np.zeros_like(self.rho)
+        for op in embedded:
+            out += op @ self.rho @ op.conj().T
+        self.rho = out
+
+    def probabilities(self) -> np.ndarray:
+        """Joint basis-state probabilities (diagonal of rho)."""
+        probs = np.real(np.diag(self.rho)).copy()
+        probs[probs < 0] = 0.0
+        total = probs.sum()
+        if total <= 0:
+            raise DataError("state has zero trace")
+        return probs / total
+
+    def level_populations(self, qudit: int) -> np.ndarray:
+        """Marginal level populations of one qudit."""
+        if not 0 <= qudit < self.n_qudits:
+            raise ConfigurationError(
+                f"qudit must be in [0, {self.n_qudits})"
+            )
+        probs = self.probabilities().reshape((self.d,) * self.n_qudits)
+        axes = tuple(ax for ax in range(self.n_qudits) if ax != qudit)
+        return probs.sum(axis=axes)
+
+    def leakage_population(self, qudit: int) -> float:
+        """Probability of finding one qudit outside {|0>, |1>}."""
+        return float(self.level_populations(qudit)[2:].sum())
+
+    def sample_measurements(
+        self, shots: int, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Sample joint measurement outcomes; (shots, n_qudits) levels."""
+        if shots < 1:
+            raise ConfigurationError(f"shots must be >= 1, got {shots}")
+        rng = check_random_state(rng)
+        outcomes = rng.choice(self.dim, size=shots, p=self.probabilities())
+        digits = np.empty((shots, self.n_qudits), dtype=np.int64)
+        rem = outcomes
+        for q in range(self.n_qudits - 1, -1, -1):
+            digits[:, q] = rem % self.d
+            rem = rem // self.d
+        return digits
+
+    @property
+    def purity(self) -> float:
+        """Tr(rho^2); 1 for pure states."""
+        return float(np.real(np.trace(self.rho @ self.rho)))
+
+    @property
+    def trace(self) -> float:
+        """Tr(rho); 1 for physical states."""
+        return float(np.real(np.trace(self.rho)))

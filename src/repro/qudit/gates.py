@@ -1,0 +1,103 @@
+"""Qutrit gates: subspace pulses and embedded two-level gates.
+
+Two-level ("embedded") gates act as the familiar qubit unitaries on the
+{|0>, |1>} computational subspace and as the identity on leaked levels —
+exactly how a calibrated microwave pulse treats a transmon that has left
+the computational subspace (to first order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "x01",
+    "x12",
+    "x_embedded",
+    "z_embedded",
+    "hadamard_embedded",
+    "cnot_embedded",
+    "cz_embedded",
+    "swap_full",
+]
+
+
+def _validate_d(d: int) -> None:
+    if d < 3:
+        raise ConfigurationError(f"qutrit gates need d >= 3, got {d}")
+
+
+def x01(d: int = 3) -> np.ndarray:
+    """Pi pulse on the 0-1 transition (identity elsewhere)."""
+    _validate_d(d)
+    gate = np.eye(d, dtype=complex)
+    gate[0, 0] = gate[1, 1] = 0.0
+    gate[0, 1] = gate[1, 0] = 1.0
+    return gate
+
+
+def x12(d: int = 3) -> np.ndarray:
+    """Pi pulse on the 1-2 transition (used to prepare |2> in Sec III.A)."""
+    _validate_d(d)
+    gate = np.eye(d, dtype=complex)
+    gate[1, 1] = gate[2, 2] = 0.0
+    gate[1, 2] = gate[2, 1] = 1.0
+    return gate
+
+
+def x_embedded(d: int = 3) -> np.ndarray:
+    """Qubit X on the computational subspace, identity on leaked levels."""
+    return x01(d)
+
+
+def z_embedded(d: int = 3) -> np.ndarray:
+    """Qubit Z on the computational subspace, identity on leaked levels."""
+    _validate_d(d)
+    gate = np.eye(d, dtype=complex)
+    gate[1, 1] = -1.0
+    return gate
+
+
+def hadamard_embedded(d: int = 3) -> np.ndarray:
+    """Qubit Hadamard on the computational subspace."""
+    _validate_d(d)
+    gate = np.eye(d, dtype=complex)
+    inv_sqrt2 = 1.0 / np.sqrt(2.0)
+    gate[0, 0] = gate[0, 1] = gate[1, 0] = inv_sqrt2
+    gate[1, 1] = -inv_sqrt2
+    return gate
+
+
+def cnot_embedded(d: int = 3) -> np.ndarray:
+    """Ideal CNOT on two qudits: flips the target's 0-1 subspace when the
+    control is |1>, identity when the control is |0> or leaked."""
+    _validate_d(d)
+    dim = d * d
+    gate = np.eye(dim, dtype=complex)
+    block = x01(d)
+    # Rows/cols for control level 1 occupy the slice [d, 2d).
+    gate[d : 2 * d, d : 2 * d] = block
+    return gate
+
+
+def cz_embedded(d: int = 3) -> np.ndarray:
+    """Ideal CZ on two qudits: -1 phase on |11>, identity elsewhere."""
+    _validate_d(d)
+    dim = d * d
+    gate = np.eye(dim, dtype=complex)
+    idx = d * 1 + 1
+    gate[idx, idx] = -1.0
+    return gate
+
+
+def swap_full(d: int = 3) -> np.ndarray:
+    """Full d-level SWAP of two qudits (moves leakage between them)."""
+    _validate_d(d)
+    dim = d * d
+    gate = np.zeros((dim, dim), dtype=complex)
+    for a in range(d):
+        for b in range(d):
+            gate[b * d + a, a * d + b] = 1.0
+    return gate

@@ -1,0 +1,42 @@
+"""Basis states and state constructors for n qudits."""
+
+from __future__ import annotations
+
+from functools import reduce
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["basis_ket", "basis_rho", "joint_ket", "joint_rho"]
+
+
+def basis_ket(level: int, d: int = 3) -> np.ndarray:
+    """Single-qudit computational basis ket |level> in dimension d."""
+    if d < 2:
+        raise ConfigurationError(f"d must be >= 2, got {d}")
+    if not 0 <= level < d:
+        raise ConfigurationError(f"level must be in [0, {d}), got {level}")
+    ket = np.zeros(d, dtype=complex)
+    ket[level] = 1.0
+    return ket
+
+
+def basis_rho(level: int, d: int = 3) -> np.ndarray:
+    """Single-qudit basis density matrix |level><level|."""
+    ket = basis_ket(level, d)
+    return np.outer(ket, ket.conj())
+
+
+def joint_ket(levels: list[int] | tuple[int, ...], d: int = 3) -> np.ndarray:
+    """Product ket |l0 l1 ... l_{n-1}> (qudit 0 most significant)."""
+    if not levels:
+        raise ConfigurationError("need at least one qudit level")
+    kets = [basis_ket(level, d) for level in levels]
+    return reduce(np.kron, kets)
+
+
+def joint_rho(levels: list[int] | tuple[int, ...], d: int = 3) -> np.ndarray:
+    """Product density matrix for a joint basis state."""
+    ket = joint_ket(levels, d)
+    return np.outer(ket, ket.conj())

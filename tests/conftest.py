@@ -1,0 +1,73 @@
+"""Shared fixtures: small chips and corpora reused across the suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import generate_calibration_shots, generate_corpus
+from repro.physics.adc import ADCConfig
+from repro.physics.device import ChipConfig, QubitParams, default_five_qubit_chip
+
+
+def make_two_qubit_chip(trace_len: int = 200, noise_std: float = 3.0) -> ChipConfig:
+    """A light two-qubit chip for fast unit tests."""
+    mhz = lambda v: 2.0 * math.pi * v * 1e-3  # noqa: E731 - local shorthand
+    qubits = (
+        QubitParams(
+            name="A", if_frequency_ghz=-0.12, kappa=mhz(2.0), chi=mhz(1.0),
+            amplitude=1.0, t1_ns=30_000.0, t1_2_ns=15_000.0,
+            excite_01_rate=1e-5, excite_12_rate=2e-5, excite_02_rate=1e-6,
+            prep_leak_prob=0.02, prep_thermal_prob=0.004,
+        ),
+        QubitParams(
+            name="B", if_frequency_ghz=0.13, kappa=mhz(2.0), chi=mhz(0.9),
+            amplitude=0.9, t1_ns=20_000.0, t1_2_ns=10_000.0,
+            excite_01_rate=1e-5, excite_12_rate=3e-5, excite_02_rate=1e-6,
+            prep_leak_prob=0.03, prep_thermal_prob=0.004,
+        ),
+    )
+    crosstalk = np.zeros((2, 2), dtype=complex)
+    crosstalk[0, 1] = crosstalk[1, 0] = 0.08 * np.exp(0.5j)
+    return ChipConfig(
+        qubits=qubits,
+        adc=ADCConfig(),
+        trace_len=trace_len,
+        noise_std=noise_std,
+        crosstalk=crosstalk,
+    )
+
+
+@pytest.fixture(scope="session")
+def two_qubit_chip() -> ChipConfig:
+    return make_two_qubit_chip()
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus(two_qubit_chip):
+    """All 9 joint states of the two-qubit chip, 40 shots each."""
+    return generate_corpus(two_qubit_chip, shots_per_state=40, seed=101)
+
+
+@pytest.fixture(scope="session")
+def tiny_calibration(two_qubit_chip):
+    """Two-level calibration shots on the two-qubit chip."""
+    return generate_calibration_shots(two_qubit_chip, n_shots=1200, seed=102)
+
+
+@pytest.fixture(scope="session")
+def five_qubit_chip():
+    return default_five_qubit_chip()
+
+
+@pytest.fixture(scope="session")
+def five_qubit_corpus(five_qubit_chip):
+    """A small corpus on the paper's five-qubit chip (all 243 states)."""
+    return generate_corpus(five_qubit_chip, shots_per_state=6, seed=103)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,48 @@
+"""Tests for the sizing profiles."""
+
+import pytest
+
+from repro.config import FULL, PAPER, QUICK, Profile, get_profile
+from repro.exceptions import ConfigurationError
+
+
+def test_named_profiles_resolve():
+    assert get_profile("quick") is QUICK
+    assert get_profile("full") is FULL
+    assert get_profile("paper") is PAPER
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(ConfigurationError, match="unknown profile"):
+        get_profile("turbo")
+
+
+def test_profiles_scale_monotonically():
+    assert QUICK.shots_per_state < FULL.shots_per_state < PAPER.shots_per_state
+    assert QUICK.qec_shots < FULL.qec_shots <= PAPER.qec_shots
+
+
+def test_paper_profile_matches_publication():
+    assert PAPER.shots_per_state == 50_000
+
+
+def test_with_seed_returns_new_profile():
+    other = QUICK.with_seed(1)
+    assert other.seed == 1
+    assert other.shots_per_state == QUICK.shots_per_state
+    assert QUICK.seed != 1
+
+
+def test_invalid_profile_values_rejected():
+    with pytest.raises(ConfigurationError):
+        Profile(
+            name="bad",
+            shots_per_state=0,
+            calibration_shots=1,
+            nn_epochs=1,
+            fnn_epochs=1,
+            batch_size=1,
+            qec_shots=1,
+            qudit_shots=1,
+            spectral_max_points=1,
+        )

@@ -1,0 +1,184 @@
+"""Tests for demodulation, filtering, MTV, and matched filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import (
+    MatchedFilterBank,
+    apply_matched_filter,
+    boxcar_decimate,
+    demodulate,
+    demodulate_all_qubits,
+    fir_lowpass,
+    matched_filter_kernel,
+    mean_trace_value,
+    moving_average,
+    mtv_points,
+)
+from repro.exceptions import ConfigurationError, DataError, ShapeError
+
+
+class TestDemod:
+    def test_demodulation_recovers_constant_baseband(self):
+        times = np.arange(128) * 2.0
+        tone = 0.7 * np.exp(1j * 2 * np.pi * 0.15 * times)
+        base = demodulate(tone, 0.15, times)
+        np.testing.assert_allclose(base, 0.7, atol=1e-12)
+
+    def test_neighbor_tone_averages_out_after_boxcar(self):
+        times = np.arange(500) * 2.0
+        neighbor = np.exp(1j * 2 * np.pi * 0.09 * times)
+        base = boxcar_decimate(demodulate(neighbor, 0.18, times), 25)
+        assert np.max(np.abs(base)) < 0.1
+
+    def test_demodulate_all_qubits_shape(self, five_qubit_chip, rng):
+        feed = rng.normal(size=(4, 500)) + 0j
+        out = demodulate_all_qubits(feed, five_qubit_chip)
+        assert out.shape == (5, 4, 500)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            demodulate(np.zeros(10, complex), 0.1, np.zeros(9))
+
+
+class TestFilters:
+    def test_boxcar_reduces_noise_variance(self, rng):
+        noise = rng.normal(size=(50, 400))
+        out = boxcar_decimate(noise, 10)
+        assert out.shape == (50, 40)
+        assert out.var() == pytest.approx(noise.var() / 10, rel=0.2)
+
+    def test_boxcar_preserves_mean(self, rng):
+        x = rng.normal(size=(3, 100)) + 5.0
+        np.testing.assert_allclose(
+            boxcar_decimate(x, 4).mean(axis=1), x[:, :100].mean(axis=1), atol=1e-9
+        )
+
+    def test_boxcar_drops_trailing_remainder(self):
+        x = np.arange(10.0)
+        out = boxcar_decimate(x, 3)
+        assert out.shape == (3,)
+        np.testing.assert_allclose(out, [1.0, 4.0, 7.0])
+
+    def test_boxcar_factor_one_is_copy(self, rng):
+        x = rng.normal(size=(2, 8))
+        out = boxcar_decimate(x, 1)
+        np.testing.assert_array_equal(out, x)
+        assert out is not x
+
+    def test_boxcar_rejects_factor_longer_than_trace(self):
+        with pytest.raises(ShapeError):
+            boxcar_decimate(np.zeros(5), 10)
+
+    def test_moving_average_smooths(self, rng):
+        x = rng.normal(size=500)
+        assert moving_average(x, 25).var() < x.var()
+
+    def test_fir_lowpass_attenuates_high_frequency(self):
+        times = np.arange(512) * 2.0
+        low = np.cos(2 * np.pi * 0.01 * times)
+        high = np.cos(2 * np.pi * 0.2 * times)
+        out_low = fir_lowpass(low, 0.05, 0.5)
+        out_high = fir_lowpass(high, 0.05, 0.5)
+        assert np.std(out_low[64:]) > 5 * np.std(out_high[64:])
+
+    def test_fir_validates_taps(self):
+        with pytest.raises(ConfigurationError):
+            fir_lowpass(np.zeros(10), 0.05, 0.5, n_taps=4)
+
+
+class TestMTV:
+    def test_mtv_is_temporal_mean(self, rng):
+        traces = rng.normal(size=(6, 30)) + 1j * rng.normal(size=(6, 30))
+        np.testing.assert_allclose(mean_trace_value(traces), traces.mean(axis=1))
+
+    def test_mtv_points_layout(self, rng):
+        traces = rng.normal(size=(6, 30)) + 1j * rng.normal(size=(6, 30))
+        pts = mtv_points(traces)
+        assert pts.shape == (6, 2)
+        np.testing.assert_allclose(pts[:, 0] + 1j * pts[:, 1], traces.mean(axis=1))
+
+
+class TestMatchedFilter:
+    def _clouds(self, rng, sep=1.0, n=400, t=60, noise=1.0):
+        mean_a = np.zeros(t, complex)
+        mean_b = np.full(t, sep, complex)
+        noise_a = (rng.normal(size=(n, t)) + 1j * rng.normal(size=(n, t))) * noise
+        noise_b = (rng.normal(size=(n, t)) + 1j * rng.normal(size=(n, t))) * noise
+        return mean_a + noise_a, mean_b + noise_b
+
+    def test_kernel_separates_classes(self, rng):
+        a, b = self._clouds(rng)
+        kernel = matched_filter_kernel(a, b)
+        scores_a = apply_matched_filter(kernel, a)
+        scores_b = apply_matched_filter(kernel, b)
+        assert scores_b.mean() > scores_a.mean()
+        snr = (scores_b.mean() - scores_a.mean()) / np.sqrt(
+            0.5 * (scores_a.var() + scores_b.var())
+        )
+        assert snr > 5.0
+
+    def test_matched_filter_beats_boxcar_on_shaped_signal(self, rng):
+        # Signal difference concentrated in the first half of the trace:
+        # matched weighting must out-SNR uniform averaging.
+        t = 80
+        template = np.concatenate([np.ones(40), np.zeros(40)]).astype(complex)
+        n = 600
+        a = (rng.normal(size=(n, t)) + 1j * rng.normal(size=(n, t)))
+        b = template + (rng.normal(size=(n, t)) + 1j * rng.normal(size=(n, t)))
+        kernel = matched_filter_kernel(a, b)
+        boxcar = np.ones(t, dtype=complex)
+
+        def snr(k):
+            sa = apply_matched_filter(k, a)
+            sb = apply_matched_filter(k, b)
+            return (sb.mean() - sa.mean()) / np.sqrt(0.5 * (sa.var() + sb.var()))
+
+        assert snr(kernel) > 1.2 * snr(boxcar)
+
+    def test_paper_variance_difference_mode_is_finite(self, rng):
+        a, b = self._clouds(rng)
+        kernel = matched_filter_kernel(a, b, variance_mode="difference")
+        assert np.all(np.isfinite(kernel))
+
+    def test_unit_mode_returns_mean_difference(self, rng):
+        a, b = self._clouds(rng, n=200)
+        kernel = matched_filter_kernel(a, b, variance_mode="unit")
+        np.testing.assert_allclose(
+            kernel, b.mean(axis=0) - a.mean(axis=0), atol=1e-12
+        )
+
+    def test_too_few_traces_rejected(self, rng):
+        a, b = self._clouds(rng, n=1)
+        with pytest.raises(DataError):
+            matched_filter_kernel(a, b)
+
+    def test_invalid_mode_rejected(self, rng):
+        a, b = self._clouds(rng, n=4)
+        with pytest.raises(ConfigurationError):
+            matched_filter_kernel(a, b, variance_mode="magic")
+
+    def test_bank_transform_shape_and_truncation(self, rng):
+        kernels = rng.normal(size=(4, 50)) + 1j * rng.normal(size=(4, 50))
+        bank = MatchedFilterBank(("a", "b", "c", "d"), kernels)
+        traces = rng.normal(size=(7, 50)) + 0j
+        assert bank.transform(traces).shape == (7, 4)
+        short = bank.truncated(20)
+        assert short.trace_len == 20
+        assert short.names == bank.names
+
+    def test_bank_name_count_must_match(self, rng):
+        with pytest.raises(ShapeError):
+            MatchedFilterBank(("a",), rng.normal(size=(2, 10)) + 0j)
+
+    @settings(max_examples=20, deadline=None)
+    @given(scale=st.floats(min_value=0.1, max_value=10.0))
+    def test_score_linearity_property(self, scale):
+        rng = np.random.default_rng(0)
+        kernel = rng.normal(size=16) + 1j * rng.normal(size=16)
+        trace = rng.normal(size=16) + 1j * rng.normal(size=16)
+        base = apply_matched_filter(kernel, trace)
+        scaled = apply_matched_filter(kernel, scale * trace)
+        assert scaled == pytest.approx(scale * base, rel=1e-9)

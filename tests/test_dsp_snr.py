@@ -1,0 +1,99 @@
+"""Tests for SNR analysis and readout confusion channels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.snr import (
+    cloud_separation_snr,
+    gaussian_overlap_fidelity,
+    pairwise_snr_matrix,
+)
+from repro.exceptions import DataError, ShapeError
+from repro.ml.confusion import ReadoutConfusion, confusion_from_labels
+
+
+class TestSNR:
+    def test_known_separation(self, rng):
+        a = rng.normal([0, 0], 1.0, size=(5000, 2))
+        b = rng.normal([4, 0], 1.0, size=(5000, 2))
+        assert cloud_separation_snr(a, b) == pytest.approx(4.0, rel=0.05)
+
+    def test_snr_scales_with_noise(self, rng):
+        a = rng.normal([0, 0], 1.0, size=(2000, 2))
+        b = rng.normal([2, 0], 1.0, size=(2000, 2))
+        a2 = rng.normal([0, 0], 2.0, size=(2000, 2))
+        b2 = rng.normal([2, 0], 2.0, size=(2000, 2))
+        assert cloud_separation_snr(a, b) > cloud_separation_snr(a2, b2)
+
+    def test_fidelity_limits(self):
+        assert gaussian_overlap_fidelity(0.0) == pytest.approx(0.5)
+        assert gaussian_overlap_fidelity(10.0) > 0.999
+
+    def test_fidelity_matches_empirical_threshold_error(self, rng):
+        snr = 3.0
+        a = rng.normal(0.0, 1.0, size=20000)
+        b = rng.normal(snr, 1.0, size=20000)
+        threshold = snr / 2.0
+        empirical = 0.5 * (np.mean(a < threshold) + np.mean(b >= threshold))
+        assert gaussian_overlap_fidelity(snr) == pytest.approx(empirical, abs=0.01)
+
+    def test_pairwise_matrix_symmetry(self, rng):
+        points = np.vstack(
+            [rng.normal([c, 0], 0.5, size=(100, 2)) for c in (0, 3, 7)]
+        )
+        labels = np.repeat([0, 1, 2], 100)
+        snr = pairwise_snr_matrix(points, labels, 3)
+        np.testing.assert_allclose(snr, snr.T)
+        assert snr[0, 2] > snr[0, 1]  # farther clouds, higher SNR
+        np.testing.assert_allclose(np.diag(snr), 0.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(DataError):
+            cloud_separation_snr(np.zeros((1, 2)), np.zeros((5, 2)))
+        with pytest.raises(ShapeError):
+            cloud_separation_snr(np.zeros((5, 2)), np.zeros((5, 3)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(snr=st.floats(min_value=0.0, max_value=20.0))
+    def test_fidelity_monotone_property(self, snr):
+        f = gaussian_overlap_fidelity(snr)
+        assert 0.5 <= f <= 1.0
+        assert gaussian_overlap_fidelity(snr + 0.5) >= f
+
+
+class TestReadoutConfusion:
+    def test_perfect_readout(self):
+        levels = np.array([0, 1, 2, 0, 1, 2])
+        confusion = confusion_from_labels(levels, levels)
+        assert confusion.error_rate == pytest.approx(0.0)
+        assert confusion.false_leak_rate == pytest.approx(0.0)
+        assert confusion.missed_leak_rate == pytest.approx(0.0)
+
+    def test_asymmetric_two_confusion(self):
+        # 0/1 always right; leaked state missed half the time.
+        true = np.array([0] * 10 + [1] * 10 + [2] * 10)
+        reported = true.copy()
+        reported[20:25] = 1
+        confusion = confusion_from_labels(true, reported)
+        assert confusion.missed_leak_rate == pytest.approx(0.5)
+        assert confusion.false_leak_rate == pytest.approx(0.0)
+
+    def test_false_two_fraction_bounds(self):
+        true = np.array([0] * 50 + [1] * 50 + [2] * 10)
+        rng = np.random.default_rng(0)
+        reported = true.copy()
+        flip = rng.random(true.size) < 0.2
+        reported[flip] = (true[flip] + 1) % 3
+        confusion = confusion_from_labels(true, reported)
+        assert 0.0 <= confusion.false_two_fraction <= 1.0
+
+    def test_missing_level_gets_identity_row(self):
+        true = np.array([0, 0, 1, 1])
+        confusion = confusion_from_labels(true, true)
+        np.testing.assert_allclose(confusion.matrix[2], [0, 0, 1])
+
+    def test_rejects_malformed_matrix(self):
+        with pytest.raises(DataError):
+            ReadoutConfusion(np.full((3, 3), 0.5))

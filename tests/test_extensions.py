@@ -1,0 +1,164 @@
+"""Tests for the extension features: qutrit Toffoli, HMM baseline, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.config import QUICK
+from repro.discriminators import HMMDiscriminator, MLRDiscriminator
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.experiments.scaling import (
+    fnn_architecture,
+    herqules_architecture,
+    ours_architecture,
+    run_scaling,
+    total_parameters,
+)
+from repro.ml import stratified_split
+from repro.ml.metrics import per_qubit_fidelity
+from repro.qudit import (
+    controlled_shift,
+    qutrit_toffoli_circuit,
+    toffoli_truth_table,
+)
+from repro.qudit.gates import x01
+from repro.qudit.toffoli import two_qutrit_gate_count
+
+
+class TestQutritToffoli:
+    def test_truth_table_is_toffoli(self):
+        table = toffoli_truth_table()
+        for (a, b, t), out in table.items():
+            assert out == (a, b, t ^ (a & b)), (a, b, t, out)
+
+    def test_uses_three_two_qutrit_gates(self):
+        circuit = qutrit_toffoli_circuit()
+        assert two_qutrit_gate_count(circuit) == 3
+
+    def test_controls_restored_to_computational_subspace(self):
+        circuit = qutrit_toffoli_circuit()
+        for levels in [(1, 1, 0), (1, 0, 1), (0, 1, 1)]:
+            rho = circuit.run(levels)
+            assert rho.leakage_population(0) == pytest.approx(0.0, abs=1e-12)
+            assert rho.leakage_population(1) == pytest.approx(0.0, abs=1e-12)
+
+    def test_intermediate_state_leaves_computational_subspace(self):
+        """The defining property: mid-circuit, control B occupies |2>."""
+        from repro.qudit import DensityMatrix
+        from repro.qudit.gates import x12
+
+        state = DensityMatrix.from_levels([1, 1, 0])
+        state.apply_unitary(controlled_shift(1, x12()), (0, 1))
+        assert state.leakage_population(1) == pytest.approx(1.0)
+
+    def test_controlled_shift_is_unitary(self):
+        gate = controlled_shift(2, x01())
+        np.testing.assert_allclose(
+            gate @ gate.conj().T, np.eye(9), atol=1e-12
+        )
+
+    def test_controlled_shift_validates_level(self):
+        with pytest.raises(ConfigurationError):
+            controlled_shift(5, x01())
+
+
+class TestHMMDiscriminator:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_corpus):
+        train, test = stratified_split(tiny_corpus.labels, 0.5, seed=21)
+        hmm = HMMDiscriminator(seed=22).fit(tiny_corpus, train)
+        return hmm, train, test
+
+    def test_reaches_high_fidelity(self, tiny_corpus, fitted):
+        hmm, _, test = fitted
+        pred = hmm.predict(tiny_corpus, test)
+        fid = per_qubit_fidelity(tiny_corpus.labels[test], pred, 2, 3)
+        assert np.all(fid > 0.8)
+
+    def test_handles_mid_readout_relaxation(self, tiny_corpus, fitted):
+        """Traces that relaxed mid-readout should mostly still be assigned
+        their prepared level (the HMM models the jump)."""
+        hmm, _, test = fitted
+        levels = hmm.predict_qubit_levels(tiny_corpus, test)
+        prepared = tiny_corpus.prepared_levels[test]
+        final = tiny_corpus.final_levels[test]
+        relaxed = (prepared[:, 0] == 1) & (final[:, 0] == 0)
+        if relaxed.sum() >= 5:
+            assert np.mean(levels[relaxed, 0] == 1) > 0.5
+
+    def test_unfitted_raises(self, tiny_corpus):
+        with pytest.raises(NotFittedError):
+            HMMDiscriminator().predict(tiny_corpus)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HMMDiscriminator(decimation=0)
+        with pytest.raises(ConfigurationError):
+            HMMDiscriminator(rate_scale=-1.0)
+
+
+class TestNeighborFeatureToggle:
+    def test_own_qubit_heads_are_smaller(self, tiny_corpus):
+        train, _ = stratified_split(tiny_corpus.labels, 0.5, seed=23)
+        full = MLRDiscriminator(epochs=5, seed=24).fit(tiny_corpus, train)
+        own = MLRDiscriminator(
+            neighbor_features=False, epochs=5, seed=24
+        ).fit(tiny_corpus, train)
+        assert own.n_parameters < full.n_parameters
+
+    def test_own_qubit_prediction_shapes(self, tiny_corpus):
+        train, test = stratified_split(tiny_corpus.labels, 0.5, seed=25)
+        own = MLRDiscriminator(
+            neighbor_features=False, epochs=10, seed=26
+        ).fit(tiny_corpus, train)
+        levels = own.predict_qubit_levels(tiny_corpus, test[:20])
+        assert levels.shape == (20, 2)
+        probs = own.predict_proba_qubit(1, tiny_corpus, test[:20])
+        assert probs.shape == (20, 3)
+
+
+class TestScaling:
+    def test_paper_operating_points(self):
+        assert total_parameters("fnn", 5, 3) == 686_743
+        assert total_parameters("herqules", 5, 3) == 38_583
+        assert total_parameters("ours", 5, 3) == 6_505
+
+    def test_architecture_rules(self):
+        assert fnn_architecture(5, 3) == (1000, 500, 250, 243)
+        assert herqules_architecture(5, 3) == (30, 60, 120, 243)
+        assert ours_architecture(5, 3) == (45, 22, 11, 3)
+
+    def test_joint_heads_grow_exponentially(self):
+        result = run_scaling(QUICK)
+        for design in ("fnn", "herqules"):
+            tail = (
+                result.parameters[design][(10, 3)]
+                / result.parameters[design][(9, 3)]
+            )
+            assert tail > 2.5
+        ours_tail = (
+            result.parameters["ours"][(10, 3)]
+            / result.parameters["ours"][(9, 3)]
+        )
+        assert ours_tail < 1.6
+
+    def test_level_count_scaling(self):
+        # OURS grows ~k^2 with level count while joint heads grow ~k^n, so
+        # at n=10 moving from 3 to 4 levels costs the joint head (4/3)^10
+        # ~ 18x but the modular design only ~4x.
+        result = run_scaling(QUICK)
+        ours_ratio = (
+            result.parameters["ours"][(10, 4)]
+            / result.parameters["ours"][(10, 3)]
+        )
+        herq_ratio = (
+            result.parameters["herqules"][(10, 4)]
+            / result.parameters["herqules"][(10, 3)]
+        )
+        assert ours_ratio < 5.0
+        assert herq_ratio > 10.0
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            total_parameters("fnn", 0, 3)
+        with pytest.raises(ConfigurationError):
+            total_parameters("magic", 5, 3)

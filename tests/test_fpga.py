@@ -1,0 +1,168 @@
+"""Tests for the FPGA models: quantization, resources, latency, power."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.fpga import (
+    XCZU7EV,
+    FixedPointFormat,
+    HLSNetworkModel,
+    estimate_network_resources,
+    pipeline_latency_cycles,
+    pipeline_latency_ns,
+)
+from repro.fpga.latency import readout_decision_latency_ns
+from repro.fpga.power import estimate_design_power_mw, estimate_power_mw
+from repro.fpga.resources import network_shape_stats
+from repro.ml.nn import MLPClassifier, train_classifier
+
+FNN = (1000, 500, 250, 243)
+HERQULES = (30, 60, 120, 243)
+OURS = (45, 22, 11, 3)
+
+
+class TestFixedPoint:
+    def test_resolution_and_range(self):
+        fmt = FixedPointFormat(8, 3)
+        assert fmt.fraction_bits == 5
+        assert fmt.resolution == pytest.approx(1 / 32)
+        assert fmt.max_value == pytest.approx(4.0 - 1 / 32)
+        assert fmt.min_value == pytest.approx(-4.0)
+
+    def test_quantize_saturates(self):
+        fmt = FixedPointFormat(8, 3)
+        out = fmt.quantize(np.array([100.0, -100.0]))
+        assert out[0] == fmt.max_value
+        assert out[1] == fmt.min_value
+
+    def test_quantize_error_bounded(self, rng):
+        fmt = FixedPointFormat(12, 4)
+        values = rng.uniform(-7, 7, 200)
+        err = fmt.quantization_error(values)
+        assert np.max(np.abs(err)) <= fmt.resolution / 2 + 1e-12
+
+    def test_covers(self):
+        fmt = FixedPointFormat(8, 3)
+        assert fmt.covers(np.array([1.0, -2.0]))
+        assert not fmt.covers(np.array([10.0]))
+
+    def test_invalid_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(8, 9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        total=st.integers(min_value=4, max_value=24),
+        value=st.floats(min_value=-1e3, max_value=1e3),
+    )
+    def test_quantize_idempotent_property(self, total, value):
+        fmt = FixedPointFormat(total, max(1, total // 2))
+        once = fmt.quantize(np.array([value]))
+        twice = fmt.quantize(once)
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestResources:
+    def test_parameter_counts_match_paper(self):
+        assert network_shape_stats(FNN)[0] == 686_743
+        assert network_shape_stats(HERQULES)[0] == 38_583
+        assert network_shape_stats(OURS)[0] * 5 == 6_505
+
+    def test_lut_calibration_points(self):
+        # The model is solved through the paper's published utilizations.
+        fnn = estimate_network_resources(FNN).utilization(XCZU7EV)["lut"]
+        herq = estimate_network_resources(HERQULES).utilization(XCZU7EV)["lut"]
+        ours = estimate_network_resources(OURS, n_replicas=5).utilization(
+            XCZU7EV
+        )["lut"]
+        assert fnn == pytest.approx(4.20, abs=0.02)
+        assert herq == pytest.approx(0.28, abs=0.01)
+        assert ours == pytest.approx(0.07, abs=0.005)
+
+    def test_published_ratios(self):
+        fnn = estimate_network_resources(FNN)
+        herq = estimate_network_resources(HERQULES)
+        ours = estimate_network_resources(OURS, n_replicas=5)
+        assert fnn.luts / ours.luts == pytest.approx(60, rel=0.05)
+        assert herq.luts / ours.luts == pytest.approx(4, rel=0.05)
+        assert herq.ffs / ours.ffs == pytest.approx(5, rel=0.05)
+
+    def test_fnn_does_not_fit_but_ours_does(self):
+        assert not estimate_network_resources(FNN).fits(XCZU7EV)
+        assert estimate_network_resources(OURS, n_replicas=5).fits(XCZU7EV)
+
+    def test_wider_precision_costs_more(self):
+        narrow = estimate_network_resources(OURS, FixedPointFormat(8, 3))
+        wide = estimate_network_resources(OURS, FixedPointFormat(16, 6))
+        assert wide.luts > narrow.luts
+        assert wide.brams >= narrow.brams
+
+    def test_resource_addition(self):
+        a = estimate_network_resources(OURS)
+        total = a + a
+        assert total.luts == pytest.approx(2 * a.luts)
+
+
+class TestLatencyPower:
+    def test_paper_latency_point(self):
+        # 3 dense layers at reuse 1 -> 5 cycles -> 5 ns at 1 GHz.
+        assert pipeline_latency_cycles(OURS) == 5
+        assert pipeline_latency_ns(OURS, clock_ghz=1.0) == pytest.approx(5.0)
+
+    def test_reuse_factor_serializes(self):
+        assert pipeline_latency_cycles(OURS, reuse_factor=4) == 14
+
+    def test_decision_latency_dominated_by_integration(self):
+        total = readout_decision_latency_ns(800.0, OURS)
+        assert 800.0 < total < 820.0
+
+    def test_paper_power_point(self):
+        assert estimate_design_power_mw(6505) == pytest.approx(1.561, abs=1e-3)
+
+    def test_power_scales_with_rate(self):
+        slow = estimate_power_mw(OURS, inference_rate_mhz=1.0)
+        fast = estimate_power_mw(OURS, inference_rate_mhz=2.0)
+        assert fast > slow
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_latency_cycles(OURS, reuse_factor=0)
+        with pytest.raises(ConfigurationError):
+            estimate_design_power_mw(0)
+
+
+class TestHLSModel:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack(
+            [rng.normal(c, 0.4, size=(150, 4)) for c in (-1.5, 0.0, 1.5)]
+        )
+        y = np.repeat([0, 1, 2], 150)
+        model = MLPClassifier((4, 8, 3), seed=0)
+        train_classifier(model, x, y, epochs=40, seed=0)
+        return model, x, y
+
+    def test_quantized_accuracy_close_to_float(self, trained):
+        model, x, y = trained
+        hls = HLSNetworkModel.from_classifier(model)
+        float_acc = model.score(x, y)
+        fixed_acc = float(np.mean(hls.predict(x) == y))
+        assert fixed_acc > float_acc - 0.05
+
+    def test_weights_are_quantized(self, trained):
+        model, _, _ = trained
+        fmt = FixedPointFormat(8, 3)
+        hls = HLSNetworkModel.from_classifier(model, weight_format=fmt)
+        for w in hls.weights:
+            np.testing.assert_array_equal(w, fmt.quantize(w))
+
+    def test_reports_deployment_metrics(self, trained):
+        model, _, _ = trained
+        hls = HLSNetworkModel.from_classifier(model)
+        assert hls.latency_cycles == 4  # 2 dense layers + overhead
+        assert hls.resources.luts > 0
+        assert hls.power_mw() > 0

@@ -1,0 +1,91 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.data import ReadoutCorpus, generate_corpus
+from repro.discriminators import MLRDiscriminator
+from repro.fpga import HLSNetworkModel
+from repro.ml import stratified_split
+from repro.ml.metrics import geometric_mean_fidelity, per_qubit_fidelity
+from repro.qec import EraserConfig, LeakageParams, RotatedSurfaceCode, run_eraser
+
+
+class TestReadoutPipeline:
+    """Physics -> DSP -> features -> NN -> metrics, end to end."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self, two_qubit_chip):
+        corpus = generate_corpus(two_qubit_chip, shots_per_state=50, seed=55)
+        train, test = stratified_split(corpus.labels, 0.3, seed=56)
+        disc = MLRDiscriminator(epochs=80, learning_rate=3e-3, seed=57)
+        disc.fit(corpus, train)
+        return corpus, train, test, disc
+
+    def test_full_pipeline_fidelity(self, pipeline):
+        corpus, _, test, disc = pipeline
+        pred = disc.predict(corpus, test)
+        fid = per_qubit_fidelity(corpus.labels[test], pred, 2, 3)
+        assert geometric_mean_fidelity(fid) > 0.85
+
+    def test_errors_concentrate_on_jump_traces(self, pipeline):
+        corpus, _, test, disc = pipeline
+        pred = disc.predict(corpus, test)
+        correct = pred == corpus.labels[test]
+        jumped = (
+            corpus.final_levels[test] != corpus.prepared_levels[test]
+        ).any(axis=1)
+        if jumped.sum() >= 10:
+            assert correct[~jumped].mean() > correct[jumped].mean()
+
+    def test_corpus_round_trip_preserves_predictions(self, pipeline, tmp_path):
+        corpus, _, test, disc = pipeline
+        path = tmp_path / "corpus.npz"
+        corpus.save(path)
+        loaded = ReadoutCorpus.load(path)
+        np.testing.assert_array_equal(
+            disc.predict(corpus, test[:30]), disc.predict(loaded, test[:30])
+        )
+
+    def test_quantized_deployment_matches_float(self, pipeline):
+        corpus, _, test, disc = pipeline
+        features = disc.scaler.transform(disc.extractor.transform(corpus, test))
+        for q, model in enumerate(disc.models):
+            hls = HLSNetworkModel.from_classifier(model)
+            agreement = np.mean(hls.predict(features) == model.predict(features))
+            assert agreement > 0.95
+
+    def test_shorter_window_degrades_gracefully(self, pipeline):
+        corpus, train, test, disc = pipeline
+        fid_by_len = []
+        for trace_len in (60, 200):
+            short = corpus.truncated(trace_len)
+            clone = disc.with_recalibrated_scaler(short, train)
+            pred = clone.predict(short, test)
+            fid = per_qubit_fidelity(corpus.labels[test], pred, 2, 3)
+            fid_by_len.append(fid.mean())
+        assert fid_by_len[1] > fid_by_len[0] - 0.02
+
+
+class TestReadoutToQEC:
+    """Discriminator quality feeding the QEC speculation layer."""
+
+    def test_measured_error_drives_speculation(self, two_qubit_chip):
+        corpus = generate_corpus(two_qubit_chip, shots_per_state=40, seed=60)
+        train, test = stratified_split(corpus.labels, 0.3, seed=61)
+        disc = MLRDiscriminator(epochs=60, learning_rate=3e-3, seed=62)
+        disc.fit(corpus, train)
+        pred = disc.predict(corpus, test)
+        fid = per_qubit_fidelity(corpus.labels[test], pred, 2, 3)
+        error = float(1.0 - fid.mean())
+
+        code = RotatedSurfaceCode(3)
+        report = run_eraser(
+            code,
+            cycles=8,
+            shots=60,
+            params=LeakageParams(readout_error=min(0.5, error)),
+            config=EraserConfig(multi_level=True),
+            seed=63,
+        )
+        assert 0.5 < report.accuracy <= 1.0

@@ -1,0 +1,236 @@
+"""Tests for LDA, QDA, k-means, spectral clustering, metrics, and splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.ml import (
+    KMeans,
+    LinearDiscriminantAnalysis,
+    QuadraticDiscriminantAnalysis,
+    SpectralClustering,
+    StandardScaler,
+    stratified_split,
+)
+from repro.ml.metrics import (
+    accuracy,
+    assignment_error_rate,
+    balanced_accuracy,
+    confusion_matrix,
+    geometric_mean_fidelity,
+    per_qubit_fidelity,
+)
+from repro.ml.spectral import knn_affinity, rbf_affinity
+
+
+def _blobs(rng, centers, n=120, std=0.25):
+    x = np.vstack([rng.normal(c, std, size=(n, len(c))) for c in centers])
+    y = np.repeat(np.arange(len(centers)), n)
+    return x, y
+
+
+class TestDiscriminantAnalysis:
+    def test_lda_separates_blobs(self, rng):
+        x, y = _blobs(rng, [(-2, 0), (2, 0), (0, 3)])
+        model = LinearDiscriminantAnalysis().fit(x, y)
+        assert model.score(x, y) > 0.97
+
+    def test_qda_handles_unequal_covariances(self, rng):
+        a = rng.normal(0, 0.2, size=(200, 2))
+        b = rng.normal(0, 2.0, size=(200, 2))
+        x = np.vstack([a, b])
+        y = np.repeat([0, 1], 200)
+        qda = QuadraticDiscriminantAnalysis().fit(x, y)
+        lda = LinearDiscriminantAnalysis().fit(x, y)
+        # Same mean, different covariance: only QDA can separate.
+        assert qda.score(x, y) > 0.8
+        assert qda.score(x, y) > lda.score(x, y)
+
+    @pytest.mark.parametrize(
+        "cls", [LinearDiscriminantAnalysis, QuadraticDiscriminantAnalysis]
+    )
+    def test_probabilities_are_normalized(self, cls, rng):
+        x, y = _blobs(rng, [(-2, 0), (2, 0)])
+        probs = cls().fit(x, y).predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+    @pytest.mark.parametrize(
+        "cls", [LinearDiscriminantAnalysis, QuadraticDiscriminantAnalysis]
+    )
+    def test_single_class_rejected(self, cls, rng):
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(DataError):
+            cls().fit(x, np.zeros(10, dtype=int))
+
+    @pytest.mark.parametrize(
+        "cls", [LinearDiscriminantAnalysis, QuadraticDiscriminantAnalysis]
+    )
+    def test_unfitted_predict_raises(self, cls):
+        with pytest.raises(NotFittedError):
+            cls().predict(np.zeros((2, 2)))
+
+    def test_lda_respects_nonconsecutive_labels(self, rng):
+        x, y = _blobs(rng, [(-2, 0), (2, 0)])
+        labels = np.where(y == 0, 3, 7)
+        model = LinearDiscriminantAnalysis().fit(x, labels)
+        assert set(np.unique(model.predict(x))) <= {3, 7}
+
+
+class TestKMeans:
+    def test_recovers_well_separated_clusters(self, rng):
+        x, y = _blobs(rng, [(-4, 0), (4, 0), (0, 6)], n=80)
+        labels = KMeans(3, seed=0).fit_predict(x)
+        # Cluster labels are arbitrary; check co-membership agreement.
+        for cls in range(3):
+            members = labels[y == cls]
+            assert np.mean(members == np.bincount(members).argmax()) > 0.95
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        x, _ = _blobs(rng, [(-4, 0), (4, 0), (0, 6)], n=60)
+        inertia = [
+            KMeans(k, seed=0).fit(x).inertia_ for k in (1, 2, 3)
+        ]
+        assert inertia[0] > inertia[1] > inertia[2]
+
+    def test_predict_assigns_nearest_centroid(self, rng):
+        x, _ = _blobs(rng, [(-4, 0), (4, 0)], n=50)
+        km = KMeans(2, seed=0).fit(x)
+        far_left = km.predict(np.array([[-10.0, 0.0]]))
+        left_centroid = np.argmin(km.cluster_centers_[:, 0])
+        assert far_left[0] == left_centroid
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(DataError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(0)
+
+
+class TestSpectral:
+    def test_rbf_affinity_symmetric_unit_diagonal(self, rng):
+        x = rng.normal(size=(20, 2))
+        aff = rbf_affinity(x)
+        np.testing.assert_allclose(aff, aff.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(aff), 1.0)
+
+    def test_knn_affinity_symmetric(self, rng):
+        x = rng.normal(size=(30, 2))
+        aff = knn_affinity(x, n_neighbors=5)
+        np.testing.assert_allclose(aff, aff.T)
+
+    def test_separates_concentric_structure(self, rng):
+        # Two rings: spectral (knn) separates them, unlike raw k-means.
+        theta = rng.uniform(0, 2 * np.pi, 150)
+        inner = np.column_stack([np.cos(theta), np.sin(theta)]) * 1.0
+        outer = np.column_stack([np.cos(theta), np.sin(theta)]) * 4.0
+        x = np.vstack([inner, outer]) + rng.normal(0, 0.05, (300, 2))
+        labels = SpectralClustering(
+            2, affinity="knn", n_neighbors=8, seed=0
+        ).fit_predict(x)
+        truth = np.repeat([0, 1], 150)
+        agreement = max(
+            np.mean(labels == truth), np.mean(labels == 1 - truth)
+        )
+        assert agreement > 0.95
+
+    def test_subsampling_path_labels_everything(self, rng):
+        x, _ = _blobs(rng, [(-4, 0), (4, 0), (0, 6)], n=200)
+        sc = SpectralClustering(3, max_points=100, seed=0)
+        labels = sc.fit_predict(x)
+        assert labels.shape == (600,)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_invalid_affinity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpectralClustering(3, affinity="cosine")
+
+
+class TestMetrics:
+    def test_accuracy_basic(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(
+            2 / 3
+        )
+
+    def test_confusion_matrix_counts(self):
+        cm = confusion_matrix(np.array([0, 0, 1]), np.array([0, 1, 1]), 2)
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 1]])
+
+    def test_balanced_accuracy_weighs_classes_equally(self):
+        y_true = np.array([0] * 98 + [1] * 2)
+        y_pred = np.zeros(100, dtype=int)
+        assert accuracy(y_true, y_pred) == pytest.approx(0.98)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_per_qubit_fidelity_marginalizes(self):
+        # Joint 2-qutrit labels: truth 0 = (0,0); predict (0,1) -> qubit 0
+        # right, qubit 1 wrong.
+        y_true = np.array([0])
+        y_pred = np.array([1])
+        fid = per_qubit_fidelity(y_true, y_pred, n_qubits=2, n_levels=3)
+        np.testing.assert_allclose(fid, [1.0, 0.0])
+
+    def test_geometric_mean_matches_paper_convention(self):
+        fids = np.array([0.967, 0.728, 0.928, 0.932, 0.962])
+        # Paper Table IV: F5Q = 0.8985 for these per-qubit values.
+        assert geometric_mean_fidelity(fids) == pytest.approx(0.8985, abs=2e-4)
+
+    def test_geometric_mean_zero_fidelity(self):
+        assert geometric_mean_fidelity(np.array([0.0, 0.9])) == 0.0
+
+    def test_assignment_error_excludes_qubits(self):
+        y_true = np.array([0, 0])
+        y_pred = np.array([9, 9])  # digits (0,1,0) in base 3 for 2... invalid
+        # Use a consistent 2-qubit example: state 3 = (1,0): qubit0 wrong.
+        y_pred = np.array([3, 3])
+        err_all = assignment_error_rate(y_true, y_pred, 2, 3)
+        err_excl = assignment_error_rate(y_true, y_pred, 2, 3, exclude_qubits=(0,))
+        assert err_all == pytest.approx(0.5)
+        assert err_excl == pytest.approx(0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=6))
+    def test_geometric_mean_bounds_property(self, fids):
+        arr = np.asarray(fids)
+        g = geometric_mean_fidelity(arr)
+        assert arr.min() - 1e-12 <= g <= arr.max() + 1e-12
+
+
+class TestSplitsAndScaling:
+    def test_stratified_split_keeps_all_classes(self, rng):
+        y = np.repeat(np.arange(10), 12)
+        train, test = stratified_split(y, 0.3, seed=0)
+        assert set(y[train]) == set(range(10))
+        assert set(y[test]) == set(range(10))
+        assert len(np.intersect1d(train, test)) == 0
+        assert train.size + test.size == y.size
+
+    def test_stratified_split_fraction_respected(self, rng):
+        y = np.repeat(np.arange(5), 100)
+        train, _ = stratified_split(y, 0.3, seed=0)
+        assert train.size == pytest.approx(150, abs=5)
+
+    def test_split_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            stratified_split(np.zeros(10, int), 1.5)
+
+    def test_standard_scaler_round_trip(self, rng):
+        x = rng.normal(3.0, 5.0, size=(50, 4))
+        scaler = StandardScaler()
+        z = scaler.fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-9)
+        np.testing.assert_allclose(scaler.inverse_transform(z), x, atol=1e-9)
+
+    def test_standard_scaler_constant_feature_safe(self):
+        x = np.ones((10, 2))
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+
+    def test_scaler_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))

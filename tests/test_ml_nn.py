@@ -1,0 +1,205 @@
+"""Tests for the from-scratch neural-network stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.ml.nn import Adam, MLPClassifier, SGD, Sequential, train_classifier
+from repro.ml.nn.activations import get_activation, softmax
+from repro.ml.nn.layers import Dense
+from repro.ml.nn.losses import mean_squared_error, one_hot, softmax_cross_entropy
+
+
+class TestActivations:
+    def test_relu_clamps_negatives(self):
+        act = get_activation("relu")
+        z = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(act.forward(z), [0.0, 0.0, 3.0])
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_activation("swishish")
+
+    @pytest.mark.parametrize("name", ["relu", "leaky_relu", "tanh", "sigmoid", "identity"])
+    def test_derivative_matches_finite_difference(self, name):
+        act = get_activation(name)
+        z = np.linspace(-2.0, 2.0, 41) + 0.013  # avoid the ReLU kink
+        a = act.forward(z)
+        eps = 1e-6
+        numeric = (act.forward(z + eps) - act.forward(z - eps)) / (2 * eps)
+        np.testing.assert_allclose(act.derivative(z, a), numeric, atol=1e-5)
+
+    def test_softmax_rows_sum_to_one(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0], [100.0, 100.0, 100.0]]))
+        np.testing.assert_allclose(probs.sum(axis=1), [1.0, 1.0])
+
+    def test_softmax_is_shift_invariant(self):
+        logits = np.array([[0.5, -1.0, 2.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+
+class TestLossesAndLayers:
+    def test_one_hot_round_trip(self):
+        labels = np.array([0, 2, 1])
+        encoded = one_hot(labels, 3)
+        np.testing.assert_array_equal(np.argmax(encoded, axis=1), labels)
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([3]), 3)
+
+    def test_cross_entropy_of_perfect_prediction_is_small(self):
+        logits = np.array([[20.0, 0.0, 0.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_cross_entropy_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 1, 2, 1])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(3):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                up, _ = softmax_cross_entropy(bumped, labels)
+                bumped[i, j] -= 2 * eps
+                down, _ = softmax_cross_entropy(bumped, labels)
+                numeric = (up - down) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-6)
+
+    def test_mse_zero_for_equal_inputs(self):
+        x = np.ones((2, 2))
+        loss, grad = mean_squared_error(x, x)
+        assert loss == 0.0
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_dense_backward_gradients_match_finite_difference(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, activation="tanh", rng=rng)
+        x = rng.normal(size=(5, 4))
+        upstream = rng.normal(size=(5, 3))
+
+        def scalar_loss():
+            return float(np.sum(layer.forward(x, training=True) * upstream))
+
+        scalar_loss()
+        layer.backward(upstream)
+        analytic = layer.grad_weights.copy()
+        eps = 1e-6
+        for i in range(4):
+            for j in range(3):
+                layer.weights[i, j] += eps
+                up = scalar_loss()
+                layer.weights[i, j] -= 2 * eps
+                down = scalar_loss()
+                layer.weights[i, j] += eps
+                assert analytic[i, j] == pytest.approx(
+                    (up - down) / (2 * eps), rel=1e-4, abs=1e-6
+                )
+
+    def test_dense_rejects_wrong_input_width(self):
+        layer = Dense(4, 2)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((3, 5)))
+
+    def test_sequential_rejects_width_mismatch(self):
+        with pytest.raises(ShapeError):
+            Sequential([Dense(3, 4), Dense(5, 2)])
+
+
+class TestOptimizers:
+    def test_sgd_moves_against_gradient(self):
+        opt = SGD(learning_rate=0.1)
+        p = np.array([1.0])
+        opt.step([p], [np.array([2.0])])
+        assert p[0] == pytest.approx(0.8)
+
+    def test_adam_converges_on_quadratic(self):
+        opt = Adam(learning_rate=0.1)
+        p = np.array([5.0])
+        for _ in range(300):
+            opt.step([p], [2.0 * p])
+        assert abs(p[0]) < 1e-2
+
+    def test_adam_weight_decay_shrinks_parameters(self):
+        opt = Adam(learning_rate=0.1, weight_decay=0.5)
+        p = np.array([1.0])
+        opt.step([p], [np.array([0.0])])
+        assert p[0] < 1.0
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Adam(learning_rate=-1)
+        with pytest.raises(ConfigurationError):
+            SGD(momentum=1.5)
+        with pytest.raises(ConfigurationError):
+            Adam(weight_decay=-0.1)
+
+
+class TestMLPClassifier:
+    def test_parameter_count_matches_formula(self):
+        model = MLPClassifier((45, 22, 11, 3))
+        expected = 45 * 22 + 22 + 22 * 11 + 11 + 11 * 3 + 3
+        assert model.n_parameters == expected
+
+    def test_paper_fnn_parameter_count(self):
+        model = MLPClassifier((1000, 500, 250, 243))
+        assert model.n_parameters == 686_743  # the paper's "686k" FNN
+
+    def test_predict_before_training_raises(self):
+        model = MLPClassifier((4, 3))
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((2, 4)))
+
+    def test_training_learns_blobs(self, rng):
+        n = 300
+        x = np.vstack(
+            [rng.normal(loc, 0.3, size=(n, 2)) for loc in ([-2, 0], [2, 0], [0, 2])]
+        )
+        y = np.repeat([0, 1, 2], n)
+        model = MLPClassifier((2, 16, 3), seed=0)
+        history = train_classifier(model, x, y, epochs=60, seed=0)
+        assert model.score(x, y) > 0.95
+        assert history.n_epochs >= 1
+
+    def test_early_stopping_triggers_on_noise(self, rng):
+        x = rng.normal(size=(200, 5))
+        y = rng.integers(0, 2, size=200)
+        model = MLPClassifier((5, 8, 2), seed=0)
+        history = train_classifier(
+            model, x, y, epochs=300, patience=5, seed=0
+        )
+        assert history.stopped_early
+        assert history.n_epochs < 300
+
+    def test_save_load_round_trip(self, tmp_path, rng):
+        model = MLPClassifier((4, 6, 3), seed=1)
+        x = rng.normal(size=(50, 4))
+        y = rng.integers(0, 3, size=50)
+        train_classifier(model, x, y, epochs=3, seed=1)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = MLPClassifier.load(path)
+        np.testing.assert_array_equal(model.predict(x), loaded.predict(x))
+
+    def test_shape_validation_on_fit(self, rng):
+        model = MLPClassifier((4, 3))
+        with pytest.raises(ShapeError):
+            train_classifier(model, rng.normal(size=(10, 5)), np.zeros(10, int))
+        with pytest.raises(ShapeError):
+            train_classifier(
+                model, rng.normal(size=(10, 4)), np.full(10, 7, dtype=int)
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        widths=st.lists(st.integers(min_value=1, max_value=12), min_size=2, max_size=4)
+    )
+    def test_decision_function_shape_property(self, widths):
+        model = MLPClassifier(widths, seed=0)
+        x = np.zeros((3, widths[0]))
+        assert model.decision_function(x).shape == (3, widths[-1])

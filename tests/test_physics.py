@@ -1,0 +1,260 @@
+"""Tests for the dispersive-readout physics simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.physics import (
+    ADCConfig,
+    ChipConfig,
+    ReadoutSimulator,
+    TransitionRates,
+    default_five_qubit_chip,
+    sample_level_matrix,
+)
+from repro.physics.dispersive import (
+    evolve_segment,
+    segment_decay,
+    steady_state_field,
+)
+from repro.physics.jumps import jump_statistics
+from repro.physics.multiplex import apply_crosstalk, combine_feedline, upconvert
+from repro.physics.noise import apply_gain_drift, complex_white_noise
+from repro.physics.trajectories import baseband_response, state_mean_response
+
+
+class TestDeviceConfig:
+    def test_default_chip_matches_paper_setup(self, five_qubit_chip):
+        assert five_qubit_chip.n_qubits == 5
+        assert five_qubit_chip.trace_len == 500
+        assert five_qubit_chip.adc.sample_rate_ghz == pytest.approx(0.5)
+        assert five_qubit_chip.duration_ns == pytest.approx(1000.0)
+        t1s = [q.t1_ns for q in five_qubit_chip.qubits]
+        assert min(t1s) == pytest.approx(7_000.0)
+        assert max(t1s) == pytest.approx(40_000.0)
+
+    def test_leak_prone_qubits_have_elevated_excitation(self, five_qubit_chip):
+        rates = [q.excite_12_rate for q in five_qubit_chip.qubits]
+        assert rates[2] > 2 * rates[0]
+        assert rates[3] > 2 * rates[0]
+
+    def test_chip_serialization_round_trip(self, five_qubit_chip):
+        rebuilt = ChipConfig.from_dict(five_qubit_chip.to_dict())
+        assert rebuilt.n_qubits == five_qubit_chip.n_qubits
+        np.testing.assert_allclose(rebuilt.crosstalk, five_qubit_chip.crosstalk)
+        assert rebuilt.qubits[1].t1_ns == five_qubit_chip.qubits[1].t1_ns
+
+    def test_if_outside_nyquist_rejected(self, five_qubit_chip):
+        import dataclasses
+
+        bad = dataclasses.replace(
+            five_qubit_chip.qubits[0], if_frequency_ghz=0.4
+        )
+        with pytest.raises(ConfigurationError, match="Nyquist"):
+            ChipConfig(qubits=(bad,))
+
+    def test_crosstalk_diagonal_must_be_zero(self, five_qubit_chip):
+        xt = np.eye(5, dtype=complex)
+        import dataclasses
+
+        with pytest.raises(ConfigurationError, match="diagonal"):
+            dataclasses.replace(five_qubit_chip, crosstalk=xt)
+
+
+class TestADC:
+    def test_quantization_error_bounded_by_half_lsb(self, rng):
+        adc = ADCConfig(n_bits=10, full_scale=4.0)
+        signal = rng.uniform(-3, 3, 100) + 1j * rng.uniform(-3, 3, 100)
+        out = adc.digitize(signal)
+        assert np.max(np.abs(out.real - signal.real)) <= adc.lsb / 2 + 1e-12
+        assert np.max(np.abs(out.imag - signal.imag)) <= adc.lsb / 2 + 1e-12
+
+    def test_clipping_at_full_scale(self):
+        adc = ADCConfig(n_bits=8, full_scale=1.0)
+        out = adc.digitize(np.array([100.0 + 0j, -100.0 + 0j]))
+        assert out[0].real <= 1.0
+        assert out[1].real >= -1.0 - adc.lsb
+
+    def test_rejects_real_signal(self):
+        with pytest.raises(ConfigurationError):
+            ADCConfig().digitize(np.array([1.0, 2.0]))
+
+
+class TestDispersive:
+    def test_steady_state_magnitude_decreases_with_detuning(self):
+        near = steady_state_field(1.0, 0.001, kappa=0.0126)
+        far = steady_state_field(1.0, 0.05, kappa=0.0126)
+        assert abs(near) > abs(far)
+
+    def test_segment_decay_magnitude(self):
+        decay = segment_decay(0.0, kappa=0.0126, dt=2.0)
+        assert abs(decay) == pytest.approx(np.exp(-0.0126))
+
+    def test_evolution_converges_to_steady_state(self):
+        alpha_ss = steady_state_field(1.0, 0.006, 0.0126)
+        times = np.array([0.0, 5000.0])
+        traj = evolve_segment(
+            np.array([0.0 + 0j]), np.array([alpha_ss]), 0.006, 0.0126, times
+        )
+        assert traj[0, 0] == pytest.approx(0.0)
+        assert traj[0, -1] == pytest.approx(alpha_ss, rel=1e-6)
+
+
+class TestJumps:
+    def test_rates_from_qubit(self, five_qubit_chip):
+        qubit = five_qubit_chip.qubits[0]
+        rates = TransitionRates.from_qubit(qubit)
+        assert rates.matrix[1, 0] == pytest.approx(1.0 / qubit.t1_ns)
+        assert rates.matrix[2, 1] == pytest.approx(1.0 / qubit.t1_2_ns)
+
+    def test_relaxation_fraction_matches_exponential(self, rng):
+        t1 = 5_000.0
+        rates = TransitionRates(np.array([[0, 0, 0], [1 / t1, 0, 0], [0, 0, 0]], float).T * 0
+                                + np.array([[0, 0, 0], [1 / t1, 0, 0], [0, 0, 0]]))
+        levels = sample_level_matrix(
+            np.ones(4000, dtype=int), rates, trace_len=500, dt=2.0, rng=rng
+        )
+        stats = jump_statistics(levels, np.ones(4000, dtype=int))
+        expected = 1.0 - np.exp(-1000.0 / t1)
+        measured = np.mean(stats["final_levels"] == 0)
+        assert measured == pytest.approx(expected, abs=0.03)
+
+    def test_no_rates_means_no_jumps(self, rng):
+        rates = TransitionRates(np.zeros((3, 3)))
+        levels = sample_level_matrix(
+            np.array([0, 1, 2]), rates, trace_len=50, dt=2.0, rng=rng
+        )
+        assert np.all(levels == np.array([[0], [1], [2]]))
+
+    def test_levels_piecewise_constant_from_initial(self, rng, five_qubit_chip):
+        rates = TransitionRates.from_qubit(five_qubit_chip.qubits[3])
+        init = rng.integers(0, 3, size=200)
+        levels = sample_level_matrix(init, rates, 500, 2.0, rng)
+        assert np.all(levels[:, 0] == init)
+        assert levels.dtype == np.int8
+
+    def test_invalid_initial_levels_rejected(self, rng):
+        rates = TransitionRates(np.zeros((3, 3)))
+        with pytest.raises(ConfigurationError):
+            sample_level_matrix(np.array([5]), rates, 10, 2.0, rng)
+
+
+class TestTrajectories:
+    def test_trace_starts_at_zero_field(self, five_qubit_chip):
+        trace = state_mean_response(five_qubit_chip.qubits[0], 0, 100, 2.0)
+        assert abs(trace[0]) == pytest.approx(0.0)
+
+    def test_states_reach_distinct_steady_values(self, five_qubit_chip):
+        qubit = five_qubit_chip.qubits[0]
+        finals = [
+            state_mean_response(qubit, s, 500, 2.0)[-1] for s in range(3)
+        ]
+        assert abs(finals[0] - finals[1]) > 0.1
+        assert abs(finals[1] - finals[2]) > 0.1
+
+    def test_mid_trace_jump_bends_trajectory(self, five_qubit_chip):
+        qubit = five_qubit_chip.qubits[0]
+        levels = np.ones((1, 400), dtype=np.int8)
+        levels[0, 200:] = 0  # relaxation at mid-trace
+        jumped = baseband_response(qubit, levels, 2.0)[0]
+        steady_one = state_mean_response(qubit, 1, 400, 2.0)
+        steady_zero = state_mean_response(qubit, 0, 400, 2.0)
+        np.testing.assert_allclose(jumped[:200], steady_one[:200])
+        # 400 ns after the jump the field has settled to within
+        # exp(-kappa/2 * 400ns) ~ 8% of the |0> steady state.
+        assert abs(jumped[-1] - steady_zero[-1]) < 0.15
+        assert abs(jumped[-1] - steady_one[-1]) > 1.0
+
+    def test_shape_validation(self, five_qubit_chip):
+        with pytest.raises(ShapeError):
+            baseband_response(
+                five_qubit_chip.qubits[0], np.zeros(10, dtype=np.int8), 2.0
+            )
+
+
+class TestNoiseAndMultiplex:
+    def test_white_noise_statistics(self, rng):
+        noise = complex_white_noise((20000,), std=3.0, rng=rng)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(9.0, rel=0.05)
+        assert abs(np.mean(noise)) < 0.1
+
+    def test_zero_noise_is_exact_zero(self, rng):
+        noise = complex_white_noise((10,), std=0.0, rng=rng)
+        np.testing.assert_array_equal(noise, 0.0)
+
+    def test_gain_drift_identity_when_disabled(self, rng):
+        signal = rng.normal(size=(5, 10)) + 0j
+        np.testing.assert_array_equal(
+            apply_gain_drift(signal, 0.0, rng), signal
+        )
+
+    def test_crosstalk_mixing_matches_matrix(self, rng):
+        base = rng.normal(size=(2, 3, 8)) + 1j * rng.normal(size=(2, 3, 8))
+        xt = np.array([[0.0, 0.1], [0.2j, 0.0]])
+        mixed = apply_crosstalk(base, xt)
+        np.testing.assert_allclose(mixed[0], base[0] + 0.1 * base[1])
+        np.testing.assert_allclose(mixed[1], base[1] + 0.2j * base[0])
+
+    def test_upconvert_then_demodulate_is_identity(self, rng):
+        from repro.dsp.demod import demodulate
+
+        times = np.arange(64) * 2.0
+        base = rng.normal(size=(3, 64)) + 1j * rng.normal(size=(3, 64))
+        shifted = upconvert(base, 0.11, times)
+        recovered = demodulate(shifted, 0.11, times)
+        np.testing.assert_allclose(recovered, base, atol=1e-12)
+
+    def test_feedline_is_sum_of_tones(self, two_qubit_chip, rng):
+        base = np.zeros((2, 1, 50), dtype=complex)
+        base[0] = 1.0
+        times = two_qubit_chip.sample_times(50)
+        feed = combine_feedline(two_qubit_chip, base, times)
+        assert feed.shape == (1, 50)
+
+
+class TestSimulator:
+    def test_result_shapes(self, two_qubit_chip, rng):
+        sim = ReadoutSimulator(two_qubit_chip, seed=rng)
+        prepared = np.array([[0, 1], [2, 0], [1, 1]])
+        result = sim.simulate(prepared)
+        assert result.feedline.shape == (3, two_qubit_chip.trace_len)
+        assert result.feedline.dtype == np.complex64
+        np.testing.assert_array_equal(result.prepared_levels, prepared)
+
+    def test_preparation_errors_can_be_disabled(self, two_qubit_chip, rng):
+        sim = ReadoutSimulator(two_qubit_chip, seed=1)
+        prepared = np.tile([[0, 1]], (500, 1))
+        result = sim.simulate(prepared, include_preparation_errors=False)
+        np.testing.assert_array_equal(result.initial_levels, prepared)
+
+    def test_preparation_leakage_rate(self, two_qubit_chip):
+        sim = ReadoutSimulator(two_qubit_chip, seed=2)
+        prepared = np.tile([[1, 1]], (4000, 1))
+        result = sim.simulate(prepared)
+        leak_rate = np.mean(result.initial_levels[:, 0] == 2)
+        assert leak_rate == pytest.approx(
+            two_qubit_chip.qubits[0].prep_leak_prob, abs=0.01
+        )
+
+    def test_determinism_with_same_seed(self, two_qubit_chip):
+        prepared = np.array([[0, 1], [1, 2]])
+        a = ReadoutSimulator(two_qubit_chip, seed=9).simulate(prepared)
+        b = ReadoutSimulator(two_qubit_chip, seed=9).simulate(prepared)
+        np.testing.assert_array_equal(a.feedline, b.feedline)
+
+    def test_rejects_bad_levels(self, two_qubit_chip):
+        sim = ReadoutSimulator(two_qubit_chip, seed=0)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(np.array([[0, 3]]))
+
+    @settings(max_examples=10, deadline=None)
+    @given(trace_len=st.integers(min_value=10, max_value=80))
+    def test_trace_len_override_property(self, trace_len):
+        from tests.conftest import make_two_qubit_chip
+
+        chip = make_two_qubit_chip(trace_len=100)
+        sim = ReadoutSimulator(chip, seed=0)
+        result = sim.simulate(np.array([[0, 0]]), trace_len=trace_len)
+        assert result.feedline.shape == (1, trace_len)

@@ -1,0 +1,198 @@
+"""Tests for the qutrit density-matrix simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.qudit import (
+    DensityMatrix,
+    QuditCircuit,
+    amplitude_damping_kraus,
+    basis_ket,
+    cnot_embedded,
+    cz_embedded,
+    dephasing_kraus,
+    depolarizing_kraus,
+    hadamard_embedded,
+    joint_ket,
+    leaky_cnot_kraus,
+    x01,
+    x12,
+)
+from repro.qudit.channels import apply_kraus, check_completeness
+from repro.qudit.gates import swap_full, z_embedded
+
+
+def _is_unitary(u):
+    return np.allclose(u @ u.conj().T, np.eye(u.shape[0]), atol=1e-12)
+
+
+class TestStatesAndGates:
+    def test_basis_kets_orthonormal(self):
+        kets = [basis_ket(i) for i in range(3)]
+        gram = np.array([[abs(np.vdot(a, b)) for b in kets] for a in kets])
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-12)
+
+    def test_joint_ket_ordering(self):
+        ket = joint_ket([2, 0])
+        assert ket[6] == 1.0  # |2,0> -> index 2*3+0
+
+    @pytest.mark.parametrize(
+        "gate",
+        [x01(), x12(), hadamard_embedded(), z_embedded(), cnot_embedded(),
+         cz_embedded(), swap_full()],
+    )
+    def test_gates_are_unitary(self, gate):
+        assert _is_unitary(gate)
+
+    def test_cnot_flips_only_when_control_is_one(self):
+        cnot = cnot_embedded()
+        for control, target, expected in [(0, 1, (0, 1)), (1, 0, (1, 1)),
+                                          (1, 1, (1, 0)), (2, 0, (2, 0))]:
+            ket_in = joint_ket([control, target])
+            ket_out = cnot @ ket_in
+            np.testing.assert_allclose(ket_out, joint_ket(list(expected)))
+
+    def test_x12_prepares_leaked_state(self):
+        np.testing.assert_allclose(x12() @ basis_ket(1), basis_ket(2))
+
+
+class TestChannels:
+    @pytest.mark.parametrize(
+        "kraus",
+        [
+            amplitude_damping_kraus(0.05, 0.1, 0.01),
+            dephasing_kraus(0.2),
+            depolarizing_kraus(0.3),
+            leaky_cnot_kraus(),
+            leaky_cnot_kraus(0.0, 0.0, 0.0),
+        ],
+    )
+    def test_completeness(self, kraus):
+        assert check_completeness(kraus)
+
+    def test_amplitude_damping_moves_population_down(self):
+        rho = np.outer(basis_ket(2), basis_ket(2).conj())
+        out = apply_kraus(rho, amplitude_damping_kraus(0.0, 0.5, 0.0))
+        assert out[1, 1].real == pytest.approx(0.5)
+        assert out[2, 2].real == pytest.approx(0.5)
+
+    def test_leaky_cnot_transfer_rate(self):
+        kraus = leaky_cnot_kraus(p_flip=0.05, p_transfer=0.0175, p_leak=0.0)
+        rho = np.outer(joint_ket([2, 0]), joint_ket([2, 0]).conj())
+        out = apply_kraus(rho, kraus)
+        # Target leaked with exactly the transfer probability.
+        target_leaked = sum(
+            out[3 * c + 2, 3 * c + 2].real for c in range(3)
+        )
+        assert target_leaked == pytest.approx(0.0175, abs=1e-10)
+
+    def test_leaky_cnot_is_ideal_without_leaked_control(self):
+        kraus = leaky_cnot_kraus(p_flip=0.5, p_transfer=0.3, p_leak=0.0)
+        rho = np.outer(joint_ket([1, 0]), joint_ket([1, 0]).conj())
+        out = apply_kraus(rho, kraus)
+        expected = np.outer(joint_ket([1, 1]), joint_ket([1, 1]).conj())
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            leaky_cnot_kraus(p_flip=0.8, p_transfer=0.4)
+        with pytest.raises(ConfigurationError):
+            amplitude_damping_kraus(-0.1, 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p_flip=st.floats(min_value=0.0, max_value=0.5),
+        p_transfer=st.floats(min_value=0.0, max_value=0.5),
+        p_leak=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_leaky_cnot_completeness_property(self, p_flip, p_transfer, p_leak):
+        assert check_completeness(leaky_cnot_kraus(p_flip, p_transfer, p_leak))
+
+
+class TestDensityMatrix:
+    def test_initial_state_is_ground(self):
+        state = DensityMatrix(2)
+        assert state.probabilities()[0] == pytest.approx(1.0)
+        assert state.trace == pytest.approx(1.0)
+        assert state.purity == pytest.approx(1.0)
+
+    def test_unitary_on_selected_qudit(self):
+        state = DensityMatrix(2)
+        state.apply_unitary(x01(), (1,))
+        probs = state.probabilities()
+        assert probs[1] == pytest.approx(1.0)  # |01>
+
+    def test_unitary_on_first_qudit(self):
+        state = DensityMatrix(2)
+        state.apply_unitary(x01(), (0,))
+        assert state.probabilities()[3] == pytest.approx(1.0)  # |10>
+
+    def test_two_qudit_gate_with_reversed_targets(self):
+        # CNOT with control=qudit1, target=qudit0.
+        state = DensityMatrix.from_levels([0, 1])
+        state.apply_unitary(cnot_embedded(), (1, 0))
+        assert state.probabilities()[4] == pytest.approx(1.0)  # |11>
+
+    def test_channel_preserves_trace(self):
+        state = DensityMatrix.from_levels([2, 1])
+        state.apply_kraus(amplitude_damping_kraus(0.1, 0.2, 0.01), (0,))
+        assert state.trace == pytest.approx(1.0)
+
+    def test_level_populations_marginalize(self):
+        state = DensityMatrix.from_levels([2, 0])
+        np.testing.assert_allclose(state.level_populations(0), [0, 0, 1])
+        np.testing.assert_allclose(state.level_populations(1), [1, 0, 0])
+        assert state.leakage_population(0) == pytest.approx(1.0)
+
+    def test_sampling_matches_distribution(self, rng):
+        state = DensityMatrix(1)
+        state.apply_unitary(hadamard_embedded(), (0,))
+        samples = state.sample_measurements(4000, rng)
+        assert np.mean(samples[:, 0] == 0) == pytest.approx(0.5, abs=0.05)
+
+    def test_too_large_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DensityMatrix(9, d=3)
+
+
+class TestCircuit:
+    def test_bell_state_on_computational_subspace(self):
+        circuit = QuditCircuit(2).h(0).cnot(0, 1)
+        rho = circuit.run()
+        probs = rho.probabilities()
+        assert probs[0] == pytest.approx(0.5)  # |00>
+        assert probs[4] == pytest.approx(0.5)  # |11>
+
+    def test_x12_prepares_leakage(self):
+        rho = QuditCircuit(1).x01(0).x12(0).run()
+        assert rho.leakage_population(0) == pytest.approx(1.0)
+
+    def test_repeated_leaky_cnot_monotone_growth(self):
+        populations = []
+        circuit = QuditCircuit(2)
+        for _ in range(6):
+            circuit.leaky_cnot(0, 1)
+            populations.append(circuit.run((2, 0)).leakage_population(1))
+        assert all(b > a for a, b in zip(populations, populations[1:]))
+
+    def test_paper_growth_ratio_near_three(self):
+        leaked = QuditCircuit(2)
+        normal = QuditCircuit(2)
+        for _ in range(12):
+            leaked.leaky_cnot(0, 1)
+            normal.leaky_cnot(0, 1)
+        ratio = leaked.run((2, 0)).leakage_population(1) / normal.run(
+            (1, 0)
+        ).leakage_population(1)
+        assert ratio == pytest.approx(3.0, abs=0.6)
+
+    def test_depth_counts_operations(self):
+        circuit = QuditCircuit(2).h(0).cnot(0, 1).leaky_cnot(0, 1)
+        assert circuit.depth == 3
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuditCircuit(2).x01(5)

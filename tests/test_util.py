@@ -1,0 +1,52 @@
+"""Tests for shared helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util import as_1d_int, as_2d_float, check_random_state, child_rng
+from repro.exceptions import ShapeError
+
+
+def test_check_random_state_accepts_int_and_generator():
+    gen = check_random_state(3)
+    assert isinstance(gen, np.random.Generator)
+    assert check_random_state(gen) is gen
+
+
+def test_check_random_state_deterministic():
+    a = check_random_state(5).random(4)
+    b = check_random_state(5).random(4)
+    np.testing.assert_allclose(a, b)
+
+
+def test_child_rng_streams_differ_by_tag():
+    base = check_random_state(1)
+    a = child_rng(base, 0).random(4)
+    base = check_random_state(1)
+    b = child_rng(base, 1).random(4)
+    assert not np.allclose(a, b)
+
+
+def test_as_2d_float_promotes_1d():
+    out = as_2d_float([1.0, 2.0])
+    assert out.shape == (2, 1)
+
+
+def test_as_2d_float_rejects_3d():
+    with pytest.raises(ShapeError):
+        as_2d_float(np.zeros((2, 2, 2)))
+
+
+def test_as_1d_int_accepts_integral_floats():
+    out = as_1d_int(np.array([1.0, 2.0]))
+    assert out.dtype == np.int64
+
+
+def test_as_1d_int_rejects_fractional():
+    with pytest.raises(ShapeError):
+        as_1d_int(np.array([1.5]))
+
+
+def test_as_1d_int_rejects_empty():
+    with pytest.raises(ShapeError):
+        as_1d_int(np.array([], dtype=np.int64))
