@@ -1,0 +1,107 @@
+"""Streaming-pipeline bench: shots/sec and per-stage p50/p99 latency.
+
+Calibrates once into a temporary registry, then streams simulated traffic
+through the batched demod -> matched-filter -> discriminator -> ERASER
+runtime, cold and warm. Shape asserted: the warm run serves calibration
+from the registry without refitting, every stage reports latency, and the
+measured per-shot compute latency is scored against the FPGA decision
+budget.
+
+Runs standalone too (that is how the perf trajectory is recorded)::
+
+    PYTHONPATH=src:. python benchmarks/bench_pipeline_throughput.py \
+        --shots 2000 --workers 4 --json BENCH_pipeline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+
+from benchmarks.conftest import record_bench_result, run_once
+from repro.config import get_profile
+from repro.pipeline import run_streaming_pipeline
+
+
+def _stream_cold_and_warm(profile, n_shots=2000, workers=2, batch_size=64):
+    """Cold (fit + stream) then warm (load + stream) runs, one registry."""
+    with tempfile.TemporaryDirectory() as registry_dir:
+        cold = run_streaming_pipeline(
+            profile,
+            n_shots=n_shots,
+            workers=workers,
+            batch_size=batch_size,
+            registry_dir=registry_dir,
+        )
+        warm = run_streaming_pipeline(
+            profile,
+            n_shots=n_shots,
+            workers=workers,
+            batch_size=batch_size,
+            registry_dir=registry_dir,
+        )
+    return cold, warm
+
+
+def test_pipeline_throughput(benchmark, profile):
+    cold, warm = run_once(benchmark, _stream_cold_and_warm, profile)
+    print("\n" + warm.format_table())
+
+    assert cold.calibration_cached is False
+    assert warm.calibration_cached is True
+    assert warm.n_shots == 2000
+    assert warm.shots_per_second > 0
+    for stage in ("demod", "matched_filter", "discriminate", "sink"):
+        summary = warm.stage_summaries[stage]
+        assert summary["p99_ms"] >= summary["p50_ms"] >= 0.0
+    # A software runtime cannot beat the 5-cycle FPGA datapath.
+    assert warm.budget is not None and warm.budget.slowdown > 1.0
+    # Warm and cold runs stream the same traffic through the same model.
+    assert warm.accuracy == cold.accuracy
+
+    record_bench_result(
+        "pipeline_throughput",
+        {"cold": cold.to_dict(), "warm": warm.to_dict()},
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shots", type=int, default=2000)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--profile", default="quick")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write cold/warm reports as JSON (e.g. BENCH_pipeline.json)",
+    )
+    args = parser.parse_args(argv)
+
+    profile = get_profile(args.profile)
+    cold, warm = _stream_cold_and_warm(
+        profile,
+        n_shots=args.shots,
+        workers=args.workers,
+        batch_size=args.batch_size,
+    )
+    print(cold.format_table())
+    print()
+    print(warm.format_table())
+    if args.json is not None:
+        payload = {
+            "pipeline_throughput": {
+                "cold": cold.to_dict(),
+                "warm": warm.to_dict(),
+            }
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\nreport written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

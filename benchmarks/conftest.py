@@ -4,13 +4,63 @@ Each bench regenerates one of the paper's tables/figures at the ``quick``
 profile, printing paper-vs-measured values. Corpora and trained models are
 cached in-process (see repro.experiments.common), so a full bench session
 trains each design once.
+
+Benches can additionally publish machine-readable numbers: running with
+``--json PATH`` (e.g. ``pytest benchmarks/bench_pipeline_throughput.py
+--json BENCH_pipeline.json`` — bench files match ``bench_*.py``, not
+pytest's default pattern, so name them explicitly) writes every payload
+registered through :func:`record_bench_result` to ``PATH``, which is how
+throughput numbers land in the perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
+import sys
+
 import pytest
 
 from repro.config import QUICK
+
+#: Payloads registered by benches this session, keyed by bench name.
+_RESULTS: dict[str, object] = {}
+
+
+def _results_store() -> dict[str, object]:
+    """The one canonical results dict for this process.
+
+    pytest imports this conftest under its own module name while benches
+    import it as ``benchmarks.conftest`` — two module instances, two
+    ``_RESULTS``. Both record and dump resolve through the importable
+    package module when it exists, so every payload lands in one place.
+    """
+    twin = sys.modules.get("benchmarks.conftest")
+    if twin is not None:
+        return twin._RESULTS
+    return _RESULTS
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write registered bench results as JSON to PATH",
+    )
+
+
+def record_bench_result(name: str, payload: object) -> None:
+    """Register a JSON-able payload for the session's ``--json`` dump."""
+    _results_store()[name] = payload
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--json")
+    results = _results_store()
+    if path and results:
+        with open(path, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
 
 
 @pytest.fixture(scope="session")

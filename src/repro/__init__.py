@@ -25,6 +25,12 @@ Layout
 ``repro.qec``
     Surface-code leakage dynamics, ERASER/ERASER+M speculation, and the
     QEC cycle-time model.
+``repro.pipeline``
+    Streaming readout runtime: trace sources, micro-batched and
+    channel-sharded demod/matched-filter/NN stages, a calibration
+    registry serving fitted artifacts by (device, qubit, profile),
+    backpressure-aware sinks into QEC speculation, and per-stage
+    latency/throughput instrumentation against the FPGA cycle budget.
 ``repro.experiments``
     One runner per paper table/figure, with quick/full/paper profiles.
 """

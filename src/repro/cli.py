@@ -6,18 +6,20 @@ Examples::
     repro table4 --profile quick
     repro fig5b --profile full --seed 7
     repro all --profile quick
+    repro pipeline --shots 2000 --workers 4 --profile quick
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.config import get_profile
 from repro.experiments import EXPERIMENTS
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_pipeline_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,7 +33,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (table1/table2/.../headline), 'all', or 'list'",
+        help=(
+            "experiment id (table1/table2/.../headline), 'all', 'list', "
+            "or 'pipeline' (streaming readout runtime; see "
+            "'repro pipeline --help')"
+        ),
     )
     parser.add_argument(
         "--profile",
@@ -44,6 +50,89 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_pipeline_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro pipeline`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro pipeline",
+        description=(
+            "Stream simulated readout traffic through the batched "
+            "demod -> matched-filter -> discriminator -> ERASER runtime, "
+            "reporting shots/sec and per-stage p50/p99 latency"
+        ),
+    )
+    parser.add_argument(
+        "--shots", type=int, default=2000, help="shots to stream (default: 2000)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="channel-shard workers for demod/matched-filter (default: 1)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=64, help="shots per micro-batch"
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=256, help="shots per source chunk"
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        help="calibration sizing profile: quick, full, or paper",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the profile's base seed"
+    )
+    parser.add_argument(
+        "--registry",
+        default=".repro-cache/calibration",
+        help=(
+            "calibration-registry directory; fitted artifacts are stored "
+            "here so warm runs skip retraining (default: "
+            ".repro-cache/calibration)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the calibration registry (always fit from scratch)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the run report as JSON to PATH",
+    )
+    return parser
+
+
+def _run_pipeline(argv: list[str]) -> int:
+    from repro.pipeline import run_streaming_pipeline
+
+    args = build_pipeline_parser().parse_args(argv)
+    profile = get_profile(args.profile)
+    if args.seed is not None:
+        profile = profile.with_seed(args.seed)
+
+    start = time.perf_counter()
+    report = run_streaming_pipeline(
+        profile,
+        n_shots=args.shots,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        chunk_size=args.chunk_size,
+        registry_dir=None if args.no_cache else args.registry,
+    )
+    elapsed = time.perf_counter() - start
+    print(report.format_table())
+    print(f"[pipeline completed in {elapsed:.1f} s]\n")
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report written to {args.json}")
+    return 0
+
+
 def _run_one(name: str, profile) -> None:
     start = time.perf_counter()
     result = EXPERIMENTS[name](profile)
@@ -54,12 +143,28 @@ def _run_one(name: str, profile) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "pipeline":
+        # Fast path keeps 'repro pipeline --help' on the pipeline parser.
+        return _run_pipeline(argv[1:])
+    # Peek at the experiment positional: 'pipeline' routes to its own
+    # parser with the shared flags (--profile, --seed) forwarded, so
+    # 'repro --profile full pipeline' also works while flag *values*
+    # equal to 'pipeline' stay untouched.
+    peek, extra = build_parser().parse_known_args(argv)
+    if peek.experiment == "pipeline":
+        forwarded = list(extra) + ["--profile", peek.profile]
+        if peek.seed is not None:
+            forwarded += ["--seed", str(peek.seed)]
+        return _run_pipeline(forwarded)
+
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
         print("available experiments:")
         for name in EXPERIMENTS:
             print(f"  {name}")
+        print("  pipeline  (streaming runtime; see 'repro pipeline --help')")
         return 0
 
     profile = get_profile(args.profile)

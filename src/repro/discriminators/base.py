@@ -2,15 +2,20 @@
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
+from pathlib import Path
 
 import numpy as np
 
 from repro.data.basis import state_to_digits
 from repro.data.dataset import ReadoutCorpus
-from repro.exceptions import NotFittedError
+from repro.exceptions import DataError, NotFittedError
 
 __all__ = ["Discriminator"]
+
+#: Concrete Discriminator subclasses by class name, for artifact loading.
+_ARTIFACT_CLASSES: dict[str, type] = {}
 
 
 class Discriminator(ABC):
@@ -25,6 +30,10 @@ class Discriminator(ABC):
 
     def __init__(self) -> None:
         self._fitted = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        _ARTIFACT_CLASSES[cls.__name__] = cls
 
     @property
     @abstractmethod
@@ -61,6 +70,130 @@ class Discriminator(ABC):
     def _resolve_indices(
         corpus: ReadoutCorpus, indices: np.ndarray | None
     ) -> np.ndarray:
+        """Validate trace indices against the corpus before fancy indexing.
+
+        Rejecting malformed selections here gives callers a clear error at
+        the API boundary instead of a numpy ``IndexError`` (or a silently
+        wrapped negative index) deep inside a feature-extraction stage.
+        """
         if indices is None:
             return np.arange(corpus.n_traces)
-        return np.asarray(indices)
+        idx = np.asarray(indices)
+        if idx.ndim != 1:
+            raise DataError(f"indices must be 1-D, got shape {idx.shape}")
+        if idx.size == 0:
+            raise DataError("indices must select at least one trace")
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise DataError(f"indices must be integers, got dtype {idx.dtype}")
+        low = int(idx.min())
+        high = int(idx.max())
+        if low < 0:
+            raise DataError(f"indices must be non-negative, got minimum {low}")
+        if high >= corpus.n_traces:
+            raise DataError(
+                f"index {high} out of range for corpus with "
+                f"{corpus.n_traces} traces"
+            )
+        return idx
+
+    # ------------------------------------------------------------------
+    # Calibration-artifact serialization
+    #
+    # Fitted discriminators can export everything inference needs —
+    # matched-filter kernels, feature scalers, NN weights — to a single
+    # ``.npz`` file, and be reconstructed from it without retraining.
+    # Subclasses opt in by implementing the three protocol hooks below;
+    # the base class owns the on-disk format so every artifact carries its
+    # class name and can be loaded through ``Discriminator.load_artifacts``.
+    # ------------------------------------------------------------------
+
+    def _artifact_meta(self) -> dict:
+        """JSON-serializable config needed to rebuild this discriminator."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support artifact export"
+        )
+
+    def _artifact_arrays(self) -> dict[str, np.ndarray]:
+        """Named numpy arrays holding the fitted state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support artifact export"
+        )
+
+    @classmethod
+    def _from_artifacts(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "Discriminator":
+        """Rebuild a fitted instance from :meth:`_artifact_meta` /
+        :meth:`_artifact_arrays` output."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not support artifact import"
+        )
+
+    # Shared pack/unpack helpers so every discriminator serializes its
+    # scaler and MLP(s) through one code path.
+
+    @staticmethod
+    def _pack_mlp(arrays: dict, model, prefix: str) -> None:
+        """Add one MLPClassifier's parameters to an artifact dict."""
+        for i, param in enumerate(model.network.parameters()):
+            arrays[f"{prefix}_param{i}"] = param
+
+    @staticmethod
+    def _unpack_mlp(layer_sizes, arrays: dict, prefix: str):
+        """Rebuild a fitted MLPClassifier from packed parameters."""
+        from repro.ml.nn import MLPClassifier
+
+        model = MLPClassifier([int(s) for s in layer_sizes])
+        model.network.set_weights(
+            [
+                arrays[f"{prefix}_param{i}"]
+                for i in range(len(model.network.parameters()))
+            ]
+        )
+        model.mark_fitted()
+        return model
+
+    @staticmethod
+    def _pack_scaler(arrays: dict, scaler) -> None:
+        arrays["scaler_mean"] = scaler.mean_
+        arrays["scaler_scale"] = scaler.scale_
+
+    @staticmethod
+    def _unpack_scaler(arrays: dict):
+        from repro.ml.dataset import StandardScaler
+
+        scaler = StandardScaler()
+        scaler.mean_ = np.asarray(arrays["scaler_mean"])
+        scaler.scale_ = np.asarray(arrays["scaler_scale"])
+        return scaler
+
+    def save_artifacts(self, path: str | Path) -> None:
+        """Write the fitted state to ``path`` (``.npz`` with JSON header)."""
+        self._require_fitted()
+        meta = {"class": type(self).__name__, **self._artifact_meta()}
+        arrays = self._artifact_arrays()
+        np.savez_compressed(
+            path, artifact_meta=np.array(json.dumps(meta)), **arrays
+        )
+
+    @classmethod
+    def load_artifacts(cls, path: str | Path) -> "Discriminator":
+        """Load a discriminator saved by :meth:`save_artifacts`.
+
+        Callable on the base class (the stored class name selects the
+        implementation) or on a concrete subclass (which then must match).
+        """
+        with np.load(path, allow_pickle=False) as data:
+            if "artifact_meta" not in data:
+                raise DataError(f"{path} is not a discriminator artifact file")
+            meta = json.loads(str(data["artifact_meta"]))
+            arrays = {k: data[k] for k in data.files if k != "artifact_meta"}
+        class_name = meta.pop("class", None)
+        target = _ARTIFACT_CLASSES.get(class_name)
+        if target is None:
+            raise DataError(f"unknown discriminator class {class_name!r}")
+        if cls is not Discriminator and not issubclass(target, cls):
+            raise DataError(
+                f"artifact holds a {class_name}, not a {cls.__name__}"
+            )
+        return target._from_artifacts(meta, arrays)

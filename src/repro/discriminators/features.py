@@ -102,12 +102,46 @@ class MatchedFilterFeatureExtractor:
             for name in bank.names
         )
 
-    def _demodulated(self, corpus: ReadoutCorpus, qubit: int) -> np.ndarray:
-        times = corpus.chip.sample_times(corpus.trace_len)
-        base = demodulate(
-            corpus.feedline, corpus.chip.qubits[qubit].if_frequency_ghz, times
+    def channel_baseband(
+        self,
+        feedline: np.ndarray,
+        if_frequency_ghz: float,
+        times_ns: np.ndarray,
+    ) -> np.ndarray:
+        """Demodulate and decimate one qubit channel of raw feedline traces.
+
+        The shared front half of both offline :meth:`transform` and the
+        streaming engine's channel shards.
+        """
+        return boxcar_decimate(
+            demodulate(feedline, if_frequency_ghz, times_ns), self.decimation
         )
-        return boxcar_decimate(base, self.decimation)
+
+    def score_baseband(self, qubit: int, traces: np.ndarray) -> np.ndarray:
+        """Matched-filter scores for one qubit's decimated baseband traces.
+
+        Accepts windows no longer than the fitted one; kernels are
+        truncated to match (the paper's no-retraining fast-readout mode).
+        """
+        if self.banks_ is None:
+            raise NotFittedError("extractor is not fitted")
+        bank = self.banks_[qubit]
+        n_bins = traces.shape[1]
+        if n_bins > bank.trace_len:
+            raise DataError(
+                f"corpus window ({n_bins} bins) exceeds fitted window "
+                f"({bank.trace_len} bins)"
+            )
+        if n_bins < bank.trace_len:
+            bank = bank.truncated(n_bins)
+        return bank.transform(traces)
+
+    def _demodulated(self, corpus: ReadoutCorpus, qubit: int) -> np.ndarray:
+        return self.channel_baseband(
+            corpus.feedline,
+            corpus.chip.qubits[qubit].if_frequency_ghz,
+            corpus.chip.sample_times(corpus.trace_len),
+        )
 
     def _fit_qubit(
         self, traces: np.ndarray, levels: np.ndarray
@@ -198,18 +232,10 @@ class MatchedFilterFeatureExtractor:
             np.arange(corpus.n_traces) if indices is None else np.asarray(indices)
         )
         subset = corpus.subset(idx)
-        blocks = []
-        for q, bank in enumerate(self.banks_):
-            traces = self._demodulated(subset, q)
-            n_bins = traces.shape[1]
-            if n_bins > bank.trace_len:
-                raise DataError(
-                    f"corpus window ({n_bins} bins) exceeds fitted window "
-                    f"({bank.trace_len} bins)"
-                )
-            if n_bins < bank.trace_len:
-                bank = bank.truncated(n_bins)
-            blocks.append(bank.transform(traces))
+        blocks = [
+            self.score_baseband(q, self._demodulated(subset, q))
+            for q in range(len(self.banks_))
+        ]
         return np.concatenate(blocks, axis=1)
 
     def fit_transform(
@@ -217,3 +243,50 @@ class MatchedFilterFeatureExtractor:
     ) -> np.ndarray:
         """Fit on the selected rows and return their features."""
         return self.fit(corpus, indices).transform(corpus, indices)
+
+    # -- calibration-artifact support ----------------------------------
+
+    def artifact_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Fitted state as (JSON-able meta, named kernel arrays).
+
+        Used by discriminator artifact export: the kernels are calibration
+        data, so persisting them lets repeated runs skip re-mining error
+        traces and re-estimating filters.
+        """
+        if self.banks_ is None:
+            raise NotFittedError("extractor is not fitted")
+        meta = {
+            "include_qmf": self.include_qmf,
+            "include_rmf": self.include_rmf,
+            "include_emf": self.include_emf,
+            "decimation": self.decimation,
+            "variance_mode": self.variance_mode,
+            "min_error_traces": self.min_error_traces,
+            "bank_names": [list(bank.names) for bank in self.banks_],
+            "fallbacks": [list(fb) for fb in self.fallbacks_],
+        }
+        arrays = {
+            f"bank{q}_kernels": bank.kernels
+            for q, bank in enumerate(self.banks_)
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_artifact_state(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "MatchedFilterFeatureExtractor":
+        """Rebuild a fitted extractor from :meth:`artifact_state` output."""
+        extractor = cls(
+            include_qmf=bool(meta["include_qmf"]),
+            include_rmf=bool(meta["include_rmf"]),
+            include_emf=bool(meta["include_emf"]),
+            decimation=int(meta["decimation"]),
+            variance_mode=str(meta["variance_mode"]),
+            min_error_traces=int(meta["min_error_traces"]),
+        )
+        extractor.banks_ = [
+            MatchedFilterBank(tuple(names), np.asarray(arrays[f"bank{q}_kernels"]))
+            for q, names in enumerate(meta["bank_names"])
+        ]
+        extractor.fallbacks_ = [tuple(fb) for fb in meta["fallbacks"]]
+        return extractor

@@ -69,7 +69,7 @@ class FNNBaseline(Discriminator):
         return self.model.n_parameters
 
     def fit(self, corpus: ReadoutCorpus, indices: np.ndarray) -> "FNNBaseline":
-        subset = corpus.subset(np.asarray(indices))
+        subset = corpus.subset(self._resolve_indices(corpus, indices))
         features = subset.iq_features()
         self.scaler = StandardScaler()
         x = self.scaler.fit_transform(features)
@@ -98,3 +98,25 @@ class FNNBaseline(Discriminator):
         idx = self._resolve_indices(corpus, indices)
         features = corpus.subset(idx).iq_features()
         return self.model.predict(self.scaler.transform(features))
+
+    def _artifact_meta(self) -> dict:
+        return {
+            "hidden_sizes": list(self.hidden_sizes),
+            "layer_sizes": list(self.model.layer_sizes),
+        }
+
+    def _artifact_arrays(self) -> dict[str, np.ndarray]:
+        arrays: dict[str, np.ndarray] = {}
+        self._pack_scaler(arrays, self.scaler)
+        self._pack_mlp(arrays, self.model, "model")
+        return arrays
+
+    @classmethod
+    def _from_artifacts(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "FNNBaseline":
+        disc = cls(hidden_sizes=tuple(meta["hidden_sizes"]))
+        disc.scaler = cls._unpack_scaler(arrays)
+        disc.model = cls._unpack_mlp(meta["layer_sizes"], arrays, "model")
+        disc._fitted = True
+        return disc

@@ -82,7 +82,7 @@ class HerqulesDiscriminator(Discriminator):
     def fit(
         self, corpus: ReadoutCorpus, indices: np.ndarray
     ) -> "HerqulesDiscriminator":
-        idx = np.asarray(indices)
+        idx = self._resolve_indices(corpus, indices)
         features = self.extractor.fit_transform(corpus, idx)
         self.scaler = StandardScaler()
         x = self.scaler.fit_transform(features)
@@ -111,3 +111,37 @@ class HerqulesDiscriminator(Discriminator):
         idx = self._resolve_indices(corpus, indices)
         features = self.extractor.transform(corpus, idx)
         return self.model.predict(self.scaler.transform(features))
+
+    def _artifact_meta(self) -> dict:
+        ext_meta, _ = self.extractor.artifact_state()
+        return {
+            "extractor": ext_meta,
+            "hidden_sizes": list(self.hidden_sizes),
+            "layer_sizes": list(self.model.layer_sizes),
+        }
+
+    def _artifact_arrays(self) -> dict[str, np.ndarray]:
+        _, arrays = self.extractor.artifact_state()
+        self._pack_scaler(arrays, self.scaler)
+        self._pack_mlp(arrays, self.model, "model")
+        return arrays
+
+    @classmethod
+    def _from_artifacts(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "HerqulesDiscriminator":
+        from repro.discriminators.features import MatchedFilterFeatureExtractor
+
+        extractor = MatchedFilterFeatureExtractor.from_artifact_state(
+            meta["extractor"], arrays
+        )
+        disc = cls(
+            hidden_sizes=tuple(meta["hidden_sizes"]),
+            decimation=extractor.decimation,
+            variance_mode=extractor.variance_mode,
+        )
+        disc.extractor = extractor
+        disc.scaler = cls._unpack_scaler(arrays)
+        disc.model = cls._unpack_mlp(meta["layer_sizes"], arrays, "model")
+        disc._fitted = True
+        return disc

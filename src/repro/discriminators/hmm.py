@@ -79,7 +79,7 @@ class HMMDiscriminator(Discriminator):
         return boxcar_decimate(base, self.decimation)
 
     def fit(self, corpus: ReadoutCorpus, indices: np.ndarray) -> "HMMDiscriminator":
-        idx = np.asarray(indices)
+        idx = self._resolve_indices(corpus, indices)
         subset = corpus.subset(idx)
         bin_dt = corpus.chip.dt_ns * self.decimation
         means, variances, transitions = [], [], []

@@ -108,7 +108,7 @@ class MLRDiscriminator(Discriminator):
         return x[:, width * qubit : width * (qubit + 1)]
 
     def fit(self, corpus: ReadoutCorpus, indices: np.ndarray) -> "MLRDiscriminator":
-        idx = np.asarray(indices)
+        idx = self._resolve_indices(corpus, indices)
         features = self.extractor.fit_transform(corpus, idx)
         self.scaler = StandardScaler()
         x = self.scaler.fit_transform(features)
@@ -172,8 +172,53 @@ class MLRDiscriminator(Discriminator):
         self._require_fitted()
         clone = copy.copy(self)
         clone.scaler = StandardScaler()
-        clone.scaler.fit(self.extractor.transform(corpus, np.asarray(indices)))
+        clone.scaler.fit(
+            self.extractor.transform(corpus, self._resolve_indices(corpus, indices))
+        )
         return clone
+
+    def _artifact_meta(self) -> dict:
+        ext_meta, _ = self.extractor.artifact_state()
+        return {
+            "extractor": ext_meta,
+            "neighbor_features": self.neighbor_features,
+            "hidden_shrink": list(self.hidden_shrink),
+            "layer_sizes": [list(m.layer_sizes) for m in self.models],
+        }
+
+    def _artifact_arrays(self) -> dict[str, np.ndarray]:
+        _, arrays = self.extractor.artifact_state()
+        self._pack_scaler(arrays, self.scaler)
+        for q, model in enumerate(self.models):
+            self._pack_mlp(arrays, model, f"model{q}")
+        return arrays
+
+    @classmethod
+    def _from_artifacts(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "MLRDiscriminator":
+        from repro.discriminators.features import MatchedFilterFeatureExtractor
+
+        extractor = MatchedFilterFeatureExtractor.from_artifact_state(
+            meta["extractor"], arrays
+        )
+        disc = cls(
+            include_rmf=extractor.include_rmf,
+            include_emf=extractor.include_emf,
+            neighbor_features=bool(meta["neighbor_features"]),
+            decimation=extractor.decimation,
+            variance_mode=extractor.variance_mode,
+            min_error_traces=extractor.min_error_traces,
+            hidden_shrink=tuple(meta["hidden_shrink"]),
+        )
+        disc.extractor = extractor
+        disc.scaler = cls._unpack_scaler(arrays)
+        disc.models = [
+            cls._unpack_mlp(sizes, arrays, f"model{q}")
+            for q, sizes in enumerate(meta["layer_sizes"])
+        ]
+        disc._fitted = True
+        return disc
 
     def predict_proba_qubit(
         self,

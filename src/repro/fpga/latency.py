@@ -13,6 +13,7 @@ hls4ml area/latency trade.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.exceptions import ConfigurationError
@@ -21,6 +22,9 @@ __all__ = [
     "pipeline_latency_cycles",
     "pipeline_latency_ns",
     "readout_decision_latency_ns",
+    "decision_budget_ns",
+    "CycleBudgetCheck",
+    "check_cycle_budget",
 ]
 
 _OVERHEAD_CYCLES = 2
@@ -64,7 +68,69 @@ def readout_decision_latency_ns(
     """
     if integration_ns <= 0:
         raise ConfigurationError("integration_ns must be positive")
+    return integration_ns + decision_budget_ns(
+        layer_sizes, clock_ghz, reuse_factor, filter_flush_cycles
+    )
+
+
+def decision_budget_ns(
+    layer_sizes: Sequence[int],
+    clock_ghz: float = 1.0,
+    reuse_factor: int = 1,
+    filter_flush_cycles: int = 3,
+) -> float:
+    """Post-integration compute budget per shot (ns).
+
+    This is the part of :func:`readout_decision_latency_ns` the classifier
+    is responsible for — matched-filter flush plus NN pipeline — i.e. the
+    per-shot latency the hardware datapath achieves and against which a
+    software runtime's measured stage latency is scored.
+    """
     if filter_flush_cycles < 0:
         raise ConfigurationError("filter_flush_cycles must be >= 0")
-    nn_ns = pipeline_latency_ns(layer_sizes, clock_ghz, reuse_factor)
-    return integration_ns + filter_flush_cycles / clock_ghz + nn_ns
+    if clock_ghz <= 0:
+        raise ConfigurationError(f"clock_ghz must be positive, got {clock_ghz}")
+    return filter_flush_cycles / clock_ghz + pipeline_latency_ns(
+        layer_sizes, clock_ghz, reuse_factor
+    )
+
+
+@dataclass(frozen=True)
+class CycleBudgetCheck:
+    """Measured per-shot decision latency scored against the FPGA budget.
+
+    Attributes
+    ----------
+    budget_ns:
+        Hardware decision budget from :func:`decision_budget_ns`.
+    measured_ns:
+        Measured per-shot compute latency of the runtime under test.
+    """
+
+    budget_ns: float
+    measured_ns: float
+
+    @property
+    def within_budget(self) -> bool:
+        return self.measured_ns <= self.budget_ns
+
+    @property
+    def slowdown(self) -> float:
+        """How many times slower than the FPGA datapath the runtime is."""
+        return self.measured_ns / self.budget_ns
+
+
+def check_cycle_budget(
+    measured_ns_per_shot: float,
+    layer_sizes: Sequence[int],
+    clock_ghz: float = 1.0,
+    reuse_factor: int = 1,
+    filter_flush_cycles: int = 3,
+) -> CycleBudgetCheck:
+    """Score a measured per-shot latency against the hardware cycle budget."""
+    if measured_ns_per_shot < 0:
+        raise ConfigurationError("measured_ns_per_shot must be >= 0")
+    budget = decision_budget_ns(
+        layer_sizes, clock_ghz, reuse_factor, filter_flush_cycles
+    )
+    return CycleBudgetCheck(budget_ns=budget, measured_ns=measured_ns_per_shot)

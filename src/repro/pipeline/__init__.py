@@ -1,0 +1,69 @@
+"""Streaming readout runtime: online, batched, instrumented discrimination.
+
+The experiment runners in :mod:`repro.experiments` are offline — one
+corpus, one table. This package is the *serving* counterpart the paper's
+online-decoding premise implies:
+
+- :mod:`repro.pipeline.source` — :class:`TraceSource` streams shots in
+  bounded chunks from the simulator or a saved corpus.
+- :mod:`repro.pipeline.batching` — :class:`MicroBatcher` re-chunks the
+  stream into fixed-size dispatch batches.
+- :mod:`repro.pipeline.stages` — vectorized demod → matched-filter →
+  per-qubit-NN stages, channel-sharded across ``concurrent.futures``
+  workers.
+- :mod:`repro.pipeline.registry` — :class:`CalibrationRegistry` persists
+  fitted artifacts (kernels, scalers, NN weights) by
+  (device, qubit, profile) so warm runs skip retraining.
+- :mod:`repro.pipeline.sink` — backpressure-aware sinks; the default
+  feeds ERASER+M leakage speculation in :mod:`repro.qec.eraser`.
+- :mod:`repro.pipeline.metrics` — per-stage p50/p99 latency, throughput,
+  and the measured-vs-FPGA cycle-budget check.
+- :mod:`repro.pipeline.runner` — :class:`ReadoutPipeline` and the
+  turnkey :func:`run_streaming_pipeline` used by ``repro pipeline``.
+"""
+
+from repro.pipeline.batching import MicroBatcher
+from repro.pipeline.metrics import LatencyStats, PipelineReport, StageTimings
+from repro.pipeline.registry import CalibrationKey, CalibrationRegistry
+from repro.pipeline.runner import (
+    PipelineConfig,
+    ReadoutPipeline,
+    fit_or_load_discriminator,
+    run_streaming_pipeline,
+)
+from repro.pipeline.sink import (
+    CollectingSink,
+    EraserSpeculationSink,
+    QueueingSink,
+    ResultSink,
+)
+from repro.pipeline.source import (
+    CorpusTraceSource,
+    ShotChunk,
+    SimulatorTraceSource,
+    TraceSource,
+)
+from repro.pipeline.stages import BatchDiscriminationEngine, BatchResult
+
+__all__ = [
+    "ShotChunk",
+    "TraceSource",
+    "SimulatorTraceSource",
+    "CorpusTraceSource",
+    "MicroBatcher",
+    "BatchDiscriminationEngine",
+    "BatchResult",
+    "CalibrationKey",
+    "CalibrationRegistry",
+    "ResultSink",
+    "CollectingSink",
+    "QueueingSink",
+    "EraserSpeculationSink",
+    "LatencyStats",
+    "StageTimings",
+    "PipelineReport",
+    "PipelineConfig",
+    "ReadoutPipeline",
+    "fit_or_load_discriminator",
+    "run_streaming_pipeline",
+]

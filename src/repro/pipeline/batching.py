@@ -1,0 +1,98 @@
+"""Micro-batching: re-chunk an incoming shot stream to the dispatch size.
+
+Sources produce chunks sized for *generation* efficiency; the
+discrimination stages want batches sized for *vectorization* and latency.
+:class:`MicroBatcher` decouples the two: it accumulates incoming
+:class:`~repro.pipeline.source.ShotChunk` blocks per feedline and emits
+uniform micro-batches, flushing any remainder at end of stream so no shot
+is ever dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.pipeline.source import ShotChunk
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Accumulate shots and re-emit them in fixed-size micro-batches.
+
+    Parameters
+    ----------
+    batch_size:
+        Shots per emitted batch. The final batch may be smaller (the
+        end-of-stream flush).
+    """
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = int(batch_size)
+
+    def rebatch(self, chunks: Iterable[ShotChunk]) -> Iterator[ShotChunk]:
+        """Yield uniform micro-batches from an arbitrary chunk stream.
+
+        Batch ids are re-numbered from zero. Ground-truth labels are
+        carried per batch: a batch has labels exactly when every chunk
+        contributing shots to it has them, so an unlabeled chunk blanks
+        only the batches its shots land in, not the rest of the stream.
+        """
+        # Buffered (feedline, levels-or-None) segments, in arrival order.
+        segments: list[tuple[np.ndarray, np.ndarray | None]] = []
+        buffered = 0
+        batch_id = 0
+
+        def emit(take: int) -> ShotChunk:
+            nonlocal buffered, batch_id
+            feeds: list[np.ndarray] = []
+            levels: list[np.ndarray] = []
+            labeled = True
+            need = take
+            while need:
+                feed, lev = segments[0]
+                n = feed.shape[0]
+                if n <= need:
+                    segments.pop(0)
+                    feeds.append(feed)
+                    if lev is None:
+                        labeled = False
+                    else:
+                        levels.append(lev)
+                    need -= n
+                else:
+                    feeds.append(feed[:need])
+                    if lev is None:
+                        labeled = False
+                    else:
+                        levels.append(lev[:need])
+                    segments[0] = (
+                        feed[need:],
+                        None if lev is None else lev[need:],
+                    )
+                    need = 0
+            batch = ShotChunk(
+                feedline=feeds[0] if len(feeds) == 1 else np.concatenate(feeds),
+                prepared_levels=(
+                    (levels[0] if len(levels) == 1 else np.concatenate(levels))
+                    if labeled
+                    else None
+                ),
+                chunk_id=batch_id,
+            )
+            buffered -= take
+            batch_id += 1
+            return batch
+
+        for chunk in chunks:
+            segments.append((chunk.feedline, chunk.prepared_levels))
+            buffered += chunk.n_shots
+            while buffered >= self.batch_size:
+                yield emit(self.batch_size)
+        if buffered:
+            yield emit(buffered)

@@ -1,0 +1,204 @@
+"""Per-stage latency and throughput instrumentation for the runtime.
+
+Every micro-batch that flows through the pipeline is timed stage by stage
+(demod, matched filter, discriminate, sink); :class:`LatencyStats`
+aggregates the samples into p50/p99 quantiles and the final
+:class:`PipelineReport` scores the measured per-shot compute latency
+against the FPGA decision budget of :mod:`repro.fpga.latency` — the
+software runtime's honest distance from the paper's 5-cycle hardware
+operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.experiments.report import format_rows
+from repro.fpga.latency import CycleBudgetCheck
+
+__all__ = ["LatencyStats", "StageTimings", "PipelineReport"]
+
+
+class LatencyStats:
+    """Streaming collection of per-batch latency samples (seconds)."""
+
+    def __init__(self, name: str = "stage") -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._shots: list[int] = []
+
+    def record(self, seconds: float, n_shots: int = 1) -> None:
+        """Add one batch's wall time and its shot count."""
+        if seconds < 0:
+            raise ConfigurationError("latency sample must be >= 0")
+        if n_shots < 1:
+            raise ConfigurationError("n_shots must be >= 1")
+        self._samples.append(float(seconds))
+        self._shots.append(int(n_shots))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self._samples))
+
+    @property
+    def total_shots(self) -> int:
+        return int(sum(self._shots))
+
+    def percentile(self, q: float) -> float:
+        """Batch-latency percentile in seconds (q in [0, 100])."""
+        if not self._samples:
+            raise DataError(f"no latency samples recorded for {self.name!r}")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile(50.0) * 1e3
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile(99.0) * 1e3
+
+    @property
+    def mean_per_shot_us(self) -> float:
+        """Mean compute time per shot in microseconds."""
+        shots = self.total_shots
+        if shots == 0:
+            raise DataError(f"no latency samples recorded for {self.name!r}")
+        return self.total_seconds / shots * 1e6
+
+    def summary(self) -> dict:
+        """JSON-able digest of this stage's timing distribution."""
+        return {
+            "batches": self.count,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "mean_per_shot_us": self.mean_per_shot_us,
+            "total_seconds": self.total_seconds,
+        }
+
+
+#: Canonical stage order in reports.
+STAGE_ORDER = ("demod", "matched_filter", "discriminate", "sink")
+
+
+class StageTimings:
+    """One :class:`LatencyStats` per pipeline stage."""
+
+    def __init__(self) -> None:
+        self.stages: dict[str, LatencyStats] = {}
+
+    def record(self, stage: str, seconds: float, n_shots: int) -> None:
+        if stage not in self.stages:
+            self.stages[stage] = LatencyStats(stage)
+        self.stages[stage].record(seconds, n_shots)
+
+    def __getitem__(self, stage: str) -> LatencyStats:
+        return self.stages[stage]
+
+    def __contains__(self, stage: str) -> bool:
+        return stage in self.stages
+
+    def ordered(self) -> list[LatencyStats]:
+        known = [self.stages[s] for s in STAGE_ORDER if s in self.stages]
+        extra = [
+            stats
+            for name, stats in self.stages.items()
+            if name not in STAGE_ORDER
+        ]
+        return known + extra
+
+    def compute_per_shot_us(self) -> float:
+        """Mean per-shot compute latency over all non-sink stages."""
+        stats = [s for s in self.ordered() if s.name != "sink"]
+        if not stats:
+            raise DataError("no stage timings recorded")
+        return float(sum(s.mean_per_shot_us for s in stats))
+
+
+@dataclass
+class PipelineReport:
+    """End-of-run digest: throughput, stage latencies, budget, sink."""
+
+    n_shots: int
+    n_batches: int
+    wall_seconds: float
+    shots_per_second: float
+    stage_summaries: dict[str, dict]
+    budget: CycleBudgetCheck | None = None
+    sink_summary: dict = field(default_factory=dict)
+    accuracy: float | None = None
+    calibration_cached: bool | None = None
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for ``--json`` benchmark output)."""
+        out = {
+            "n_shots": self.n_shots,
+            "n_batches": self.n_batches,
+            "wall_seconds": self.wall_seconds,
+            "shots_per_second": self.shots_per_second,
+            "stages": self.stage_summaries,
+            "sink": self.sink_summary,
+            "accuracy": self.accuracy,
+            "calibration_cached": self.calibration_cached,
+        }
+        if self.budget is not None:
+            out["budget"] = {
+                "budget_ns": self.budget.budget_ns,
+                "measured_ns_per_shot": self.budget.measured_ns,
+                "slowdown_vs_fpga": self.budget.slowdown,
+                "within_budget": self.budget.within_budget,
+            }
+        return out
+
+    def format_table(self) -> str:
+        """Aligned text report in the house experiment style."""
+        rows = [
+            [
+                name,
+                summary["batches"],
+                summary["p50_ms"],
+                summary["p99_ms"],
+                summary["mean_per_shot_us"],
+            ]
+            for name, summary in self.stage_summaries.items()
+        ]
+        table = format_rows(
+            ["stage", "batches", "p50 ms", "p99 ms", "us/shot"],
+            rows,
+            title="streaming readout pipeline",
+        )
+        lines = [
+            table,
+            "",
+            f"shots                {self.n_shots} in {self.n_batches} batches",
+            f"throughput           {self.shots_per_second:.0f} shots/s "
+            f"({self.wall_seconds:.2f} s wall)",
+        ]
+        if self.accuracy is not None:
+            lines.append(f"joint-state accuracy {self.accuracy:.4f}")
+        if self.calibration_cached is not None:
+            state = "warm (loaded)" if self.calibration_cached else "cold (fitted)"
+            lines.append(f"calibration          {state}")
+        if self.budget is not None:
+            lines.append(
+                f"fpga budget          {self.budget.budget_ns:.0f} ns/shot vs "
+                f"measured {self.budget.measured_ns:.0f} ns/shot "
+                f"({self.budget.slowdown:.0f}x slowdown)"
+            )
+        if self.sink_summary:
+            lines.append(
+                "sink                 "
+                + ", ".join(
+                    f"{k}={v}" for k, v in self.sink_summary.items()
+                    if not isinstance(v, (list, dict))
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Calibration registry: fit once, serve fitted artifacts by key.
+
+Discriminator calibration (matched-filter kernel estimation + NN training)
+is minutes of work; serving a fitted model is milliseconds. The registry
+makes that asymmetry explicit: fitted artifacts are serialized via the
+:class:`~repro.discriminators.base.Discriminator` artifact hooks to one
+``.npz`` per :class:`CalibrationKey` under a root directory, and
+:meth:`CalibrationRegistry.get_or_fit` turns any pipeline start-up into a
+cache lookup — a warm run never retrains.
+
+Keys are (device, qubit, profile): ``qubit`` is ``"all"`` for joint
+artifacts like the paper's discriminator (whose per-qubit heads share one
+feature front-end) and ``"q<i>"`` for genuinely per-qubit artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.data.dataset import ReadoutCorpus
+from repro.discriminators.base import Discriminator
+from repro.exceptions import ConfigurationError, DataError
+
+__all__ = ["CalibrationKey", "CalibrationRegistry"]
+
+_SLUG = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class CalibrationKey:
+    """Identity of one calibration artifact.
+
+    Parameters
+    ----------
+    device:
+        Device identifier, e.g. ``"five-qubit-default"``.
+    qubit:
+        ``"all"`` for a joint artifact or ``"q<i>"`` for one qubit's.
+    profile:
+        Sizing-profile name the calibration was run under.
+    """
+
+    device: str
+    qubit: str = "all"
+    profile: str = "quick"
+
+    def __post_init__(self) -> None:
+        for field_name in ("device", "qubit", "profile"):
+            value = getattr(self, field_name)
+            if not _SLUG.match(value):
+                raise ConfigurationError(
+                    f"CalibrationKey.{field_name} must be a filesystem-safe "
+                    f"slug, got {value!r}"
+                )
+
+    @classmethod
+    def for_qubit(cls, device: str, qubit: int, profile: str) -> "CalibrationKey":
+        return cls(device=device, qubit=f"q{int(qubit)}", profile=profile)
+
+    @property
+    def relative_path(self) -> Path:
+        return Path(self.device) / self.profile / f"{self.qubit}.npz"
+
+
+class CalibrationRegistry:
+    """Disk-backed store of fitted discriminator artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifact tree
+        (``<root>/<device>/<profile>/<qubit>.npz``); created on demand.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: CalibrationKey) -> Path:
+        return self.root / key.relative_path
+
+    def __contains__(self, key: CalibrationKey) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> Iterator[CalibrationKey]:
+        """Scan the tree for stored artifacts.
+
+        Foreign files under the root (non-slug path components) are
+        skipped rather than aborting the whole enumeration.
+        """
+        for path in sorted(self.root.glob("*/*/*.npz")):
+            if path.name.endswith(".tmp.npz"):
+                continue
+            try:
+                yield CalibrationKey(
+                    device=path.parent.parent.name,
+                    qubit=path.stem,
+                    profile=path.parent.name,
+                )
+            except ConfigurationError:
+                continue
+
+    def save(self, key: CalibrationKey, discriminator: Discriminator) -> Path:
+        """Serialize a fitted discriminator under ``key`` (atomically).
+
+        The artifact is written to a sibling temp file and renamed into
+        place, so a run killed mid-write can never leave a truncated file
+        that later reads as a warm cache hit.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp.npz")
+        try:
+            discriminator.save_artifacts(tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def load(self, key: CalibrationKey) -> Discriminator:
+        """Rebuild the fitted discriminator stored under ``key``."""
+        path = self.path_for(key)
+        if not path.is_file():
+            raise DataError(f"no calibration artifact for {key}")
+        return Discriminator.load_artifacts(path)
+
+    def invalidate(self, key: CalibrationKey) -> bool:
+        """Drop one stored artifact; returns whether it existed."""
+        path = self.path_for(key)
+        if path.is_file():
+            path.unlink()
+            return True
+        return False
+
+    def get_or_fit(
+        self,
+        key: CalibrationKey,
+        factory: Callable[[], Discriminator],
+        corpus: ReadoutCorpus | Callable[[], ReadoutCorpus],
+        indices: np.ndarray | None = None,
+    ) -> tuple[Discriminator, bool]:
+        """Serve the cached artifact, or fit, store, and serve it.
+
+        Parameters
+        ----------
+        key:
+            Artifact identity.
+        factory:
+            Builds the (unfitted) discriminator when the cache misses.
+        corpus:
+            Training corpus, or a zero-argument callable producing it —
+            pass a callable so a warm hit never pays corpus generation.
+        indices:
+            Training rows for the cache-miss fit (all rows when ``None``).
+
+        Returns
+        -------
+        (discriminator, cached):
+            The fitted model and whether it came from the cache.
+        """
+        if key in self:
+            try:
+                return self.load(key), True
+            except Exception:
+                # A corrupt or unreadable artifact (e.g. written by an
+                # older incompatible version) is a cache miss, not a
+                # permanently poisoned key: drop it and refit.
+                self.invalidate(key)
+        discriminator = factory()
+        if callable(corpus):
+            corpus = corpus()
+        idx = (
+            np.arange(corpus.n_traces) if indices is None else np.asarray(indices)
+        )
+        discriminator.fit(corpus, idx)
+        self.save(key, discriminator)
+        return discriminator, False

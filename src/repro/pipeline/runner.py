@@ -1,0 +1,317 @@
+"""The streaming readout runtime: source → stages → sink, instrumented.
+
+:class:`ReadoutPipeline` wires a :class:`~repro.pipeline.source
+.TraceSource` through the micro-batcher and the channel-sharded
+discrimination engine into a result sink, timing every stage and scoring
+the measured per-shot compute latency against the FPGA decision budget.
+:func:`run_streaming_pipeline` is the turnkey entry point the CLI and the
+throughput benchmark use: it resolves calibration through a
+:class:`~repro.pipeline.registry.CalibrationRegistry` (fit once, then
+serve from disk) and streams freshly simulated traffic end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import Profile
+from repro.data.synthetic import generate_corpus
+from repro.discriminators.mlr import MLRDiscriminator
+from repro.exceptions import ConfigurationError
+from repro.fpga.latency import check_cycle_budget
+from repro.physics.device import ChipConfig, default_five_qubit_chip
+from repro.pipeline.batching import MicroBatcher
+from repro.pipeline.metrics import PipelineReport, StageTimings
+from repro.pipeline.registry import CalibrationKey, CalibrationRegistry
+from repro.pipeline.sink import EraserSpeculationSink, QueueingSink, ResultSink
+from repro.pipeline.source import SimulatorTraceSource, TraceSource
+from repro.pipeline.stages import BatchDiscriminationEngine
+
+__all__ = [
+    "PipelineConfig",
+    "ReadoutPipeline",
+    "fit_or_load_discriminator",
+    "run_streaming_pipeline",
+]
+
+#: Learning rate matching the experiment runners' discriminator training.
+_NN_LEARNING_RATE = 3e-3
+
+#: Device slug of :func:`default_five_qubit_chip` in the registry tree.
+DEFAULT_DEVICE = "five-qubit-default"
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Runtime knobs for the streaming pipeline.
+
+    Parameters
+    ----------
+    batch_size:
+        Shots per dispatched micro-batch.
+    workers:
+        Channel-shard workers; 1 runs the shards inline.
+    max_pending:
+        Sink queue capacity in batches before backpressure blocks
+        dispatch.
+
+    Source chunking is the :class:`TraceSource`'s own knob, not runtime
+    configuration — see ``chunk_size`` on the source constructors.
+    """
+
+    batch_size: int = 64
+    workers: int = 1
+    max_pending: int = 8
+
+    def __post_init__(self) -> None:
+        for field_name in ("batch_size", "workers", "max_pending"):
+            if getattr(self, field_name) < 1:
+                raise ConfigurationError(
+                    f"PipelineConfig.{field_name} must be >= 1"
+                )
+
+
+class ReadoutPipeline:
+    """Streams micro-batches through the discrimination stages.
+
+    Parameters
+    ----------
+    discriminator:
+        Fitted :class:`MLRDiscriminator` to serve.
+    chip:
+        Device the stream comes from.
+    config:
+        Runtime configuration.
+    sink:
+        Optional result consumer. Every :meth:`run` closes the sink it
+        used (that is where the report's sink summary comes from), so a
+        caller-provided sink makes the pipeline single-run. When omitted,
+        each run builds its own backpressured ERASER+M speculation sink —
+        the paper's downstream QEC consumer — and the pipeline is
+        reusable across runs.
+    """
+
+    def __init__(
+        self,
+        discriminator: MLRDiscriminator,
+        chip: ChipConfig,
+        config: PipelineConfig | None = None,
+        sink: ResultSink | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.chip = chip
+        self.discriminator = discriminator
+        self._sink_override = sink
+
+    def _make_sink(self) -> ResultSink:
+        if self._sink_override is not None:
+            return self._sink_override
+        return QueueingSink(
+            EraserSpeculationSink(self.chip.n_qubits),
+            max_pending=self.config.max_pending,
+        )
+
+    def run(self, source: TraceSource) -> PipelineReport:
+        """Drain the source through the stages; returns the run report."""
+        timings = StageTimings()
+        batcher = MicroBatcher(self.config.batch_size)
+        executor = None
+        sink = None
+
+        n_shots = 0
+        n_batches = 0
+        n_correct = 0
+        n_labeled = 0
+        wall_start = time.perf_counter()
+        try:
+            if self.config.workers > 1:
+                executor = ThreadPoolExecutor(max_workers=self.config.workers)
+            engine = BatchDiscriminationEngine(
+                self.discriminator, self.chip, executor=executor
+            )
+            # Built only after the engine checks out, so a construction
+            # error cannot leak the default sink's consumer thread.
+            sink = self._make_sink()
+            for batch in batcher.rebatch(source.chunks()):
+                result = engine.process(batch.feedline)
+                for stage, seconds in result.stage_seconds.items():
+                    timings.record(stage, seconds, batch.n_shots)
+
+                t0 = time.perf_counter()
+                sink.consume(result.levels, result.joint, batch.chunk_id)
+                timings.record("sink", time.perf_counter() - t0, batch.n_shots)
+
+                truth = batch.joint_labels(self.chip.n_levels)
+                if truth is not None:
+                    n_correct += int(np.sum(result.joint == truth))
+                    n_labeled += batch.n_shots
+                n_shots += batch.n_shots
+                n_batches += 1
+        except BaseException:
+            # The stage error is the primary failure; still release the
+            # sink's consumer thread, suppressing any deferred sink error.
+            if sink is not None:
+                try:
+                    sink.close()
+                except Exception:
+                    pass
+            raise
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        sink_summary = sink.close()
+        wall = time.perf_counter() - wall_start
+
+        head = self.discriminator.models[0]
+        budget = check_cycle_budget(
+            measured_ns_per_shot=timings.compute_per_shot_us() * 1e3,
+            layer_sizes=head.layer_sizes,
+        )
+        return PipelineReport(
+            n_shots=n_shots,
+            n_batches=n_batches,
+            wall_seconds=wall,
+            shots_per_second=n_shots / wall if wall > 0 else float("inf"),
+            stage_summaries={
+                stats.name: stats.summary() for stats in timings.ordered()
+            },
+            budget=budget,
+            sink_summary=sink_summary,
+            accuracy=(n_correct / n_labeled) if n_labeled else None,
+            details={
+                "batch_size": self.config.batch_size,
+                "workers": self.config.workers,
+            },
+        )
+
+
+def _device_slug(device: str, chip: ChipConfig) -> str:
+    """Registry device slug: the given name plus a chip-config digest.
+
+    Hashing the full chip parameters into the key means a changed device
+    (different IFs, noise, crosstalk) can never silently serve kernels
+    calibrated for another chip.
+    """
+    payload = json.dumps(chip.to_dict(), sort_keys=True).encode()
+    return f"{device}-{hashlib.sha1(payload).hexdigest()[:8]}"
+
+
+def _profile_slug(profile: Profile) -> str:
+    """Registry profile slug: name plus seed, so ``--seed`` overrides
+    calibrate freshly instead of hitting the base-seed artifact."""
+    return f"{profile.name}-s{profile.seed}"
+
+
+def fit_or_load_discriminator(
+    profile: Profile,
+    registry: CalibrationRegistry | None,
+    chip: ChipConfig | None = None,
+    device: str = DEFAULT_DEVICE,
+) -> tuple[MLRDiscriminator, bool]:
+    """Resolve the pipeline's discriminator through the registry.
+
+    With a registry, a stored (device+chip-hash, all, profile+seed)
+    artifact is served without retraining; otherwise the paper's
+    discriminator is fitted on a freshly generated calibration corpus
+    (and stored when a registry is given).
+
+    Returns
+    -------
+    (discriminator, cached):
+        The fitted model and whether it was served from the registry.
+    """
+    chip = chip if chip is not None else default_five_qubit_chip()
+
+    def corpus_factory():
+        return generate_corpus(
+            chip, shots_per_state=profile.shots_per_state, seed=profile.seed
+        )
+
+    def discriminator_factory():
+        return MLRDiscriminator(
+            epochs=profile.nn_epochs,
+            batch_size=profile.batch_size,
+            learning_rate=_NN_LEARNING_RATE,
+            seed=profile.seed + 10,
+        )
+
+    if registry is None:
+        corpus = corpus_factory()
+        discriminator = discriminator_factory()
+        discriminator.fit(corpus, np.arange(corpus.n_traces))
+        return discriminator, False
+
+    key = CalibrationKey(
+        device=_device_slug(device, chip),
+        qubit="all",
+        profile=_profile_slug(profile),
+    )
+    return registry.get_or_fit(key, discriminator_factory, corpus_factory)
+
+
+def run_streaming_pipeline(
+    profile: Profile,
+    n_shots: int,
+    workers: int = 1,
+    batch_size: int = 64,
+    chunk_size: int = 256,
+    registry_dir: str | Path | None = None,
+    chip: ChipConfig | None = None,
+    device: str = DEFAULT_DEVICE,
+    seed: int | None = None,
+    sink: ResultSink | None = None,
+    max_pending: int = 8,
+) -> PipelineReport:
+    """Calibrate (or load calibration), then stream ``n_shots`` end to end.
+
+    Parameters
+    ----------
+    profile:
+        Sizing profile for calibration (corpus size, training budget).
+    n_shots:
+        Shots of simulated live traffic to stream.
+    workers:
+        Channel-shard workers for the demod/matched-filter stages.
+    batch_size, chunk_size, max_pending:
+        See :class:`PipelineConfig`.
+    registry_dir:
+        Calibration-registry root; ``None`` disables artifact caching.
+    chip, device:
+        Device to stream from and its registry slug.
+    seed:
+        Traffic seed; defaults to ``profile.seed + 1`` (distinct from the
+        calibration corpus stream).
+    sink:
+        Override the default backpressured ERASER+M sink.
+    """
+    if n_shots < 1:
+        raise ConfigurationError(f"n_shots must be >= 1, got {n_shots}")
+    chip = chip if chip is not None else default_five_qubit_chip()
+    registry = (
+        CalibrationRegistry(registry_dir) if registry_dir is not None else None
+    )
+    discriminator, cached = fit_or_load_discriminator(
+        profile, registry, chip=chip, device=device
+    )
+    config = PipelineConfig(
+        batch_size=batch_size,
+        workers=workers,
+        max_pending=max_pending,
+    )
+    source = SimulatorTraceSource(
+        chip,
+        n_shots=n_shots,
+        chunk_size=chunk_size,
+        seed=profile.seed + 1 if seed is None else seed,
+    )
+    pipeline = ReadoutPipeline(discriminator, chip, config, sink=sink)
+    report = pipeline.run(source)
+    report.calibration_cached = cached
+    return report

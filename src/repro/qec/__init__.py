@@ -17,7 +17,12 @@ Implements the downstream-QEC side of the paper's evaluation:
 """
 
 from repro.qec.cycle_time import SurfaceCodeTiming, cycle_time_ns, cycle_time_reduction
-from repro.qec.eraser import EraserConfig, SpeculationReport, run_eraser
+from repro.qec.eraser import (
+    EraserConfig,
+    LevelStreamSpeculator,
+    SpeculationReport,
+    run_eraser,
+)
 from repro.qec.leakage_sim import LeakageParams, LeakageSimulator
 from repro.qec.lrc import LRCModel
 from repro.qec.surface_code import RotatedSurfaceCode, Stabilizer
@@ -29,6 +34,7 @@ __all__ = [
     "LeakageSimulator",
     "LRCModel",
     "EraserConfig",
+    "LevelStreamSpeculator",
     "SpeculationReport",
     "run_eraser",
     "SurfaceCodeTiming",

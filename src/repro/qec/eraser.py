@@ -21,7 +21,12 @@ from repro.qec.leakage_sim import LeakageParams, LeakageSimulator
 from repro.qec.lrc import LRCModel
 from repro.qec.surface_code import RotatedSurfaceCode
 
-__all__ = ["EraserConfig", "SpeculationReport", "run_eraser"]
+__all__ = [
+    "EraserConfig",
+    "SpeculationReport",
+    "run_eraser",
+    "LevelStreamSpeculator",
+]
 
 
 @dataclass(frozen=True)
@@ -109,6 +114,91 @@ def _syndrome_activity(
         if sum(int(flips[s]) for s in stabs) >= 2:
             activity[q] = True
     return activity
+
+
+class LevelStreamSpeculator:
+    """ERASER+M's direct-evidence path over a *stream* of level readouts.
+
+    The streaming readout runtime delivers per-shot multi-level labels; this
+    consumer applies the same windowed policy ERASER+M uses on ancilla
+    readouts (see :func:`run_eraser`): a qubit read as |2> accumulates
+    direct leakage evidence, and ``direct_evidence_cycles`` hits inside a
+    ``window``-cycle history trigger a speculation (an LRC request), which
+    clears the qubit's accumulated evidence exactly as an applied LRC does.
+
+    Unlike :func:`run_eraser`, which owns its own leakage simulator, this
+    class is driven externally — it is the QEC-side endpoint of the
+    ``repro.pipeline`` result sink.
+    """
+
+    def __init__(self, n_qubits: int, config: EraserConfig | None = None) -> None:
+        if n_qubits < 1:
+            raise ConfigurationError("n_qubits must be >= 1")
+        self.config = config or EraserConfig(multi_level=True)
+        self.n_qubits = n_qubits
+        # Circular evidence window with running per-qubit sums: the sink
+        # consumer path is latency-instrumented, so the per-shot update
+        # must not reallocate the window.
+        self._history = np.zeros((self.config.window, n_qubits), dtype=np.int64)
+        self._sums = np.zeros(n_qubits, dtype=np.int64)
+        self._pos = 0
+        self.shots_seen = 0
+        self.flags_per_qubit = np.zeros(n_qubits, dtype=np.int64)
+        self.leaked_per_qubit = np.zeros(n_qubits, dtype=np.int64)
+
+    @property
+    def total_flags(self) -> int:
+        """LRC requests issued so far."""
+        return int(self.flags_per_qubit.sum())
+
+    def update(self, levels: np.ndarray) -> np.ndarray:
+        """Consume a batch of per-shot levels; returns speculation flags.
+
+        Parameters
+        ----------
+        levels:
+            Integer array (n_shots, n_qubits); each row is one readout
+            cycle's multi-level labels.
+
+        Returns
+        -------
+        Boolean array (n_shots, n_qubits): True where a leakage speculation
+        (LRC request) fired on that cycle.
+        """
+        levels = np.asarray(levels)
+        if levels.ndim != 2 or levels.shape[1] != self.n_qubits:
+            raise ConfigurationError(
+                f"levels must be (n_shots, {self.n_qubits}), got {levels.shape}"
+            )
+        flags = np.zeros(levels.shape, dtype=bool)
+        window = self.config.window
+        for i, row in enumerate(levels):
+            evidence = (row == 2).astype(np.int64)
+            self.leaked_per_qubit += evidence
+            self._sums += evidence - self._history[self._pos]
+            self._history[self._pos] = evidence
+            self._pos = (self._pos + 1) % window
+            fired = self._sums >= self.config.direct_evidence_cycles
+            flags[i] = fired
+            if fired.any():
+                # The requested LRC resets the evidence, as in run_eraser.
+                self._history[:, fired] = 0
+                self._sums[fired] = 0
+        self.shots_seen += levels.shape[0]
+        self.flags_per_qubit += flags.sum(axis=0)
+        return flags
+
+    def summary(self) -> dict:
+        """Aggregate counters for the pipeline report."""
+        shots = max(self.shots_seen, 1)
+        return {
+            "shots_seen": self.shots_seen,
+            "lrc_requests": self.total_flags,
+            "lrc_rate": self.total_flags / shots,
+            "leaked_readout_rate": float(self.leaked_per_qubit.sum())
+            / (shots * self.n_qubits),
+            "flags_per_qubit": [int(f) for f in self.flags_per_qubit],
+        }
 
 
 def run_eraser(

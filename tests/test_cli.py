@@ -1,0 +1,139 @@
+"""CLI error paths, seed propagation, and the pipeline subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.exceptions import ConfigurationError
+
+
+class TestExperimentErrorPaths:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert cli.main(["table99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "table99" in err
+
+    def test_unknown_experiment_lists_known_ids(self, capsys):
+        cli.main(["nope"])
+        assert "table1" in capsys.readouterr().err
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown profile"):
+            cli.main(["sec7b", "--profile", "mega"])
+
+    def test_list_includes_pipeline(self, capsys):
+        assert cli.main(["list"]) == 0
+        assert "pipeline" in capsys.readouterr().out
+
+
+class TestSeedPropagation:
+    def test_seed_override_reaches_experiment(self, capsys, monkeypatch):
+        seen = {}
+
+        def fake_experiment(profile):
+            seen["profile"] = profile
+
+            class _Result:
+                def format_table(self):
+                    return "fake"
+
+            return _Result()
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "sec7b", fake_experiment)
+        assert cli.main(["sec7b", "--seed", "424242"]) == 0
+        assert seen["profile"].seed == 424242
+        assert seen["profile"].name == "quick"
+
+    def test_default_profile_seed_preserved(self, capsys, monkeypatch):
+        from repro.config import QUICK
+
+        seen = {}
+
+        def fake_experiment(profile):
+            seen["profile"] = profile
+
+            class _Result:
+                def format_table(self):
+                    return "fake"
+
+            return _Result()
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "sec7b", fake_experiment)
+        assert cli.main(["sec7b"]) == 0
+        assert seen["profile"].seed == QUICK.seed
+
+
+@pytest.fixture(scope="module")
+def shared_registry(tmp_path_factory):
+    """One on-disk calibration registry reused across the CLI tests.
+
+    The first pipeline test pays the single cold fit; later tests run warm.
+    """
+    return str(tmp_path_factory.mktemp("registry"))
+
+
+class TestPipelineSubcommand:
+    def test_pipeline_streams_and_writes_json(
+        self, capsys, tmp_path, shared_registry
+    ):
+        json_path = tmp_path / "report.json"
+        code = cli.main(
+            [
+                "pipeline",
+                "--shots",
+                "150",
+                "--workers",
+                "2",
+                "--batch-size",
+                "50",
+                "--profile",
+                "quick",
+                "--registry",
+                shared_registry,
+                "--json",
+                str(json_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "streaming readout pipeline" in out
+        assert "shots/s" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["n_shots"] == 150
+        for stage in ("demod", "matched_filter", "discriminate", "sink"):
+            assert stage in payload["stages"]
+
+    def test_pipeline_warm_run_uses_registry(self, capsys, shared_registry):
+        args = ["pipeline", "--shots", "60", "--registry", shared_registry]
+        assert cli.main(args) == 0
+        capsys.readouterr()
+        assert cli.main(args) == 0
+        assert "warm (loaded)" in capsys.readouterr().out
+
+    def test_pipeline_rejects_bad_shots(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            cli.main(["pipeline", "--shots", "0", "--no-cache"])
+
+    def test_pipeline_unknown_profile_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown profile"):
+            cli.main(["pipeline", "--profile", "mega"])
+
+    def test_pipeline_help_shows_pipeline_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["pipeline", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--shots" in out
+        assert "--registry" in out
+
+    def test_pipeline_dispatches_with_options_first(self, capsys, shared_registry):
+        code = cli.main(
+            ["--profile", "quick", "pipeline", "--shots", "60",
+             "--registry", shared_registry]
+        )
+        assert code == 0
+        assert "streaming readout pipeline" in capsys.readouterr().out

@@ -5,6 +5,7 @@ import pytest
 
 from repro.data.basis import digits_to_state
 from repro.discriminators import (
+    Discriminator,
     FNNBaseline,
     HerqulesDiscriminator,
     MatchedFilterFeatureExtractor,
@@ -218,3 +219,91 @@ class TestLeakageDetection:
     def test_rejects_bad_method(self, tiny_calibration):
         with pytest.raises(ConfigurationError):
             detect_leakage_clusters(tiny_calibration, 0, method="dbscan")
+
+
+class TestResolveIndices:
+    def test_none_selects_all(self, tiny_corpus, fitted_mlr):
+        assert fitted_mlr.predict(tiny_corpus).shape[0] == tiny_corpus.n_traces
+
+    def test_negative_index_rejected(self, tiny_corpus, fitted_mlr):
+        with pytest.raises(ValueError, match="non-negative"):
+            fitted_mlr.predict(tiny_corpus, np.array([0, -1]))
+
+    def test_out_of_range_index_rejected(self, tiny_corpus, fitted_mlr):
+        with pytest.raises(ValueError, match="out of range"):
+            fitted_mlr.predict(tiny_corpus, np.array([tiny_corpus.n_traces]))
+
+    def test_non_1d_rejected(self, tiny_corpus, fitted_mlr):
+        with pytest.raises(ValueError, match="1-D"):
+            fitted_mlr.predict(tiny_corpus, np.array([[0, 1]]))
+
+    def test_float_indices_rejected(self, tiny_corpus, fitted_mlr):
+        with pytest.raises(ValueError, match="integers"):
+            fitted_mlr.predict(tiny_corpus, np.array([0.5, 1.5]))
+
+    def test_empty_selection_rejected(self, tiny_corpus, fitted_mlr):
+        with pytest.raises(ValueError, match="at least one"):
+            fitted_mlr.predict(tiny_corpus, np.array([], dtype=np.int64))
+
+    def test_fit_validates_indices_too(self, tiny_corpus):
+        with pytest.raises(ValueError, match="non-negative"):
+            MLRDiscriminator(epochs=2).fit(tiny_corpus, np.array([-1, 5]))
+        with pytest.raises(ValueError, match="out of range"):
+            FNNBaseline(epochs=2).fit(
+                tiny_corpus, np.array([tiny_corpus.n_traces])
+            )
+
+
+class TestArtifacts:
+    def test_mlr_roundtrip_preserves_predictions(
+        self, tiny_corpus, split, fitted_mlr, tmp_path
+    ):
+        _, test = split
+        path = tmp_path / "mlr.npz"
+        fitted_mlr.save_artifacts(path)
+        loaded = Discriminator.load_artifacts(path)
+        assert isinstance(loaded, MLRDiscriminator)
+        assert loaded.n_parameters == fitted_mlr.n_parameters
+        assert np.array_equal(
+            loaded.predict(tiny_corpus, test), fitted_mlr.predict(tiny_corpus, test)
+        )
+
+    def test_herqules_roundtrip_preserves_predictions(
+        self, tiny_corpus, split, tmp_path
+    ):
+        train, test = split
+        disc = HerqulesDiscriminator(epochs=4, seed=2).fit(tiny_corpus, train)
+        path = tmp_path / "herqules.npz"
+        disc.save_artifacts(path)
+        loaded = Discriminator.load_artifacts(path)
+        assert isinstance(loaded, HerqulesDiscriminator)
+        assert np.array_equal(
+            loaded.predict(tiny_corpus, test), disc.predict(tiny_corpus, test)
+        )
+
+    def test_fnn_roundtrip_preserves_predictions(self, tiny_corpus, split, tmp_path):
+        train, test = split
+        disc = FNNBaseline(epochs=2, seed=3).fit(tiny_corpus, train)
+        path = tmp_path / "fnn.npz"
+        disc.save_artifacts(path)
+        loaded = Discriminator.load_artifacts(path)
+        assert isinstance(loaded, FNNBaseline)
+        assert np.array_equal(
+            loaded.predict(tiny_corpus, test), disc.predict(tiny_corpus, test)
+        )
+
+    def test_unfitted_export_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            MLRDiscriminator().save_artifacts(tmp_path / "x.npz")
+
+    def test_load_on_wrong_subclass_rejected(self, fitted_mlr, tmp_path):
+        path = tmp_path / "mlr.npz"
+        fitted_mlr.save_artifacts(path)
+        with pytest.raises(DataError, match="not a"):
+            FNNBaseline.load_artifacts(path)
+
+    def test_non_artifact_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(DataError, match="not a discriminator artifact"):
+            Discriminator.load_artifacts(path)

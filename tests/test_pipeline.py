@@ -1,0 +1,569 @@
+"""Tests for the streaming readout runtime (repro.pipeline)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import Profile
+from repro.data import generate_corpus
+from repro.discriminators import MLRDiscriminator
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.fpga.latency import check_cycle_budget, decision_budget_ns
+from repro.ml import stratified_split
+from repro.pipeline import (
+    BatchDiscriminationEngine,
+    CalibrationKey,
+    CalibrationRegistry,
+    CollectingSink,
+    CorpusTraceSource,
+    EraserSpeculationSink,
+    LatencyStats,
+    MicroBatcher,
+    PipelineConfig,
+    QueueingSink,
+    ReadoutPipeline,
+    ResultSink,
+    ShotChunk,
+    SimulatorTraceSource,
+    run_streaming_pipeline,
+)
+from repro.qec.eraser import EraserConfig, LevelStreamSpeculator
+
+
+def tiny_profile(**overrides) -> Profile:
+    """A fast sizing profile for pipeline tests (not a named CLI profile)."""
+    params = dict(
+        name="tiny",
+        shots_per_state=10,
+        calibration_shots=100,
+        nn_epochs=8,
+        fnn_epochs=2,
+        batch_size=64,
+        qec_shots=10,
+        qudit_shots=10,
+        spectral_max_points=100,
+        seed=501,
+    )
+    params.update(overrides)
+    return Profile(**params)
+
+
+@pytest.fixture(scope="module")
+def pipeline_mlr(tiny_corpus):
+    train, _ = stratified_split(tiny_corpus.labels, 0.5, seed=21)
+    return MLRDiscriminator(epochs=10, learning_rate=3e-3, seed=22).fit(
+        tiny_corpus, train
+    )
+
+
+class TestSources:
+    def test_simulator_source_streams_exact_total(self, two_qubit_chip):
+        source = SimulatorTraceSource(two_qubit_chip, n_shots=50, chunk_size=16, seed=1)
+        chunks = list(source.chunks())
+        assert [c.n_shots for c in chunks] == [16, 16, 16, 2]
+        assert [c.chunk_id for c in chunks] == [0, 1, 2, 3]
+        assert all(c.feedline.shape[1] == two_qubit_chip.trace_len for c in chunks)
+
+    def test_simulator_source_is_seeded(self, two_qubit_chip):
+        a = next(SimulatorTraceSource(two_qubit_chip, 8, seed=3).chunks())
+        b = next(SimulatorTraceSource(two_qubit_chip, 8, seed=3).chunks())
+        assert np.array_equal(a.feedline, b.feedline)
+        assert np.array_equal(a.prepared_levels, b.prepared_levels)
+
+    def test_simulator_source_restricted_states(self, two_qubit_chip):
+        computational = np.array([0, 1, 3, 4])  # digits < 2 in base 3
+        source = SimulatorTraceSource(
+            two_qubit_chip, 30, chunk_size=30, states=computational, seed=4
+        )
+        chunk = next(source.chunks())
+        labels = chunk.joint_labels(two_qubit_chip.n_levels)
+        assert set(np.unique(labels)) <= set(computational.tolist())
+
+    def test_simulator_source_rejects_bad_states(self, two_qubit_chip):
+        with pytest.raises(ConfigurationError):
+            SimulatorTraceSource(two_qubit_chip, 10, states=np.array([99]))
+
+    def test_corpus_source_replays_in_order(self, tiny_corpus):
+        source = CorpusTraceSource(tiny_corpus, chunk_size=70)
+        feed = np.concatenate([c.feedline for c in source.chunks()], axis=0)
+        assert np.array_equal(feed, tiny_corpus.feedline)
+
+    def test_corpus_source_shuffle_preserves_multiset(self, tiny_corpus):
+        source = CorpusTraceSource(tiny_corpus, chunk_size=64, shuffle=True, seed=5)
+        labels = np.concatenate(
+            [c.joint_labels(tiny_corpus.n_levels) for c in source.chunks()]
+        )
+        assert sorted(labels.tolist()) == sorted(tiny_corpus.labels.tolist())
+
+    def test_shot_chunk_validates_shapes(self):
+        with pytest.raises(ValueError):
+            ShotChunk(np.zeros(4, dtype=complex), None, 0)
+        with pytest.raises(ValueError):
+            ShotChunk(
+                np.zeros((4, 8), dtype=complex),
+                np.zeros((3, 2), dtype=np.int8),
+                0,
+            )
+
+
+class TestMicroBatcher:
+    def _chunks(self, sizes, n_qubits=2, trace_len=6, labels=True):
+        out = []
+        offset = 0
+        for i, size in enumerate(sizes):
+            feed = (np.arange(offset, offset + size)[:, None]) * np.ones(
+                (1, trace_len)
+            )
+            levels = (
+                np.full((size, n_qubits), i, dtype=np.int8) if labels else None
+            )
+            out.append(ShotChunk(feed.astype(complex), levels, i))
+            offset += size
+        return out
+
+    def test_rebatches_to_uniform_sizes(self):
+        batches = list(MicroBatcher(10).rebatch(self._chunks([7, 7, 7, 7])))
+        assert [b.n_shots for b in batches] == [10, 10, 8]
+        assert [b.chunk_id for b in batches] == [0, 1, 2]
+        feed = np.concatenate([b.feedline for b in batches], axis=0)
+        assert np.array_equal(feed[:, 0], np.arange(28, dtype=complex))
+
+    def test_splits_oversized_chunks(self):
+        batches = list(MicroBatcher(4).rebatch(self._chunks([11])))
+        assert [b.n_shots for b in batches] == [4, 4, 3]
+
+    def test_carries_labels_through(self):
+        batches = list(MicroBatcher(5).rebatch(self._chunks([3, 4])))
+        levels = np.concatenate([b.prepared_levels for b in batches], axis=0)
+        assert levels[:, 0].tolist() == [0, 0, 0, 1, 1, 1, 1]
+
+    def test_drops_labels_when_any_contributing_chunk_lacks_them(self):
+        chunks = self._chunks([3]) + self._chunks([3], labels=False)
+        batches = list(MicroBatcher(6).rebatch(chunks))
+        assert batches[0].prepared_levels is None
+
+    def test_labels_resume_after_unlabeled_shots_flush(self):
+        chunks = self._chunks([4], labels=False) + self._chunks([4])
+        batches = list(MicroBatcher(4).rebatch(chunks))
+        assert batches[0].prepared_levels is None
+        assert batches[1].prepared_levels is not None
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(0)
+
+
+class TestLatencyStats:
+    def test_percentiles(self):
+        stats = LatencyStats("demo")
+        for v in [0.001, 0.002, 0.003, 0.100]:
+            stats.record(v, n_shots=10)
+        assert stats.p50_ms == pytest.approx(2.5)
+        assert stats.p99_ms > stats.p50_ms
+        assert stats.mean_per_shot_us == pytest.approx(106.0 / 40 * 1e3)
+
+    def test_empty_stats_raise(self):
+        with pytest.raises(DataError):
+            LatencyStats().percentile(50)
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(ConfigurationError):
+            LatencyStats().record(-1.0)
+        with pytest.raises(ConfigurationError):
+            LatencyStats().record(1.0, n_shots=0)
+
+
+class TestBudgetCheck:
+    def test_paper_operating_point_budget(self):
+        # 3-layer OURS head: 5-cycle NN + 3-cycle filter flush at 1 GHz.
+        assert decision_budget_ns((45, 22, 11, 3)) == pytest.approx(8.0)
+
+    def test_slowdown_and_within_budget(self):
+        check = check_cycle_budget(16.0, (45, 22, 11, 3))
+        assert check.slowdown == pytest.approx(2.0)
+        assert not check.within_budget
+        assert check_cycle_budget(4.0, (45, 22, 11, 3)).within_budget
+
+
+class TestCalibrationRegistry:
+    def test_key_rejects_unsafe_slugs(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationKey(device="../escape")
+        with pytest.raises(ConfigurationError):
+            CalibrationKey(device="dev", profile="")
+
+    def test_save_load_contains_invalidate(self, tmp_path, pipeline_mlr, tiny_corpus):
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-a", "all", "tiny")
+        assert key not in registry
+        registry.save(key, pipeline_mlr)
+        assert key in registry
+        assert list(registry.keys()) == [key]
+        loaded = registry.load(key)
+        assert np.array_equal(
+            loaded.predict(tiny_corpus), pipeline_mlr.predict(tiny_corpus)
+        )
+        assert registry.invalidate(key)
+        assert key not in registry
+        assert not registry.invalidate(key)
+
+    def test_load_missing_key_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            CalibrationRegistry(tmp_path).load(CalibrationKey("chip-a"))
+
+    def test_get_or_fit_recovers_from_corrupt_artifact(
+        self, tmp_path, tiny_corpus
+    ):
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-a", "all", "tiny")
+        path = registry.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"truncated by a crash")
+        disc, cached = registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        # The poisoned file is a cache miss: refit, re-store, serve.
+        assert cached is False
+        assert np.array_equal(
+            registry.load(key).predict(tiny_corpus), disc.predict(tiny_corpus)
+        )
+
+    def test_keys_skips_foreign_files(self, tmp_path, pipeline_mlr):
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-a", "all", "tiny")
+        registry.save(key, pipeline_mlr)
+        foreign = tmp_path / "my device" / "quick"
+        foreign.mkdir(parents=True)
+        (foreign / "all.npz").write_bytes(b"junk")
+        assert list(registry.keys()) == [key]
+
+    def test_get_or_fit_fits_exactly_once(self, tmp_path, tiny_corpus):
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-a", "all", "tiny")
+        fits = []
+
+        def factory():
+            disc = MLRDiscriminator(epochs=4, seed=9)
+            original = disc.fit
+
+            def counting_fit(corpus, indices):
+                fits.append(1)
+                return original(corpus, indices)
+
+            disc.fit = counting_fit
+            return disc
+
+        first, cached_first = registry.get_or_fit(key, factory, tiny_corpus)
+        second, cached_second = registry.get_or_fit(key, factory, tiny_corpus)
+        assert (cached_first, cached_second) == (False, True)
+        assert len(fits) == 1
+        assert np.array_equal(
+            first.predict(tiny_corpus), second.predict(tiny_corpus)
+        )
+
+
+class TestDiscriminationEngine:
+    def test_streaming_matches_offline_predict(self, tiny_corpus, pipeline_mlr):
+        engine = BatchDiscriminationEngine(pipeline_mlr, tiny_corpus.chip)
+        result = engine.process(tiny_corpus.feedline)
+        assert np.array_equal(result.joint, pipeline_mlr.predict(tiny_corpus))
+        assert np.array_equal(
+            result.levels, pipeline_mlr.predict_qubit_levels(tiny_corpus)
+        )
+        assert set(result.stage_seconds) == {
+            "demod",
+            "matched_filter",
+            "discriminate",
+        }
+
+    def test_sharded_execution_matches_inline(self, tiny_corpus, pipeline_mlr):
+        from concurrent.futures import ThreadPoolExecutor
+
+        inline = BatchDiscriminationEngine(pipeline_mlr, tiny_corpus.chip)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            sharded = BatchDiscriminationEngine(
+                pipeline_mlr, tiny_corpus.chip, executor=pool
+            )
+            a = inline.process(tiny_corpus.feedline[:40])
+            b = sharded.process(tiny_corpus.feedline[:40])
+        assert np.array_equal(a.joint, b.joint)
+
+    def test_requires_fitted_discriminator(self, two_qubit_chip):
+        with pytest.raises(NotFittedError):
+            BatchDiscriminationEngine(MLRDiscriminator(), two_qubit_chip)
+
+    def test_rejects_mismatched_chip(self, pipeline_mlr, five_qubit_chip):
+        with pytest.raises(DataError):
+            BatchDiscriminationEngine(pipeline_mlr, five_qubit_chip)
+
+
+class TestLevelStreamSpeculator:
+    def test_repeated_leakage_evidence_triggers_flag(self):
+        spec = LevelStreamSpeculator(
+            2, EraserConfig(window=3, activity_threshold=1, direct_evidence_cycles=2)
+        )
+        levels = np.array([[2, 0], [2, 0], [0, 0], [2, 1]])
+        flags = spec.update(levels)
+        # Qubit 0 leaks twice in the window -> flag on the second read;
+        # the flag clears its evidence so the fourth read alone cannot fire.
+        assert flags[:, 0].tolist() == [False, True, False, False]
+        assert not flags[:, 1].any()
+        assert spec.total_flags == 1
+        assert spec.summary()["shots_seen"] == 4
+
+    def test_window_expires_old_evidence(self):
+        spec = LevelStreamSpeculator(
+            1, EraserConfig(window=2, activity_threshold=1, direct_evidence_cycles=2)
+        )
+        flags = spec.update(np.array([[2], [0], [2], [0]]))
+        assert not flags.any()
+
+    def test_rejects_bad_shapes(self):
+        spec = LevelStreamSpeculator(2)
+        with pytest.raises(ConfigurationError):
+            spec.update(np.zeros((4, 3), dtype=int))
+
+
+class _SlowSink(ResultSink):
+    def __init__(self, delay_s=0.02):
+        self.delay_s = delay_s
+        self.batches = []
+
+    def consume(self, levels, joint, batch_id):
+        time.sleep(self.delay_s)
+        self.batches.append(batch_id)
+
+    def close(self):
+        return {"batches": len(self.batches)}
+
+
+class _FailingSink(ResultSink):
+    def consume(self, levels, joint, batch_id):
+        raise RuntimeError("downstream exploded")
+
+
+class TestSinks:
+    def test_collecting_sink_accumulates(self):
+        sink = CollectingSink()
+        sink.consume(np.zeros((3, 2), int), np.zeros(3, int), 0)
+        sink.consume(np.ones((2, 2), int), np.ones(2, int), 1)
+        assert sink.levels.shape == (5, 2)
+        assert sink.close() == {"shots_seen": 5}
+
+    def test_queueing_sink_processes_everything(self):
+        inner = _SlowSink(delay_s=0.001)
+        sink = QueueingSink(inner, max_pending=2)
+        for i in range(10):
+            sink.consume(np.zeros((1, 2), int), np.zeros(1, int), i)
+        summary = sink.close()
+        assert inner.batches == list(range(10))
+        assert summary == {"batches": 10, "max_pending": 2}
+
+    def test_queueing_sink_applies_backpressure(self):
+        inner = _SlowSink(delay_s=0.05)
+        sink = QueueingSink(inner, max_pending=1)
+        blocked = []
+
+        def producer():
+            for i in range(4):
+                sink.consume(np.zeros((1, 1), int), np.zeros(1, int), i)
+            blocked.append(False)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        thread.join(timeout=0.03)
+        # With a 1-batch queue and a 50 ms consumer, four consumes cannot
+        # finish in 30 ms: the producer must be blocked on the queue.
+        assert thread.is_alive()
+        assert sink.pending <= 1
+        thread.join()
+        sink.close()
+
+    def test_queueing_sink_surfaces_consumer_errors(self):
+        sink = QueueingSink(_FailingSink(), max_pending=2)
+        sink.consume(np.zeros((1, 1), int), np.zeros(1, int), 0)
+        with pytest.raises(RuntimeError, match="downstream exploded"):
+            sink.close()
+
+    def test_eraser_sink_summary(self):
+        sink = EraserSpeculationSink(
+            2, EraserConfig(window=3, activity_threshold=1, direct_evidence_cycles=2)
+        )
+        sink.consume(np.array([[2, 0], [2, 0]]), np.array([8, 8]), 0)
+        summary = sink.close()
+        assert summary["lrc_requests"] == 1
+        assert summary["shots_seen"] == 2
+
+
+class TestPipelineEndToEnd:
+    def test_streaming_run_matches_offline_predict(
+        self, tiny_corpus, pipeline_mlr
+    ):
+        sink = CollectingSink()
+        pipeline = ReadoutPipeline(
+            pipeline_mlr,
+            tiny_corpus.chip,
+            PipelineConfig(batch_size=17, workers=2),
+            sink=sink,
+        )
+        report = pipeline.run(CorpusTraceSource(tiny_corpus, chunk_size=23))
+        assert np.array_equal(sink.joint, pipeline_mlr.predict(tiny_corpus))
+        assert report.n_shots == tiny_corpus.n_traces
+        assert report.shots_per_second > 0
+        assert report.accuracy is not None
+        for stage in ("demod", "matched_filter", "discriminate", "sink"):
+            assert stage in report.stage_summaries
+        assert report.budget is not None and report.budget.slowdown > 0
+        assert "streaming readout pipeline" in report.format_table()
+
+    def test_default_pipeline_is_reusable_across_runs(
+        self, tiny_corpus, pipeline_mlr
+    ):
+        pipeline = ReadoutPipeline(
+            pipeline_mlr, tiny_corpus.chip, PipelineConfig(batch_size=64)
+        )
+        first = pipeline.run(CorpusTraceSource(tiny_corpus))
+        second = pipeline.run(CorpusTraceSource(tiny_corpus))
+        assert first.n_shots == second.n_shots == tiny_corpus.n_traces
+        assert first.accuracy == second.accuracy
+
+    def test_engine_construction_error_does_not_leak_sink(
+        self, pipeline_mlr, five_qubit_chip
+    ):
+        import threading
+
+        before = threading.active_count()
+        pipeline = ReadoutPipeline(pipeline_mlr, five_qubit_chip)
+        with pytest.raises(DataError):
+            pipeline.run(SimulatorTraceSource(five_qubit_chip, 8, seed=1))
+        assert threading.active_count() == before
+
+    def test_report_is_json_serializable(self, tiny_corpus, pipeline_mlr):
+        import json
+
+        pipeline = ReadoutPipeline(
+            pipeline_mlr, tiny_corpus.chip, PipelineConfig(batch_size=64)
+        )
+        report = pipeline.run(CorpusTraceSource(tiny_corpus))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["n_shots"] == tiny_corpus.n_traces
+        assert payload["budget"]["slowdown_vs_fpga"] > 0
+
+    def test_warm_registry_skips_refit(self, tmp_path, two_qubit_chip, monkeypatch):
+        fits = []
+        original_fit = MLRDiscriminator.fit
+
+        def counting_fit(self, corpus, indices):
+            fits.append(1)
+            return original_fit(self, corpus, indices)
+
+        monkeypatch.setattr(MLRDiscriminator, "fit", counting_fit)
+        profile = tiny_profile()
+        kwargs = dict(
+            n_shots=60,
+            batch_size=24,
+            chunk_size=30,
+            registry_dir=tmp_path,
+            chip=two_qubit_chip,
+            device="two-qubit-test",
+        )
+        cold = run_streaming_pipeline(profile, **kwargs)
+        warm = run_streaming_pipeline(profile, **kwargs)
+        assert len(fits) == 1, "warm run must not refit"
+        assert cold.calibration_cached is False
+        assert warm.calibration_cached is True
+        assert warm.accuracy == cold.accuracy
+
+    def test_distinct_profiles_get_distinct_artifacts(
+        self, tmp_path, two_qubit_chip
+    ):
+        kwargs = dict(
+            n_shots=30,
+            batch_size=30,
+            registry_dir=tmp_path,
+            chip=two_qubit_chip,
+            device="two-qubit-test",
+        )
+        run_streaming_pipeline(tiny_profile(), **kwargs)
+        run_streaming_pipeline(tiny_profile(name="tiny2"), **kwargs)
+        registry = CalibrationRegistry(tmp_path)
+        profiles = {key.profile for key in registry.keys()}
+        assert profiles == {"tiny-s501", "tiny2-s501"}
+
+    def test_seed_override_gets_its_own_artifact(self, tmp_path, two_qubit_chip):
+        kwargs = dict(
+            n_shots=30,
+            batch_size=30,
+            registry_dir=tmp_path,
+            chip=two_qubit_chip,
+            device="two-qubit-test",
+        )
+        cold = run_streaming_pipeline(tiny_profile(), **kwargs)
+        reseeded = run_streaming_pipeline(
+            tiny_profile().with_seed(777), **kwargs
+        )
+        # A different calibration seed must not hit the base-seed cache.
+        assert cold.calibration_cached is False
+        assert reseeded.calibration_cached is False
+        profiles = {key.profile for key in CalibrationRegistry(tmp_path).keys()}
+        assert profiles == {"tiny-s501", "tiny-s777"}
+
+    def test_different_chip_gets_its_own_artifact(self, tmp_path, two_qubit_chip):
+        from tests.conftest import make_two_qubit_chip
+
+        kwargs = dict(
+            n_shots=30, batch_size=30, registry_dir=tmp_path, device="dev"
+        )
+        run_streaming_pipeline(tiny_profile(), chip=two_qubit_chip, **kwargs)
+        other = run_streaming_pipeline(
+            tiny_profile(), chip=make_two_qubit_chip(noise_std=5.0), **kwargs
+        )
+        # Same device name, different chip parameters: the chip hash in
+        # the key must force a fresh calibration, not serve stale kernels.
+        assert other.calibration_cached is False
+        devices = {key.device for key in CalibrationRegistry(tmp_path).keys()}
+        assert len(devices) == 2
+
+    def test_rejects_bad_shot_count(self, two_qubit_chip):
+        with pytest.raises(ConfigurationError):
+            run_streaming_pipeline(tiny_profile(), n_shots=0, chip=two_qubit_chip)
+
+    def test_pipeline_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(workers=0)
+
+    def test_sink_closed_when_a_stage_fails(self, tiny_corpus, pipeline_mlr):
+        closed = []
+
+        class _Sink(ResultSink):
+            def consume(self, levels, joint, batch_id):
+                pass
+
+            def close(self):
+                closed.append(True)
+                return {}
+
+        pipeline = ReadoutPipeline(
+            pipeline_mlr, tiny_corpus.chip, PipelineConfig(), sink=_Sink()
+        )
+        # A longer window than the calibrated banks makes the matched
+        # filter stage raise mid-run.
+        long_feed = np.concatenate([tiny_corpus.feedline] * 2, axis=1)
+        chunk = ShotChunk(long_feed, None, 0)
+
+        class _Source:
+            chip = tiny_corpus.chip
+            n_shots = long_feed.shape[0]
+
+            def chunks(self):
+                yield chunk
+
+        with pytest.raises(DataError):
+            pipeline.run(_Source())
+        assert closed == [True], "sink must be closed on the failure path"
