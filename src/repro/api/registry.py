@@ -1,0 +1,194 @@
+"""Experiment registry: every paper table/figure, addressable by name.
+
+The registry replaces the hand-maintained ``EXPERIMENTS`` dict: each
+runner module declares itself with the :func:`experiment` decorator and
+:func:`discover` imports every ``repro.experiments.*`` module so the
+registry is complete after one call. Specs carry tags (``fidelity``,
+``qec``, ``fpga``, ``scaling``, ...) and the paper reference, so callers
+can select subsets by name, tag, or ``"all"`` through
+:meth:`ExperimentRegistry.select`.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+import pkgutil
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.api.results import ExperimentResult
+from repro.config import QUICK, Profile
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ExperimentSpec", "ExperimentRegistry", "experiment", "experiments", "discover"]
+
+#: Experiment modules that exist for support, not registration.
+_NON_EXPERIMENT_MODULES = frozenset({"common", "report"})
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment.
+
+    Parameters
+    ----------
+    name:
+        Registry name (``"table1"``, ``"fig5b"``, ...).
+    runner:
+        Callable ``runner(profile, **kwargs) -> ExperimentResult``.
+    tags:
+        Selection tags (``fidelity``, ``qec``, ``fpga``, ``scaling``, ...).
+    paper_ref:
+        Where in the paper the reproduced values live (``"Table I"``).
+    description:
+        One-line summary (defaults to the runner's docstring headline).
+    module:
+        Dotted module path of the runner, for diagnostics.
+    """
+
+    name: str
+    runner: Callable[..., ExperimentResult]
+    tags: tuple[str, ...] = ()
+    paper_ref: str = ""
+    description: str = ""
+    module: str = field(default="", compare=False)
+
+    def run(self, profile: Profile = QUICK, **kwargs) -> ExperimentResult:
+        """Execute the experiment at the given profile."""
+        return self.runner(profile, **kwargs)
+
+
+class ExperimentRegistry(Mapping):
+    """Name -> :class:`ExperimentSpec` mapping with tag selection."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ExperimentSpec] = {}
+
+    # Mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> ExperimentSpec:
+        return self._specs[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    # Registration -------------------------------------------------------
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        """Add a spec; duplicate names are a configuration error."""
+        existing = self._specs.get(spec.name)
+        if existing is not None and existing.runner is not spec.runner:
+            raise ConfigurationError(
+                f"experiment {spec.name!r} already registered by "
+                f"{existing.module or 'another module'}"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    # Selection ----------------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names in registration (paper) order."""
+        return tuple(self._specs)
+
+    def tags(self) -> tuple[str, ...]:
+        """All tags in use, sorted."""
+        return tuple(sorted({t for s in self._specs.values() for t in s.tags}))
+
+    def by_tag(self, tag: str) -> tuple[ExperimentSpec, ...]:
+        """Specs carrying ``tag``, in registration order."""
+        return tuple(s for s in self._specs.values() if tag in s.tags)
+
+    def select(
+        self, selectors: str | Iterable[str]
+    ) -> tuple[ExperimentSpec, ...]:
+        """Resolve names/tags/``"all"`` to specs, deduplicated, in order.
+
+        Each selector may be an experiment name, a tag, or the literal
+        ``"all"``. Unknown selectors raise :class:`ConfigurationError`
+        listing what is available.
+        """
+        if isinstance(selectors, str):
+            selectors = [selectors]
+        chosen: dict[str, ExperimentSpec] = {}
+        for selector in selectors:
+            if selector == "all":
+                chosen.update(self._specs)
+                continue
+            if selector in self._specs:
+                chosen[selector] = self._specs[selector]
+                continue
+            tagged = self.by_tag(selector)
+            if tagged:
+                chosen.update({s.name: s for s in tagged})
+                continue
+            known = ", ".join(self.names())
+            known_tags = ", ".join(self.tags())
+            raise ConfigurationError(
+                f"unknown experiment {selector!r}; expected one of: {known} "
+                f"(or a tag: {known_tags}, or 'all')"
+            )
+        # dicts preserve insertion order; re-sort to registration order so
+        # selection order never changes execution order.
+        order = {name: i for i, name in enumerate(self._specs)}
+        return tuple(
+            sorted(chosen.values(), key=lambda s: order[s.name])
+        )
+
+
+#: The process-wide experiment registry (populated by :func:`discover`).
+experiments = ExperimentRegistry()
+
+
+def experiment(
+    name: str, *, tags: Iterable[str] = (), paper_ref: str = ""
+) -> Callable:
+    """Decorator registering a runner under ``name``.
+
+    The wrapped runner behaves exactly like the original, with one
+    addition: the returned :class:`ExperimentResult` is bound to the
+    experiment name and profile so ``to_dict()`` is self-describing.
+    """
+
+    def _decorate(fn: Callable[..., ExperimentResult]) -> Callable:
+        @functools.wraps(fn)
+        def runner(profile: Profile = QUICK, *args, **kwargs):
+            result = fn(profile, *args, **kwargs)
+            if isinstance(result, ExperimentResult):
+                result._bind(name, profile)
+            return result
+
+        description = (fn.__doc__ or "").strip().splitlines()
+        experiments.register(
+            ExperimentSpec(
+                name=name,
+                runner=runner,
+                tags=tuple(tags),
+                paper_ref=paper_ref,
+                description=description[0] if description else "",
+                module=fn.__module__,
+            )
+        )
+        return runner
+
+    return _decorate
+
+
+def discover() -> ExperimentRegistry:
+    """Import every ``repro.experiments.*`` module and return the registry.
+
+    Importing a runner module executes its :func:`experiment` decorators;
+    repeated calls are no-ops thanks to the module cache, so any entry
+    point (CLI, ``repro.api``, the experiments package itself) can call
+    this defensively.
+    """
+    package = importlib.import_module("repro.experiments")
+    for info in pkgutil.iter_modules(package.__path__):
+        if info.name.startswith("_") or info.name in _NON_EXPERIMENT_MODULES:
+            continue
+        importlib.import_module(f"repro.experiments.{info.name}")
+    return experiments

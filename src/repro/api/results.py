@@ -1,0 +1,202 @@
+"""Uniform result interface carried by every experiment runner.
+
+Every paper table/figure returns a frozen dataclass subclassing
+:class:`ExperimentResult`, which layers a machine-readable contract on
+top of the existing ``format_table()`` text view:
+
+- ``measured`` — measured values as a JSON-safe dict, shaped to mirror
+  the paper's published values where those exist;
+- ``paper_values`` — the published numbers (empty for qualitative
+  figures);
+- ``deviations()`` — measured-vs-paper deltas computed by walking the
+  two dicts in parallel, so any experiment is diffable against the paper
+  without bespoke code;
+- ``to_dict()`` / ``to_json()`` — the full record (name, profile, seed,
+  measured, paper, deviations) for benches, dashboards, and ``repro run
+  --json``.
+
+Numpy scalars/arrays, tuples, and tuple dict keys are converted to
+JSON-safe types by :func:`jsonify`; complex arrays become
+``{"real": ..., "imag": ...}`` pairs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "jsonify"]
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert a value into JSON-serializable builtins."""
+    if isinstance(value, dict):
+        return {_jsonify_key(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        if np.iscomplexobj(value):
+            return {
+                "real": value.real.tolist(),
+                "imag": value.imag.tolist(),
+            }
+        return value.tolist()
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, complex):
+        return {"real": value.real, "imag": value.imag}
+    return value
+
+
+def _jsonify_key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return ",".join(str(jsonify(k)) for k in key)
+    return str(jsonify(key))
+
+
+class ExperimentResult:
+    """Base class for all experiment results.
+
+    Subclasses are frozen dataclasses; the experiment decorator binds
+    ``name``/``profile`` onto each instance after the runner returns, so
+    results are self-describing without every runner threading metadata
+    through its constructor.
+    """
+
+    #: Bound by ``@experiment`` after the runner returns.
+    _experiment_name: str | None = None
+    _profile_name: str | None = None
+    _profile_seed: int | None = None
+
+    @property
+    def name(self) -> str | None:
+        """Registry name of the experiment that produced this result."""
+        return self._experiment_name
+
+    @property
+    def profile_name(self) -> str | None:
+        """Name of the sizing profile the experiment ran under."""
+        return self._profile_name
+
+    @property
+    def profile_seed(self) -> int | None:
+        """Base RNG seed the experiment ran under."""
+        return self._profile_seed
+
+    def _bind(self, name: str, profile) -> None:
+        # The subclasses are frozen dataclasses, whose __setattr__ raises
+        # even for non-field attributes.
+        object.__setattr__(self, "_experiment_name", name)
+        object.__setattr__(self, "_profile_name", getattr(profile, "name", None))
+        object.__setattr__(self, "_profile_seed", getattr(profile, "seed", None))
+
+    # -- measured / paper views -----------------------------------------
+
+    def _measured(self) -> dict:
+        """Raw measured values; default is the dataclass fields.
+
+        Subclasses override to mirror the paper dict's shape (so
+        :meth:`deviations` lines up) or to drop bulky array panels.
+        """
+        if dataclasses.is_dataclass(self):
+            return {
+                f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)
+            }
+        return {}
+
+    def _paper_values(self) -> dict:
+        """Published values this experiment reproduces; default none."""
+        return {}
+
+    @property
+    def measured(self) -> dict:
+        """Measured values as a JSON-safe dict."""
+        return jsonify(self._measured())
+
+    @property
+    def paper_values(self) -> dict:
+        """The paper's published values as a JSON-safe dict."""
+        return jsonify(self._paper_values())
+
+    # -- deviations ------------------------------------------------------
+
+    def deviations(self) -> dict:
+        """Measured-vs-paper deltas for every aligned numeric value.
+
+        The paper and measured dicts are walked in parallel; wherever
+        both hold a number (or equal-length numeric sequences, compared
+        elementwise) at the same path, an entry ``path: {measured,
+        paper, delta, relative}`` is emitted. Paths the paper publishes
+        but the run did not measure (or vice versa) are skipped.
+        """
+        out: dict[str, dict] = {}
+        self._walk_deviations(self.paper_values, self.measured, (), out)
+        return out
+
+    @staticmethod
+    def _walk_deviations(
+        paper: Any, measured: Any, path: tuple[str, ...], out: dict
+    ) -> None:
+        if isinstance(paper, dict) and isinstance(measured, dict):
+            for key, paper_value in paper.items():
+                if key in measured:
+                    ExperimentResult._walk_deviations(
+                        paper_value, measured[key], path + (str(key),), out
+                    )
+            return
+        if isinstance(paper, list) and isinstance(measured, list):
+            if len(paper) == len(measured):
+                for i, (pv, mv) in enumerate(zip(paper, measured)):
+                    ExperimentResult._walk_deviations(
+                        pv, mv, path + (str(i),), out
+                    )
+            return
+        if _is_number(paper) and _is_number(measured):
+            delta = float(measured) - float(paper)
+            out[".".join(path)] = {
+                "measured": float(measured),
+                "paper": float(paper),
+                "delta": delta,
+                "relative": delta / abs(float(paper)) if paper else None,
+            }
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Full machine-readable record of this run."""
+        return {
+            "name": self.name,
+            "profile": self.profile_name,
+            "seed": self.profile_seed,
+            "measured": self.measured,
+            "paper": self.paper_values,
+            "deviations": self.deviations(),
+        }
+
+    def to_json(
+        self, path: str | Path | None = None, indent: int = 2
+    ) -> str:
+        """Serialize :meth:`to_dict` to JSON; optionally write ``path``."""
+        payload = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(payload + "\n")
+        return payload
+
+    def format_table(self) -> str:
+        """Human-readable text view (every subclass provides one)."""
+        raise NotImplementedError
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

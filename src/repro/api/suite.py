@@ -1,0 +1,202 @@
+"""Programmatic execution: run one experiment or a concurrent suite.
+
+:func:`run` executes a single registered experiment; :func:`run_suite`
+resolves a mix of names/tags, executes the selected experiments on a
+thread pool (they share the experiment layer's corpus and trained-model
+caches, which serialize duplicate fits per key), and reports per-
+experiment wall time. Results are deterministic for a fixed profile and
+seed regardless of ``workers`` — every runner derives its randomness
+from the profile, never from execution order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.api.registry import ExperimentSpec, discover, experiments
+from repro.api.results import ExperimentResult
+from repro.config import Profile, get_profile
+from repro.exceptions import ConfigurationError
+
+__all__ = ["run", "run_suite", "SuiteEntry", "SuiteResult"]
+
+
+def _resolve_profile(
+    profile: str | Profile, seed: int | None = None
+) -> Profile:
+    resolved = (
+        get_profile(profile) if isinstance(profile, str) else profile
+    )
+    if seed is not None:
+        resolved = resolved.with_seed(seed)
+    return resolved
+
+
+def run(
+    name: str,
+    profile: str | Profile = "quick",
+    *,
+    seed: int | None = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one registered experiment by name.
+
+    Parameters
+    ----------
+    name:
+        Experiment name from :data:`repro.api.experiments`.
+    profile:
+        Profile name (``quick``/``full``/``paper``) or a
+        :class:`Profile` instance.
+    seed:
+        Optional override of the profile's base seed.
+    kwargs:
+        Forwarded to the runner (e.g. ``distance=5`` for table1).
+    """
+    discover()
+    if name not in experiments:
+        known = ", ".join(experiments.names())
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; expected one of: {known}"
+        )
+    return experiments[name].run(_resolve_profile(profile, seed), **kwargs)
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One experiment's outcome inside a suite run."""
+
+    name: str
+    seconds: float
+    result: ExperimentResult
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Results and wall times of one :func:`run_suite` call."""
+
+    profile: str
+    seed: int
+    workers: int
+    total_seconds: float
+    entries: tuple[SuiteEntry, ...]
+
+    @property
+    def results(self) -> dict[str, ExperimentResult]:
+        """Name -> result for every executed experiment."""
+        return {e.name: e.result for e in self.entries}
+
+    def to_dict(self, include_timings: bool = True) -> dict:
+        """JSON-safe record of the whole suite.
+
+        ``include_timings=False`` drops wall times, leaving a payload
+        that is bit-for-bit reproducible at a fixed profile and seed.
+        """
+        payload: dict = {
+            "profile": self.profile,
+            "seed": self.seed,
+            "results": {e.name: e.result.to_dict() for e in self.entries},
+        }
+        if include_timings:
+            payload["workers"] = self.workers
+            payload["total_seconds"] = self.total_seconds
+            payload["seconds"] = {e.name: e.seconds for e in self.entries}
+        return payload
+
+    def format_table(self) -> str:
+        """Per-experiment wall-time summary."""
+        from repro.experiments.report import format_rows
+
+        rows = [
+            (e.name, f"{e.seconds:.2f}", len(e.result.deviations()))
+            for e in self.entries
+        ]
+        table = format_rows(
+            ("Experiment", "Seconds", "PaperValuesCompared"),
+            rows,
+            title=(
+                f"suite: {len(self.entries)} experiments, profile "
+                f"{self.profile} (seed {self.seed}), "
+                f"{self.workers} worker(s)"
+            ),
+        )
+        return f"{table}\ntotal wall time: {self.total_seconds:.2f} s"
+
+
+def run_suite(
+    names_or_tags: str | Iterable[str] | None = None,
+    profile: str | Profile = "quick",
+    *,
+    tags: Iterable[str] | None = None,
+    seed: int | None = None,
+    workers: int = 1,
+    on_result: Callable[[SuiteEntry], None] | None = None,
+    **kwargs,
+) -> SuiteResult:
+    """Run a selection of experiments, optionally concurrently.
+
+    Parameters
+    ----------
+    names_or_tags:
+        Experiment names, tags, or ``"all"`` (any mix). ``None`` with no
+        ``tags`` selects everything.
+    profile, seed:
+        Sizing profile (name or instance) and optional seed override,
+        shared by every selected experiment.
+    tags:
+        Additional tag selectors, merged with ``names_or_tags`` (the
+        keyword form used by ``run_suite(tags=["fidelity"])``).
+    workers:
+        Thread-pool width; independent experiments execute concurrently
+        and share the corpus/trained-model caches.
+    on_result:
+        Called with each :class:`SuiteEntry` as it completes (so long
+        suites can stream progress). With ``workers > 1`` the callback
+        runs on worker threads, in completion order.
+    kwargs:
+        Forwarded to every runner (rarely useful for mixed suites).
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    discover()
+    selectors: list[str] = []
+    if names_or_tags is not None:
+        if isinstance(names_or_tags, str):
+            selectors.append(names_or_tags)
+        else:
+            selectors.extend(names_or_tags)
+    if tags is not None:
+        selectors.extend(tags)
+    if not selectors:
+        selectors = ["all"]
+    specs = experiments.select(selectors)
+    resolved = _resolve_profile(profile, seed)
+
+    def _run_one(spec: ExperimentSpec) -> SuiteEntry:
+        start = time.perf_counter()
+        result = spec.run(resolved, **kwargs)
+        entry = SuiteEntry(
+            name=spec.name,
+            seconds=time.perf_counter() - start,
+            result=result,
+        )
+        if on_result is not None:
+            on_result(entry)
+        return entry
+
+    wall_start = time.perf_counter()
+    if workers == 1 or len(specs) <= 1:
+        entries = [_run_one(spec) for spec in specs]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            entries = list(pool.map(_run_one, specs))
+    return SuiteResult(
+        profile=resolved.name,
+        seed=resolved.seed,
+        workers=workers,
+        total_seconds=time.perf_counter() - wall_start,
+        entries=tuple(entries),
+    )

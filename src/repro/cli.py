@@ -1,12 +1,25 @@
 """Command-line entry point: run any paper experiment from the shell.
 
+Subcommands::
+
+    repro run <exp|tag|all> [...] [--profile P] [--seed S] [--workers N] [--json PATH]
+    repro list [--tags]
+    repro pipeline [--shots N] [--workers N] [...] [--prune]
+
+The pre-subcommand positional form (``repro table1 --profile quick``,
+``repro all``, ``repro list``) is still accepted and routed through the
+same code paths. Experiments resolve through the
+:data:`repro.api.experiments` registry, so anything registered with the
+``@experiment`` decorator is immediately addressable here.
+
 Examples::
 
-    repro list
-    repro table4 --profile quick
+    repro list --tags
+    repro run table4 --profile quick --json table4.json
+    repro run fidelity --workers 2
     repro fig5b --profile full --seed 7
-    repro all --profile quick
     repro pipeline --shots 2000 --workers 4 --profile quick
+    repro pipeline --prune --max-age-s 604800
 """
 
 from __future__ import annotations
@@ -14,16 +27,29 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
 
+from repro.api.registry import discover, experiments
+from repro.api.suite import run_suite
 from repro.config import get_profile
-from repro.experiments import EXPERIMENTS
+from repro.exceptions import ConfigurationError
 
-__all__ = ["main", "build_parser", "build_pipeline_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_run_parser",
+    "build_list_parser",
+    "build_pipeline_parser",
+]
+
+#: First positionals dispatched to their own parser.
+_SUBCOMMANDS = ("run", "list", "pipeline")
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed for tests)."""
+    """Legacy positional parser (``repro <experiment>``), kept for
+    back-compat and exposed for tests."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -34,9 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help=(
-            "experiment id (table1/table2/.../headline), 'all', 'list', "
-            "or 'pipeline' (streaming readout runtime; see "
-            "'repro pipeline --help')"
+            "subcommand (run/list/pipeline) or, in the legacy form, an "
+            "experiment id (table1/table2/.../headline) or 'all'"
         ),
     )
     parser.add_argument(
@@ -46,6 +71,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="override the profile's base seed"
+    )
+    return parser
+
+
+def build_run_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro run`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description=(
+            "Run one or more experiments selected by name, tag "
+            "(fidelity/qec/fpga/scaling/...), or 'all'"
+        ),
+    )
+    parser.add_argument(
+        "selectors",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="experiment names, tags, or 'all' (any mix)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        help="sizing profile: quick, full, or paper (default: quick)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the profile's base seed"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run independent experiments on N threads (default: 1)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write results as JSON to PATH (single experiment: its "
+            "name/profile/measured/paper/deviations record; several: the "
+            "whole suite)"
+        ),
+    )
+    return parser
+
+
+def build_list_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro list`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro list",
+        description="List registered experiments",
+    )
+    parser.add_argument(
+        "--tags",
+        action="store_true",
+        help="also show each experiment's tags and paper reference",
     )
     return parser
 
@@ -98,22 +179,73 @@ def build_pipeline_parser() -> argparse.ArgumentParser:
         help="disable the calibration registry (always fit from scratch)",
     )
     parser.add_argument(
+        "--design",
+        default=None,
+        help=(
+            "registered discriminator design to serve (default: 'ours'; "
+            "see repro.discriminators.registry — the streaming engine "
+            "currently requires the MLR family)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
         help="also write the run report as JSON to PATH",
     )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help=(
+            "evict stored calibration artifacts instead of streaming: "
+            "apply --max-age-s / --max-bytes to the registry and exit "
+            "(with neither bound, the whole registry is cleared)"
+        ),
+    )
+    parser.add_argument(
+        "--max-age-s",
+        type=float,
+        default=None,
+        help="with --prune: evict artifacts older than this many seconds",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help=(
+            "with --prune: evict oldest artifacts until the registry is "
+            "at most this many bytes"
+        ),
+    )
     return parser
+
+
+def _prune_registry(args) -> int:
+    from repro.pipeline import CalibrationRegistry
+
+    max_age_s, max_bytes = args.max_age_s, args.max_bytes
+    if max_age_s is None and max_bytes is None:
+        # No bounds given: clear everything. A zero size budget is robust
+        # where a zero age is not (same-instant or future mtimes survive
+        # a strict older-than-0s check).
+        max_bytes = 0
+    registry = CalibrationRegistry(args.registry)
+    report = registry.prune(max_age_s=max_age_s, max_bytes=max_bytes)
+    print(report.format_table())
+    return 0
 
 
 def _run_pipeline(argv: list[str]) -> int:
     from repro.pipeline import run_streaming_pipeline
 
     args = build_pipeline_parser().parse_args(argv)
+    if args.prune:
+        return _prune_registry(args)
     profile = get_profile(args.profile)
     if args.seed is not None:
         profile = profile.with_seed(args.seed)
 
+    design_kwargs = {} if args.design is None else {"design": args.design}
     start = time.perf_counter()
     report = run_streaming_pipeline(
         profile,
@@ -122,6 +254,7 @@ def _run_pipeline(argv: list[str]) -> int:
         batch_size=args.batch_size,
         chunk_size=args.chunk_size,
         registry_dir=None if args.no_cache else args.registry,
+        **design_kwargs,
     )
     elapsed = time.perf_counter() - start
     print(report.format_table())
@@ -133,59 +266,97 @@ def _run_pipeline(argv: list[str]) -> int:
     return 0
 
 
-def _run_one(name: str, profile) -> None:
-    start = time.perf_counter()
-    result = EXPERIMENTS[name](profile)
-    elapsed = time.perf_counter() - start
-    print(result.format_table())
-    print(f"[{name} completed in {elapsed:.1f} s]\n")
+def _run_experiments(argv: list[str]) -> int:
+    """The ``repro run`` subcommand (also the legacy positional target)."""
+    args = build_run_parser().parse_args(argv)
+    discover()
+    # Resolve selectors up front so a bad experiment name is a usage
+    # error (exit 2), while a bad --profile still raises like the rest
+    # of the CLI; run_suite then re-resolves the validated names.
+    try:
+        specs = experiments.select(args.selectors)
+    except ConfigurationError as exc:  # carries the known-name list
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    print_lock = threading.Lock()
+
+    def _print_entry(entry) -> None:
+        # Stream each result as it completes (long suites give feedback
+        # early); the lock keeps parallel workers' tables unmangled.
+        with print_lock:
+            print(entry.result.format_table())
+            print(f"[{entry.name} completed in {entry.seconds:.1f} s]\n")
+
+    suite = run_suite(
+        [spec.name for spec in specs],
+        profile=args.profile,
+        seed=args.seed,
+        workers=args.workers,
+        on_result=_print_entry,
+    )
+    if len(suite.entries) > 1:
+        print(suite.format_table())
+        print()
+
+    if args.json is not None:
+        if len(suite.entries) == 1:
+            payload = suite.entries[0].result.to_dict()
+        else:
+            payload = suite.to_dict()
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"results written to {args.json}")
+    return 0
+
+
+def _list_experiments(argv: list[str]) -> int:
+    """The ``repro list`` subcommand."""
+    args = build_list_parser().parse_args(argv)
+    discover()
+    print("available experiments:")
+    if args.tags:
+        width = max(len(name) for name in experiments.names())
+        for spec in experiments.values():
+            tags = ",".join(spec.tags) or "-"
+            print(f"  {spec.name.ljust(width)}  [{tags}]  {spec.paper_ref}")
+        print(f"\ntags: {', '.join(experiments.tags())}")
+    else:
+        for name in experiments.names():
+            print(f"  {name}")
+    print("  pipeline  (streaming runtime; see 'repro pipeline --help')")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Fast paths keep 'repro <sub> --help' on the subcommand's parser.
+    if argv and argv[0] == "run":
+        return _run_experiments(argv[1:])
+    if argv and argv[0] == "list":
+        return _list_experiments(argv[1:])
     if argv and argv[0] == "pipeline":
-        # Fast path keeps 'repro pipeline --help' on the pipeline parser.
         return _run_pipeline(argv[1:])
-    # Peek at the experiment positional: 'pipeline' routes to its own
-    # parser with the shared flags (--profile, --seed) forwarded, so
-    # 'repro --profile full pipeline' also works while flag *values*
-    # equal to 'pipeline' stay untouched.
+
+    # Legacy positional form. Peek at the experiment positional:
+    # 'pipeline' routes to its own parser with the shared flags
+    # (--profile, --seed) forwarded, so 'repro --profile full pipeline'
+    # also works while flag *values* equal to 'pipeline' stay untouched.
     peek, extra = build_parser().parse_known_args(argv)
     if peek.experiment == "pipeline":
         forwarded = list(extra) + ["--profile", peek.profile]
         if peek.seed is not None:
             forwarded += ["--seed", str(peek.seed)]
         return _run_pipeline(forwarded)
+    if peek.experiment == "list":
+        return _list_experiments(list(extra))
 
     args = build_parser().parse_args(argv)
-
-    if args.experiment == "list":
-        print("available experiments:")
-        for name in EXPERIMENTS:
-            print(f"  {name}")
-        print("  pipeline  (streaming runtime; see 'repro pipeline --help')")
-        return 0
-
-    profile = get_profile(args.profile)
+    forwarded = [args.experiment, "--profile", args.profile]
     if args.seed is not None:
-        profile = profile.with_seed(args.seed)
-
-    if args.experiment == "all":
-        for name in EXPERIMENTS:
-            _run_one(name, profile)
-        return 0
-
-    if args.experiment not in EXPERIMENTS:
-        known = ", ".join(EXPERIMENTS)
-        print(
-            f"unknown experiment {args.experiment!r}; expected one of: {known}",
-            file=sys.stderr,
-        )
-        return 2
-
-    _run_one(args.experiment, profile)
-    return 0
+        forwarded += ["--seed", str(args.seed)]
+    return _run_experiments(forwarded)
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@
   cluster detection (Sec V.A).
 """
 
+from repro.discriminators import registry
 from repro.discriminators.base import Discriminator
 from repro.discriminators.calibration import (
     LeakageDetectionResult,
@@ -25,6 +26,7 @@ from repro.discriminators.mlr import MLRDiscriminator
 
 __all__ = [
     "Discriminator",
+    "registry",
     "MatchedFilterFeatureExtractor",
     "tag_error_traces",
     "FNNBaseline",

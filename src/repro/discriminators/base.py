@@ -10,12 +10,10 @@ import numpy as np
 
 from repro.data.basis import state_to_digits
 from repro.data.dataset import ReadoutCorpus
+from repro.discriminators import registry as _registry
 from repro.exceptions import DataError, NotFittedError
 
 __all__ = ["Discriminator"]
-
-#: Concrete Discriminator subclasses by class name, for artifact loading.
-_ARTIFACT_CLASSES: dict[str, type] = {}
 
 
 class Discriminator(ABC):
@@ -33,7 +31,20 @@ class Discriminator(ABC):
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
-        _ARTIFACT_CLASSES[cls.__name__] = cls
+        _registry.record_artifact_class(cls)
+
+    @classmethod
+    def from_profile(cls, profile) -> "Discriminator":
+        """Build an unfitted instance sized for a :class:`Profile`.
+
+        Designs published through :func:`repro.discriminators.registry
+        .register` must override this; it is how every by-name code path
+        (experiment training, pipeline calibration, CLI design choices)
+        constructs discriminators.
+        """
+        raise NotImplementedError(
+            f"{cls.__name__} does not define from_profile()"
+        )
 
     @property
     @abstractmethod
@@ -189,7 +200,7 @@ class Discriminator(ABC):
             meta = json.loads(str(data["artifact_meta"]))
             arrays = {k: data[k] for k in data.files if k != "artifact_meta"}
         class_name = meta.pop("class", None)
-        target = _ARTIFACT_CLASSES.get(class_name)
+        target = _registry.artifact_class(class_name)
         if target is None:
             raise DataError(f"unknown discriminator class {class_name!r}")
         if cls is not Discriminator and not issubclass(target, cls):

@@ -14,6 +14,7 @@ from repro._util import check_random_state, child_rng
 from repro.data.basis import n_basis_states
 from repro.data.dataset import ReadoutCorpus
 from repro.discriminators.base import Discriminator
+from repro.discriminators.registry import register
 from repro.exceptions import ConfigurationError
 from repro.ml.dataset import StandardScaler
 from repro.ml.nn import Adam, MLPClassifier, train_classifier
@@ -21,6 +22,10 @@ from repro.ml.nn import Adam, MLPClassifier, train_classifier
 __all__ = ["FNNBaseline"]
 
 
+@register(
+    "fnn",
+    description="raw-IQ feedforward network widened to 3^n states",
+)
 class FNNBaseline(Discriminator):
     """Joint-state classifier over raw IQ samples.
 
@@ -36,6 +41,14 @@ class FNNBaseline(Discriminator):
     """
 
     name = "fnn"
+
+    @classmethod
+    def from_profile(cls, profile) -> "FNNBaseline":
+        return cls(
+            epochs=profile.fnn_epochs,
+            batch_size=profile.batch_size,
+            seed=profile.seed + 12,
+        )
 
     def __init__(
         self,

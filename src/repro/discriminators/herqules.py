@@ -16,6 +16,7 @@ from repro.data.basis import n_basis_states
 from repro.data.dataset import ReadoutCorpus
 from repro.discriminators.base import Discriminator
 from repro.discriminators.features import MatchedFilterFeatureExtractor
+from repro.discriminators.registry import NN_LEARNING_RATE, register
 from repro.exceptions import ConfigurationError
 from repro.ml.dataset import StandardScaler
 from repro.ml.nn import Adam, MLPClassifier, train_classifier
@@ -23,6 +24,10 @@ from repro.ml.nn import Adam, MLPClassifier, train_classifier
 __all__ = ["HerqulesDiscriminator"]
 
 
+@register(
+    "herqules",
+    description="QMF+RMF scores into a joint 3^n head (ISCA'23 baseline)",
+)
 class HerqulesDiscriminator(Discriminator):
     """Joint-state classifier over QMF+RMF scores.
 
@@ -38,6 +43,15 @@ class HerqulesDiscriminator(Discriminator):
     """
 
     name = "herqules"
+
+    @classmethod
+    def from_profile(cls, profile) -> "HerqulesDiscriminator":
+        return cls(
+            epochs=profile.nn_epochs,
+            batch_size=profile.batch_size,
+            learning_rate=NN_LEARNING_RATE,
+            seed=profile.seed + 11,
+        )
 
     def __init__(
         self,

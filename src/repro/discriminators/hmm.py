@@ -24,6 +24,7 @@ from repro._util import check_random_state
 from repro.data.basis import digits_to_state
 from repro.data.dataset import ReadoutCorpus
 from repro.discriminators.base import Discriminator
+from repro.discriminators.registry import register
 from repro.dsp.demod import demodulate
 from repro.dsp.filters import boxcar_decimate
 from repro.exceptions import ConfigurationError, DataError
@@ -32,6 +33,10 @@ from repro.physics.jumps import TransitionRates
 __all__ = ["HMMDiscriminator"]
 
 
+@register(
+    "hmm",
+    description="per-qubit forward-algorithm HMM over baseband samples",
+)
 class HMMDiscriminator(Discriminator):
     """Per-qubit forward-algorithm state discrimination.
 
@@ -45,6 +50,10 @@ class HMMDiscriminator(Discriminator):
     """
 
     name = "hmm"
+
+    @classmethod
+    def from_profile(cls, profile) -> "HMMDiscriminator":
+        return cls(seed=profile.seed + 13)
 
     def __init__(
         self,

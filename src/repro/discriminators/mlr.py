@@ -17,6 +17,7 @@ from repro.data.basis import digits_to_state
 from repro.data.dataset import ReadoutCorpus
 from repro.discriminators.base import Discriminator
 from repro.discriminators.features import MatchedFilterFeatureExtractor
+from repro.discriminators.registry import NN_LEARNING_RATE, register
 from repro.exceptions import ConfigurationError
 from repro.ml.dataset import StandardScaler
 from repro.ml.nn import Adam, MLPClassifier, train_classifier
@@ -24,6 +25,11 @@ from repro.ml.nn import Adam, MLPClassifier, train_classifier
 __all__ = ["MLRDiscriminator"]
 
 
+@register(
+    "ours",
+    aliases=("mlr",),
+    description="matched filters + modular per-qubit NNs (the paper's design)",
+)
 class MLRDiscriminator(Discriminator):
     """Multi-Level Readout discriminator (the paper's "OURS").
 
@@ -47,6 +53,15 @@ class MLRDiscriminator(Discriminator):
     """
 
     name = "ours"
+
+    @classmethod
+    def from_profile(cls, profile) -> "MLRDiscriminator":
+        return cls(
+            epochs=profile.nn_epochs,
+            batch_size=profile.batch_size,
+            learning_rate=NN_LEARNING_RATE,
+            seed=profile.seed + 10,
+        )
 
     def __init__(
         self,

@@ -1,68 +1,35 @@
 """One runner per paper table/figure.
 
 Each ``run_*`` function takes a :class:`repro.config.Profile`, performs the
-experiment at that scale, and returns a structured result object carrying
-both the measured values and the paper's published values, so benches and
-the CLI can print paper-vs-measured side by side.
+experiment at that scale, and returns an :class:`repro.api.ExperimentResult`
+carrying both the measured values and the paper's published values, so
+benches and the CLI can print (and JSON-diff) paper-vs-measured side by
+side.
+
+The runners register themselves in :data:`repro.api.experiments` via the
+``@experiment`` decorator; importing this package triggers
+:func:`repro.api.discover`, so the registry is complete afterwards and the
+module namespace (``run_table1``, ...) is derived from it rather than
+hand-maintained.
 """
 
+from repro.api.registry import discover as _discover
+from repro.api.registry import experiments
 from repro.experiments.common import ReadoutBundle, get_readout_bundle, get_trained
-from repro.experiments.fig1c import run_fig1c
-from repro.experiments.fig1d import run_fig1d
-from repro.experiments.fig3 import run_fig3
-from repro.experiments.fig5a import run_fig5a
-from repro.experiments.fig5b import run_fig5b
-from repro.experiments.headline import run_headline
-from repro.experiments.fnn_scaling import run_fnn_scaling
-from repro.experiments.scaling import run_scaling
-from repro.experiments.sec3 import run_sec3_cnot_leakage
-from repro.experiments.sec7b import run_sec7b_cycle_time
-from repro.experiments.sec7d import run_sec7d_power
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
-from repro.experiments.table4 import run_table4
-from repro.experiments.table5 import run_table5
-from repro.experiments.table6 import run_table6
 
-EXPERIMENTS = {
-    "table1": run_table1,
-    "table2": run_table2,
-    "table4": run_table4,
-    "table5": run_table5,
-    "table6": run_table6,
-    "fig1c": run_fig1c,
-    "fig1d": run_fig1d,
-    "fig3": run_fig3,
-    "fig5a": run_fig5a,
-    "fig5b": run_fig5b,
-    "sec3": run_sec3_cnot_leakage,
-    "sec7b": run_sec7b_cycle_time,
-    "sec7d": run_sec7d_power,
-    "headline": run_headline,
-    "scaling": run_scaling,
-    "fnn_scaling": run_fnn_scaling,
-}
+_discover()
+
+# Re-export every registered runner (run_table1, run_fig5b, ...) under its
+# function name, so ``from repro.experiments import run_table1`` keeps
+# working without a hand-maintained import block.
+globals().update(
+    {spec.runner.__name__: spec.runner for spec in experiments.values()}
+)
 
 __all__ = [
     "ReadoutBundle",
     "get_readout_bundle",
     "get_trained",
-    "EXPERIMENTS",
-    *(f"run_{name}" for name in ()),
-    "run_table1",
-    "run_table2",
-    "run_table4",
-    "run_table5",
-    "run_table6",
-    "run_fig1c",
-    "run_fig1d",
-    "run_fig3",
-    "run_fig5a",
-    "run_fig5b",
-    "run_sec3_cnot_leakage",
-    "run_sec7b_cycle_time",
-    "run_sec7d_power",
-    "run_headline",
-    "run_scaling",
-    "run_fnn_scaling",
+    "experiments",
+    *sorted(spec.runner.__name__ for spec in experiments.values()),
 ]

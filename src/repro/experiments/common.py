@@ -4,11 +4,18 @@ All readout tables/figures use the same corpus pipeline: the default
 five-qubit chip, all 243 joint basis states at ``profile.shots_per_state``
 shots, and the paper's 30-70 train/test split per state. Corpora and
 trained discriminators are cached per (profile name, seed) so a bench
-suite touching several tables trains each model once.
+suite touching several tables trains each model once; per-key locks keep
+that fit-once guarantee when ``repro.api.run_suite`` executes experiments
+on a thread pool.
+
+Discriminators are built by design name through
+``repro.discriminators.registry`` — the single source of truth for the
+name → class mapping shared with the pipeline runner and artifact loader.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -16,11 +23,8 @@ import numpy as np
 from repro.config import Profile
 from repro.data import generate_corpus
 from repro.data.dataset import ReadoutCorpus
-from repro.discriminators import (
-    FNNBaseline,
-    HerqulesDiscriminator,
-    MLRDiscriminator,
-)
+from repro.discriminators import registry as discriminators
+from repro.discriminators.registry import NN_LEARNING_RATE
 from repro.ml import stratified_split
 from repro.ml.metrics import geometric_mean_fidelity, per_qubit_fidelity
 from repro.physics.device import default_five_qubit_chip
@@ -31,10 +35,9 @@ __all__ = [
     "get_readout_bundle",
     "get_trained",
     "clear_caches",
+    "NN_LEARNING_RATE",
 ]
 
-#: Learning rate shared by the matched-filter discriminator heads.
-NN_LEARNING_RATE = 3e-3
 TRAIN_FRACTION = 0.30
 
 
@@ -65,73 +68,68 @@ class TrainedDesign:
 _BUNDLE_CACHE: dict[tuple[str, int], ReadoutBundle] = {}
 _TRAINED_CACHE: dict[tuple[str, int, str], TrainedDesign] = {}
 
+# One lock per cache key so concurrent suite workers never fit the same
+# (profile, design) twice, while distinct keys still fill in parallel.
+_KEY_LOCKS: dict[tuple, threading.Lock] = {}
+_KEY_LOCKS_GUARD = threading.Lock()
+
+
+def _key_lock(key: tuple) -> threading.Lock:
+    with _KEY_LOCKS_GUARD:
+        return _KEY_LOCKS.setdefault(key, threading.Lock())
+
 
 def clear_caches() -> None:
     """Drop all cached corpora and trained models (frees memory)."""
     _BUNDLE_CACHE.clear()
     _TRAINED_CACHE.clear()
+    with _KEY_LOCKS_GUARD:
+        _KEY_LOCKS.clear()
 
 
 def get_readout_bundle(profile: Profile) -> ReadoutBundle:
     """Corpus + 30-70 per-state split for a profile (cached)."""
     key = (profile.name, profile.seed)
-    if key not in _BUNDLE_CACHE:
-        chip = default_five_qubit_chip()
-        corpus = generate_corpus(
-            chip, shots_per_state=profile.shots_per_state, seed=profile.seed
-        )
-        train_idx, test_idx = stratified_split(
-            corpus.labels, TRAIN_FRACTION, seed=profile.seed + 1
-        )
-        _BUNDLE_CACHE[key] = ReadoutBundle(corpus, train_idx, test_idx)
+    with _key_lock(("bundle", *key)):
+        if key not in _BUNDLE_CACHE:
+            chip = default_five_qubit_chip()
+            corpus = generate_corpus(
+                chip, shots_per_state=profile.shots_per_state, seed=profile.seed
+            )
+            train_idx, test_idx = stratified_split(
+                corpus.labels, TRAIN_FRACTION, seed=profile.seed + 1
+            )
+            _BUNDLE_CACHE[key] = ReadoutBundle(corpus, train_idx, test_idx)
     return _BUNDLE_CACHE[key]
-
-
-def _build(profile: Profile, design: str):
-    if design == "ours":
-        return MLRDiscriminator(
-            epochs=profile.nn_epochs,
-            batch_size=profile.batch_size,
-            learning_rate=NN_LEARNING_RATE,
-            seed=profile.seed + 10,
-        )
-    if design == "herqules":
-        return HerqulesDiscriminator(
-            epochs=profile.nn_epochs,
-            batch_size=profile.batch_size,
-            learning_rate=NN_LEARNING_RATE,
-            seed=profile.seed + 11,
-        )
-    if design == "fnn":
-        return FNNBaseline(
-            epochs=profile.fnn_epochs,
-            batch_size=profile.batch_size,
-            seed=profile.seed + 12,
-        )
-    raise ValueError(f"unknown design {design!r}")
 
 
 def get_trained(profile: Profile, design: str) -> TrainedDesign:
     """Fit a named design on the profile's corpus (cached) and score it.
 
-    ``design`` is one of ``"ours"``, ``"herqules"``, ``"fnn"``.
+    ``design`` is any name registered in
+    ``repro.discriminators.registry`` (``"ours"``, ``"herqules"``,
+    ``"fnn"``, ...).
     """
     key = (profile.name, profile.seed, design)
-    if key not in _TRAINED_CACHE:
-        bundle = get_readout_bundle(profile)
-        disc = _build(profile, design)
-        disc.fit(bundle.corpus, bundle.train_idx)
-        pred = disc.predict(bundle.corpus, bundle.test_idx)
-        fid = per_qubit_fidelity(
-            bundle.test_labels, pred, bundle.corpus.n_qubits, bundle.corpus.n_levels
-        )
-        _TRAINED_CACHE[key] = TrainedDesign(
-            name=design,
-            discriminator=disc,
-            fidelities=fid,
-            f5q=geometric_mean_fidelity(fid),
-            n_parameters=disc.n_parameters,
-        )
+    with _key_lock(("trained", *key)):
+        if key not in _TRAINED_CACHE:
+            bundle = get_readout_bundle(profile)
+            disc = discriminators.build(design, profile)
+            disc.fit(bundle.corpus, bundle.train_idx)
+            pred = disc.predict(bundle.corpus, bundle.test_idx)
+            fid = per_qubit_fidelity(
+                bundle.test_labels,
+                pred,
+                bundle.corpus.n_qubits,
+                bundle.corpus.n_levels,
+            )
+            _TRAINED_CACHE[key] = TrainedDesign(
+                name=design,
+                discriminator=disc,
+                fidelities=fid,
+                f5q=geometric_mean_fidelity(fid),
+                n_parameters=disc.n_parameters,
+            )
     return _TRAINED_CACHE[key]
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.common import get_trained
 from repro.experiments.report import format_rows
@@ -12,7 +14,7 @@ __all__ = ["Fig1cResult", "run_fig1c"]
 
 
 @dataclass(frozen=True)
-class Fig1cResult:
+class Fig1cResult(ExperimentResult):
     """Per-qubit inaccuracy (1 - fidelity) for each design."""
 
     inaccuracy: dict  # {design: tuple per qubit}
@@ -28,6 +30,7 @@ class Fig1cResult:
         )
 
 
+@experiment("fig1c", tags=("fidelity",), paper_ref="Fig. 1(c)")
 def run_fig1c(profile: Profile = QUICK) -> Fig1cResult:
     """Compute 1 - F_i for HERQULES, FNN, and OURS."""
     inaccuracy = {}

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.common import (
     FNN_ARCHITECTURE,
@@ -24,10 +26,16 @@ PAPER_LUT_UTILIZATION = {"herqules": 0.28, "fnn": 4.20, "ours": 0.07}
 
 
 @dataclass(frozen=True)
-class Fig1dResult:
+class Fig1dResult(ExperimentResult):
     """LUT utilization fraction per design (1.0 = full device)."""
 
     utilization: dict
+
+    def _measured(self) -> dict:
+        return dict(self.utilization)
+
+    def _paper_values(self) -> dict:
+        return PAPER_LUT_UTILIZATION
 
     @property
     def fnn_over_ours(self) -> float:
@@ -53,6 +61,7 @@ class Fig1dResult:
         )
 
 
+@experiment("fig1d", tags=("fpga",), paper_ref="Fig. 1(d)")
 def run_fig1d(profile: Profile = QUICK) -> Fig1dResult:
     """Estimate LUT utilization of the three architectures."""
     estimates = {

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.data import generate_calibration_shots, generate_corpus
 from repro.discriminators import detect_leakage_clusters
@@ -28,7 +30,7 @@ DEFAULT_QUBIT = 3
 
 
 @dataclass(frozen=True)
-class Fig3Result:
+class Fig3Result(ExperimentResult):
     """Data series for the four panels.
 
     Attributes
@@ -55,6 +57,19 @@ class Fig3Result:
     state_mean_traces: np.ndarray
     excitation_mean_traces: dict
 
+    def _measured(self) -> dict:
+        # Scalars and summary stats only; the array panels (MTV scatter,
+        # mean traces) stay on the result object for plotting callers.
+        return {
+            "qubit": self.qubit,
+            "cluster_sizes": self.cluster_sizes,
+            "detection_precision": self.detection_precision,
+            "detection_recall": self.detection_recall,
+            "n_excitation_trace_sets": sum(
+                1 for t in self.excitation_mean_traces.values() if t is not None
+            ),
+        }
+
     def format_table(self) -> str:
         lines = [
             f"Fig 3: calibration-free leakage detection (qubit index {self.qubit})",
@@ -70,6 +85,7 @@ class Fig3Result:
         return "\n".join(lines)
 
 
+@experiment("fig3", tags=("calibration",), paper_ref="Fig. 3")
 def run_fig3(profile: Profile = QUICK, qubit: int = DEFAULT_QUBIT) -> Fig3Result:
     """Cluster calibration shots and extract state/error mean traces."""
     chip = default_five_qubit_chip()

@@ -7,6 +7,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.common import (
     HERQULES_ARCHITECTURE,
@@ -18,9 +20,12 @@ from repro.fpga import XCZU7EV, estimate_network_resources
 
 __all__ = ["Fig5aResult", "run_fig5a"]
 
+#: Paper: "over 5x fewer flip-flops and 4x fewer LUTs than HERQULES".
+PAPER_RATIOS = {"lut": 4.0, "ff": 5.0}
+
 
 @dataclass(frozen=True)
-class Fig5aResult:
+class Fig5aResult(ExperimentResult):
     """Resource estimates and HERQULES/OURS ratios."""
 
     resources: dict  # {design: {resource: value}}
@@ -28,6 +33,17 @@ class Fig5aResult:
     def ratio(self, resource: str) -> float:
         """HERQULES-to-OURS ratio for one resource class."""
         return self.resources["herqules"][resource] / self.resources["ours"][resource]
+
+    def _measured(self) -> dict:
+        return {
+            "resources": self.resources,
+            "herqules_over_ours": {
+                r: self.ratio(r) for r in ("lut", "ff", "bram", "dsp")
+            },
+        }
+
+    def _paper_values(self) -> dict:
+        return {"herqules_over_ours": PAPER_RATIOS}
 
     def format_table(self) -> str:
         table = format_rows(
@@ -51,6 +67,7 @@ class Fig5aResult:
         )
 
 
+@experiment("fig5a", tags=("fpga",), paper_ref="Fig. 5(a)")
 def run_fig5a(profile: Profile = QUICK) -> Fig5aResult:
     """Estimate LUT/FF/BRAM/DSP for HERQULES and OURS."""
     resources = {}

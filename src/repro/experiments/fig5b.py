@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.discriminators import MLRDiscriminator
 from repro.experiments.common import NN_LEARNING_RATE, get_readout_bundle
@@ -24,7 +26,7 @@ DEFAULT_DURATIONS_NS = (500, 600, 700, 800, 900, 1000)
 
 
 @dataclass(frozen=True)
-class Fig5bResult:
+class Fig5bResult(ExperimentResult):
     """Accuracy-vs-duration series.
 
     ``mean_accuracy`` retrains the whole pipeline per duration;
@@ -54,6 +56,7 @@ class Fig5bResult:
         )
 
 
+@experiment("fig5b", tags=("fidelity", "timing"), paper_ref="Fig. 5(b)")
 def run_fig5b(
     profile: Profile = QUICK,
     durations_ns: tuple[int, ...] = DEFAULT_DURATIONS_NS,

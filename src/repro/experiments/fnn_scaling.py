@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.data import generate_corpus
 from repro.discriminators import FNNBaseline, MLRDiscriminator
@@ -26,7 +28,7 @@ DEFAULT_SHOT_LADDER = (8, 16, 32)
 
 
 @dataclass(frozen=True)
-class FNNScalingResult:
+class FNNScalingResult(ExperimentResult):
     """F5Q of the FNN and OURS at each corpus size."""
 
     shots_per_state: tuple[int, ...]
@@ -50,6 +52,11 @@ class FNNScalingResult:
         )
 
 
+@experiment(
+    "fnn_scaling",
+    tags=("scaling", "fidelity"),
+    paper_ref="Table II (deviation study)",
+)
 def run_fnn_scaling(
     profile: Profile = QUICK,
     shot_ladder: tuple[int, ...] = DEFAULT_SHOT_LADDER,

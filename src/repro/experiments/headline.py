@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.common import (
     FNN_ARCHITECTURE,
@@ -22,13 +24,34 @@ from repro.fpga.resources import network_shape_stats
 
 __all__ = ["HeadlineResult", "run_headline"]
 
+#: Abstract/introduction claims: model-size and LUT reduction factors.
+PAPER_RATIOS = {
+    "model_size_vs_fnn": 100.0,
+    "model_size_vs_herqules": 10.0,
+    "lut_ratio_vs_fnn": 60.0,
+    "lut_ratio_vs_herqules": 15.0,
+}
+
 
 @dataclass(frozen=True)
-class HeadlineResult:
+class HeadlineResult(ExperimentResult):
     """Model-size and LUT ratios between the three designs."""
 
     parameters: dict
     luts: dict
+
+    def _measured(self) -> dict:
+        return {
+            "parameters": self.parameters,
+            "luts": self.luts,
+            "model_size_vs_fnn": self.model_size_vs_fnn,
+            "model_size_vs_herqules": self.model_size_vs_herqules,
+            "lut_ratio_vs_fnn": self.lut_ratio_vs_fnn,
+            "lut_ratio_vs_herqules": self.lut_ratio_vs_herqules,
+        }
+
+    def _paper_values(self) -> dict:
+        return PAPER_RATIOS
 
     @property
     def model_size_vs_fnn(self) -> float:
@@ -64,6 +87,7 @@ class HeadlineResult:
         )
 
 
+@experiment("headline", tags=("fpga", "scaling"), paper_ref="Abstract")
 def run_headline(profile: Profile = QUICK) -> HeadlineResult:
     """Compute the parameter and LUT ratios from the published shapes."""
     parameters = {

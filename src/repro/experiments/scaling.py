@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.exceptions import ConfigurationError
 from repro.experiments.report import format_rows
@@ -77,7 +79,7 @@ def total_parameters(design: str, n_qubits: int, n_levels: int) -> int:
 
 
 @dataclass(frozen=True)
-class ScalingResult:
+class ScalingResult(ExperimentResult):
     """Parameter counts over the (n, k) grid.
 
     ``parameters[design]`` is a dict mapping (n_qubits, n_levels) to the
@@ -87,6 +89,17 @@ class ScalingResult:
     qubit_range: tuple[int, ...]
     level_range: tuple[int, ...]
     parameters: dict
+
+    def _measured(self) -> dict:
+        return {
+            "qubit_range": self.qubit_range,
+            "level_range": self.level_range,
+            "parameters": self.parameters,
+            "growth_exponent": {
+                design: self.growth_exponent(design)
+                for design in sorted(self.parameters)
+            },
+        }
 
     def growth_exponent(self, design: str, n_levels: int = 3) -> float:
         """Fitted log-growth rate per added qubit at fixed k.
@@ -127,6 +140,7 @@ class ScalingResult:
         )
 
 
+@experiment("scaling", tags=("scaling",), paper_ref="Sec. V.C")
 def run_scaling(
     profile: Profile = QUICK,
     qubit_range: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8, 9, 10),

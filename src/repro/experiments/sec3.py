@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.report import format_rows
 from repro.qudit import QuditCircuit
@@ -17,9 +19,12 @@ __all__ = ["Sec3Result", "run_sec3_cnot_leakage"]
 
 N_CNOTS = 12
 
+#: Paper: 1.5-2% per-gate transfer (midpoint), ~3x growth at 12 CNOTs.
+PAPER_VALUES = {"single_gate_transfer": 0.0175, "growth_ratio_at_12": 3.0}
+
 
 @dataclass(frozen=True)
-class Sec3Result:
+class Sec3Result(ExperimentResult):
     """Leakage growth curves and the single-gate transfer rate."""
 
     n_cnots: tuple[int, ...]
@@ -27,6 +32,9 @@ class Sec3Result:
     normal_control_population: tuple[float, ...]
     single_gate_transfer: float
     growth_ratio_at_12: float
+
+    def _paper_values(self) -> dict:
+        return PAPER_VALUES
 
     def format_table(self) -> str:
         rows = [
@@ -50,6 +58,7 @@ class Sec3Result:
         )
 
 
+@experiment("sec3", tags=("leakage",), paper_ref="Sec. III.A")
 def run_sec3_cnot_leakage(profile: Profile = QUICK) -> Sec3Result:
     """Evolve the repeated-CNOT circuits exactly (density matrix).
 

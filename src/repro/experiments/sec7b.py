@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.report import format_rows
 from repro.qec import cycle_time_ns, cycle_time_reduction
@@ -17,14 +19,20 @@ __all__ = ["Sec7bResult", "run_sec7b_cycle_time"]
 BASELINE_READOUT_NS = 1000.0
 REDUCED_READOUT_NS = 800.0
 
+#: Paper: "up to a 17% decrease in QEC cycle time".
+PAPER_VALUES = {"reduction": 0.17}
+
 
 @dataclass(frozen=True)
-class Sec7bResult:
+class Sec7bResult(ExperimentResult):
     """Cycle times at both readout durations and the reduction."""
 
     baseline_cycle_ns: float
     reduced_cycle_ns: float
     reduction: float
+
+    def _paper_values(self) -> dict:
+        return PAPER_VALUES
 
     def format_table(self) -> str:
         table = format_rows(
@@ -38,6 +46,7 @@ class Sec7bResult:
         return f"{table}\ncycle-time reduction: {self.reduction:.1%} (paper: up to 17%)"
 
 
+@experiment("sec7b", tags=("qec", "timing"), paper_ref="Sec. VII.B")
 def run_sec7b_cycle_time(profile: Profile = QUICK) -> Sec7bResult:
     """Evaluate the cycle-time model at 1000 ns and 800 ns readout."""
     return Sec7bResult(

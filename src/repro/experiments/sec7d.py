@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.common import OURS_ARCHITECTURE, OURS_REPLICAS
 from repro.experiments.report import format_rows
@@ -19,15 +21,23 @@ __all__ = ["Sec7dResult", "run_sec7d_power"]
 
 PAPER_POWER_MW = 1.561
 PAPER_LATENCY_CYCLES = 5
+PAPER_PARAMETERS = 6505
 
 
 @dataclass(frozen=True)
-class Sec7dResult:
+class Sec7dResult(ExperimentResult):
     """Measured power and latency of the paper's architecture."""
 
     total_parameters: int
     power_mw: float
     latency_cycles: int
+
+    def _paper_values(self) -> dict:
+        return {
+            "total_parameters": PAPER_PARAMETERS,
+            "power_mw": PAPER_POWER_MW,
+            "latency_cycles": PAPER_LATENCY_CYCLES,
+        }
 
     def format_table(self) -> str:
         table = format_rows(
@@ -42,6 +52,7 @@ class Sec7dResult:
         return table
 
 
+@experiment("sec7d", tags=("fpga", "power"), paper_ref="Sec. VII.D")
 def run_sec7d_power(profile: Profile = QUICK) -> Sec7dResult:
     """Evaluate the power/latency models on the paper's architecture."""
     per_network, _ = network_shape_stats(OURS_ARCHITECTURE)

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.report import format_rows
 from repro.qec import EraserConfig, RotatedSurfaceCode, run_eraser
@@ -21,11 +23,17 @@ PAPER_VALUES = {
 
 
 @dataclass(frozen=True)
-class Table1Result:
+class Table1Result(ExperimentResult):
     """Measured speculation metrics for ERASER and ERASER+M."""
 
     rows: list[dict]
-    paper: dict = None  # type: ignore[assignment]
+
+    def _measured(self) -> dict:
+        return {r["design"]: {k: v for k, v in r.items() if k != "design"}
+                for r in self.rows}
+
+    def _paper_values(self) -> dict:
+        return PAPER_VALUES
 
     def format_table(self) -> str:
         table = format_rows(
@@ -45,6 +53,7 @@ class Table1Result:
         return table
 
 
+@experiment("table1", tags=("qec",), paper_ref="Table I")
 def run_table1(profile: Profile = QUICK, distance: int = 7) -> Table1Result:
     """Run ERASER and ERASER+M at the profile's Monte-Carlo budget."""
     code = RotatedSurfaceCode(distance)
@@ -66,4 +75,4 @@ def run_table1(profile: Profile = QUICK, distance: int = 7) -> Table1Result:
                 "false_positive_rate": report.false_positive_rate,
             }
         )
-    return Table1Result(rows=rows, paper=PAPER_VALUES)
+    return Table1Result(rows=rows)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.common import get_trained
 from repro.experiments.report import format_rows
@@ -28,10 +30,17 @@ PAPER_VALUES = {
 
 
 @dataclass(frozen=True)
-class Table2Result:
+class Table2Result(ExperimentResult):
     """Measured per-qubit fidelity of FNN and HERQULES."""
 
     rows: list[dict]
+
+    def _measured(self) -> dict:
+        return {r["design"]: {k: v for k, v in r.items() if k != "design"}
+                for r in self.rows}
+
+    def _paper_values(self) -> dict:
+        return PAPER_VALUES
 
     def format_table(self) -> str:
         return format_rows(
@@ -49,6 +58,7 @@ class Table2Result:
         )
 
 
+@experiment("table2", tags=("fidelity",), paper_ref="Table II")
 def run_table2(profile: Profile = QUICK) -> Table2Result:
     """Fit and score the FNN and HERQULES baselines."""
     rows = []

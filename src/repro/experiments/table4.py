@@ -10,11 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.common import get_trained
 from repro.experiments.report import format_rows
 
 __all__ = ["Table4Result", "run_table4"]
+
+#: The paper's 6.6% relative accuracy improvement over the FNN.
+PAPER_RELATIVE_IMPROVEMENT = 0.066
 
 PAPER_VALUES = {
     "fnn": {"fidelities": (0.967, 0.728, 0.928, 0.932, 0.962), "f5q": 0.8985},
@@ -23,10 +28,22 @@ PAPER_VALUES = {
 
 
 @dataclass(frozen=True)
-class Table4Result:
+class Table4Result(ExperimentResult):
     """Measured per-qubit fidelity of the FNN baseline and OURS."""
 
     rows: list[dict]
+
+    def _measured(self) -> dict:
+        out = {r["design"]: {k: v for k, v in r.items() if k != "design"}
+               for r in self.rows}
+        out["relative_improvement"] = self.relative_improvement
+        return out
+
+    def _paper_values(self) -> dict:
+        return {
+            **PAPER_VALUES,
+            "relative_improvement": PAPER_RELATIVE_IMPROVEMENT,
+        }
 
     @property
     def relative_improvement(self) -> float:
@@ -56,6 +73,7 @@ class Table4Result:
         )
 
 
+@experiment("table4", tags=("fidelity",), paper_ref="Table IV")
 def run_table4(profile: Profile = QUICK) -> Table4Result:
     """Fit and score the FNN baseline and the paper's design."""
     rows = []

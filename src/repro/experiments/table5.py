@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.discriminators.features import MatchedFilterFeatureExtractor
 from repro.dsp.demod import demodulate
@@ -40,10 +42,19 @@ PAPER_VALUES = {
 
 
 @dataclass(frozen=True)
-class Table5Result:
+class Table5Result(ExperimentResult):
     """Per-design single-qubit fidelities for the leak-prone qubits."""
 
     fidelities: dict  # {qubit: {design: fidelity}}
+
+    def _measured(self) -> dict:
+        return {
+            f"qubit{q + 1}": dict(values)
+            for q, values in sorted(self.fidelities.items())
+        }
+
+    def _paper_values(self) -> dict:
+        return {f"qubit{q + 1}": dict(v) for q, v in PAPER_VALUES.items()}
 
     def format_table(self) -> str:
         rows = []
@@ -74,6 +85,7 @@ def _mtv_features(bundle, qubit: int) -> np.ndarray:
     return mtv_points(boxcar_decimate(baseband, 5))
 
 
+@experiment("table5", tags=("fidelity",), paper_ref="Table V")
 def run_table5(profile: Profile = QUICK) -> Table5Result:
     """Score LDA, QDA, a QMF-fed NN, and OURS per leak-prone qubit."""
     bundle = get_readout_bundle(profile)

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import experiment
+from repro.api.results import ExperimentResult
 from repro.config import QUICK, Profile
 from repro.experiments.common import get_readout_bundle, get_trained
 from repro.experiments.report import format_rows
@@ -39,10 +41,24 @@ SLOW_PARAMETER_THRESHOLD = 100_000
 
 
 @dataclass(frozen=True)
-class Table6Result:
+class Table6Result(ExperimentResult):
     """Measured readout error and speculation accuracy per design."""
 
     rows: list[dict]
+
+    def _measured(self) -> dict:
+        return {
+            r["design"]: {
+                "error_pct": r["error_pct"],
+                "speed": r["speed"],
+                "accuracy": r["speculation_accuracy"],
+                "leakage_population": r["leakage_population"],
+            }
+            for r in self.rows
+        }
+
+    def _paper_values(self) -> dict:
+        return PAPER_VALUES
 
     def format_table(self) -> str:
         return format_rows(
@@ -77,6 +93,7 @@ def _discriminant_error(bundle, cls, profile: Profile) -> float:
     return float(1.0 - np.mean(predictions[:, keep] == truth[:, keep]))
 
 
+@experiment("table6", tags=("qec", "fidelity"), paper_ref="Table VI")
 def run_table6(profile: Profile = QUICK, distance: int = 7) -> Table6Result:
     """Measure per-design readout error, then run ERASER+M with it."""
     bundle = get_readout_bundle(profile)

@@ -24,7 +24,7 @@ online-decoding premise implies:
 
 from repro.pipeline.batching import MicroBatcher
 from repro.pipeline.metrics import LatencyStats, PipelineReport, StageTimings
-from repro.pipeline.registry import CalibrationKey, CalibrationRegistry
+from repro.pipeline.registry import CalibrationKey, CalibrationRegistry, PruneReport
 from repro.pipeline.runner import (
     PipelineConfig,
     ReadoutPipeline,
@@ -55,6 +55,7 @@ __all__ = [
     "BatchResult",
     "CalibrationKey",
     "CalibrationRegistry",
+    "PruneReport",
     "ResultSink",
     "CollectingSink",
     "QueueingSink",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
@@ -27,7 +28,7 @@ from repro.data.dataset import ReadoutCorpus
 from repro.discriminators.base import Discriminator
 from repro.exceptions import ConfigurationError, DataError
 
-__all__ = ["CalibrationKey", "CalibrationRegistry"]
+__all__ = ["CalibrationKey", "CalibrationRegistry", "PruneReport"]
 
 _SLUG = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
@@ -66,6 +67,27 @@ class CalibrationKey:
     @property
     def relative_path(self) -> Path:
         return Path(self.device) / self.profile / f"{self.qubit}.npz"
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of one :meth:`CalibrationRegistry.prune` call."""
+
+    removed: tuple[CalibrationKey, ...]
+    bytes_freed: int
+    n_remaining: int
+    bytes_remaining: int
+
+    def format_table(self) -> str:
+        lines = [
+            f"calibration registry prune: removed {len(self.removed)} "
+            f"artifact(s), freed {self.bytes_freed} bytes",
+            f"remaining: {self.n_remaining} artifact(s), "
+            f"{self.bytes_remaining} bytes",
+        ]
+        for key in self.removed:
+            lines.append(f"  - {key.device}/{key.profile}/{key.qubit}")
+        return "\n".join(lines)
 
 
 class CalibrationRegistry:
@@ -137,6 +159,83 @@ class CalibrationRegistry:
             path.unlink()
             return True
         return False
+
+    def prune(
+        self,
+        max_age_s: float | None = None,
+        max_bytes: int | None = None,
+        *,
+        now: float | None = None,
+    ) -> PruneReport:
+        """Evict stored artifacts by age and/or total size.
+
+        Artifacts older than ``max_age_s`` (by file mtime) are removed
+        first; if the surviving tree still exceeds ``max_bytes``, the
+        oldest artifacts are evicted until it fits. With neither bound
+        given nothing is removed (the report still counts the tree).
+        Emptied device/profile directories are cleaned up.
+
+        Parameters
+        ----------
+        max_age_s:
+            Maximum artifact age in seconds; ``0`` evicts everything.
+        max_bytes:
+            Maximum total size of the artifact tree in bytes.
+        now:
+            Reference timestamp (defaults to ``time.time()``), for tests.
+        """
+        if max_age_s is not None and max_age_s < 0:
+            raise ConfigurationError("max_age_s must be >= 0")
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigurationError("max_bytes must be >= 0")
+        reference = time.time() if now is None else now
+
+        entries = []  # (mtime, key, path, size)
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, key, path, stat.st_size))
+        entries.sort(key=lambda e: e[0])
+
+        removed: list[CalibrationKey] = []
+        bytes_freed = 0
+        survivors = []
+        for mtime, key, path, size in entries:
+            if max_age_s is not None and reference - mtime > max_age_s:
+                removed.append(key)
+                bytes_freed += size
+                path.unlink(missing_ok=True)
+            else:
+                survivors.append((mtime, key, path, size))
+
+        if max_bytes is not None:
+            total = sum(size for _, _, _, size in survivors)
+            while survivors and total > max_bytes:
+                mtime, key, path, size = survivors.pop(0)  # oldest first
+                removed.append(key)
+                bytes_freed += size
+                total -= size
+                path.unlink(missing_ok=True)
+
+        self._remove_empty_dirs()
+        return PruneReport(
+            removed=tuple(removed),
+            bytes_freed=bytes_freed,
+            n_remaining=len(survivors),
+            bytes_remaining=sum(size for _, _, _, size in survivors),
+        )
+
+    def _remove_empty_dirs(self) -> None:
+        """Drop emptied ``<device>/<profile>`` directories after a prune."""
+        for profile_dir in self.root.glob("*/*/"):
+            if profile_dir.is_dir() and not any(profile_dir.iterdir()):
+                profile_dir.rmdir()
+        for device_dir in self.root.glob("*/"):
+            if device_dir.is_dir() and not any(device_dir.iterdir()):
+                device_dir.rmdir()
 
     def get_or_fit(
         self,

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.config import Profile
 from repro.data.synthetic import generate_corpus
+from repro.discriminators import registry as discriminators
 from repro.discriminators.mlr import MLRDiscriminator
 from repro.exceptions import ConfigurationError
 from repro.fpga.latency import check_cycle_budget
@@ -41,11 +42,11 @@ __all__ = [
     "run_streaming_pipeline",
 ]
 
-#: Learning rate matching the experiment runners' discriminator training.
-_NN_LEARNING_RATE = 3e-3
-
 #: Device slug of :func:`default_five_qubit_chip` in the registry tree.
 DEFAULT_DEVICE = "five-qubit-default"
+
+#: Registered design the pipeline serves by default (the paper's).
+DEFAULT_DESIGN = "ours"
 
 
 @dataclass(frozen=True)
@@ -203,10 +204,17 @@ def _device_slug(device: str, chip: ChipConfig) -> str:
     return f"{device}-{hashlib.sha1(payload).hexdigest()[:8]}"
 
 
-def _profile_slug(profile: Profile) -> str:
+def _profile_slug(profile: Profile, design: str = DEFAULT_DESIGN) -> str:
     """Registry profile slug: name plus seed, so ``--seed`` overrides
-    calibrate freshly instead of hitting the base-seed artifact."""
-    return f"{profile.name}-s{profile.seed}"
+    calibrate freshly instead of hitting the base-seed artifact.
+
+    Non-default designs are baked into the slug too — otherwise a warm
+    registry would silently serve whichever design was stored first.
+    The default design keeps the original ``<name>-s<seed>`` form so
+    existing caches stay warm.
+    """
+    slug = f"{profile.name}-s{profile.seed}"
+    return slug if design == DEFAULT_DESIGN else f"{design}.{slug}"
 
 
 def fit_or_load_discriminator(
@@ -214,13 +222,15 @@ def fit_or_load_discriminator(
     registry: CalibrationRegistry | None,
     chip: ChipConfig | None = None,
     device: str = DEFAULT_DEVICE,
+    design: str = DEFAULT_DESIGN,
 ) -> tuple[MLRDiscriminator, bool]:
     """Resolve the pipeline's discriminator through the registry.
 
     With a registry, a stored (device+chip-hash, all, profile+seed)
-    artifact is served without retraining; otherwise the paper's
-    discriminator is fitted on a freshly generated calibration corpus
-    (and stored when a registry is given).
+    artifact is served without retraining; otherwise the named design
+    (default: the paper's, via the discriminator plugin registry) is
+    fitted on a freshly generated calibration corpus (and stored when a
+    registry is given).
 
     Returns
     -------
@@ -235,12 +245,7 @@ def fit_or_load_discriminator(
         )
 
     def discriminator_factory():
-        return MLRDiscriminator(
-            epochs=profile.nn_epochs,
-            batch_size=profile.batch_size,
-            learning_rate=_NN_LEARNING_RATE,
-            seed=profile.seed + 10,
-        )
+        return discriminators.build(design, profile)
 
     if registry is None:
         corpus = corpus_factory()
@@ -251,7 +256,7 @@ def fit_or_load_discriminator(
     key = CalibrationKey(
         device=_device_slug(device, chip),
         qubit="all",
-        profile=_profile_slug(profile),
+        profile=_profile_slug(profile, design),
     )
     return registry.get_or_fit(key, discriminator_factory, corpus_factory)
 
@@ -268,6 +273,7 @@ def run_streaming_pipeline(
     seed: int | None = None,
     sink: ResultSink | None = None,
     max_pending: int = 8,
+    design: str = DEFAULT_DESIGN,
 ) -> PipelineReport:
     """Calibrate (or load calibration), then stream ``n_shots`` end to end.
 
@@ -290,15 +296,24 @@ def run_streaming_pipeline(
         calibration corpus stream).
     sink:
         Override the default backpressured ERASER+M sink.
+    design:
+        Registered discriminator design to serve. The streaming engine
+        reuses the MLR kernels/scaler/heads directly, so the design must
+        resolve to an :class:`MLRDiscriminator` (or subclass).
     """
     if n_shots < 1:
         raise ConfigurationError(f"n_shots must be >= 1, got {n_shots}")
+    if not issubclass(discriminators.get(design).cls, MLRDiscriminator):
+        raise ConfigurationError(
+            f"design {design!r} cannot stream: the pipeline's "
+            "discrimination engine serves the MLR family only"
+        )
     chip = chip if chip is not None else default_five_qubit_chip()
     registry = (
         CalibrationRegistry(registry_dir) if registry_dir is not None else None
     )
     discriminator, cached = fit_or_load_discriminator(
-        profile, registry, chip=chip, device=device
+        profile, registry, chip=chip, device=device, design=design
     )
     config = PipelineConfig(
         batch_size=batch_size,

@@ -7,7 +7,23 @@ import json
 import pytest
 
 import repro.cli as cli
+from repro.api.registry import ExperimentSpec, discover, experiments
 from repro.exceptions import ConfigurationError
+
+
+def _fake_spec(name, seen):
+    """A registry spec whose runner just records the profile it was given."""
+
+    def fake_experiment(profile):
+        seen["profile"] = profile
+
+        class _Result:
+            def format_table(self):
+                return "fake"
+
+        return _Result()
+
+    return ExperimentSpec(name=name, runner=fake_experiment)
 
 
 class TestExperimentErrorPaths:
@@ -32,18 +48,9 @@ class TestExperimentErrorPaths:
 
 class TestSeedPropagation:
     def test_seed_override_reaches_experiment(self, capsys, monkeypatch):
+        discover()
         seen = {}
-
-        def fake_experiment(profile):
-            seen["profile"] = profile
-
-            class _Result:
-                def format_table(self):
-                    return "fake"
-
-            return _Result()
-
-        monkeypatch.setitem(cli.EXPERIMENTS, "sec7b", fake_experiment)
+        monkeypatch.setitem(experiments._specs, "sec7b", _fake_spec("sec7b", seen))
         assert cli.main(["sec7b", "--seed", "424242"]) == 0
         assert seen["profile"].seed == 424242
         assert seen["profile"].name == "quick"
@@ -51,20 +58,64 @@ class TestSeedPropagation:
     def test_default_profile_seed_preserved(self, capsys, monkeypatch):
         from repro.config import QUICK
 
+        discover()
         seen = {}
-
-        def fake_experiment(profile):
-            seen["profile"] = profile
-
-            class _Result:
-                def format_table(self):
-                    return "fake"
-
-            return _Result()
-
-        monkeypatch.setitem(cli.EXPERIMENTS, "sec7b", fake_experiment)
+        monkeypatch.setitem(experiments._specs, "sec7b", _fake_spec("sec7b", seen))
         assert cli.main(["sec7b"]) == 0
         assert seen["profile"].seed == QUICK.seed
+
+    def test_run_subcommand_seed_override(self, capsys, monkeypatch):
+        discover()
+        seen = {}
+        monkeypatch.setitem(experiments._specs, "sec7b", _fake_spec("sec7b", seen))
+        assert cli.main(["run", "sec7b", "--seed", "7", "--workers", "2"]) == 0
+        assert seen["profile"].seed == 7
+
+
+class TestRunSubcommand:
+    def test_run_single_experiment_json_schema(self, capsys, tmp_path):
+        json_path = tmp_path / "sec7b.json"
+        assert cli.main(["run", "sec7b", "--json", str(json_path)]) == 0
+        payload = json.loads(json_path.read_text())
+        assert set(payload) >= {"name", "profile", "measured", "paper", "deviations"}
+        assert payload["name"] == "sec7b"
+        assert payload["profile"] == "quick"
+        assert "reduction" in payload["deviations"]
+
+    def test_run_several_writes_suite_json(self, capsys, tmp_path):
+        json_path = tmp_path / "suite.json"
+        code = cli.main(
+            ["run", "sec7b", "sec7d", "--json", str(json_path), "--workers", "2"]
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert set(payload["results"]) == {"sec7b", "sec7d"}
+        assert "seconds" in payload
+
+    def test_run_by_tag_selects_tagged_experiments(self, capsys, tmp_path):
+        json_path = tmp_path / "fpga.json"
+        assert cli.main(["run", "fpga", "--json", str(json_path)]) == 0
+        payload = json.loads(json_path.read_text())
+        assert set(payload["results"]) == {"fig1d", "fig5a", "sec7d", "headline"}
+
+    def test_run_unknown_selector_exits_2(self, capsys):
+        assert cli.main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_help_exits_0(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["run", "--help"])
+        assert excinfo.value.code == 0
+        assert "--workers" in capsys.readouterr().out
+
+
+class TestListSubcommand:
+    def test_list_tags_shows_tags_and_refs(self, capsys):
+        assert cli.main(["list", "--tags"]) == 0
+        out = capsys.readouterr().out
+        assert "[qec,timing]" in out
+        assert "Table I" in out
+        assert "tags:" in out
 
 
 @pytest.fixture(scope="module")
@@ -137,3 +188,24 @@ class TestPipelineSubcommand:
         )
         assert code == 0
         assert "streaming readout pipeline" in capsys.readouterr().out
+
+    def test_pipeline_prune_size_bound_keeps_artifacts(
+        self, capsys, shared_registry
+    ):
+        # A generous size bound evicts nothing.
+        code = cli.main(
+            ["pipeline", "--prune", "--registry", shared_registry,
+             "--max-bytes", str(10**9)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 0 artifact(s)" in out
+
+    def test_pipeline_prune_without_bounds_clears_registry(
+        self, capsys, shared_registry
+    ):
+        code = cli.main(["pipeline", "--prune", "--registry", shared_registry])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 1 artifact(s)" in out
+        assert "remaining: 0 artifact(s), 0 bytes" in out

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.api import experiments
 from repro.config import QUICK, Profile
-from repro.experiments import EXPERIMENTS
 from repro.experiments.common import clear_caches, get_readout_bundle, get_trained
 from repro.experiments.fig1d import run_fig1d
 from repro.experiments.fig5a import run_fig5a
@@ -77,7 +77,7 @@ class TestFastRunners:
             "fig1c", "fig1d", "fig3", "fig5a", "fig5b",
             "sec3", "sec7b", "sec7d", "headline", "scaling", "fnn_scaling",
         }
-        assert set(EXPERIMENTS) == expected
+        assert set(experiments) == expected
 
 
 class TestTrainingRunners:
@@ -103,7 +103,7 @@ class TestTrainingRunners:
         assert ours.f5q > herq.f5q
 
     def test_table1_orderings(self):
-        result = EXPERIMENTS["table1"](MINI)
+        result = experiments["table1"].run(MINI)
         by_name = {r["design"]: r for r in result.rows}
         assert (
             by_name["ERASER+M"]["accuracy"] >= by_name["ERASER"]["accuracy"] - 0.01
@@ -111,14 +111,14 @@ class TestTrainingRunners:
         assert "Table I" in result.format_table()
 
     def test_fig5b_accuracy_improves_with_duration(self):
-        result = EXPERIMENTS["fig5b"](
+        result = experiments["fig5b"].run(
             MINI, durations_ns=(500, 1000)
         )
         assert result.accuracy_at(1000) > result.accuracy_at(500) - 0.02
         assert len(result.truncated_accuracy) == 2
 
     def test_fig3_detects_leakage(self):
-        result = EXPERIMENTS["fig3"](MINI)
+        result = experiments["fig3"].run(MINI)
         assert result.detection_recall > 0.5
         assert sum(result.cluster_sizes) == MINI.calibration_shots
         assert result.state_mean_traces.shape[0] == 3

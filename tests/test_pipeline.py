@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -264,6 +265,98 @@ class TestCalibrationRegistry:
         assert np.array_equal(
             first.predict(tiny_corpus), second.predict(tiny_corpus)
         )
+
+
+class TestRegistryPrune:
+    @staticmethod
+    def _populated(tmp_path, pipeline_mlr, profiles=("p1", "p2", "p3")):
+        registry = CalibrationRegistry(tmp_path)
+        keys = [CalibrationKey("chip-a", "all", p) for p in profiles]
+        for i, key in enumerate(keys):
+            path = registry.save(key, pipeline_mlr)
+            os.utime(path, (1000.0 + i, 1000.0 + i))  # distinct mtimes
+        return registry, keys
+
+    def test_no_bounds_is_a_noop(self, tmp_path, pipeline_mlr):
+        registry, keys = self._populated(tmp_path, pipeline_mlr)
+        report = registry.prune()
+        assert report.removed == ()
+        assert report.n_remaining == len(keys)
+        assert report.bytes_remaining > 0
+        assert set(registry.keys()) == set(keys)
+
+    def test_age_eviction_removes_old_artifacts(self, tmp_path, pipeline_mlr):
+        registry, keys = self._populated(tmp_path, pipeline_mlr)
+        # At now=1101.5, ages are 101.5/100.5/99.5 s: two exceed 100 s.
+        report = registry.prune(max_age_s=100.0, now=1101.5)
+        assert set(report.removed) == set(keys[:2])
+        assert report.bytes_freed > 0
+        assert set(registry.keys()) == {keys[2]}
+
+    def test_age_zero_clears_everything(self, tmp_path, pipeline_mlr):
+        registry, keys = self._populated(tmp_path, pipeline_mlr)
+        report = registry.prune(max_age_s=0.0)
+        assert set(report.removed) == set(keys)
+        assert report.n_remaining == 0
+        assert list(registry.keys()) == []
+        # Emptied device/profile directories are cleaned up too.
+        assert list(registry.root.iterdir()) == []
+
+    def test_size_eviction_drops_oldest_first(self, tmp_path, pipeline_mlr):
+        registry, keys = self._populated(tmp_path, pipeline_mlr)
+        sizes = [registry.path_for(k).stat().st_size for k in keys]
+        # Budget for exactly the newest two artifacts.
+        report = registry.prune(max_bytes=sizes[1] + sizes[2])
+        assert report.removed == (keys[0],)
+        assert set(registry.keys()) == set(keys[1:])
+        assert report.bytes_remaining <= sizes[1] + sizes[2]
+
+    def test_size_zero_clears_everything(self, tmp_path, pipeline_mlr):
+        registry, keys = self._populated(tmp_path, pipeline_mlr)
+        report = registry.prune(max_bytes=0)
+        assert set(report.removed) == set(keys)
+        assert report.bytes_remaining == 0
+
+    def test_age_and_size_compose(self, tmp_path, pipeline_mlr):
+        registry, keys = self._populated(tmp_path, pipeline_mlr)
+        size = registry.path_for(keys[2]).stat().st_size
+        report = registry.prune(max_age_s=100.0, max_bytes=size, now=1101.5)
+        # Age pass removes the two oldest, size pass fits the rest.
+        assert set(report.removed) == set(keys[:2])
+        assert set(registry.keys()) == {keys[2]}
+
+    def test_rejects_negative_bounds(self, tmp_path):
+        registry = CalibrationRegistry(tmp_path)
+        with pytest.raises(ConfigurationError):
+            registry.prune(max_age_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            registry.prune(max_bytes=-1)
+
+    def test_report_format_lists_removed_keys(self, tmp_path, pipeline_mlr):
+        registry, keys = self._populated(tmp_path, pipeline_mlr, ("p1",))
+        report = registry.prune(max_age_s=0.0)
+        text = report.format_table()
+        assert "removed 1 artifact(s)" in text
+        assert "chip-a/p1/all" in text
+
+
+class TestDesignSelection:
+    def test_non_default_design_gets_its_own_registry_key(self):
+        from repro.pipeline.runner import _profile_slug
+
+        profile = tiny_profile()
+        assert _profile_slug(profile) == "tiny-s501"
+        assert _profile_slug(profile, "ours") == "tiny-s501"
+        # A different design can never collide with the default's artifact.
+        assert _profile_slug(profile, "fnn") == "fnn.tiny-s501"
+
+    def test_streaming_rejects_non_mlr_design(self):
+        with pytest.raises(ConfigurationError, match="cannot stream"):
+            run_streaming_pipeline(tiny_profile(), n_shots=10, design="fnn")
+
+    def test_streaming_rejects_unknown_design(self):
+        with pytest.raises(ConfigurationError, match="unknown discriminator"):
+            run_streaming_pipeline(tiny_profile(), n_shots=10, design="nope")
 
 
 class TestDiscriminationEngine:
