@@ -22,11 +22,14 @@ Pieces
   of ``format_table()``.
 - :func:`run` / :func:`run_suite` — execute one experiment or a
   name/tag selection (optionally concurrent, with shared caches).
+- :func:`run_pipeline` — the streaming runtime as a library call: one
+  or many feedlines, pluggable shard executors, adaptive micro-batching.
 - ``repro.discriminators.registry`` — the sibling plugin registry that
   resolves design names (``"ours"``, ``"fnn"``, ...) to discriminator
   classes for training, pipeline calibration, and artifact loading.
 """
 
+from repro.api.pipeline import run_pipeline
 from repro.api.registry import (
     ExperimentRegistry,
     ExperimentSpec,
@@ -48,5 +51,6 @@ __all__ = [
     "experiments",
     "jsonify",
     "run",
+    "run_pipeline",
     "run_suite",
 ]

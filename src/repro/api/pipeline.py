@@ -1,0 +1,146 @@
+"""Programmatic pipeline execution: the streaming runtime as an API call.
+
+:func:`run_pipeline` is the pipeline counterpart of
+:func:`repro.api.run_suite` — one call resolves the profile, builds the
+feedline partition, fans the shards out over the chosen executor, and
+returns a structured report::
+
+    from repro.api import run_pipeline
+
+    report = run_pipeline("quick", shots=2000, feedlines=3,
+                          executor="process", adaptive_batching=True)
+    print(report.format_table())
+    print(report.to_dict()["shots_per_second"])
+
+With ``feedlines=1`` (the default) it returns the single-feedline
+:class:`~repro.pipeline.metrics.PipelineReport`; with more it returns the
+aggregate :class:`~repro.pipeline.cluster.ClusterReport`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import Profile, get_profile
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard: the pipeline
+    # package's metrics pull in the experiment layer, which registers
+    # itself through repro.api — so the runtime import happens inside
+    # :func:`run_pipeline`, not at module load.
+    from pathlib import Path
+
+    from repro.pipeline.cluster import ClusterReport
+    from repro.pipeline.metrics import PipelineReport
+
+__all__ = ["run_pipeline"]
+
+
+def run_pipeline(
+    profile: str | Profile = "quick",
+    *,
+    shots: int = 2000,
+    feedlines: int = 1,
+    executor: str = "thread",
+    workers: int | None = None,
+    batch_size: int = 64,
+    chunk_size: int = 256,
+    max_pending: int = 8,
+    channel_workers: int = 1,
+    adaptive_batching: bool = False,
+    max_batch_size: int = 1024,
+    target_batch_ms: float | None = None,
+    qubits_per_feedline: int = 5,
+    registry_dir: "str | Path | None" = None,
+    design: str = "ours",
+    seed: int | None = None,
+) -> "PipelineReport | ClusterReport":
+    """Stream simulated readout traffic and return the run report.
+
+    Parameters
+    ----------
+    profile:
+        Profile name (``quick``/``full``/``paper``) or instance, sizing
+        the calibration corpus and training budget.
+    shots:
+        Shots of simulated traffic streamed (per feedline).
+    feedlines:
+        Readout groups to serve. ``1`` runs the single-feedline chain;
+        more partitions :func:`repro.physics.device.multi_feedline_chips`
+        readout groups across shard workers.
+    executor:
+        Shard backend for ``feedlines > 1``: ``serial``, ``thread``, or
+        ``process``. Validated — but inert — with a single feedline.
+    workers:
+        Shard workers (default: one per feedline, capped at the CPU
+        count). Validated but inert with a single feedline; distinct
+        from ``channel_workers``, which shards qubit channels *within*
+        each feedline's demod/matched-filter stages.
+    batch_size, chunk_size, max_pending:
+        See :class:`repro.pipeline.PipelineConfig` and the sources.
+    adaptive_batching, max_batch_size, target_batch_ms:
+        Adaptive micro-batching knobs (EWMA-driven batch sizing against
+        the FPGA decision budget).
+    qubits_per_feedline:
+        Qubits per generated readout group (multi-feedline only).
+    registry_dir:
+        Calibration-registry root; ``None`` fits fresh every run.
+    design:
+        Registered discriminator design to serve.
+    seed:
+        Traffic seed override (calibration stays keyed by the profile).
+    """
+    from repro.pipeline.cluster import (
+        run_multi_feedline_pipeline,
+        validate_executor,
+    )
+    from repro.pipeline.runner import PipelineConfig, run_streaming_pipeline
+
+    resolved = get_profile(profile) if isinstance(profile, str) else profile
+    if feedlines < 1:
+        raise ConfigurationError(f"feedlines must be >= 1, got {feedlines}")
+    # Validated even on the single-feedline path, so a typo in a
+    # 1-feedline smoke run cannot sail through and break at scale.
+    validate_executor(executor)
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    config = PipelineConfig(
+        batch_size=batch_size,
+        workers=channel_workers,
+        max_pending=max_pending,
+        adaptive_batching=adaptive_batching,
+        max_batch_size=max_batch_size,
+        target_batch_ms=target_batch_ms,
+    )
+    if feedlines == 1:
+        extra = {}
+        if qubits_per_feedline != 5:
+            from repro.physics.device import make_feedline_chip
+
+            extra = {
+                "chip": make_feedline_chip(0, n_qubits=qubits_per_feedline),
+                "device": f"feedline0-q{qubits_per_feedline}",
+            }
+        return run_streaming_pipeline(
+            resolved,
+            n_shots=shots,
+            chunk_size=chunk_size,
+            registry_dir=registry_dir,
+            seed=seed,
+            design=design,
+            config=config,
+            **extra,
+        )
+    return run_multi_feedline_pipeline(
+        resolved,
+        shots,
+        feedlines,
+        executor=executor,
+        workers=workers,
+        config=config,
+        chunk_size=chunk_size,
+        registry_dir=registry_dir,
+        design=design,
+        seed=seed,
+        qubits_per_feedline=qubits_per_feedline,
+    )

@@ -19,6 +19,7 @@ Examples::
     repro run fidelity --workers 2
     repro fig5b --profile full --seed 7
     repro pipeline --shots 2000 --workers 4 --profile quick
+    repro pipeline --feedlines 3 --executor process --adaptive-batching
     repro pipeline --prune --max-age-s 604800
 """
 
@@ -142,7 +143,10 @@ def build_pipeline_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--shots", type=int, default=2000, help="shots to stream (default: 2000)"
+        "--shots",
+        type=int,
+        default=2000,
+        help="shots to stream, per feedline (default: 2000)",
     )
     parser.add_argument(
         "--workers",
@@ -151,7 +155,64 @@ def build_pipeline_parser() -> argparse.ArgumentParser:
         help="channel-shard workers for demod/matched-filter (default: 1)",
     )
     parser.add_argument(
+        "--feedlines",
+        type=int,
+        default=1,
+        help=(
+            "readout groups (feedlines) to serve; > 1 shards one "
+            "discrimination chain per feedline across --executor workers "
+            "(default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help=(
+            "shard backend for --feedlines > 1; process workers rebuild "
+            "calibration from registry artifacts (default: thread)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help="shard workers for --feedlines > 1 (default: one per feedline)",
+    )
+    parser.add_argument(
+        "--qubits-per-feedline",
+        type=int,
+        default=5,
+        help=(
+            "qubits multiplexed on each served feedline, 1-5 "
+            "(default: 5; applies to --feedlines 1 as well)"
+        ),
+    )
+    parser.add_argument(
         "--batch-size", type=int, default=64, help="shots per micro-batch"
+    )
+    parser.add_argument(
+        "--adaptive-batching",
+        action="store_true",
+        help=(
+            "resize micro-batches from the observed per-shot latency EWMA "
+            "against the FPGA decision budget instead of fixing --batch-size"
+        ),
+    )
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=1024,
+        help="upper bound on the adapted batch size (default: 1024)",
+    )
+    parser.add_argument(
+        "--target-batch-ms",
+        type=float,
+        default=None,
+        help=(
+            "per-batch compute-latency target for --adaptive-batching "
+            "(default: derived from the FPGA decision budget)"
+        ),
     )
     parser.add_argument(
         "--chunk-size", type=int, default=256, help="shots per source chunk"
@@ -236,7 +297,7 @@ def _prune_registry(args) -> int:
 
 
 def _run_pipeline(argv: list[str]) -> int:
-    from repro.pipeline import run_streaming_pipeline
+    from repro.api import run_pipeline
 
     args = build_pipeline_parser().parse_args(argv)
     if args.prune:
@@ -247,12 +308,19 @@ def _run_pipeline(argv: list[str]) -> int:
 
     design_kwargs = {} if args.design is None else {"design": args.design}
     start = time.perf_counter()
-    report = run_streaming_pipeline(
+    report = run_pipeline(
         profile,
-        n_shots=args.shots,
-        workers=args.workers,
+        shots=args.shots,
+        feedlines=args.feedlines,
+        executor=args.executor,
+        workers=args.shard_workers,
         batch_size=args.batch_size,
         chunk_size=args.chunk_size,
+        channel_workers=args.workers,
+        adaptive_batching=args.adaptive_batching,
+        max_batch_size=args.max_batch_size,
+        target_batch_ms=args.target_batch_ms,
+        qubits_per_feedline=args.qubits_per_feedline,
         registry_dir=None if args.no_cache else args.registry,
         **design_kwargs,
     )

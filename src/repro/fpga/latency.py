@@ -119,6 +119,15 @@ class CycleBudgetCheck:
         """How many times slower than the FPGA datapath the runtime is."""
         return self.measured_ns / self.budget_ns
 
+    def to_dict(self) -> dict:
+        """JSON form shared by the pipeline and cluster reports."""
+        return {
+            "budget_ns": self.budget_ns,
+            "measured_ns_per_shot": self.measured_ns,
+            "slowdown_vs_fpga": self.slowdown,
+            "within_budget": self.within_budget,
+        }
+
 
 def check_cycle_budget(
     measured_ns_per_shot: float,

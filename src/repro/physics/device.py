@@ -19,7 +19,13 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.physics.adc import ADCConfig
 
-__all__ = ["QubitParams", "ChipConfig", "default_five_qubit_chip"]
+__all__ = [
+    "QubitParams",
+    "ChipConfig",
+    "default_five_qubit_chip",
+    "make_feedline_chip",
+    "multi_feedline_chips",
+]
 
 TWO_PI = 2.0 * math.pi
 
@@ -327,4 +333,92 @@ def default_five_qubit_chip(
         trace_len=trace_len,
         noise_std=noise_std,
         crosstalk=crosstalk,
+    )
+
+
+def make_feedline_chip(
+    feedline: int,
+    n_qubits: int = 5,
+    noise_std: float = 4.0,
+    trace_len: int = 500,
+) -> ChipConfig:
+    """One readout group (feedline) of a multi-feedline device.
+
+    Feedline 0 with five qubits is exactly
+    :func:`default_five_qubit_chip`; other feedlines perturb the qubit
+    parameters deterministically by feedline index (slightly different
+    dispersive shifts, drive amplitudes, T1s, and LO phases), modeling
+    the fabrication spread between readout groups on one chip, so no two
+    feedlines serve byte-identical calibration artifacts.
+
+    Parameters
+    ----------
+    feedline:
+        Feedline index (>= 0); scales the parameter perturbations.
+    n_qubits:
+        Qubits multiplexed on this feedline, 1..5 (a slice of the
+        default group; the paper's datapath is replicated per feedline,
+        not widened).
+    noise_std, trace_len:
+        Forwarded to :class:`ChipConfig`.
+    """
+    if feedline < 0:
+        raise ConfigurationError(f"feedline must be >= 0, got {feedline}")
+    base = default_five_qubit_chip(noise_std=noise_std, trace_len=trace_len)
+    if not 1 <= n_qubits <= base.n_qubits:
+        raise ConfigurationError(
+            f"n_qubits must be in [1, {base.n_qubits}], got {n_qubits}"
+        )
+    if feedline == 0 and n_qubits == base.n_qubits:
+        return base
+    # Deterministic fabrication spread: a few percent per feedline, kept
+    # small enough that every group stays a healthy readout device.
+    chi_scale = 1.0 + 0.04 * (feedline % 7)
+    amp_scale = 1.0 - 0.015 * (feedline % 5)
+    t1_scale = 1.0 - 0.03 * (feedline % 4)
+    qubits = tuple(
+        replace(
+            q,
+            name=f"F{feedline}{q.name}",
+            chi=q.chi * chi_scale,
+            amplitude=q.amplitude * amp_scale,
+            t1_ns=q.t1_ns * t1_scale,
+            t1_2_ns=q.t1_2_ns * t1_scale,
+            lo_phase=q.lo_phase + 0.17 * feedline,
+        )
+        for q in base.qubits[:n_qubits]
+    )
+    crosstalk = np.asarray(base.crosstalk)[:n_qubits, :n_qubits].copy()
+    return ChipConfig(
+        qubits=qubits,
+        adc=base.adc,
+        trace_len=trace_len,
+        noise_std=noise_std,
+        crosstalk=crosstalk,
+    )
+
+
+def multi_feedline_chips(
+    n_feedlines: int,
+    n_qubits: int = 5,
+    noise_std: float = 4.0,
+    trace_len: int = 500,
+) -> tuple[ChipConfig, ...]:
+    """Readout groups of an ``n_feedlines``-feedline device.
+
+    The multi-feedline scaling unit of the paper's architecture: each
+    feedline is an independent :class:`ChipConfig` (its own qubits, ADC
+    pair, and crosstalk matrix) discriminated by its own replicated
+    datapath. See :func:`make_feedline_chip` for the per-feedline
+    parameter spread.
+    """
+    if n_feedlines < 1:
+        raise ConfigurationError(
+            f"n_feedlines must be >= 1, got {n_feedlines}"
+        )
+    return tuple(
+        make_feedline_chip(
+            k, n_qubits=n_qubits, noise_std=noise_std, trace_len=trace_len
+        )
+        for k in range(n_feedlines)
     )

@@ -20,12 +20,29 @@ online-decoding premise implies:
   and the measured-vs-FPGA cycle-budget check.
 - :mod:`repro.pipeline.runner` — :class:`ReadoutPipeline` and the
   turnkey :func:`run_streaming_pipeline` used by ``repro pipeline``.
+- :mod:`repro.pipeline.cluster` — multi-feedline sharding:
+  :class:`MultiFeedlineRunner` replicates the chain per feedline across
+  pluggable :class:`ShardExecutor` backends (serial/thread/process) and
+  merges the per-feedline reports into one :class:`ClusterReport`.
 """
 
-from repro.pipeline.batching import MicroBatcher
+from repro.pipeline.batching import AdaptiveBatcher, MicroBatcher
+from repro.pipeline.cluster import (
+    EXECUTOR_NAMES,
+    ClusterReport,
+    FeedlineSpec,
+    MultiFeedlineRunner,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    ThreadShardExecutor,
+    get_shard_executor,
+    run_multi_feedline_pipeline,
+)
 from repro.pipeline.metrics import LatencyStats, PipelineReport, StageTimings
 from repro.pipeline.registry import CalibrationKey, CalibrationRegistry, PruneReport
 from repro.pipeline.runner import (
+    ADAPTIVE_BUDGET_SLACK,
     PipelineConfig,
     ReadoutPipeline,
     fit_or_load_discriminator,
@@ -51,6 +68,18 @@ __all__ = [
     "SimulatorTraceSource",
     "CorpusTraceSource",
     "MicroBatcher",
+    "AdaptiveBatcher",
+    "ADAPTIVE_BUDGET_SLACK",
+    "EXECUTOR_NAMES",
+    "FeedlineSpec",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "get_shard_executor",
+    "ClusterReport",
+    "MultiFeedlineRunner",
+    "run_multi_feedline_pipeline",
     "BatchDiscriminationEngine",
     "BatchResult",
     "CalibrationKey",

@@ -1,0 +1,576 @@
+"""Multi-feedline sharded serving: one discrimination chain per feedline.
+
+The paper's architecture scales by frequency-multiplexing a handful of
+qubits onto each feedline and *replicating* the discrimination datapath
+per feedline (Chen et al. and Jerger et al. treat the feedline as the
+unit of parallelism for exactly this reason). This module is the software
+counterpart: :class:`MultiFeedlineRunner` partitions a list of
+:class:`~repro.physics.device.ChipConfig` readout groups across shard
+workers, each feedline running the full source → micro-batcher →
+:class:`~repro.pipeline.stages.BatchDiscriminationEngine` → sink chain
+with its own :class:`~repro.pipeline.registry.CalibrationKey`, and merges
+the per-feedline :class:`~repro.pipeline.metrics.PipelineReport` digests
+into one :class:`ClusterReport` (global shots/sec, worst-feedline p99,
+per-feedline FPGA budget verdicts).
+
+Shard execution is pluggable through :class:`ShardExecutor`:
+
+- ``serial`` — feedlines run one after another on the calling thread
+  (deterministic reference, and the profile/debug path).
+- ``thread`` — a ``ThreadPoolExecutor`` shard per feedline; numpy's BLAS
+  kernels release the GIL, so real work overlaps.
+- ``process`` — a ``ProcessPoolExecutor`` shard per feedline for the
+  python-bound parts of the chain. Workers never receive pickled fitted
+  models: each task carries only the chip parameters and registry
+  coordinates, and the worker *rebuilds* its discriminator from
+  :class:`~repro.pipeline.registry.CalibrationRegistry` artifacts (or
+  fits and stores them on a cold start).
+
+Every feedline's traffic seed is derived deterministically from the
+profile seed and the feedline index, so the same cluster run yields
+bit-identical assignment counts under any executor and any partitioning.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.config import Profile
+from repro.exceptions import ConfigurationError
+from repro.physics.device import ChipConfig, multi_feedline_chips
+from repro.pipeline.metrics import PipelineReport
+from repro.pipeline.runner import (
+    DEFAULT_DESIGN,
+    PipelineConfig,
+    run_streaming_pipeline,
+)
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "FeedlineSpec",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "available_cpus",
+    "get_shard_executor",
+    "validate_executor",
+    "ClusterReport",
+    "MultiFeedlineRunner",
+    "run_multi_feedline_pipeline",
+]
+
+
+@dataclass(frozen=True)
+class FeedlineSpec:
+    """One feedline of the cluster: a readout group and its registry name.
+
+    Parameters
+    ----------
+    name:
+        Unique feedline name; appears in the aggregate report.
+    chip:
+        The readout group streamed and discriminated on this feedline.
+    device:
+        Registry device name for the feedline's calibration artifacts;
+        defaults to ``name``. Two feedlines sharing ``device`` *and* chip
+        parameters share one calibration artifact (fit-once enforced by
+        the registry's per-key lock).
+    """
+
+    name: str
+    chip: ChipConfig
+    device: str | None = None
+
+    @property
+    def registry_device(self) -> str:
+        return self.device if self.device is not None else self.name
+
+
+@dataclass(frozen=True)
+class _FeedlineTask:
+    """Picklable work order for one feedline shard.
+
+    Carries parameters only — never fitted models — so the same payload
+    drives in-process and cross-process executors identically.
+    """
+
+    name: str
+    chip: ChipConfig
+    device: str
+    profile: Profile
+    n_shots: int
+    seed: int
+    chunk_size: int
+    config: PipelineConfig
+    registry_dir: str | None
+    design: str
+
+
+def _run_feedline(task: _FeedlineTask) -> tuple[str, PipelineReport]:
+    """Run one feedline chain end to end (module-level: process-pool safe).
+
+    The discriminator is resolved through the calibration registry by
+    key — a process worker rebuilds it from stored artifacts rather than
+    unpickling a fitted object, and a cold worker fits and stores it.
+    """
+    report = run_streaming_pipeline(
+        task.profile,
+        n_shots=task.n_shots,
+        chunk_size=task.chunk_size,
+        registry_dir=task.registry_dir,
+        chip=task.chip,
+        device=task.device,
+        seed=task.seed,
+        design=task.design,
+        config=task.config,
+    )
+    report.details["feedline"] = task.name
+    return task.name, report
+
+
+class ShardExecutor(ABC):
+    """Executes feedline tasks; backends differ in where shards run."""
+
+    #: Registry name of the backend (``serial``/``thread``/``process``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def map(
+        self,
+        fn: Callable[[_FeedlineTask], tuple[str, PipelineReport]],
+        tasks: Sequence[_FeedlineTask],
+    ) -> list[tuple[str, PipelineReport]]:
+        """Run ``fn`` over every task, returning results in task order."""
+
+    def close(self) -> None:
+        """Release backend resources. Idempotent."""
+
+
+class SerialShardExecutor(ShardExecutor):
+    """Runs every feedline inline on the calling thread."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        del workers  # one caller thread, by definition
+
+    def map(self, fn, tasks):
+        return [fn(task) for task in tasks]
+
+
+def _warmup(index: int) -> int:
+    """Pool warm-up task (module-level: process-pool picklable).
+
+    The tiny matmul initializes per-process BLAS state in freshly
+    spawned workers; the short sleep keeps every warm-up task in flight
+    at once, so no single worker can drain the queue and the pool really
+    does spawn all its workers up front (``concurrent.futures`` pools
+    otherwise reuse an idle worker instead of growing).
+    """
+    import time as _time
+
+    import numpy as np
+
+    x = np.full((8, 8), float(index + 1))
+    _time.sleep(0.02)
+    return int((x @ x).shape[0])
+
+
+class _PoolShardExecutor(ShardExecutor):
+    """Shared plumbing for the ``concurrent.futures`` backends."""
+
+    _pool_cls: type
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._pool = self._pool_cls(max_workers=self.workers)
+        # ``concurrent.futures`` pools spawn workers lazily on first
+        # submit; serving pools are long-lived, so pre-spawn here and
+        # keep cold-start (fork/thread creation) out of the measured
+        # dispatch path.
+        list(self._pool.map(_warmup, range(self.workers)))
+
+    def map(self, fn, tasks):
+        return list(self._pool.map(fn, tasks))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ThreadShardExecutor(_PoolShardExecutor):
+    """One thread per shard; BLAS-heavy stages overlap despite the GIL."""
+
+    name = "thread"
+    _pool_cls = ThreadPoolExecutor
+
+
+class ProcessShardExecutor(_PoolShardExecutor):
+    """One OS process per shard; scales the python-bound stage glue.
+
+    Workers rebuild discriminators from calibration-registry artifacts
+    (see :func:`_run_feedline`) — fitted models are never pickled across
+    the process boundary.
+    """
+
+    name = "process"
+    _pool_cls = ProcessPoolExecutor
+
+
+_EXECUTORS: dict[str, type[ShardExecutor]] = {
+    cls.name: cls
+    for cls in (SerialShardExecutor, ThreadShardExecutor, ProcessShardExecutor)
+}
+
+#: Valid ``executor=`` names, in documentation order.
+EXECUTOR_NAMES = tuple(_EXECUTORS)
+
+
+def validate_executor(name: str) -> str:
+    """Check a shard-executor name; returns it for chaining."""
+    if name not in _EXECUTORS:
+        known = ", ".join(EXECUTOR_NAMES)
+        raise ConfigurationError(
+            f"unknown shard executor {name!r}; expected one of: {known}"
+        )
+    return name
+
+
+def available_cpus() -> int:
+    """Usable CPU count (honors cgroup/affinity pinning where exposed)."""
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def get_shard_executor(name: str, workers: int = 1) -> ShardExecutor:
+    """Build a shard executor backend by name."""
+    return _EXECUTORS[validate_executor(name)](workers)
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate digest of one multi-feedline run.
+
+    Attributes
+    ----------
+    executor, workers:
+        Shard backend name and its worker count.
+    n_shots:
+        Total shots streamed across all feedlines.
+    wall_seconds:
+        Cluster wall time (slowest shard path, including dispatch).
+    shots_per_second:
+        Global throughput: total shots over cluster wall time.
+    feedline_reports:
+        Per-feedline :class:`PipelineReport`, in feedline order.
+    """
+
+    executor: str
+    workers: int
+    n_shots: int
+    wall_seconds: float
+    shots_per_second: float
+    feedline_reports: dict[str, PipelineReport] = field(default_factory=dict)
+
+    @property
+    def n_feedlines(self) -> int:
+        return len(self.feedline_reports)
+
+    def worst_p99_ms(self) -> dict[str, float]:
+        """Per stage, the worst (max) p99 batch latency over feedlines."""
+        worst: dict[str, float] = {}
+        for report in self.feedline_reports.values():
+            for stage, summary in report.stage_summaries.items():
+                p99 = float(summary["p99_ms"])
+                if p99 > worst.get(stage, float("-inf")):
+                    worst[stage] = p99
+        return worst
+
+    def budget_verdicts(self) -> dict[str, dict]:
+        """Per feedline, the FPGA decision-budget verdict."""
+        return {
+            name: report.budget.to_dict()
+            for name, report in self.feedline_reports.items()
+            if report.budget is not None
+        }
+
+    @property
+    def accuracy(self) -> float | None:
+        """Shot-weighted mean accuracy over feedlines that report one."""
+        weighted = 0.0
+        shots = 0
+        for report in self.feedline_reports.values():
+            if report.accuracy is not None:
+                weighted += report.accuracy * report.n_shots
+                shots += report.n_shots
+        return weighted / shots if shots else None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``--json`` / bench output)."""
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "n_feedlines": self.n_feedlines,
+            "n_shots": self.n_shots,
+            "wall_seconds": self.wall_seconds,
+            "shots_per_second": self.shots_per_second,
+            "accuracy": self.accuracy,
+            "worst_p99_ms": self.worst_p99_ms(),
+            "budget_verdicts": self.budget_verdicts(),
+            "feedlines": {
+                name: report.to_dict()
+                for name, report in self.feedline_reports.items()
+            },
+        }
+
+    def format_table(self) -> str:
+        """Aligned text report in the house experiment style."""
+        from repro.experiments.report import format_rows
+
+        rows = []
+        for name, report in self.feedline_reports.items():
+            worst_stage_p99 = max(
+                (s["p99_ms"] for s in report.stage_summaries.values()),
+                default=float("nan"),
+            )
+            rows.append(
+                [
+                    name,
+                    report.n_shots,
+                    f"{report.shots_per_second:.0f}",
+                    "-" if report.accuracy is None else f"{report.accuracy:.4f}",
+                    f"{worst_stage_p99:.2f}",
+                    (
+                        "-"
+                        if report.budget is None
+                        else f"{report.budget.slowdown:.0f}x"
+                    ),
+                ]
+            )
+        table = format_rows(
+            ["feedline", "shots", "shots/s", "accuracy", "p99 ms", "vs fpga"],
+            rows,
+            title=(
+                f"multi-feedline pipeline ({self.n_feedlines} feedlines, "
+                f"{self.executor} executor, {self.workers} workers)"
+            ),
+        )
+        lines = [
+            table,
+            "",
+            f"global throughput    {self.shots_per_second:.0f} shots/s "
+            f"({self.n_shots} shots in {self.wall_seconds:.2f} s wall)",
+        ]
+        if self.accuracy is not None:
+            lines.append(f"joint-state accuracy {self.accuracy:.4f} (weighted)")
+        worst = self.worst_p99_ms()
+        if worst:
+            stage, p99 = max(worst.items(), key=lambda kv: kv[1])
+            lines.append(f"worst stage p99      {p99:.2f} ms ({stage})")
+        return "\n".join(lines)
+
+
+class MultiFeedlineRunner:
+    """Streams several feedlines concurrently, one chain per shard.
+
+    Parameters
+    ----------
+    feedlines:
+        Feedline specs, or bare :class:`ChipConfig` readout groups
+        (auto-named ``feedline-<i>``).
+    profile:
+        Sizing profile shared by every feedline's calibration.
+    executor:
+        Shard backend: ``serial``, ``thread``, or ``process``.
+    workers:
+        Shard workers; defaults to one per feedline, capped at the CPU
+        count (oversubscribing cores costs throughput on every backend
+        — forked shards timesharing one core additionally thrash the
+        cache across address spaces).
+    config:
+        Per-feedline runtime config (batching, channel workers,
+        backpressure, adaptive batching).
+    chunk_size:
+        Shots per source chunk inside each feedline.
+    registry_dir:
+        Shared calibration-registry root. ``None`` makes every shard fit
+        its own calibration from scratch (no artifacts stored) — fine
+        for ``serial``/``thread``, wasteful but correct for ``process``.
+    design:
+        Registered discriminator design served on every feedline.
+    """
+
+    def __init__(
+        self,
+        feedlines: Sequence[FeedlineSpec | ChipConfig],
+        profile: Profile,
+        *,
+        executor: str = "thread",
+        workers: int | None = None,
+        config: PipelineConfig | None = None,
+        chunk_size: int = 256,
+        registry_dir: str | Path | None = None,
+        design: str = DEFAULT_DESIGN,
+    ) -> None:
+        specs = [
+            spec
+            if isinstance(spec, FeedlineSpec)
+            else FeedlineSpec(name=f"feedline-{i}", chip=spec)
+            for i, spec in enumerate(feedlines)
+        ]
+        if not specs:
+            raise ConfigurationError("cluster needs at least one feedline")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"feedline names must be unique, got {names}"
+            )
+        validate_executor(executor)
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.feedlines = tuple(specs)
+        self.profile = profile
+        self.executor = executor
+        if workers is None:
+            workers = min(len(specs), available_cpus())
+        self.workers = int(workers)
+        self.config = config or PipelineConfig()
+        self.chunk_size = int(chunk_size)
+        self.registry_dir = (
+            str(registry_dir) if registry_dir is not None else None
+        )
+        self.design = design
+        self._shard_executor: ShardExecutor | None = None
+
+    def _get_executor(self) -> ShardExecutor:
+        """The runner's long-lived shard pool (created on first use).
+
+        Serving pools persist across streams: repeated :meth:`run` calls
+        reuse warm workers instead of re-spawning them. Release with
+        :meth:`close` (or use the runner as a context manager).
+        """
+        if self._shard_executor is None:
+            self._shard_executor = get_shard_executor(
+                self.executor, self.workers
+            )
+        return self._shard_executor
+
+    def close(self) -> None:
+        """Shut down the shard pool. Idempotent; :meth:`run` revives it."""
+        if self._shard_executor is not None:
+            self._shard_executor.close()
+            self._shard_executor = None
+
+    def __enter__(self) -> "MultiFeedlineRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _tasks(self, n_shots: int, seed: int | None) -> list[_FeedlineTask]:
+        base_seed = self.profile.seed + 1 if seed is None else int(seed)
+        return [
+            _FeedlineTask(
+                name=spec.name,
+                chip=spec.chip,
+                device=spec.registry_device,
+                profile=self.profile,
+                n_shots=int(n_shots),
+                # Distinct deterministic traffic per feedline: executors
+                # and partitionings all see identical streams.
+                seed=base_seed + index,
+                chunk_size=self.chunk_size,
+                config=self.config,
+                registry_dir=self.registry_dir,
+                design=self.design,
+            )
+            for index, spec in enumerate(self.feedlines)
+        ]
+
+    def run(self, n_shots: int, seed: int | None = None) -> ClusterReport:
+        """Stream ``n_shots`` per feedline; returns the aggregate report.
+
+        Parameters
+        ----------
+        n_shots:
+            Shots of simulated traffic streamed on *each* feedline.
+        seed:
+            Base traffic seed (default ``profile.seed + 1``); feedline
+            ``i`` streams with ``seed + i``.
+        """
+        if n_shots < 1:
+            raise ConfigurationError(f"n_shots must be >= 1, got {n_shots}")
+        tasks = self._tasks(n_shots, seed)
+        shard_executor = self._get_executor()
+        try:
+            # The timed window covers dispatch and shard execution only:
+            # pool spawn (pre-warmed at construction) and teardown are
+            # serving-lifetime costs, not per-stream throughput.
+            wall_start = time.perf_counter()
+            results = shard_executor.map(_run_feedline, tasks)
+            wall = time.perf_counter() - wall_start
+        except BaseException:
+            # A failed dispatch may leave the pool wedged; rebuild it on
+            # the next run rather than reusing a broken executor.
+            self.close()
+            raise
+
+        reports = dict(results)
+        total_shots = sum(r.n_shots for r in reports.values())
+        return ClusterReport(
+            executor=self.executor,
+            workers=self.workers,
+            n_shots=total_shots,
+            wall_seconds=wall,
+            shots_per_second=total_shots / wall if wall > 0 else float("inf"),
+            feedline_reports=reports,
+        )
+
+
+def run_multi_feedline_pipeline(
+    profile: Profile,
+    n_shots: int,
+    feedlines: int | Sequence[FeedlineSpec | ChipConfig] = 2,
+    *,
+    executor: str = "thread",
+    workers: int | None = None,
+    config: PipelineConfig | None = None,
+    chunk_size: int = 256,
+    registry_dir: str | Path | None = None,
+    design: str = DEFAULT_DESIGN,
+    seed: int | None = None,
+    qubits_per_feedline: int = 5,
+) -> ClusterReport:
+    """Turnkey multi-feedline run: build the cluster, stream, aggregate.
+
+    ``feedlines`` may be a count — readout groups then come from
+    :func:`repro.physics.device.multi_feedline_chips` with
+    ``qubits_per_feedline`` qubits each — or an explicit sequence of
+    specs/chips. ``n_shots`` is per feedline. See
+    :class:`MultiFeedlineRunner` for the remaining knobs.
+    """
+    if isinstance(feedlines, int):
+        feedlines = multi_feedline_chips(
+            feedlines, n_qubits=qubits_per_feedline
+        )
+    with MultiFeedlineRunner(
+        feedlines,
+        profile,
+        executor=executor,
+        workers=workers,
+        config=config,
+        chunk_size=chunk_size,
+        registry_dir=registry_dir,
+        design=design,
+    ) as runner:
+        return runner.run(n_shots, seed=seed)

@@ -135,6 +135,7 @@ class PipelineReport:
     sink_summary: dict = field(default_factory=dict)
     accuracy: float | None = None
     calibration_cached: bool | None = None
+    assignment_counts: list[int] | None = None
     details: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -148,14 +149,11 @@ class PipelineReport:
             "sink": self.sink_summary,
             "accuracy": self.accuracy,
             "calibration_cached": self.calibration_cached,
+            "assignment_counts": self.assignment_counts,
+            "details": self.details,
         }
         if self.budget is not None:
-            out["budget"] = {
-                "budget_ns": self.budget.budget_ns,
-                "measured_ns_per_shot": self.budget.measured_ns,
-                "slowdown_vs_fpga": self.budget.slowdown,
-                "within_budget": self.budget.within_budget,
-            }
+            out["budget"] = self.budget.to_dict()
         return out
 
     def format_table(self) -> str:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import re
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,6 +32,101 @@ from repro.exceptions import ConfigurationError, DataError
 __all__ = ["CalibrationKey", "CalibrationRegistry", "PruneReport"]
 
 _SLUG = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: Process-wide per-(root, key) fit locks: concurrent ``get_or_fit`` calls
+#: for the same artifact — e.g. identical feedlines sharded across thread
+#: workers — serialize here so exactly one fits and the rest get the
+#: warm artifact. Keyed by the resolved root so two registry *instances*
+#: over the same directory still share a lock. In-process only; separate
+#: OS processes coordinate through the artifact files instead (a
+#: duplicated fit there is wasted work, never a corrupt artifact, thanks
+#: to the atomic rename in :meth:`CalibrationRegistry.save`).
+_FIT_LOCKS: dict[tuple[str, "CalibrationKey"], threading.Lock] = {}
+_FIT_LOCKS_GUARD = threading.Lock()
+
+
+def _fit_lock(root: Path, key: "CalibrationKey") -> threading.Lock:
+    with _FIT_LOCKS_GUARD:
+        return _FIT_LOCKS.setdefault(
+            (str(root.resolve()), key), threading.Lock()
+        )
+
+
+def _fit_lock_discard(root: Path, key: "CalibrationKey") -> None:
+    """Drop a key's fit lock once its artifact is on disk.
+
+    Keeps the lock table from growing one entry per key for the process
+    lifetime. Waiters already queued on the old lock object are
+    unaffected, and any later caller that mints a fresh lock re-checks
+    the (now stored) artifact before fitting, so fit-once still holds.
+    """
+    with _FIT_LOCKS_GUARD:
+        _FIT_LOCKS.pop((str(root.resolve()), key), None)
+
+
+#: Process-local LRU of fitted discriminators fronting the disk tree:
+#: a long-lived serving worker deserializes each artifact once, then
+#: serves it from memory. Each entry remembers the artifact file's
+#: (mtime_ns, size) fingerprint and is treated as a miss when the file
+#: on disk no longer matches — an artifact rewritten by *another*
+#: process is picked up, not masked. Bounded (artifacts hold NN weights
+#: and matched-filter kernels); keyed like the fit locks so registry
+#: instances over the same root share entries. Discriminator predict
+#: paths are read-only, so sharing one instance across shard threads is
+#: safe — the single-feedline engine already shares one across channel
+#: workers.
+_MEMORY_CACHE: dict[
+    tuple[str, "CalibrationKey"], tuple[tuple[int, int], Discriminator]
+] = {}
+_MEMORY_CACHE_GUARD = threading.Lock()
+_MEMORY_CACHE_MAX = 16
+
+
+def _artifact_fingerprint(path: Path) -> tuple[int, int] | None:
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def _cache_get(
+    root: Path, key: "CalibrationKey", fingerprint: tuple[int, int] | None
+) -> Discriminator | None:
+    if fingerprint is None:
+        return None
+    cache_key = (str(root.resolve()), key)
+    with _MEMORY_CACHE_GUARD:
+        entry = _MEMORY_CACHE.get(cache_key)
+        if entry is None:
+            return None
+        stored_fingerprint, discriminator = entry
+        if stored_fingerprint != fingerprint:
+            del _MEMORY_CACHE[cache_key]  # rewritten on disk: stale
+            return None
+        _MEMORY_CACHE[cache_key] = _MEMORY_CACHE.pop(cache_key)  # LRU bump
+        return discriminator
+
+
+def _cache_put(
+    root: Path,
+    key: "CalibrationKey",
+    discriminator: Discriminator,
+    fingerprint: tuple[int, int] | None,
+) -> None:
+    if fingerprint is None:
+        return
+    cache_key = (str(root.resolve()), key)
+    with _MEMORY_CACHE_GUARD:
+        _MEMORY_CACHE.pop(cache_key, None)
+        _MEMORY_CACHE[cache_key] = (fingerprint, discriminator)
+        while len(_MEMORY_CACHE) > _MEMORY_CACHE_MAX:
+            _MEMORY_CACHE.pop(next(iter(_MEMORY_CACHE)))
+
+
+def _cache_evict(root: Path, key: "CalibrationKey") -> None:
+    with _MEMORY_CACHE_GUARD:
+        _MEMORY_CACHE.pop((str(root.resolve()), key), None)
 
 
 @dataclass(frozen=True)
@@ -143,6 +239,9 @@ class CalibrationRegistry:
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
+        # The overwritten artifact is the new truth: a memoized copy of
+        # the previous one must not mask it.
+        _cache_evict(self.root, key)
         return path
 
     def load(self, key: CalibrationKey) -> Discriminator:
@@ -154,6 +253,7 @@ class CalibrationRegistry:
 
     def invalidate(self, key: CalibrationKey) -> bool:
         """Drop one stored artifact; returns whether it existed."""
+        _cache_evict(self.root, key)
         path = self.path_for(key)
         if path.is_file():
             path.unlink()
@@ -208,6 +308,7 @@ class CalibrationRegistry:
                 removed.append(key)
                 bytes_freed += size
                 path.unlink(missing_ok=True)
+                _cache_evict(self.root, key)
             else:
                 survivors.append((mtime, key, path, size))
 
@@ -219,6 +320,7 @@ class CalibrationRegistry:
                 bytes_freed += size
                 total -= size
                 path.unlink(missing_ok=True)
+                _cache_evict(self.root, key)
 
         self._remove_empty_dirs()
         return PruneReport(
@@ -262,21 +364,56 @@ class CalibrationRegistry:
         -------
         (discriminator, cached):
             The fitted model and whether it came from the cache.
+
+        Concurrent calls for the same key (from any number of registry
+        instances over the same root, e.g. sharded feedline workers)
+        stay fit-once: a per-key lock serializes the miss path, and
+        late arrivals re-check the cache under the lock before fitting.
+        Served artifacts are additionally memoized in a process-local
+        LRU, so a long-lived worker deserializes each artifact once (the
+        on-disk file remains the source of truth — a deleted artifact is
+        never served from memory).
         """
-        if key in self:
-            try:
-                return self.load(key), True
-            except Exception:
-                # A corrupt or unreadable artifact (e.g. written by an
-                # older incompatible version) is a cache miss, not a
-                # permanently poisoned key: drop it and refit.
-                self.invalidate(key)
-        discriminator = factory()
-        if callable(corpus):
-            corpus = corpus()
-        idx = (
-            np.arange(corpus.n_traces) if indices is None else np.asarray(indices)
-        )
-        discriminator.fit(corpus, idx)
-        self.save(key, discriminator)
+
+        def _try_load() -> Discriminator | None:
+            fingerprint = _artifact_fingerprint(self.path_for(key))
+            if fingerprint is not None:
+                cached = _cache_get(self.root, key, fingerprint)
+                if cached is not None:
+                    return cached
+                try:
+                    loaded = self.load(key)
+                except Exception:
+                    # A corrupt or unreadable artifact (e.g. written by
+                    # an older incompatible version) is a cache miss,
+                    # not a permanently poisoned key: drop it and refit.
+                    self.invalidate(key)
+                else:
+                    _cache_put(self.root, key, loaded, fingerprint)
+                    return loaded
+            return None
+
+        loaded = _try_load()
+        if loaded is not None:
+            return loaded, True
+        with _fit_lock(self.root, key):
+            # Whoever held the lock first may have fitted this key
+            # while we waited; serve their artifact instead of refitting.
+            loaded = _try_load()
+            if loaded is not None:
+                return loaded, True
+            discriminator = factory()
+            if callable(corpus):
+                corpus = corpus()
+            idx = (
+                np.arange(corpus.n_traces)
+                if indices is None
+                else np.asarray(indices)
+            )
+            discriminator.fit(corpus, idx)
+            path = self.save(key, discriminator)
+            _cache_put(
+                self.root, key, discriminator, _artifact_fingerprint(path)
+            )
+        _fit_lock_discard(self.root, key)
         return discriminator, False

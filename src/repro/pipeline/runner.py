@@ -26,9 +26,9 @@ from repro.data.synthetic import generate_corpus
 from repro.discriminators import registry as discriminators
 from repro.discriminators.mlr import MLRDiscriminator
 from repro.exceptions import ConfigurationError
-from repro.fpga.latency import check_cycle_budget
+from repro.fpga.latency import check_cycle_budget, decision_budget_ns
 from repro.physics.device import ChipConfig, default_five_qubit_chip
-from repro.pipeline.batching import MicroBatcher
+from repro.pipeline.batching import AdaptiveBatcher, MicroBatcher
 from repro.pipeline.metrics import PipelineReport, StageTimings
 from repro.pipeline.registry import CalibrationKey, CalibrationRegistry
 from repro.pipeline.sink import EraserSpeculationSink, QueueingSink, ResultSink
@@ -36,6 +36,7 @@ from repro.pipeline.source import SimulatorTraceSource, TraceSource
 from repro.pipeline.stages import BatchDiscriminationEngine
 
 __all__ = [
+    "ADAPTIVE_BUDGET_SLACK",
     "PipelineConfig",
     "ReadoutPipeline",
     "fit_or_load_discriminator",
@@ -49,6 +50,14 @@ DEFAULT_DEVICE = "five-qubit-default"
 DEFAULT_DESIGN = "ours"
 
 
+#: Software slack multiplier applied to the FPGA per-shot decision budget
+#: when deriving the adaptive batcher's default batch-latency target: the
+#: hardware decides in nanoseconds, a software batch may take that many
+#: shots' worth of budget (~8 ns * 5e5 = 4 ms per batch for the paper's
+#: 3-layer head).
+ADAPTIVE_BUDGET_SLACK = 5.0e5
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """Runtime knobs for the streaming pipeline.
@@ -56,12 +65,24 @@ class PipelineConfig:
     Parameters
     ----------
     batch_size:
-        Shots per dispatched micro-batch.
+        Shots per dispatched micro-batch (the initial size when adaptive
+        batching is on).
     workers:
         Channel-shard workers; 1 runs the shards inline.
     max_pending:
         Sink queue capacity in batches before backpressure blocks
         dispatch.
+    adaptive_batching:
+        Resize micro-batches from the observed per-shot compute-latency
+        EWMA (see :class:`~repro.pipeline.batching.AdaptiveBatcher`)
+        instead of keeping ``batch_size`` fixed.
+    max_batch_size:
+        Upper bound on the adapted batch size (adaptive mode only; the
+        fixed-size path ignores it).
+    target_batch_ms:
+        Per-batch compute-latency target for adaptive mode. ``None``
+        derives it from the serving head's FPGA decision budget times
+        :data:`ADAPTIVE_BUDGET_SLACK`.
 
     Source chunking is the :class:`TraceSource`'s own knob, not runtime
     configuration — see ``chunk_size`` on the source constructors.
@@ -70,13 +91,34 @@ class PipelineConfig:
     batch_size: int = 64
     workers: int = 1
     max_pending: int = 8
+    adaptive_batching: bool = False
+    max_batch_size: int = 1024
+    target_batch_ms: float | None = None
 
     def __post_init__(self) -> None:
-        for field_name in ("batch_size", "workers", "max_pending"):
-            if getattr(self, field_name) < 1:
-                raise ConfigurationError(
-                    f"PipelineConfig.{field_name} must be >= 1"
-                )
+        # Collect every violation before raising, so a config with
+        # several bad knobs reports them all in one pass instead of
+        # failing one field at a time.
+        problems: list[str] = []
+        for field_name in ("batch_size", "workers", "max_pending",
+                           "max_batch_size"):
+            value = getattr(self, field_name)
+            if value < 1:
+                problems.append(f"{field_name} must be >= 1, got {value}")
+        if self.adaptive_batching and self.max_batch_size < self.batch_size:
+            problems.append(
+                "max_batch_size must be >= batch_size when adaptive "
+                f"batching is on, got {self.max_batch_size} < "
+                f"{self.batch_size}"
+            )
+        if self.target_batch_ms is not None and self.target_batch_ms <= 0:
+            problems.append(
+                f"target_batch_ms must be positive, got {self.target_batch_ms}"
+            )
+        if problems:
+            raise ConfigurationError(
+                "invalid PipelineConfig: " + "; ".join(problems)
+            )
 
 
 class ReadoutPipeline:
@@ -119,10 +161,29 @@ class ReadoutPipeline:
             max_pending=self.config.max_pending,
         )
 
+    def _make_batcher(self) -> MicroBatcher:
+        """Fixed-size batcher, or the latency-adaptive one when enabled."""
+        config = self.config
+        if not config.adaptive_batching:
+            return MicroBatcher(config.batch_size)
+        if config.target_batch_ms is not None:
+            target_s = config.target_batch_ms * 1e-3
+        else:
+            head = self.discriminator.models[0]
+            target_s = (
+                decision_budget_ns(head.layer_sizes) * 1e-9
+                * ADAPTIVE_BUDGET_SLACK
+            )
+        return AdaptiveBatcher(
+            config.batch_size,
+            target_seconds=target_s,
+            max_size=config.max_batch_size,
+        )
+
     def run(self, source: TraceSource) -> PipelineReport:
         """Drain the source through the stages; returns the run report."""
         timings = StageTimings()
-        batcher = MicroBatcher(self.config.batch_size)
+        batcher = self._make_batcher()
         executor = None
         sink = None
 
@@ -130,6 +191,11 @@ class ReadoutPipeline:
         n_batches = 0
         n_correct = 0
         n_labeled = 0
+        min_dispatched: int | None = None
+        max_dispatched: int | None = None
+        assignment_counts = np.zeros(
+            self.chip.n_levels**self.chip.n_qubits, dtype=np.int64
+        )
         wall_start = time.perf_counter()
         try:
             if self.config.workers > 1:
@@ -142,13 +208,25 @@ class ReadoutPipeline:
             sink = self._make_sink()
             for batch in batcher.rebatch(source.chunks()):
                 result = engine.process(batch.feedline)
+                compute_s = 0.0
                 for stage, seconds in result.stage_seconds.items():
                     timings.record(stage, seconds, batch.n_shots)
+                    compute_s += seconds
+                if isinstance(batcher, AdaptiveBatcher):
+                    if min_dispatched is None:
+                        min_dispatched = max_dispatched = batch.n_shots
+                    else:
+                        min_dispatched = min(min_dispatched, batch.n_shots)
+                        max_dispatched = max(max_dispatched, batch.n_shots)
+                    batcher.observe(compute_s, batch.n_shots)
 
                 t0 = time.perf_counter()
                 sink.consume(result.levels, result.joint, batch.chunk_id)
                 timings.record("sink", time.perf_counter() - t0, batch.n_shots)
 
+                assignment_counts += np.bincount(
+                    result.joint, minlength=assignment_counts.size
+                )
                 truth = batch.joint_labels(self.chip.n_levels)
                 if truth is not None:
                     n_correct += int(np.sum(result.joint == truth))
@@ -175,6 +253,29 @@ class ReadoutPipeline:
             measured_ns_per_shot=timings.compute_per_shot_us() * 1e3,
             layer_sizes=head.layer_sizes,
         )
+        details = {
+            "batch_size": self.config.batch_size,
+            "workers": self.config.workers,
+            "adaptive_batching": self.config.adaptive_batching,
+        }
+        if isinstance(batcher, AdaptiveBatcher):
+            # Sizes actually streamed (includes the initial batch and the
+            # end-of-stream flush), not the controller's chosen sizes —
+            # the honest range for anyone tuning latency off the report.
+            details["adaptive"] = {
+                "target_batch_ms": batcher.target_seconds * 1e3,
+                "final_batch_size": batcher.batch_size,
+                "min_batch_size": (
+                    batcher.batch_size
+                    if min_dispatched is None
+                    else min_dispatched
+                ),
+                "max_batch_size": (
+                    batcher.batch_size
+                    if max_dispatched is None
+                    else max_dispatched
+                ),
+            }
         return PipelineReport(
             n_shots=n_shots,
             n_batches=n_batches,
@@ -186,10 +287,8 @@ class ReadoutPipeline:
             budget=budget,
             sink_summary=sink_summary,
             accuracy=(n_correct / n_labeled) if n_labeled else None,
-            details={
-                "batch_size": self.config.batch_size,
-                "workers": self.config.workers,
-            },
+            assignment_counts=assignment_counts.tolist(),
+            details=details,
         )
 
 
@@ -274,6 +373,10 @@ def run_streaming_pipeline(
     sink: ResultSink | None = None,
     max_pending: int = 8,
     design: str = DEFAULT_DESIGN,
+    config: PipelineConfig | None = None,
+    adaptive_batching: bool = False,
+    max_batch_size: int = 1024,
+    target_batch_ms: float | None = None,
 ) -> PipelineReport:
     """Calibrate (or load calibration), then stream ``n_shots`` end to end.
 
@@ -300,6 +403,12 @@ def run_streaming_pipeline(
         Registered discriminator design to serve. The streaming engine
         reuses the MLR kernels/scaler/heads directly, so the design must
         resolve to an :class:`MLRDiscriminator` (or subclass).
+    config:
+        A ready-made :class:`PipelineConfig`; when given it wins over the
+        individual runtime knobs (``workers``, ``batch_size``,
+        ``max_pending``, ``adaptive_batching``, ...).
+    adaptive_batching, max_batch_size, target_batch_ms:
+        Adaptive micro-batching knobs, see :class:`PipelineConfig`.
     """
     if n_shots < 1:
         raise ConfigurationError(f"n_shots must be >= 1, got {n_shots}")
@@ -315,11 +424,15 @@ def run_streaming_pipeline(
     discriminator, cached = fit_or_load_discriminator(
         profile, registry, chip=chip, device=device, design=design
     )
-    config = PipelineConfig(
-        batch_size=batch_size,
-        workers=workers,
-        max_pending=max_pending,
-    )
+    if config is None:
+        config = PipelineConfig(
+            batch_size=batch_size,
+            workers=workers,
+            max_pending=max_pending,
+            adaptive_batching=adaptive_batching,
+            max_batch_size=max_batch_size,
+            target_batch_ms=target_batch_ms,
+        )
     source = SimulatorTraceSource(
         chip,
         n_shots=n_shots,

@@ -362,3 +362,48 @@ class TestDiscriminatorRegistry:
 
         with pytest.raises(ConfigurationError, match="unknown discriminator"):
             get_trained(QUICK, "not-a-design")
+
+
+class TestRunPipelineApi:
+    """repro.api.run_pipeline — the streaming runtime as a library call."""
+
+    @staticmethod
+    def _tiny_profile():
+        from repro.config import Profile
+
+        return Profile(
+            name="tiny", shots_per_state=10, calibration_shots=100,
+            nn_epochs=8, fnn_epochs=2, batch_size=64, qec_shots=10,
+            qudit_shots=10, spectral_max_points=100, seed=611,
+        )
+
+    def test_single_feedline_returns_pipeline_report(self):
+        from repro.api import run_pipeline
+        from repro.pipeline import PipelineReport
+
+        report = run_pipeline(
+            self._tiny_profile(), shots=40, batch_size=20, chunk_size=20,
+            qubits_per_feedline=2,
+        )
+        assert isinstance(report, PipelineReport)
+        assert report.n_shots == 40
+
+    def test_multi_feedline_returns_cluster_report(self):
+        from repro.api import run_pipeline
+        from repro.pipeline import ClusterReport
+
+        report = run_pipeline(
+            self._tiny_profile(), shots=30, feedlines=2, executor="serial",
+            batch_size=15, chunk_size=15, qubits_per_feedline=2,
+            adaptive_batching=True,
+        )
+        assert isinstance(report, ClusterReport)
+        assert report.n_feedlines == 2
+        assert report.n_shots == 60
+
+    def test_rejects_bad_feedline_count(self):
+        from repro.api import run_pipeline
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_pipeline(self._tiny_profile(), feedlines=0)

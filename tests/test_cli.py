@@ -180,6 +180,45 @@ class TestPipelineSubcommand:
         out = capsys.readouterr().out
         assert "--shots" in out
         assert "--registry" in out
+        assert "--feedlines" in out
+        assert "--executor" in out
+        assert "--adaptive-batching" in out
+
+    def test_pipeline_multi_feedline_streams_and_writes_json(
+        self, capsys, tmp_path
+    ):
+        json_path = tmp_path / "cluster.json"
+        code = cli.main(
+            [
+                "pipeline",
+                "--feedlines", "2",
+                "--executor", "serial",
+                "--qubits-per-feedline", "2",
+                "--shots", "60",
+                "--batch-size", "30",
+                "--chunk-size", "30",
+                "--adaptive-batching",
+                "--no-cache",
+                "--json", str(json_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "multi-feedline pipeline" in out
+        assert "global throughput" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["n_feedlines"] == 2
+        assert payload["n_shots"] == 120
+        assert payload["executor"] == "serial"
+        assert set(payload["budget_verdicts"]) == set(payload["feedlines"])
+        for feedline in payload["feedlines"].values():
+            for stage in ("demod", "matched_filter", "discriminate", "sink"):
+                assert stage in feedline["stages"]
+            assert feedline["details"]["adaptive_batching"] is True
+
+    def test_pipeline_rejects_unknown_executor(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["pipeline", "--feedlines", "2", "--executor", "gpu"])
 
     def test_pipeline_dispatches_with_options_first(self, capsys, shared_registry):
         code = cli.main(

@@ -1,0 +1,547 @@
+"""Tests for multi-feedline sharding, executors, and adaptive batching."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import Profile
+from repro.discriminators import MLRDiscriminator
+from repro.exceptions import ConfigurationError
+from repro.physics.device import (
+    default_five_qubit_chip,
+    make_feedline_chip,
+    multi_feedline_chips,
+)
+from repro.pipeline import (
+    EXECUTOR_NAMES,
+    AdaptiveBatcher,
+    CalibrationKey,
+    CalibrationRegistry,
+    ClusterReport,
+    FeedlineSpec,
+    MultiFeedlineRunner,
+    PipelineConfig,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShotChunk,
+    ThreadShardExecutor,
+    get_shard_executor,
+    run_multi_feedline_pipeline,
+)
+
+
+def tiny_profile(**overrides) -> Profile:
+    """A fast sizing profile for cluster tests (not a named CLI profile)."""
+    params = dict(
+        name="tiny",
+        shots_per_state=10,
+        calibration_shots=100,
+        nn_epochs=8,
+        fnn_epochs=2,
+        batch_size=64,
+        qec_shots=10,
+        qudit_shots=10,
+        spectral_max_points=100,
+        seed=601,
+    )
+    params.update(overrides)
+    return Profile(**params)
+
+
+@pytest.fixture(scope="module")
+def feedline_chips():
+    """Two light two-qubit feedlines (short traces keep fits fast)."""
+    return multi_feedline_chips(2, n_qubits=2, trace_len=120)
+
+
+@pytest.fixture(scope="module")
+def warm_registry(tmp_path_factory, feedline_chips):
+    """A registry pre-fitted for both feedlines (serial cold run)."""
+    registry_dir = tmp_path_factory.mktemp("cluster-registry")
+    run_multi_feedline_pipeline(
+        tiny_profile(),
+        20,
+        feedline_chips,
+        executor="serial",
+        config=PipelineConfig(batch_size=20),
+        registry_dir=registry_dir,
+    )
+    return registry_dir
+
+
+class TestFeedlineChipFactory:
+    def test_feedline_zero_is_the_default_chip(self):
+        chip = make_feedline_chip(0, n_qubits=5)
+        assert chip.to_dict() == default_five_qubit_chip().to_dict()
+
+    def test_feedlines_are_distinct_devices(self):
+        a, b = multi_feedline_chips(2, n_qubits=3)
+        assert a.n_qubits == b.n_qubits == 3
+        assert [q.name for q in b.qubits] == ["F1Q1", "F1Q2", "F1Q3"]
+        assert b.qubits[0].chi != a.qubits[0].chi
+        assert b.to_dict() != a.to_dict()
+
+    def test_qubit_slice_keeps_crosstalk_block(self):
+        full = default_five_qubit_chip()
+        sliced = make_feedline_chip(0, n_qubits=2)
+        assert np.array_equal(
+            sliced.crosstalk, np.asarray(full.crosstalk)[:2, :2]
+        )
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            make_feedline_chip(-1)
+        with pytest.raises(ConfigurationError):
+            make_feedline_chip(0, n_qubits=0)
+        with pytest.raises(ConfigurationError):
+            make_feedline_chip(0, n_qubits=6)
+        with pytest.raises(ConfigurationError):
+            multi_feedline_chips(0)
+
+
+def _double(x: int) -> int:
+    """Module-level so the process executor can pickle it."""
+    return 2 * x
+
+
+class TestShardExecutors:
+    def test_names_cover_all_backends(self):
+        assert EXECUTOR_NAMES == ("serial", "thread", "process")
+
+    @pytest.mark.parametrize("name", EXECUTOR_NAMES)
+    def test_map_preserves_task_order(self, name):
+        executor = get_shard_executor(name, workers=2)
+        try:
+            assert executor.map(_double, [3, 1, 2]) == [6, 2, 4]
+        finally:
+            executor.close()
+
+    def test_unknown_executor_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown shard executor"):
+            get_shard_executor("gpu")
+
+    def test_pool_executors_reject_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            ThreadShardExecutor(0)
+        with pytest.raises(ConfigurationError):
+            ProcessShardExecutor(0)
+
+    def test_serial_close_is_idempotent(self):
+        executor = SerialShardExecutor()
+        executor.close()
+        executor.close()
+
+
+class TestClusterValidation:
+    def test_requires_feedlines(self):
+        with pytest.raises(ConfigurationError, match="at least one feedline"):
+            MultiFeedlineRunner([], tiny_profile())
+
+    def test_rejects_duplicate_names(self, feedline_chips):
+        specs = [FeedlineSpec("f", chip) for chip in feedline_chips]
+        with pytest.raises(ConfigurationError, match="unique"):
+            MultiFeedlineRunner(specs, tiny_profile())
+
+    def test_rejects_unknown_executor(self, feedline_chips):
+        with pytest.raises(ConfigurationError, match="unknown shard executor"):
+            MultiFeedlineRunner(
+                feedline_chips, tiny_profile(), executor="gpu"
+            )
+
+    def test_rejects_bad_shot_count(self, feedline_chips):
+        runner = MultiFeedlineRunner(feedline_chips, tiny_profile())
+        with pytest.raises(ConfigurationError):
+            runner.run(0)
+
+    def test_spec_device_defaults_to_name(self, feedline_chips):
+        spec = FeedlineSpec("fl-a", feedline_chips[0])
+        assert spec.registry_device == "fl-a"
+        named = FeedlineSpec("fl-a", feedline_chips[0], device="shared")
+        assert named.registry_device == "shared"
+
+
+class TestClusterDeterminism:
+    """The same seeded traffic must discriminate identically everywhere."""
+
+    def _run(self, chips, registry_dir, executor, workers=None):
+        return run_multi_feedline_pipeline(
+            tiny_profile(),
+            30,
+            chips,
+            executor=executor,
+            workers=workers,
+            config=PipelineConfig(batch_size=16),
+            chunk_size=10,
+            registry_dir=registry_dir,
+        )
+
+    @pytest.fixture(scope="class")
+    def per_executor(self, feedline_chips, warm_registry):
+        return {
+            executor: self._run(feedline_chips, warm_registry, executor)
+            for executor in EXECUTOR_NAMES
+        }
+
+    def test_identical_assignment_counts_across_executors(self, per_executor):
+        serial = per_executor["serial"]
+        for executor in ("thread", "process"):
+            other = per_executor[executor]
+            for name, report in serial.feedline_reports.items():
+                assert (
+                    other.feedline_reports[name].assignment_counts
+                    == report.assignment_counts
+                ), f"{executor} diverged on {name}"
+
+    def test_identical_accuracy_across_executors(self, per_executor):
+        accuracies = {
+            executor: report.accuracy
+            for executor, report in per_executor.items()
+        }
+        assert len(set(accuracies.values())) == 1, accuracies
+
+    def test_all_executors_served_from_warm_registry(self, per_executor):
+        for report in per_executor.values():
+            for feedline in report.feedline_reports.values():
+                assert feedline.calibration_cached is True
+
+    def test_partitioning_does_not_change_results(
+        self, feedline_chips, warm_registry, per_executor
+    ):
+        # One shard worker vs one worker per feedline: same traffic,
+        # same labels, only the schedule differs.
+        narrow = self._run(
+            feedline_chips, warm_registry, "thread", workers=1
+        )
+        wide = per_executor["thread"]
+        for name, report in narrow.feedline_reports.items():
+            assert (
+                wide.feedline_reports[name].assignment_counts
+                == report.assignment_counts
+            )
+
+    def test_single_feedline_partition_matches_cluster_member(
+        self, feedline_chips, warm_registry, per_executor
+    ):
+        # Feedline 0 streamed alone must behave exactly as it does
+        # inside the two-feedline partition (seed = base + index).
+        alone = self._run(feedline_chips[:1], warm_registry, "serial")
+        member = per_executor["serial"].feedline_reports["feedline-0"]
+        solo = alone.feedline_reports["feedline-0"]
+        assert solo.assignment_counts == member.assignment_counts
+        assert solo.accuracy == member.accuracy
+
+
+class TestClusterReportAggregation:
+    def test_aggregate_report_shape(self, feedline_chips, warm_registry):
+        report = run_multi_feedline_pipeline(
+            tiny_profile(),
+            25,
+            feedline_chips,
+            executor="serial",
+            config=PipelineConfig(batch_size=10),
+            registry_dir=warm_registry,
+        )
+        assert isinstance(report, ClusterReport)
+        assert report.n_feedlines == 2
+        assert report.n_shots == 50
+        assert report.shots_per_second > 0
+        worst = report.worst_p99_ms()
+        assert set(worst) == {"demod", "matched_filter", "discriminate", "sink"}
+        for name, feedline in report.feedline_reports.items():
+            assert worst["demod"] >= feedline.stage_summaries["demod"]["p99_ms"]
+        verdicts = report.budget_verdicts()
+        assert set(verdicts) == {"feedline-0", "feedline-1"}
+        for verdict in verdicts.values():
+            assert verdict["slowdown_vs_fpga"] > 0
+            assert isinstance(verdict["within_budget"], bool)
+        assert 0.0 <= report.accuracy <= 1.0
+        assert "multi-feedline pipeline" in report.format_table()
+
+    def test_report_is_json_serializable(self, feedline_chips, warm_registry):
+        import json
+
+        report = run_multi_feedline_pipeline(
+            tiny_profile(),
+            10,
+            feedline_chips,
+            executor="serial",
+            config=PipelineConfig(batch_size=10),
+            registry_dir=warm_registry,
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["n_feedlines"] == 2
+        assert set(payload["feedlines"]) == {"feedline-0", "feedline-1"}
+        for feedline in payload["feedlines"].values():
+            assert set(feedline["stages"]) >= {
+                "demod",
+                "matched_filter",
+                "discriminate",
+            }
+        assert payload["budget_verdicts"]["feedline-0"]["budget_ns"] > 0
+
+
+class TestRegistryShardingIsolation:
+    def test_concurrent_get_or_fit_same_key_fits_once(
+        self, tmp_path, tiny_corpus
+    ):
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-a", "all", "tiny")
+        fits: list[int] = []
+        start = threading.Barrier(4)
+
+        def factory():
+            disc = MLRDiscriminator(epochs=4, seed=9)
+            original = disc.fit
+
+            def counting_fit(corpus, indices):
+                fits.append(1)
+                time.sleep(0.05)  # widen the race window
+                return original(corpus, indices)
+
+            disc.fit = counting_fit
+            return disc
+
+        results: list[tuple] = []
+
+        def worker():
+            start.wait()
+            results.append(registry.get_or_fit(key, factory, tiny_corpus))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(fits) == 1, "same-key concurrent calls must fit once"
+        assert sorted(cached for _, cached in results) == [False, True, True, True]
+
+    def test_two_registry_instances_share_the_fit_lock(
+        self, tmp_path, tiny_corpus
+    ):
+        # Sharded workers each build their own registry object over the
+        # same root; the per-key lock must still serialize them.
+        key = CalibrationKey("chip-b", "all", "tiny")
+        fits: list[int] = []
+        start = threading.Barrier(2)
+
+        def factory():
+            disc = MLRDiscriminator(epochs=4, seed=9)
+            original = disc.fit
+
+            def counting_fit(corpus, indices):
+                fits.append(1)
+                time.sleep(0.05)
+                return original(corpus, indices)
+
+            disc.fit = counting_fit
+            return disc
+
+        def worker():
+            start.wait()
+            CalibrationRegistry(tmp_path).get_or_fit(key, factory, tiny_corpus)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(fits) == 1
+
+    def test_multi_feedline_cold_then_warm(
+        self, tmp_path, feedline_chips, monkeypatch
+    ):
+        fits: list[int] = []
+        original_fit = MLRDiscriminator.fit
+
+        def counting_fit(self, corpus, indices):
+            fits.append(1)
+            return original_fit(self, corpus, indices)
+
+        monkeypatch.setattr(MLRDiscriminator, "fit", counting_fit)
+        kwargs = dict(
+            executor="thread",
+            config=PipelineConfig(batch_size=20),
+            registry_dir=tmp_path,
+        )
+        cold = run_multi_feedline_pipeline(
+            tiny_profile(), 20, feedline_chips, **kwargs
+        )
+        assert len(fits) == len(feedline_chips), "one fit per feedline"
+        warm = run_multi_feedline_pipeline(
+            tiny_profile(), 20, feedline_chips, **kwargs
+        )
+        assert len(fits) == len(feedline_chips), "warm cluster must not refit"
+        for report in cold.feedline_reports.values():
+            assert report.calibration_cached is False
+        for report in warm.feedline_reports.values():
+            assert report.calibration_cached is True
+        assert warm.accuracy == cold.accuracy
+
+    def test_identical_feedlines_share_one_artifact(
+        self, tmp_path, feedline_chips, monkeypatch
+    ):
+        # Two feedlines with the same chip and registry device resolve to
+        # the same CalibrationKey: the cold threaded run must fit exactly
+        # once, with the second shard served from the first's artifact.
+        fits: list[int] = []
+        original_fit = MLRDiscriminator.fit
+
+        def counting_fit(self, corpus, indices):
+            fits.append(1)
+            return original_fit(self, corpus, indices)
+
+        monkeypatch.setattr(MLRDiscriminator, "fit", counting_fit)
+        chip = feedline_chips[0]
+        specs = [
+            FeedlineSpec("fl-a", chip, device="shared-group"),
+            FeedlineSpec("fl-b", chip, device="shared-group"),
+        ]
+        report = run_multi_feedline_pipeline(
+            tiny_profile(),
+            20,
+            specs,
+            executor="thread",
+            config=PipelineConfig(batch_size=20),
+            registry_dir=tmp_path,
+        )
+        assert len(fits) == 1, "shared key must fit once across shards"
+        cached = sorted(
+            r.calibration_cached for r in report.feedline_reports.values()
+        )
+        assert cached == [False, True]
+        assert len(list(CalibrationRegistry(tmp_path).keys())) == 1
+
+
+def _latency_chunks(n_shots: int, chunk_size: int = 8):
+    feed = np.zeros((n_shots, 4), dtype=complex)
+    return [
+        ShotChunk(feed[i : i + chunk_size], None, i // chunk_size)
+        for i in range(0, n_shots, chunk_size)
+    ]
+
+
+class TestAdaptiveBatcher:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatcher(8, target_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatcher(8, target_seconds=1.0, min_size=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatcher(8, target_seconds=1.0, min_size=4, max_size=2)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatcher(8, target_seconds=1.0, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatcher(8, target_seconds=1.0).observe(-1.0, 4)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatcher(8, target_seconds=1.0).observe(1.0, 0)
+
+    @pytest.mark.parametrize(
+        "target_ms, per_shot_ms, expected",
+        [
+            (10.0, 1.0, 10),  # converges to target/latency
+            (64.0, 1.0, 64),
+            (0.5, 1.0, 1),  # over-budget latency clamps to min, never 0
+            (1e6, 1.0, 256),  # huge headroom clamps to max_size
+        ],
+    )
+    def test_converges_to_clamped_ratio(self, target_ms, per_shot_ms, expected):
+        batcher = AdaptiveBatcher(
+            8, target_seconds=target_ms * 1e-3, max_size=256, alpha=0.5
+        )
+        for _ in range(40):
+            size = batcher.observe(per_shot_ms * 1e-3 * batcher.batch_size,
+                                   batcher.batch_size)
+        assert size == expected
+        assert batcher.batch_size == expected
+        # Stability: further identical observations do not move the size.
+        assert batcher.observe(per_shot_ms * 1e-3 * size, size) == expected
+
+    @pytest.mark.parametrize("per_shot_ms", [0.01, 0.1, 1.0, 25.0])
+    def test_sizes_always_within_bounds(self, per_shot_ms):
+        batcher = AdaptiveBatcher(16, target_seconds=2e-3, max_size=128)
+        rng = np.random.default_rng(5)
+        for _ in range(60):
+            jitter = 1.0 + 0.5 * rng.random()
+            batcher.observe(
+                per_shot_ms * 1e-3 * jitter * batcher.batch_size,
+                batcher.batch_size,
+            )
+        assert batcher.n_observations == 60
+        low, high = batcher.chosen_range
+        assert low >= 1
+        assert high <= 128
+
+    def test_zero_latency_opens_up_to_max(self):
+        batcher = AdaptiveBatcher(4, target_seconds=1e-3, max_size=32)
+        assert batcher.observe(0.0, 4) == 32
+
+    def test_ewma_smooths_spikes(self):
+        batcher = AdaptiveBatcher(10, target_seconds=10e-3, alpha=0.2)
+        batcher.observe(1e-3 * 10, 10)  # 1 ms/shot -> size 10
+        before = batcher.batch_size
+        batcher.observe(20e-3, 1)  # one 20 ms/shot outlier
+        after = batcher.batch_size
+        # The outlier shrinks the batch, but the EWMA damps it above the
+        # instantaneous answer (10 ms target / 20 ms per shot -> size 1;
+        # the blended estimate of 4.8 ms/shot still allows a size-2 batch).
+        assert 1 < after < before
+        assert after == 2
+
+    def test_rebatch_follows_resizes(self):
+        batcher = AdaptiveBatcher(4, target_seconds=1.0, max_size=16)
+        sizes = []
+        stream = batcher.rebatch(_latency_chunks(64, chunk_size=8))
+        for batch in stream:
+            sizes.append(batch.n_shots)
+            # Pretend each shot takes 1/8 s: converges toward size 8.
+            batcher.observe(batch.n_shots / 8.0, batch.n_shots)
+        assert sizes[0] == 4  # initial size honored before feedback
+        assert 8 in sizes  # resize took effect mid-stream
+        assert sum(sizes) == 64  # no shot dropped
+
+    def test_fixed_path_when_adaptive_off(self, tiny_corpus):
+        # PipelineConfig(adaptive_batching=False) must keep the plain
+        # MicroBatcher: constant batch size, no adaptive details.
+        from repro.discriminators import MLRDiscriminator as MLR
+        from repro.ml import stratified_split
+        from repro.pipeline import CorpusTraceSource, ReadoutPipeline
+
+        train, _ = stratified_split(tiny_corpus.labels, 0.5, seed=21)
+        disc = MLR(epochs=6, learning_rate=3e-3, seed=22).fit(
+            tiny_corpus, train
+        )
+        pipeline = ReadoutPipeline(
+            disc, tiny_corpus.chip, PipelineConfig(batch_size=50)
+        )
+        report = pipeline.run(CorpusTraceSource(tiny_corpus, chunk_size=45))
+        assert report.details["adaptive_batching"] is False
+        assert "adaptive" not in report.details
+        assert report.n_batches == -(-tiny_corpus.n_traces // 50)
+
+    def test_adaptive_run_reports_trajectory(self, tiny_corpus):
+        from repro.discriminators import MLRDiscriminator as MLR
+        from repro.ml import stratified_split
+        from repro.pipeline import CorpusTraceSource, ReadoutPipeline
+
+        train, _ = stratified_split(tiny_corpus.labels, 0.5, seed=21)
+        disc = MLR(epochs=6, learning_rate=3e-3, seed=22).fit(
+            tiny_corpus, train
+        )
+        pipeline = ReadoutPipeline(
+            disc,
+            tiny_corpus.chip,
+            PipelineConfig(
+                batch_size=8, adaptive_batching=True, max_batch_size=64
+            ),
+        )
+        report = pipeline.run(CorpusTraceSource(tiny_corpus, chunk_size=40))
+        adaptive = report.details["adaptive"]
+        assert report.details["adaptive_batching"] is True
+        assert 1 <= adaptive["min_batch_size"]
+        assert adaptive["max_batch_size"] <= 64
+        assert adaptive["target_batch_ms"] > 0
+        assert report.n_shots == tiny_corpus.n_traces

@@ -266,6 +266,93 @@ class TestCalibrationRegistry:
             first.predict(tiny_corpus), second.predict(tiny_corpus)
         )
 
+    def test_memory_cache_deserializes_once(
+        self, tmp_path, tiny_corpus, monkeypatch
+    ):
+        from repro.discriminators.base import Discriminator
+
+        loads = []
+        original = Discriminator.load_artifacts.__func__
+
+        def counting_load(cls, path):
+            loads.append(1)
+            return original(cls, path)
+
+        monkeypatch.setattr(
+            Discriminator, "load_artifacts", classmethod(counting_load)
+        )
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-mem", "all", "tiny")
+        fitted, _ = registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        # Fresh process-local state: force the first serve off disk.
+        from repro.pipeline.registry import _cache_evict
+
+        _cache_evict(registry.root, key)
+        served_a, cached_a = registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        served_b, cached_b = registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        assert (cached_a, cached_b) == (True, True)
+        assert len(loads) == 1, "second warm hit must come from memory"
+        assert served_b is served_a
+
+    def test_memory_cache_detects_out_of_band_rewrites(
+        self, tmp_path, tiny_corpus
+    ):
+        # Another process rewriting the artifact file (no in-process
+        # eviction hook runs) must invalidate the memoized copy: the
+        # (mtime_ns, size) fingerprint check catches it.
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-mem3", "all", "tiny")
+        first, _ = registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        path = registry.path_for(key)
+        train = np.arange(tiny_corpus.n_traces)
+        other = MLRDiscriminator(epochs=8, seed=77).fit(tiny_corpus, train)
+        other.save_artifacts(path)  # out-of-band overwrite
+        os.utime(path, ns=(path.stat().st_atime_ns, path.stat().st_mtime_ns + 10**6))
+        served, cached = registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        assert cached is True
+        assert served is not first
+        assert np.array_equal(
+            served.predict(tiny_corpus), other.predict(tiny_corpus)
+        )
+
+    def test_memory_cache_never_serves_deleted_artifacts(
+        self, tmp_path, tiny_corpus
+    ):
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-mem2", "all", "tiny")
+        fits = []
+
+        def factory():
+            disc = MLRDiscriminator(epochs=4, seed=9)
+            original = disc.fit
+
+            def counting_fit(corpus, indices):
+                fits.append(1)
+                return original(corpus, indices)
+
+            disc.fit = counting_fit
+            return disc
+
+        registry.get_or_fit(key, factory, tiny_corpus)
+        registry.get_or_fit(key, factory, tiny_corpus)  # memory hit
+        assert len(fits) == 1
+        # Disk stays the source of truth: after a prune, the memoized
+        # object must not mask the eviction.
+        registry.prune(max_bytes=0)
+        _, cached = registry.get_or_fit(key, factory, tiny_corpus)
+        assert cached is False
+        assert len(fits) == 2
+
 
 class TestRegistryPrune:
     @staticmethod
@@ -660,3 +747,52 @@ class TestPipelineEndToEnd:
         with pytest.raises(DataError):
             pipeline.run(_Source())
         assert closed == [True], "sink must be closed on the failure path"
+
+
+class TestPipelineConfigValidation:
+    """PipelineConfig reports every invalid knob in one error."""
+
+    @pytest.mark.parametrize(
+        "field_name", ["batch_size", "workers", "max_pending", "max_batch_size"]
+    )
+    @pytest.mark.parametrize("value", [0, -1, -64])
+    def test_rejects_non_positive_values(self, field_name, value):
+        with pytest.raises(ConfigurationError, match=field_name):
+            PipelineConfig(**{field_name: value})
+
+    def test_reports_all_invalid_fields_at_once(self):
+        with pytest.raises(ConfigurationError) as err:
+            PipelineConfig(batch_size=0, workers=-2, max_pending=-1,
+                           max_batch_size=0)
+        message = str(err.value)
+        for field_name in ("batch_size", "workers", "max_pending",
+                           "max_batch_size"):
+            assert field_name in message, message
+        # One combined error, not the first violation alone.
+        assert message.count("must be >= 1") == 4
+
+    def test_adaptive_bound_must_cover_initial_size(self):
+        with pytest.raises(ConfigurationError, match="max_batch_size"):
+            PipelineConfig(
+                batch_size=128, adaptive_batching=True, max_batch_size=64
+            )
+        # Without adaptive batching the cap is inert and not enforced.
+        PipelineConfig(batch_size=2048, max_batch_size=1024)
+
+    @pytest.mark.parametrize("target", [0.0, -5.0])
+    def test_rejects_non_positive_latency_target(self, target):
+        with pytest.raises(ConfigurationError, match="target_batch_ms"):
+            PipelineConfig(target_batch_ms=target)
+
+    def test_valid_config_roundtrips_every_knob(self):
+        config = PipelineConfig(
+            batch_size=32,
+            workers=2,
+            max_pending=4,
+            adaptive_batching=True,
+            max_batch_size=256,
+            target_batch_ms=2.5,
+        )
+        assert config.batch_size == 32
+        assert config.adaptive_batching is True
+        assert config.target_batch_ms == 2.5
