@@ -12,6 +12,13 @@ The cluster sweep streams a feedline-count x shard-executor grid through
 grid times serving, not calibration) and records global shots/sec per
 cell — the scaling story of the multi-feedline refactor.
 
+The serve-warm bench (``pipeline_serve_warm``) compares one warmed
+:class:`repro.serve.ReadoutService` session running the same traffic
+repeatedly against the same number of cold ``repro.api.run_pipeline``
+calls: the session must perform zero refits after warm-up and beat the
+cold calls' aggregate shots/sec (which pay calibration every time) —
+the amortization story of the serving redesign.
+
 Runs standalone too (that is how the perf trajectory is recorded)::
 
     PYTHONPATH=src:. python benchmarks/bench_pipeline_throughput.py \
@@ -51,6 +58,70 @@ def _stream_cold_and_warm(profile, n_shots=2000, workers=2, batch_size=64):
             registry_dir=registry_dir,
         )
     return cold, warm
+
+
+def _serve_warm_vs_cold(profile, shots=2000, repeat=2, batch_size=64):
+    """One warm ReadoutService session vs ``repeat`` cold run_pipeline calls.
+
+    Cold calls keep no registry, so each pays the full calibration fit;
+    the warm session fits once during ``warm()`` and then serves every
+    run from resident state. Fit calls are counted by instrumenting
+    ``MLRDiscriminator.fit`` (in-process, single-feedline) so the
+    zero-refit claim is measured, not assumed.
+    """
+    import time
+
+    from repro.api import run_pipeline
+    from repro.discriminators.mlr import MLRDiscriminator
+    from repro.serve import BatchingSpec, ReadoutService, ServeSpec, TrafficSpec
+
+    fit_calls = []
+    original_fit = MLRDiscriminator.fit
+
+    def counting_fit(self, corpus, indices):
+        fit_calls.append(1)
+        return original_fit(self, corpus, indices)
+
+    MLRDiscriminator.fit = counting_fit
+    try:
+        cold_walls = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            run_pipeline(profile, shots=shots, batch_size=batch_size)
+            cold_walls.append(time.perf_counter() - start)
+        cold_fits = len(fit_calls)
+
+        fit_calls.clear()
+        spec = ServeSpec(
+            traffic=TrafficSpec(shots=shots),
+            batching=BatchingSpec(batch_size=batch_size),
+        )
+        with ReadoutService(spec, profile=profile) as service:
+            reports = [service.run() for _ in range(repeat)]
+            stats = service.stats
+        refits_during_runs = len(fit_calls) - stats.cold_fits
+    finally:
+        MLRDiscriminator.fit = original_fit
+
+    return {
+        "repeat": repeat,
+        "n_shots_per_run": shots,
+        "cold": {
+            "run_walls_seconds": cold_walls,
+            "fits": cold_fits,
+            "shots_per_second": shots * repeat / sum(cold_walls),
+        },
+        "warm": {
+            "warm_seconds": stats.warm_seconds,
+            "run_walls_seconds": [run.wall_seconds for run in stats.runs],
+            "fits_during_warm": stats.cold_fits,
+            "refits_during_runs": refits_during_runs,
+            "shots_per_second": stats.shots_per_second,
+            "second_run_calibration_cached": (
+                reports[-1].calibration_cached if repeat > 1 else None
+            ),
+        },
+    }
 
 
 def _cluster_sweep(
@@ -153,6 +224,24 @@ def test_pipeline_throughput(benchmark, profile):
     )
 
 
+def test_pipeline_serve_warm(benchmark, profile):
+    result = run_once(benchmark, _serve_warm_vs_cold, profile, repeat=2)
+
+    # The warmed session must never refit: the same traffic served twice
+    # performs zero fits after warm-up...
+    assert result["warm"]["fits_during_warm"] == 1
+    assert result["warm"]["refits_during_runs"] == 0
+    assert result["warm"]["second_run_calibration_cached"] is True
+    # ...and amortizing calibration must beat paying it per call.
+    assert (
+        result["warm"]["shots_per_second"]
+        > result["cold"]["shots_per_second"]
+    )
+    assert result["cold"]["fits"] == result["repeat"]
+
+    record_bench_result("pipeline_serve_warm", result)
+
+
 def test_pipeline_cluster_sweep(benchmark, profile):
     # Two-qubit feedlines keep the pytest path fast; the standalone run
     # records the full five-qubit sweep. Fixed-size batching here: the
@@ -216,7 +305,15 @@ def main(argv=None) -> int:
         default=None,
         help="write cold/warm reports as JSON (e.g. BENCH_pipeline.json)",
     )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="runs per arm of the warm-service-vs-cold bench (default: 2)",
+    )
     args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
 
     profile = get_profile(args.profile)
     cold, warm = _stream_cold_and_warm(
@@ -234,6 +331,20 @@ def main(argv=None) -> int:
             "warm": warm.to_dict(),
         }
     }
+    serve = _serve_warm_vs_cold(
+        profile,
+        shots=args.shots,
+        repeat=args.repeat,
+        batch_size=args.batch_size,
+    )
+    payload["pipeline_serve_warm"] = serve
+    print("\nwarm service vs cold calls (aggregate shots/s):")
+    print(f"  cold run_pipeline x{serve['repeat']}  "
+          f"{serve['cold']['shots_per_second']:>10.0f}")
+    print(f"  warm ReadoutService     "
+          f"{serve['warm']['shots_per_second']:>10.0f}  "
+          f"(warm-up {serve['warm']['warm_seconds']:.1f} s, "
+          f"{serve['warm']['refits_during_runs']} refits)")
     if not args.skip_sweep:
         sweep = _cluster_sweep(
             profile,

@@ -24,6 +24,9 @@ Pieces
   name/tag selection (optionally concurrent, with shared caches).
 - :func:`run_pipeline` — the streaming runtime as a library call: one
   or many feedlines, pluggable shard executors, adaptive micro-batching.
+  Since the serving redesign it is a thin shim over
+  :mod:`repro.serve` — repeated traffic should hold a
+  :class:`repro.serve.ReadoutService` and amortize warm-up across runs.
 - ``repro.discriminators.registry`` — the sibling plugin registry that
   resolves design names (``"ours"``, ``"fnn"``, ...) to discriminator
   classes for training, pipeline calibration, and artifact loading.

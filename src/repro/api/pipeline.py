@@ -15,14 +15,19 @@ returns a structured report::
 With ``feedlines=1`` (the default) it returns the single-feedline
 :class:`~repro.pipeline.metrics.PipelineReport`; with more it returns the
 aggregate :class:`~repro.pipeline.cluster.ClusterReport`.
+
+Since the :mod:`repro.serve` redesign this function is a thin shim: the
+keyword surface is folded into a :class:`~repro.serve.spec.ServeSpec` and
+served as a one-shot :class:`~repro.serve.service.ReadoutService` run.
+Callers that serve repeated traffic should hold a ``ReadoutService``
+directly and amortize the warm-up across runs.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.config import Profile, get_profile
-from repro.exceptions import ConfigurationError
+from repro.config import Profile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard: the pipeline
     # package's metrics pull in the experiment layer, which registers
@@ -82,65 +87,48 @@ def run_pipeline(
         Adaptive micro-batching knobs (EWMA-driven batch sizing against
         the FPGA decision budget).
     qubits_per_feedline:
-        Qubits per generated readout group (multi-feedline only).
+        Qubits per served readout group.
     registry_dir:
-        Calibration-registry root; ``None`` fits fresh every run.
+        Calibration-registry root; ``None`` serves this call from a
+        private temporary registry (fits fresh, stores nothing).
     design:
         Registered discriminator design to serve.
     seed:
         Traffic seed override (calibration stays keyed by the profile).
     """
-    from repro.pipeline.cluster import (
-        run_multi_feedline_pipeline,
-        validate_executor,
+    from repro.serve import (
+        BatchingSpec,
+        CalibrationSpec,
+        ClusterSpec,
+        ServeSpec,
+        TrafficSpec,
+        serve_once,
     )
-    from repro.pipeline.runner import PipelineConfig, run_streaming_pipeline
 
-    resolved = get_profile(profile) if isinstance(profile, str) else profile
-    if feedlines < 1:
-        raise ConfigurationError(f"feedlines must be >= 1, got {feedlines}")
-    # Validated even on the single-feedline path, so a typo in a
-    # 1-feedline smoke run cannot sail through and break at scale.
-    validate_executor(executor)
-    if workers is not None and workers < 1:
-        raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    config = PipelineConfig(
-        batch_size=batch_size,
-        workers=channel_workers,
-        max_pending=max_pending,
-        adaptive_batching=adaptive_batching,
-        max_batch_size=max_batch_size,
-        target_batch_ms=target_batch_ms,
-    )
-    if feedlines == 1:
-        extra = {}
-        if qubits_per_feedline != 5:
-            from repro.physics.device import make_feedline_chip
-
-            extra = {
-                "chip": make_feedline_chip(0, n_qubits=qubits_per_feedline),
-                "device": f"feedline0-q{qubits_per_feedline}",
-            }
-        return run_streaming_pipeline(
-            resolved,
-            n_shots=shots,
-            chunk_size=chunk_size,
-            registry_dir=registry_dir,
-            seed=seed,
+    if isinstance(profile, str):
+        profile_name, profile_override = profile, None
+    else:
+        profile_name, profile_override = profile.name, profile
+    spec = ServeSpec(
+        traffic=TrafficSpec(shots=shots, chunk_size=chunk_size, seed=seed),
+        cluster=ClusterSpec(
+            feedlines=feedlines,
+            executor=executor,
+            workers=workers,
+            channel_workers=channel_workers,
+            qubits_per_feedline=qubits_per_feedline,
+        ),
+        batching=BatchingSpec(
+            batch_size=batch_size,
+            max_pending=max_pending,
+            adaptive=adaptive_batching,
+            max_batch_size=max_batch_size,
+            target_batch_ms=target_batch_ms,
+        ),
+        calibration=CalibrationSpec(
+            profile=profile_name,
             design=design,
-            config=config,
-            **extra,
-        )
-    return run_multi_feedline_pipeline(
-        resolved,
-        shots,
-        feedlines,
-        executor=executor,
-        workers=workers,
-        config=config,
-        chunk_size=chunk_size,
-        registry_dir=registry_dir,
-        design=design,
-        seed=seed,
-        qubits_per_feedline=qubits_per_feedline,
+            registry_dir=None if registry_dir is None else str(registry_dir),
+        ),
     )
+    return serve_once(spec, profile=profile_override)

@@ -5,12 +5,17 @@ Subcommands::
     repro run <exp|tag|all> [...] [--profile P] [--seed S] [--workers N] [--json PATH]
     repro list [--tags]
     repro pipeline [--shots N] [--workers N] [...] [--prune]
+    repro serve --spec spec.json [--shots N] [--repeat K] [--json PATH]
 
 The pre-subcommand positional form (``repro table1 --profile quick``,
 ``repro all``, ``repro list``) is still accepted and routed through the
 same code paths. Experiments resolve through the
 :data:`repro.api.experiments` registry, so anything registered with the
-``@experiment`` decorator is immediately addressable here.
+``@experiment`` decorator is immediately addressable here. The pipeline
+and serve subcommands both resolve their configuration into one
+declarative :class:`repro.serve.ServeSpec` — ``pipeline`` builds it from
+flags for a one-shot run, ``serve`` loads it from a JSON file and serves
+repeated runs from a single warmed :class:`repro.serve.ReadoutService`.
 
 Examples::
 
@@ -21,6 +26,7 @@ Examples::
     repro pipeline --shots 2000 --workers 4 --profile quick
     repro pipeline --feedlines 3 --executor process --adaptive-batching
     repro pipeline --prune --max-age-s 604800
+    repro serve --spec examples/serve_spec.json --repeat 5 --json serve.json
 """
 
 from __future__ import annotations
@@ -33,7 +39,6 @@ import time
 
 from repro.api.registry import discover, experiments
 from repro.api.suite import run_suite
-from repro.config import get_profile
 from repro.exceptions import ConfigurationError
 
 __all__ = [
@@ -42,10 +47,11 @@ __all__ = [
     "build_run_parser",
     "build_list_parser",
     "build_pipeline_parser",
+    "build_serve_parser",
 ]
 
 #: First positionals dispatched to their own parser.
-_SUBCOMMANDS = ("run", "list", "pipeline")
+_SUBCOMMANDS = ("run", "list", "pipeline", "serve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -281,6 +287,83 @@ def build_pipeline_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro serve`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve repeated streaming runs from one warmed ReadoutService "
+            "session, configured by a declarative ServeSpec JSON file: "
+            "calibration is fitted or loaded once at warm-up, then every "
+            "run streams against the warm state with zero refits"
+        ),
+    )
+    parser.add_argument(
+        "--spec",
+        required=True,
+        metavar="PATH",
+        help="ServeSpec JSON file (see repro.serve.ServeSpec.to_file)",
+    )
+    parser.add_argument(
+        "--shots",
+        type=int,
+        default=None,
+        help="override the spec's per-run shot count",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="number of runs served from the warm session (default: 1)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the spec's traffic seed",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the session record (spec, cumulative service stats, "
+            "per-run reports) as JSON to PATH"
+        ),
+    )
+    return parser
+
+
+def _run_serve(argv: list[str]) -> int:
+    """The ``repro serve`` subcommand: warm once, run ``--repeat`` times."""
+    from repro.serve import ReadoutService, ServeSpec
+
+    args = build_serve_parser().parse_args(argv)
+    if args.repeat < 1:
+        raise ConfigurationError(f"--repeat must be >= 1, got {args.repeat}")
+    spec = ServeSpec.from_file(args.spec)
+    reports = []
+    with ReadoutService.open(spec) as service:
+        print(
+            f"[serve] warmed in {service.stats.warm_seconds:.2f} s "
+            f"({service.stats.cold_fits} cold fit(s))"
+        )
+        for _ in range(args.repeat):
+            reports.append(service.run(shots=args.shots, seed=args.seed))
+        stats = service.stats
+    print(stats.format_table())
+    if args.json is not None:
+        payload = {
+            "spec": spec.to_dict(),
+            "service": stats.to_dict(),
+            "runs": [report.to_dict() for report in reports],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"session record written to {args.json}")
+    return 0
+
+
 def _prune_registry(args) -> int:
     from repro.pipeline import CalibrationRegistry
 
@@ -297,33 +380,45 @@ def _prune_registry(args) -> int:
 
 
 def _run_pipeline(argv: list[str]) -> int:
-    from repro.api import run_pipeline
+    from repro.serve import (
+        BatchingSpec,
+        CalibrationSpec,
+        ClusterSpec,
+        ServeSpec,
+        TrafficSpec,
+        serve_once,
+    )
 
     args = build_pipeline_parser().parse_args(argv)
     if args.prune:
         return _prune_registry(args)
-    profile = get_profile(args.profile)
-    if args.seed is not None:
-        profile = profile.with_seed(args.seed)
-
+    # One-shot serving: the flag surface folds into a declarative
+    # ServeSpec, the same config object `repro serve` loads from a file.
     design_kwargs = {} if args.design is None else {"design": args.design}
-    start = time.perf_counter()
-    report = run_pipeline(
-        profile,
-        shots=args.shots,
-        feedlines=args.feedlines,
-        executor=args.executor,
-        workers=args.shard_workers,
-        batch_size=args.batch_size,
-        chunk_size=args.chunk_size,
-        channel_workers=args.workers,
-        adaptive_batching=args.adaptive_batching,
-        max_batch_size=args.max_batch_size,
-        target_batch_ms=args.target_batch_ms,
-        qubits_per_feedline=args.qubits_per_feedline,
-        registry_dir=None if args.no_cache else args.registry,
-        **design_kwargs,
+    spec = ServeSpec(
+        traffic=TrafficSpec(shots=args.shots, chunk_size=args.chunk_size),
+        cluster=ClusterSpec(
+            feedlines=args.feedlines,
+            executor=args.executor,
+            workers=args.shard_workers,
+            channel_workers=args.workers,
+            qubits_per_feedline=args.qubits_per_feedline,
+        ),
+        batching=BatchingSpec(
+            batch_size=args.batch_size,
+            adaptive=args.adaptive_batching,
+            max_batch_size=args.max_batch_size,
+            target_batch_ms=args.target_batch_ms,
+        ),
+        calibration=CalibrationSpec(
+            profile=args.profile,
+            seed=args.seed,
+            registry_dir=None if args.no_cache else args.registry,
+            **design_kwargs,
+        ),
     )
+    start = time.perf_counter()
+    report = serve_once(spec)
     elapsed = time.perf_counter() - start
     print(report.format_table())
     print(f"[pipeline completed in {elapsed:.1f} s]\n")
@@ -393,6 +488,7 @@ def _list_experiments(argv: list[str]) -> int:
         for name in experiments.names():
             print(f"  {name}")
     print("  pipeline  (streaming runtime; see 'repro pipeline --help')")
+    print("  serve     (warm serving sessions; see 'repro serve --help')")
     return 0
 
 
@@ -406,6 +502,8 @@ def main(argv: list[str] | None = None) -> int:
         return _list_experiments(argv[1:])
     if argv and argv[0] == "pipeline":
         return _run_pipeline(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
 
     # Legacy positional form. Peek at the experiment positional:
     # 'pipeline' routes to its own parser with the shared flags
@@ -417,6 +515,13 @@ def main(argv: list[str] | None = None) -> int:
         if peek.seed is not None:
             forwarded += ["--seed", str(peek.seed)]
         return _run_pipeline(forwarded)
+    if peek.experiment == "serve":
+        # The spec file carries the profile, so --profile does not
+        # forward; --seed maps onto serve's own traffic-seed flag.
+        forwarded = list(extra)
+        if peek.seed is not None:
+            forwarded += ["--seed", str(peek.seed)]
+        return _run_serve(forwarded)
     if peek.experiment == "list":
         return _list_experiments(list(extra))
 

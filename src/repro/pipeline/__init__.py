@@ -47,6 +47,7 @@ from repro.pipeline.runner import (
     ReadoutPipeline,
     fit_or_load_discriminator,
     run_streaming_pipeline,
+    validate_streamable_design,
 )
 from repro.pipeline.sink import (
     CollectingSink,
@@ -96,4 +97,5 @@ __all__ = [
     "ReadoutPipeline",
     "fit_or_load_discriminator",
     "run_streaming_pipeline",
+    "validate_streamable_design",
 ]

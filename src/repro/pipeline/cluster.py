@@ -29,6 +29,10 @@ Shard execution is pluggable through :class:`ShardExecutor`:
 Every feedline's traffic seed is derived deterministically from the
 profile seed and the feedline index, so the same cluster run yields
 bit-identical assignment counts under any executor and any partitioning.
+Heterogeneous clusters dispatch heaviest feedlines first (greedy
+longest-first by qubit count x trace length) so a pool never idles while
+its longest shard runs last; the aggregate report still lists feedlines
+in declared order.
 """
 
 from __future__ import annotations
@@ -111,6 +115,66 @@ class _FeedlineTask:
     config: PipelineConfig
     registry_dir: str | None
     design: str
+
+
+@dataclass(frozen=True)
+class _PrefitTask:
+    """Picklable calibration-only work order for one feedline.
+
+    The streaming-free sibling of :class:`_FeedlineTask`: resolves the
+    feedline's calibration through the shared registry (fitting and
+    storing on a cold key) without serving any traffic.
+    """
+
+    name: str
+    chip: ChipConfig
+    device: str
+    profile: Profile
+    registry_dir: str
+    design: str
+
+
+def _prefit_feedline(task: _PrefitTask) -> tuple[str, bool]:
+    """Fit or load one feedline's calibration (module-level: pool safe).
+
+    Returns ``(name, cached)`` — whether the artifact was already warm.
+    Same-key feedlines stay fit-once through the registry's in-process
+    and cross-process fit locks.
+    """
+    from repro.pipeline.registry import CalibrationRegistry
+    from repro.pipeline.runner import fit_or_load_discriminator
+
+    _, cached = fit_or_load_discriminator(
+        task.profile,
+        CalibrationRegistry(task.registry_dir),
+        chip=task.chip,
+        device=task.device,
+        design=task.design,
+    )
+    return task.name, cached
+
+
+def _placement_weight(task) -> int:
+    """Relative cost of one feedline task: qubit count x trace length.
+
+    Every stage of the chain (demod, matched filter, per-qubit heads)
+    scales with the number of multiplexed channels and the samples per
+    trace — and so does calibration (corpus size, kernel estimation) —
+    so this product tracks task wall time without running it.
+    """
+    return task.chip.n_qubits * task.chip.trace_len
+
+
+def _placement_order(tasks: Sequence) -> list:
+    """Greedy longest-first dispatch order for heterogeneous feedlines.
+
+    Pool executors hand tasks to workers in submission order; submitting
+    the heaviest feedlines first keeps a heavy shard from landing last
+    on an otherwise-drained pool and stretching the cluster wall time.
+    Ties keep spec order (stable sort), so homogeneous clusters dispatch
+    exactly as before.
+    """
+    return sorted(tasks, key=_placement_weight, reverse=True)
 
 
 def _run_feedline(task: _FeedlineTask) -> tuple[str, PipelineReport]:
@@ -465,6 +529,49 @@ class MultiFeedlineRunner:
             )
         return self._shard_executor
 
+    def prewarm(self) -> "MultiFeedlineRunner":
+        """Spawn the shard pool now instead of on the first :meth:`run`.
+
+        Long-lived serving sessions (:class:`repro.serve.ReadoutService`)
+        call this during warm-up so the first measured run pays no pool
+        cold-start.
+        """
+        self._get_executor()
+        return self
+
+    def prefit(self) -> int:
+        """Resolve every feedline's calibration through the shard pool.
+
+        Dispatches calibration-only tasks (no streaming) over the
+        runner's executor, so cold fits for distinct feedlines run as
+        concurrently as serving does — thread shards fit on parallel
+        threads, process shards fit in the workers that later serve
+        them, with artifacts handed off through the shared registry.
+        Heaviest feedlines fit first (same greedy longest-first order as
+        serving); same-key feedlines stay fit-once via the registry's
+        fit locks. Returns the number of cold fits performed.
+        """
+        if self.registry_dir is None:
+            raise ConfigurationError(
+                "prefit() needs a registry_dir: stored artifacts are the "
+                "hand-off between calibration and serving shards"
+            )
+        tasks = [
+            _PrefitTask(
+                name=spec.name,
+                chip=spec.chip,
+                device=spec.registry_device,
+                profile=self.profile,
+                registry_dir=self.registry_dir,
+                design=self.design,
+            )
+            for spec in self.feedlines
+        ]
+        results = self._get_executor().map(
+            _prefit_feedline, _placement_order(tasks)
+        )
+        return sum(0 if cached else 1 for _, cached in results)
+
     def close(self) -> None:
         """Shut down the shard pool. Idempotent; :meth:`run` revives it."""
         if self._shard_executor is not None:
@@ -516,8 +623,11 @@ class MultiFeedlineRunner:
             # The timed window covers dispatch and shard execution only:
             # pool spawn (pre-warmed at construction) and teardown are
             # serving-lifetime costs, not per-stream throughput.
+            # Heterogeneous feedlines dispatch heaviest-first (greedy
+            # longest-first); per-feedline seeds were fixed above, so the
+            # dispatch order cannot change any result.
             wall_start = time.perf_counter()
-            results = shard_executor.map(_run_feedline, tasks)
+            results = shard_executor.map(_run_feedline, _placement_order(tasks))
             wall = time.perf_counter() - wall_start
         except BaseException:
             # A failed dispatch may leave the pool wedged; rebuild it on
@@ -525,7 +635,9 @@ class MultiFeedlineRunner:
             self.close()
             raise
 
-        reports = dict(results)
+        # Reports keep declared feedline order regardless of placement.
+        by_name = dict(results)
+        reports = {task.name: by_name[task.name] for task in tasks}
         total_shots = sum(r.n_shots for r in reports.values())
         return ClusterReport(
             executor=self.executor,

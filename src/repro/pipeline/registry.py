@@ -19,9 +19,15 @@ import os
 import re
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
+
+try:  # pragma: no cover - POSIX everywhere we run; gate, don't require
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 import numpy as np
 
@@ -38,9 +44,11 @@ _SLUG = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 #: workers — serialize here so exactly one fits and the rest get the
 #: warm artifact. Keyed by the resolved root so two registry *instances*
 #: over the same directory still share a lock. In-process only; separate
-#: OS processes coordinate through the artifact files instead (a
-#: duplicated fit there is wasted work, never a corrupt artifact, thanks
-#: to the atomic rename in :meth:`CalibrationRegistry.save`).
+#: OS processes coordinate through :func:`_artifact_file_lock` (an
+#: advisory ``flock`` sidecar held across the cold fit), falling back to
+#: the atomic rename in :meth:`CalibrationRegistry.save` where locking
+#: is unavailable (a duplicated fit there is wasted work, never a
+#: corrupt artifact).
 _FIT_LOCKS: dict[tuple[str, "CalibrationKey"], threading.Lock] = {}
 _FIT_LOCKS_GUARD = threading.Lock()
 
@@ -62,6 +70,82 @@ def _fit_lock_discard(root: Path, key: "CalibrationKey") -> None:
     """
     with _FIT_LOCKS_GUARD:
         _FIT_LOCKS.pop((str(root.resolve()), key), None)
+
+
+def _lock_file_for(artifact_path: Path) -> Path:
+    """Sidecar advisory-lock file for one artifact path.
+
+    The ``.npz.lock`` suffix keeps lock files out of the ``*.npz``
+    artifact enumeration in :meth:`CalibrationRegistry.keys`.
+    """
+    return artifact_path.with_name(artifact_path.name + ".lock")
+
+
+@contextmanager
+def _artifact_file_lock(artifact_path: Path) -> Iterator[bool]:
+    """Advisory cross-process lock around one artifact's cold fit.
+
+    Process shards sharing a calibration key each used to fit the same
+    artifact independently — wasted work, never corruption, thanks to
+    the atomic rename in :meth:`CalibrationRegistry.save`. Holding an
+    ``fcntl.flock`` on a sidecar file while fitting dedupes that: the
+    first process fits while the rest block, then re-check the (now
+    stored) artifact and load it instead.
+
+    Because ``invalidate``/``prune`` may unlink a sidecar while a fit
+    holds it, acquisition re-checks after locking that the path still
+    names the locked inode — a lock won on an unlinked or replaced file
+    would not exclude the next opener — and retries on a fresh file
+    otherwise.
+
+    Yields whether the lock was actually taken. Degrades to an unlocked
+    fit wherever advisory locking is unavailable (no ``fcntl``, or a
+    filesystem that refuses to lock) — the atomic-rename fallback keeps
+    that path correct, merely duplicated.
+    """
+    if fcntl is None:
+        yield False
+        return
+    lock_path = _lock_file_for(artifact_path)
+    handle = None
+    # Each retry means another process unlinked the sidecar between our
+    # open and flock; bounded so pathological churn degrades to an
+    # unlocked (rename-protected) fit instead of spinning.
+    for _ in range(20):
+        try:
+            lock_path.parent.mkdir(parents=True, exist_ok=True)
+            candidate = open(lock_path, "a+b")
+        except OSError:
+            yield False
+            return
+        try:
+            fcntl.flock(candidate, fcntl.LOCK_EX)
+        except OSError:
+            candidate.close()
+            yield False
+            return
+        try:
+            on_disk = os.stat(lock_path)
+        except OSError:
+            on_disk = None  # unlinked while we waited for the lock
+        held = os.fstat(candidate.fileno())
+        if on_disk is not None and (
+            (on_disk.st_dev, on_disk.st_ino) == (held.st_dev, held.st_ino)
+        ):
+            handle = candidate
+            break
+        candidate.close()
+    if handle is None:  # pragma: no cover - needs adversarial churn
+        yield False
+        return
+    try:
+        yield True
+    finally:
+        try:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover - unlock cannot really fail
+            pass
+        handle.close()
 
 
 #: Process-local LRU of fitted discriminators fronting the disk tree:
@@ -255,6 +339,7 @@ class CalibrationRegistry:
         """Drop one stored artifact; returns whether it existed."""
         _cache_evict(self.root, key)
         path = self.path_for(key)
+        _lock_file_for(path).unlink(missing_ok=True)
         if path.is_file():
             path.unlink()
             return True
@@ -308,6 +393,7 @@ class CalibrationRegistry:
                 removed.append(key)
                 bytes_freed += size
                 path.unlink(missing_ok=True)
+                _lock_file_for(path).unlink(missing_ok=True)
                 _cache_evict(self.root, key)
             else:
                 survivors.append((mtime, key, path, size))
@@ -320,6 +406,7 @@ class CalibrationRegistry:
                 bytes_freed += size
                 total -= size
                 path.unlink(missing_ok=True)
+                _lock_file_for(path).unlink(missing_ok=True)
                 _cache_evict(self.root, key)
 
         self._remove_empty_dirs()
@@ -369,6 +456,10 @@ class CalibrationRegistry:
         instances over the same root, e.g. sharded feedline workers)
         stay fit-once: a per-key lock serializes the miss path, and
         late arrivals re-check the cache under the lock before fitting.
+        Across OS processes an advisory file lock on an ``.npz.lock``
+        sidecar extends the same dedup to process shards sharing a key;
+        where file locking is unavailable the atomic artifact rename
+        keeps duplicated fits harmless.
         Served artifacts are additionally memoized in a process-local
         LRU, so a long-lived worker deserializes each artifact once (the
         on-disk file remains the source of truth — a deleted artifact is
@@ -376,7 +467,8 @@ class CalibrationRegistry:
         """
 
         def _try_load() -> Discriminator | None:
-            fingerprint = _artifact_fingerprint(self.path_for(key))
+            path = self.path_for(key)
+            fingerprint = _artifact_fingerprint(path)
             if fingerprint is not None:
                 cached = _cache_get(self.root, key, fingerprint)
                 if cached is not None:
@@ -387,7 +479,12 @@ class CalibrationRegistry:
                     # A corrupt or unreadable artifact (e.g. written by
                     # an older incompatible version) is a cache miss,
                     # not a permanently poisoned key: drop it and refit.
-                    self.invalidate(key)
+                    # Only the artifact, though — this path can run
+                    # while *we* hold the lock sidecar, and unlinking a
+                    # held sidecar would let another process mint a
+                    # fresh lock and fit the same key concurrently.
+                    _cache_evict(self.root, key)
+                    path.unlink(missing_ok=True)
                 else:
                     _cache_put(self.root, key, loaded, fingerprint)
                     return loaded
@@ -402,18 +499,24 @@ class CalibrationRegistry:
             loaded = _try_load()
             if loaded is not None:
                 return loaded, True
-            discriminator = factory()
-            if callable(corpus):
-                corpus = corpus()
-            idx = (
-                np.arange(corpus.n_traces)
-                if indices is None
-                else np.asarray(indices)
-            )
-            discriminator.fit(corpus, idx)
-            path = self.save(key, discriminator)
-            _cache_put(
-                self.root, key, discriminator, _artifact_fingerprint(path)
-            )
+            with _artifact_file_lock(self.path_for(key)):
+                # Another *process* may likewise have fitted this key
+                # while we waited on the file lock; final re-check.
+                loaded = _try_load()
+                if loaded is not None:
+                    return loaded, True
+                discriminator = factory()
+                if callable(corpus):
+                    corpus = corpus()
+                idx = (
+                    np.arange(corpus.n_traces)
+                    if indices is None
+                    else np.asarray(indices)
+                )
+                discriminator.fit(corpus, idx)
+                path = self.save(key, discriminator)
+                _cache_put(
+                    self.root, key, discriminator, _artifact_fingerprint(path)
+                )
         _fit_lock_discard(self.root, key)
         return discriminator, False

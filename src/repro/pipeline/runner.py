@@ -41,6 +41,7 @@ __all__ = [
     "ReadoutPipeline",
     "fit_or_load_discriminator",
     "run_streaming_pipeline",
+    "validate_streamable_design",
 ]
 
 #: Device slug of :func:`default_five_qubit_chip` in the registry tree.
@@ -316,6 +317,22 @@ def _profile_slug(profile: Profile, design: str = DEFAULT_DESIGN) -> str:
     return slug if design == DEFAULT_DESIGN else f"{design}.{slug}"
 
 
+def validate_streamable_design(design: str) -> str:
+    """Check a design can be served by the streaming engine; returns it.
+
+    The engine reuses the MLR kernels/scaler/heads directly, so only
+    designs resolving to :class:`MLRDiscriminator` (or a subclass)
+    stream. Shared by every serving front
+    (:func:`run_streaming_pipeline`, :class:`repro.serve.ReadoutService`).
+    """
+    if not issubclass(discriminators.get(design).cls, MLRDiscriminator):
+        raise ConfigurationError(
+            f"design {design!r} cannot stream: the pipeline's "
+            "discrimination engine serves the MLR family only"
+        )
+    return design
+
+
 def fit_or_load_discriminator(
     profile: Profile,
     registry: CalibrationRegistry | None,
@@ -412,11 +429,7 @@ def run_streaming_pipeline(
     """
     if n_shots < 1:
         raise ConfigurationError(f"n_shots must be >= 1, got {n_shots}")
-    if not issubclass(discriminators.get(design).cls, MLRDiscriminator):
-        raise ConfigurationError(
-            f"design {design!r} cannot stream: the pipeline's "
-            "discrimination engine serves the MLR family only"
-        )
+    validate_streamable_design(design)
     chip = chip if chip is not None else default_five_qubit_chip()
     registry = (
         CalibrationRegistry(registry_dir) if registry_dir is not None else None

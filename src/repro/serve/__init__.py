@@ -1,0 +1,46 @@
+"""Declarative serving: one spec, one warm session, many runs.
+
+The serving counterpart of :mod:`repro.api` — where ``run_pipeline``
+rebuilds executors and calibration on every call, this package makes the
+paper's *persistent* datapath explicit:
+
+- :mod:`repro.serve.spec` — :class:`ServeSpec`, the frozen, composable,
+  JSON round-trip-stable configuration layer (:class:`TrafficSpec` /
+  :class:`ClusterSpec` / :class:`BatchingSpec` / :class:`CalibrationSpec`)
+  with exhaustive all-errors-at-once validation. Every other
+  configuration surface (``run_pipeline`` kwargs, ``PipelineConfig``,
+  ``repro pipeline`` flags) is derived from it.
+- :mod:`repro.serve.service` — :class:`ReadoutService`, the long-lived
+  session: ``warm()`` once (pre-fit/load all discriminators, pre-spawn
+  shard pools), then ``run()`` repeatedly with zero refits, accumulating
+  cumulative :class:`ServiceStats`. :func:`serve_once` is the one-shot
+  bridge the legacy fronts stand on.
+
+CLI: ``repro serve --spec spec.json [--shots N] [--repeat K] [--json]``.
+"""
+
+from repro.serve.service import (
+    ReadoutService,
+    RunStats,
+    ServiceStats,
+    serve_once,
+)
+from repro.serve.spec import (
+    BatchingSpec,
+    CalibrationSpec,
+    ClusterSpec,
+    ServeSpec,
+    TrafficSpec,
+)
+
+__all__ = [
+    "BatchingSpec",
+    "CalibrationSpec",
+    "ClusterSpec",
+    "ReadoutService",
+    "RunStats",
+    "ServeSpec",
+    "ServiceStats",
+    "TrafficSpec",
+    "serve_once",
+]

@@ -1,0 +1,494 @@
+"""Long-lived serving sessions over the streaming readout runtime.
+
+The paper's readout datapath is persistent: calibrated once, then
+discriminating shots continuously. :class:`ReadoutService` is that shape
+as an API — it resolves a :class:`~repro.serve.spec.ServeSpec` once,
+pre-warms the shard executors, pre-fits or loads every per-feedline
+discriminator (:meth:`ReadoutService.warm`), and then serves repeated
+:meth:`ReadoutService.run` calls against the warm state. A warmed service
+never refits: artifacts live in the calibration registry (a private
+temporary one when the spec names none) and fitted models stay resident
+in memory between runs.
+
+Cumulative serving telemetry accumulates in :class:`ServiceStats` —
+total shots, aggregate shots/sec over the serving walls, per-run
+digests, and the warm-up cost those runs amortize.
+
+::
+
+    from repro.serve import ReadoutService, ServeSpec
+
+    with ReadoutService.open("spec.json") as service:   # warms
+        for _ in range(10):
+            report = service.run()                      # no refits
+    print(service.stats.format_table())
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.config import Profile
+from repro.exceptions import ConfigurationError
+from repro.serve.spec import ServeSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.cluster import ClusterReport, MultiFeedlineRunner
+    from repro.pipeline.metrics import PipelineReport
+    from repro.pipeline.runner import ReadoutPipeline
+    from repro.physics.device import ChipConfig
+
+__all__ = ["ReadoutService", "RunStats", "ServiceStats", "serve_once"]
+
+
+def _report_calibration_cached(report) -> bool | None:
+    """Whether a run served warm calibration on every feedline.
+
+    ``PipelineReport`` carries the flag directly; a ``ClusterReport``
+    aggregates its feedlines (``None`` when no feedline reports one).
+    """
+    cached = getattr(report, "calibration_cached", None)
+    if cached is not None:
+        return bool(cached)
+    feedlines = getattr(report, "feedline_reports", None)
+    if not feedlines:
+        return None
+    flags = [
+        r.calibration_cached
+        for r in feedlines.values()
+        if r.calibration_cached is not None
+    ]
+    return all(flags) if flags else None
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Digest of one :meth:`ReadoutService.run` call."""
+
+    index: int
+    n_shots: int
+    wall_seconds: float
+    shots_per_second: float
+    accuracy: float | None
+    calibration_cached: bool | None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "n_shots": self.n_shots,
+            "wall_seconds": self.wall_seconds,
+            "shots_per_second": self.shots_per_second,
+            "accuracy": self.accuracy,
+            "calibration_cached": self.calibration_cached,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative telemetry of one serving session.
+
+    Attributes
+    ----------
+    warm_seconds:
+        Wall time spent in :meth:`ReadoutService.warm` (calibration
+        fits/loads plus shard-pool spawn) — the cost the warm runs
+        amortize. Cumulative: a service re-warmed after ``close()``
+        adds each warm-up cycle.
+    cold_fits:
+        Discriminator fits performed during warm-ups (0 on a fully warm
+        registry), cumulative across warm cycles. Runs between a warm-up
+        and the next ``close()`` never fit.
+    runs:
+        Per-run digests, in serving order.
+    """
+
+    warm_seconds: float = 0.0
+    cold_fits: int = 0
+    runs: list[RunStats] = field(default_factory=list)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def total_shots(self) -> int:
+        return sum(run.n_shots for run in self.runs)
+
+    @property
+    def total_run_seconds(self) -> float:
+        return sum(run.wall_seconds for run in self.runs)
+
+    @property
+    def shots_per_second(self) -> float:
+        """Aggregate serving throughput over all runs (0.0 before any)."""
+        seconds = self.total_run_seconds
+        return self.total_shots / seconds if seconds > 0 else 0.0
+
+    def record(
+        self,
+        report,
+        wall_seconds: float,
+        calibration_cached: bool | None = None,
+    ) -> RunStats:
+        """Fold one run's report into the cumulative stats.
+
+        ``calibration_cached`` overrides the flag derived from the
+        report — :class:`ReadoutService` passes its session-cycle view
+        (did *this cycle* pay cold fits before this run) so the stats
+        mean the same thing for single- and multi-feedline sessions.
+        """
+        if calibration_cached is None:
+            calibration_cached = _report_calibration_cached(report)
+        run = RunStats(
+            index=len(self.runs),
+            n_shots=report.n_shots,
+            wall_seconds=wall_seconds,
+            shots_per_second=(
+                report.n_shots / wall_seconds if wall_seconds > 0 else 0.0
+            ),
+            accuracy=report.accuracy,
+            calibration_cached=calibration_cached,
+        )
+        self.runs.append(run)
+        return run
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``repro serve --json``)."""
+        return {
+            "warm_seconds": self.warm_seconds,
+            "cold_fits": self.cold_fits,
+            "n_runs": self.n_runs,
+            "total_shots": self.total_shots,
+            "total_run_seconds": self.total_run_seconds,
+            "shots_per_second": self.shots_per_second,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    def format_table(self) -> str:
+        """Aligned text report in the house experiment style."""
+        from repro.experiments.report import format_rows
+
+        rows = [
+            [
+                run.index,
+                run.n_shots,
+                f"{run.shots_per_second:.0f}",
+                "-" if run.accuracy is None else f"{run.accuracy:.4f}",
+                {True: "warm", False: "cold", None: "-"}[
+                    run.calibration_cached
+                ],
+            ]
+            for run in self.runs
+        ]
+        table = format_rows(
+            ["run", "shots", "shots/s", "accuracy", "calibration"],
+            rows,
+            title=f"readout service ({self.n_runs} runs)",
+        )
+        lines = [
+            table,
+            "",
+            f"warm-up              {self.warm_seconds:.2f} s "
+            f"({self.cold_fits} cold fit(s))",
+            f"cumulative           {self.total_shots} shots in "
+            f"{self.total_run_seconds:.2f} s serving "
+            f"({self.shots_per_second:.0f} shots/s)",
+        ]
+        return "\n".join(lines)
+
+
+class ReadoutService:
+    """A warm, session-oriented front end to the streaming runtime.
+
+    Parameters
+    ----------
+    spec:
+        The declarative serving configuration.
+    profile:
+        Optional ready :class:`~repro.config.Profile` instance that wins
+        over ``spec.calibration.profile`` — for ad-hoc sizings that are
+        not registered profile names (the spec's seed override still
+        applies).
+
+    Lifecycle: :meth:`warm` (idempotent; implicit on the first
+    :meth:`run` and on ``__enter__``) resolves the profile, builds the
+    serving topology, pre-fits or loads every discriminator, and
+    pre-spawns shard pools; :meth:`run` streams traffic against that
+    state; :meth:`close` releases pools and any session-private
+    registry. The service is reusable after ``close`` — the next ``run``
+    re-warms.
+    """
+
+    def __init__(self, spec: ServeSpec, *, profile: Profile | None = None):
+        if not isinstance(spec, ServeSpec):
+            raise ConfigurationError(
+                f"spec must be a ServeSpec, got {type(spec).__name__}"
+            )
+        self.spec = spec
+        self.stats = ServiceStats()
+        self._profile_override = profile
+        self._profile: Profile | None = None
+        self._warmed = False
+        # Per-warm-cycle accounting (reset by warm()): the cumulative
+        # stats cannot tell whether *this* cycle's first run paid a fit.
+        self._cycle_cold_fits = 0
+        self._cycle_runs = 0
+        self._pipeline: "ReadoutPipeline | None" = None
+        self._chip: "ChipConfig | None" = None
+        self._runner: "MultiFeedlineRunner | None" = None
+        self._tmp_registry: tempfile.TemporaryDirectory | None = None
+
+    @classmethod
+    def open(
+        cls,
+        spec: "ServeSpec | str | Path",
+        *,
+        profile: Profile | None = None,
+        warm: bool = True,
+    ) -> "ReadoutService":
+        """Build a service from a spec object or JSON spec file path."""
+        if isinstance(spec, (str, Path)):
+            spec = ServeSpec.from_file(spec)
+        service = cls(spec, profile=profile)
+        if warm:
+            service.warm()
+        return service
+
+    @property
+    def profile(self) -> Profile:
+        """The resolved calibration profile (resolves on first access)."""
+        if self._profile is None:
+            self._profile = self.spec.resolved_profile(self._profile_override)
+        return self._profile
+
+    @property
+    def registry_dir(self) -> str | None:
+        """The active calibration-registry root (set once warmed)."""
+        if self._tmp_registry is not None:
+            return self._tmp_registry.name
+        return self.spec.calibration.registry_dir
+
+    def _qubits_per_feedline(self) -> int:
+        """Resolved qubit count per served readout group.
+
+        An unset spec value means the base device's full complement —
+        the base :class:`ChipConfig` is the source of the default, not a
+        magic qubit-count literal.
+        """
+        qubits = self.spec.cluster.qubits_per_feedline
+        if qubits is not None:
+            return qubits
+        from repro.physics.device import default_five_qubit_chip
+
+        return default_five_qubit_chip().n_qubits
+
+    def _single_feedline_target(self) -> "tuple[ChipConfig, str]":
+        """The chip and registry device the one-feedline chain serves.
+
+        A spec asking for the base chip's full qubit complement serves
+        the canonical device under its canonical registry slug; anything
+        else derives a sliced feedline chip.
+        """
+        from repro.physics.device import (
+            default_five_qubit_chip,
+            make_feedline_chip,
+        )
+        from repro.pipeline.runner import DEFAULT_DEVICE
+
+        base = default_five_qubit_chip()
+        qubits = self._qubits_per_feedline()
+        if qubits == base.n_qubits:
+            return base, DEFAULT_DEVICE
+        return make_feedline_chip(0, n_qubits=qubits), f"feedline0-q{qubits}"
+
+    def warm(self) -> "ReadoutService":
+        """Resolve the spec and pre-warm all serving state. Idempotent.
+
+        Fits (or loads) every per-feedline discriminator through the
+        calibration registry and pre-spawns the shard pools, so
+        subsequent :meth:`run` calls measure pure serving. When the spec
+        names no ``registry_dir``, the session owns a private temporary
+        registry, discarded on :meth:`close` — even then, repeated runs
+        within the session never refit.
+        """
+        if self._warmed:
+            return self
+        from repro.pipeline.runner import validate_streamable_design
+
+        spec = self.spec
+        validate_streamable_design(spec.calibration.design)
+        profile = self.profile
+        config = spec.pipeline_config()
+        wall_start = time.perf_counter()
+        try:
+            cold_fits = self._warm_state(spec, profile, config)
+        except BaseException:
+            # A failed warm-up must not leak the spawned shard pool or
+            # the session-private registry; close() releases both.
+            self.close()
+            raise
+        self.stats.warm_seconds += time.perf_counter() - wall_start
+        self.stats.cold_fits += cold_fits
+        self._cycle_cold_fits = cold_fits
+        self._cycle_runs = 0
+        self._warmed = True
+        return self
+
+    def _warm_state(self, spec: ServeSpec, profile: Profile, config) -> int:
+        """Build the serving state; returns this cycle's cold-fit count.
+
+        Split out of :meth:`warm` so its error path can release whatever
+        was already created (``self`` fields are assigned as soon as the
+        resources exist, before anything else that can fail).
+        """
+        from repro.pipeline.cluster import MultiFeedlineRunner
+        from repro.pipeline.registry import CalibrationRegistry
+        from repro.pipeline.runner import (
+            ReadoutPipeline,
+            fit_or_load_discriminator,
+        )
+        from repro.physics.device import multi_feedline_chips
+
+        design = spec.calibration.design
+        cold_fits = 0
+        if spec.cluster.feedlines == 1:
+            chip, device = self._single_feedline_target()
+            registry_dir = spec.calibration.registry_dir
+            registry = (
+                CalibrationRegistry(registry_dir)
+                if registry_dir is not None
+                else None
+            )
+            discriminator, cached = fit_or_load_discriminator(
+                profile, registry, chip=chip, device=device, design=design
+            )
+            cold_fits += 0 if cached else 1
+            self._chip = chip
+            self._pipeline = ReadoutPipeline(discriminator, chip, config)
+        else:
+            if spec.calibration.registry_dir is None:
+                # A session-private registry: process shards need the
+                # artifacts on disk, and runs after warm-up must never
+                # refit even when the caller keeps no registry.
+                self._tmp_registry = tempfile.TemporaryDirectory(
+                    prefix="repro-serve-"
+                )
+            chips = multi_feedline_chips(
+                spec.cluster.feedlines, n_qubits=self._qubits_per_feedline()
+            )
+            runner = MultiFeedlineRunner(
+                chips,
+                profile,
+                executor=spec.cluster.executor,
+                workers=spec.cluster.workers,
+                config=config,
+                chunk_size=spec.traffic.chunk_size,
+                registry_dir=self.registry_dir,
+                design=design,
+            )
+            self._runner = runner  # before prefit: errors must close it
+            # Pool first, then calibration *through* the pool: cold fits
+            # for distinct feedlines run as concurrently as serving.
+            runner.prewarm()
+            cold_fits += runner.prefit()
+        return cold_fits
+
+    def run(
+        self, shots: int | None = None, seed: int | None = None
+    ) -> "PipelineReport | ClusterReport":
+        """Serve one run of traffic against the warm state.
+
+        Parameters
+        ----------
+        shots:
+            Shots streamed this run (per feedline); defaults to the
+            spec's ``traffic.shots``.
+        seed:
+            Traffic seed override; defaults to the spec's
+            ``traffic.seed`` (itself defaulting to profile seed + 1).
+            With neither given, repeated runs replay identical traffic —
+            deterministic serving of the same workload.
+        """
+        self.warm()
+        spec = self.spec
+        n_shots = spec.traffic.shots if shots is None else int(shots)
+        if n_shots < 1:
+            raise ConfigurationError(f"shots must be >= 1, got {n_shots}")
+        traffic_seed = spec.traffic.seed if seed is None else int(seed)
+        # Calibration state as the *caller* experiences it, identical on
+        # both serving paths: this warm cycle's first run paid any cold
+        # fits during warm(); every later run is served warm.
+        cycle_cached = self._cycle_runs > 0 or self._cycle_cold_fits == 0
+        wall_start = time.perf_counter()
+        if self._pipeline is not None:
+            from repro.pipeline.source import SimulatorTraceSource
+
+            source = SimulatorTraceSource(
+                self._chip,
+                n_shots=n_shots,
+                chunk_size=spec.traffic.chunk_size,
+                seed=(
+                    self.profile.seed + 1
+                    if traffic_seed is None
+                    else traffic_seed
+                ),
+            )
+            report = self._pipeline.run(source)
+            report.calibration_cached = cycle_cached
+        else:
+            report = self._runner.run(n_shots, seed=traffic_seed)
+            if not cycle_cached:
+                # The feedline chains loaded artifacts this same cycle's
+                # warm() just fitted; to the caller that is a cold call
+                # (one-shot multi-feedline runs kept this semantic
+                # before the serve redesign).
+                for feedline_report in report.feedline_reports.values():
+                    feedline_report.calibration_cached = False
+        wall = time.perf_counter() - wall_start
+        self._cycle_runs += 1
+        self.stats.record(report, wall, calibration_cached=cycle_cached)
+        return report
+
+    def close(self) -> None:
+        """Release shard pools and any session-private registry.
+
+        Idempotent; cumulative :attr:`stats` survive, and the next
+        :meth:`run` re-warms.
+        """
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+        self._pipeline = None
+        self._chip = None
+        if self._tmp_registry is not None:
+            self._tmp_registry.cleanup()
+            self._tmp_registry = None
+        self._warmed = False
+
+    def __enter__(self) -> "ReadoutService":
+        self.warm()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_once(
+    spec: ServeSpec,
+    *,
+    profile: Profile | None = None,
+    shots: int | None = None,
+    seed: int | None = None,
+) -> "PipelineReport | ClusterReport":
+    """One-shot serving: warm a session, run once, tear it down.
+
+    This is the bridge the legacy fronts (``repro.api.run_pipeline``,
+    ``repro pipeline``) stand on — same datapath as a long-lived
+    :class:`ReadoutService`, scoped to a single run.
+    """
+    with ReadoutService(spec, profile=profile) as service:
+        return service.run(shots=shots, seed=seed)

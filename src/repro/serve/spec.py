@@ -1,0 +1,460 @@
+"""Declarative serving configuration: one spec, every front end.
+
+The streaming runtime grew three parallel configuration surfaces — the 17
+loose kwargs of :func:`repro.api.run_pipeline`, the runtime knobs of
+:class:`repro.pipeline.PipelineConfig`, and the ``repro pipeline`` CLI
+flags. :class:`ServeSpec` replaces that duplication with one frozen,
+composable source of truth:
+
+- :class:`TrafficSpec` — what is streamed (shots per run, source
+  chunking, traffic seed).
+- :class:`ClusterSpec` — where it runs (feedlines, shard executor and
+  workers, channel workers, qubits per feedline).
+- :class:`BatchingSpec` — how it is batched (micro-batch size,
+  backpressure, adaptive sizing).
+- :class:`CalibrationSpec` — how discriminators are calibrated (profile,
+  design, registry root, seed override).
+
+Specs serialize losslessly: ``spec == ServeSpec.from_dict(spec.to_dict())``
+holds for every valid spec, and :meth:`ServeSpec.from_file` /
+:meth:`ServeSpec.to_file` round-trip through JSON. Validation is
+*exhaustive*: a spec with several bad fields raises one
+:class:`~repro.exceptions.ConfigurationError` naming all of them (section
+qualified, e.g. ``traffic.shots``), so a config file is fixed in one edit
+pass instead of one error at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.config import Profile, get_profile
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; the pipeline package
+    # is imported lazily (see _Section._problems implementations) so the
+    # spec layer stays importable without pulling the full runtime in.
+    from repro.pipeline.runner import PipelineConfig
+
+__all__ = [
+    "TrafficSpec",
+    "ClusterSpec",
+    "BatchingSpec",
+    "CalibrationSpec",
+    "ServeSpec",
+]
+
+
+def _check_int(
+    problems: list[str],
+    name: str,
+    value: Any,
+    minimum: int | None = None,
+    optional: bool = False,
+) -> None:
+    """Append a problem unless ``value`` is an int within bounds."""
+    if value is None and optional:
+        return
+    if isinstance(value, bool) or not isinstance(value, int):
+        problems.append(f"{name} must be an integer, got {value!r}")
+        return
+    if minimum is not None and value < minimum:
+        problems.append(f"{name} must be >= {minimum}, got {value}")
+
+
+def _check_number(
+    problems: list[str],
+    name: str,
+    value: Any,
+    positive: bool = False,
+    optional: bool = False,
+) -> None:
+    """Append a problem unless ``value`` is a (positive) real number."""
+    if value is None and optional:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        problems.append(f"{name} must be a number, got {value!r}")
+        return
+    if positive and value <= 0:
+        problems.append(f"{name} must be positive, got {value}")
+
+
+def _check_str(
+    problems: list[str], name: str, value: Any, optional: bool = False
+) -> None:
+    """Append a problem unless ``value`` is a non-empty string."""
+    if value is None and optional:
+        return
+    if not isinstance(value, str) or not value:
+        problems.append(f"{name} must be a non-empty string, got {value!r}")
+
+
+def _check_bool(problems: list[str], name: str, value: Any) -> None:
+    if not isinstance(value, bool):
+        problems.append(f"{name} must be a boolean, got {value!r}")
+
+
+@dataclass(frozen=True)
+class _Section:
+    """Shared spec-section behavior: exhaustive validation + dict I/O."""
+
+    def _problems(self) -> list[str]:
+        """Every invalid field of this section, as human-readable lines."""
+        return []
+
+    def __post_init__(self) -> None:
+        problems = self._problems()
+        if problems:
+            exc = ConfigurationError(
+                f"invalid {type(self).__name__}: " + "; ".join(problems)
+            )
+            exc.problems = tuple(problems)
+            raise exc
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def _from_section(
+        cls, data: Mapping, section: str, problems: list[str]
+    ) -> "_Section | None":
+        """Build this section from a mapping, accumulating *all* errors.
+
+        Unknown keys and invalid field values are appended to
+        ``problems`` (section-qualified); missing keys take the field
+        defaults. Returns ``None`` when the section could not be built.
+        """
+        if not isinstance(data, Mapping):
+            problems.append(
+                f"{section} must be a mapping of fields, got {data!r}"
+            )
+            return None
+        known = {f.name for f in fields(cls)}
+        for key in sorted(set(data) - known):
+            problems.append(f"{section}.{key}: unknown field")
+        kwargs = {key: value for key, value in data.items() if key in known}
+        try:
+            return cls(**kwargs)
+        except ConfigurationError as exc:
+            problems.extend(
+                f"{section}.{p}" for p in getattr(exc, "problems", (str(exc),))
+            )
+            return None
+
+
+@dataclass(frozen=True)
+class TrafficSpec(_Section):
+    """What one serving run streams.
+
+    Parameters
+    ----------
+    shots:
+        Shots of simulated traffic per :meth:`ReadoutService.run` call
+        (per feedline in a cluster).
+    chunk_size:
+        Shots per source chunk (the :class:`TraceSource` granularity).
+    seed:
+        Traffic seed. ``None`` uses the resolved profile's seed + 1, so
+        live traffic never replays the calibration corpus stream.
+    """
+
+    shots: int = 2000
+    chunk_size: int = 256
+    seed: int | None = None
+
+    def _problems(self) -> list[str]:
+        problems: list[str] = []
+        _check_int(problems, "shots", self.shots, minimum=1)
+        _check_int(problems, "chunk_size", self.chunk_size, minimum=1)
+        _check_int(problems, "seed", self.seed, optional=True)
+        return problems
+
+
+@dataclass(frozen=True)
+class ClusterSpec(_Section):
+    """Where the traffic is served.
+
+    Parameters
+    ----------
+    feedlines:
+        Readout groups to serve; ``1`` runs the single-feedline chain.
+    executor:
+        Shard backend for multi-feedline serving (``serial``/``thread``/
+        ``process``); validated — but inert — with one feedline.
+    workers:
+        Shard workers (``None``: one per feedline, capped at the CPU
+        count).
+    channel_workers:
+        Qubit-channel workers *inside* each feedline's demod and
+        matched-filter stages.
+    qubits_per_feedline:
+        Qubits multiplexed on each served readout group. ``None`` serves
+        the base device's full complement — the chip itself defines the
+        default, not a magic number here.
+    """
+
+    feedlines: int = 1
+    executor: str = "thread"
+    workers: int | None = None
+    channel_workers: int = 1
+    qubits_per_feedline: int | None = None
+
+    def _problems(self) -> list[str]:
+        problems: list[str] = []
+        _check_int(problems, "feedlines", self.feedlines, minimum=1)
+        _check_str(problems, "executor", self.executor)
+        if isinstance(self.executor, str) and self.executor:
+            from repro.pipeline.cluster import EXECUTOR_NAMES
+
+            if self.executor not in EXECUTOR_NAMES:
+                known = ", ".join(EXECUTOR_NAMES)
+                problems.append(
+                    f"executor must be one of: {known}; got {self.executor!r}"
+                )
+        _check_int(problems, "workers", self.workers, minimum=1, optional=True)
+        _check_int(problems, "channel_workers", self.channel_workers, minimum=1)
+        _check_int(
+            problems,
+            "qubits_per_feedline",
+            self.qubits_per_feedline,
+            minimum=1,
+            optional=True,
+        )
+        return problems
+
+
+@dataclass(frozen=True)
+class BatchingSpec(_Section):
+    """How the stream is micro-batched.
+
+    Parameters
+    ----------
+    batch_size:
+        Shots per dispatched micro-batch (the initial size when
+        ``adaptive`` is on).
+    max_pending:
+        Sink queue capacity in batches before backpressure blocks.
+    adaptive:
+        Resize batches from the per-shot compute-latency EWMA against
+        the FPGA decision budget.
+    max_batch_size:
+        Upper bound on the adapted batch size (adaptive mode only).
+    target_batch_ms:
+        Per-batch latency target for adaptive mode; ``None`` derives it
+        from the serving head's FPGA decision budget.
+    """
+
+    batch_size: int = 64
+    max_pending: int = 8
+    adaptive: bool = False
+    max_batch_size: int = 1024
+    target_batch_ms: float | None = None
+
+    def _problems(self) -> list[str]:
+        problems: list[str] = []
+        _check_int(problems, "batch_size", self.batch_size, minimum=1)
+        _check_int(problems, "max_pending", self.max_pending, minimum=1)
+        _check_bool(problems, "adaptive", self.adaptive)
+        _check_int(problems, "max_batch_size", self.max_batch_size, minimum=1)
+        _check_number(
+            problems,
+            "target_batch_ms",
+            self.target_batch_ms,
+            positive=True,
+            optional=True,
+        )
+        if (
+            self.adaptive is True
+            and isinstance(self.batch_size, int)
+            and isinstance(self.max_batch_size, int)
+            and not isinstance(self.batch_size, bool)
+            and 1 <= self.batch_size
+            and 1 <= self.max_batch_size < self.batch_size
+        ):
+            problems.append(
+                "max_batch_size must be >= batch_size when adaptive "
+                f"batching is on, got {self.max_batch_size} < "
+                f"{self.batch_size}"
+            )
+        return problems
+
+
+@dataclass(frozen=True)
+class CalibrationSpec(_Section):
+    """How discriminators are calibrated before serving.
+
+    Parameters
+    ----------
+    profile:
+        Sizing-profile name (``quick``/``full``/``paper``). Resolved at
+        warm-up; :class:`ReadoutService` also accepts a ready
+        :class:`~repro.config.Profile` override for ad-hoc sizings.
+    design:
+        Registered discriminator design to serve (must resolve to the
+        MLR family; checked at warm-up against the plugin registry).
+    registry_dir:
+        Calibration-registry root. ``None`` gives each service session a
+        private temporary registry, discarded on close.
+    seed:
+        Profile seed override (``Profile.with_seed``); shifts both the
+        calibration corpus and the derived default traffic seed.
+    """
+
+    profile: str = "quick"
+    design: str = "ours"
+    registry_dir: str | None = None
+    seed: int | None = None
+
+    def _problems(self) -> list[str]:
+        problems: list[str] = []
+        _check_str(problems, "profile", self.profile)
+        _check_str(problems, "design", self.design)
+        _check_str(problems, "registry_dir", self.registry_dir, optional=True)
+        _check_int(problems, "seed", self.seed, optional=True)
+        return problems
+
+
+#: Section name -> section class, in canonical serialization order.
+_SECTIONS: dict[str, type[_Section]] = {
+    "traffic": TrafficSpec,
+    "cluster": ClusterSpec,
+    "batching": BatchingSpec,
+    "calibration": CalibrationSpec,
+}
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """The single declarative source of truth for one serving session.
+
+    Aggregates :class:`TrafficSpec`, :class:`ClusterSpec`,
+    :class:`BatchingSpec`, and :class:`CalibrationSpec`; every front end
+    (``repro.api.run_pipeline`` kwargs, ``repro pipeline`` flags,
+    ``repro serve --spec``) is derived from this object. Frozen, fully
+    validated on construction, JSON round-trip stable.
+    """
+
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    batching: BatchingSpec = field(default_factory=BatchingSpec)
+    calibration: CalibrationSpec = field(default_factory=CalibrationSpec)
+
+    def __post_init__(self) -> None:
+        problems = [
+            f"{name} must be a {cls.__name__}, got "
+            f"{type(getattr(self, name)).__name__}"
+            for name, cls in _SECTIONS.items()
+            if not isinstance(getattr(self, name), cls)
+        ]
+        if problems:
+            exc = ConfigurationError(
+                "invalid ServeSpec: " + "; ".join(problems)
+            )
+            exc.problems = tuple(problems)
+            raise exc
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Nested plain-value form; ``json.dumps``-able as is."""
+        return {
+            name: getattr(self, name).to_dict() for name in _SECTIONS
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServeSpec":
+        """Inverse of :meth:`to_dict`; missing sections take defaults.
+
+        Validation is exhaustive: every unknown section, unknown field,
+        and invalid value across *all* sections is collected and raised
+        as one :class:`ConfigurationError`, so a bad spec file is fixed
+        in a single edit pass.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"ServeSpec data must be a mapping of sections, got {data!r}"
+            )
+        problems: list[str] = []
+        for key in sorted(set(data) - set(_SECTIONS)):
+            known = ", ".join(_SECTIONS)
+            problems.append(
+                f"{key}: unknown section (expected one of: {known})"
+            )
+        sections: dict[str, _Section | None] = {}
+        for name, section_cls in _SECTIONS.items():
+            if name in data:
+                sections[name] = section_cls._from_section(
+                    data[name], name, problems
+                )
+            else:
+                sections[name] = section_cls()
+        if problems:
+            exc = ConfigurationError(
+                "invalid ServeSpec: " + "; ".join(problems)
+            )
+            exc.problems = tuple(problems)
+            raise exc
+        return cls(**sections)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ServeSpec":
+        """Load a spec from a JSON file (see :meth:`to_file`)."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read spec file {path}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"spec file {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+    def to_file(self, path: str | Path) -> Path:
+        """Write the spec as indented JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    # -- derivation helpers --------------------------------------------
+
+    def with_traffic(self, **changes) -> "ServeSpec":
+        """Copy of this spec with some :class:`TrafficSpec` fields replaced."""
+        return dataclasses.replace(
+            self, traffic=dataclasses.replace(self.traffic, **changes)
+        )
+
+    def resolved_profile(self, override: Profile | None = None) -> Profile:
+        """The calibration :class:`Profile` this spec serves under.
+
+        ``override`` (a ready Profile instance, e.g. an ad-hoc test
+        sizing) wins over the spec's named profile; the spec's seed
+        override is applied in either case.
+        """
+        profile = (
+            override
+            if override is not None
+            else get_profile(self.calibration.profile)
+        )
+        if self.calibration.seed is not None:
+            profile = profile.with_seed(self.calibration.seed)
+        return profile
+
+    def pipeline_config(self) -> "PipelineConfig":
+        """The per-feedline :class:`PipelineConfig` this spec derives."""
+        from repro.pipeline.runner import PipelineConfig
+
+        return PipelineConfig(
+            batch_size=self.batching.batch_size,
+            workers=self.cluster.channel_workers,
+            max_pending=self.batching.max_pending,
+            adaptive_batching=self.batching.adaptive,
+            max_batch_size=self.batching.max_batch_size,
+            target_batch_ms=self.batching.target_batch_ms,
+        )

@@ -235,6 +235,105 @@ class TestClusterDeterminism:
         assert solo.accuracy == member.accuracy
 
 
+class TestHeterogeneousPlacement:
+    """Greedy longest-first dispatch for unequal feedlines."""
+
+    @staticmethod
+    def _runner(specs, **kwargs):
+        return MultiFeedlineRunner(
+            specs, tiny_profile(), executor="serial", **kwargs
+        )
+
+    def test_heaviest_feedline_dispatches_first(self):
+        from repro.pipeline.cluster import _placement_order
+
+        light = make_feedline_chip(0, n_qubits=1, trace_len=80)
+        heavy = make_feedline_chip(1, n_qubits=2, trace_len=200)
+        runner = self._runner(
+            [FeedlineSpec("light", light), FeedlineSpec("heavy", heavy)]
+        )
+        tasks = runner._tasks(10, None)
+        assert [t.name for t in _placement_order(tasks)] == ["heavy", "light"]
+
+    def test_weight_is_qubits_times_trace_length(self):
+        from repro.pipeline.cluster import _placement_order
+
+        # 2 qubits x 100 samples outweighs 1 qubit x 150 samples.
+        wide = make_feedline_chip(0, n_qubits=2, trace_len=100)
+        long = make_feedline_chip(1, n_qubits=1, trace_len=150)
+        runner = self._runner(
+            [FeedlineSpec("long", long), FeedlineSpec("wide", wide)]
+        )
+        tasks = runner._tasks(10, None)
+        assert [t.name for t in _placement_order(tasks)] == ["wide", "long"]
+
+    def test_equal_weights_keep_declared_order(self, feedline_chips):
+        from repro.pipeline.cluster import _placement_order
+
+        runner = self._runner(list(feedline_chips))
+        tasks = runner._tasks(10, None)
+        assert [t.name for t in _placement_order(tasks)] == [
+            t.name for t in tasks
+        ]
+
+    def test_seeds_stay_pinned_to_declared_index(self):
+        from repro.pipeline.cluster import _placement_order
+
+        light = make_feedline_chip(0, n_qubits=1, trace_len=80)
+        heavy = make_feedline_chip(1, n_qubits=2, trace_len=200)
+        runner = self._runner(
+            [FeedlineSpec("light", light), FeedlineSpec("heavy", heavy)]
+        )
+        tasks = runner._tasks(10, seed=100)
+        by_name = {t.name: t.seed for t in _placement_order(tasks)}
+        # Declared order assigns seeds; dispatch order must not.
+        assert by_name == {"light": 100, "heavy": 101}
+
+    def test_reports_keep_declared_order_despite_placement(self, tmp_path):
+        light = make_feedline_chip(0, n_qubits=1, trace_len=80)
+        heavy = make_feedline_chip(1, n_qubits=2, trace_len=200)
+        report = run_multi_feedline_pipeline(
+            tiny_profile(),
+            10,
+            [FeedlineSpec("light", light), FeedlineSpec("heavy", heavy)],
+            executor="serial",
+            config=PipelineConfig(batch_size=10),
+            chunk_size=10,
+            registry_dir=tmp_path,
+        )
+        assert list(report.feedline_reports) == ["light", "heavy"]
+        assert (
+            report.feedline_reports["heavy"].details["feedline"] == "heavy"
+        )
+
+
+class TestPrefit:
+    """Calibration-only dispatch through the shard pool."""
+
+    def test_prefit_fits_cold_then_loads_warm(self, feedline_chips, tmp_path):
+        with MultiFeedlineRunner(
+            feedline_chips,
+            tiny_profile(),
+            executor="thread",
+            registry_dir=tmp_path,
+        ) as runner:
+            assert runner.prefit() == 2, "one cold fit per feedline"
+            assert runner.prefit() == 0, "second prefit serves artifacts"
+            # Serving after prefit is fully warm.
+            report = runner.run(20)
+            assert all(
+                r.calibration_cached
+                for r in report.feedline_reports.values()
+            )
+
+    def test_prefit_requires_registry(self, feedline_chips):
+        with MultiFeedlineRunner(
+            feedline_chips, tiny_profile(), executor="serial"
+        ) as runner:
+            with pytest.raises(ConfigurationError, match="registry"):
+                runner.prefit()
+
+
 class TestClusterReportAggregation:
     def test_aggregate_report_shape(self, feedline_chips, warm_registry):
         report = run_multi_feedline_pipeline(

@@ -1,0 +1,697 @@
+"""repro.serve: spec round-trips, exhaustive validation, warm sessions,
+the `repro serve` CLI, and cross-process fit deduplication."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.cli as cli
+from repro.config import QUICK, Profile
+from repro.discriminators.mlr import MLRDiscriminator
+from repro.exceptions import ConfigurationError
+from repro.pipeline import (
+    CalibrationKey,
+    CalibrationRegistry,
+    ClusterReport,
+    PipelineReport,
+)
+from repro.serve import (
+    BatchingSpec,
+    CalibrationSpec,
+    ClusterSpec,
+    ReadoutService,
+    ServeSpec,
+    ServiceStats,
+    TrafficSpec,
+    serve_once,
+)
+from repro.serve.service import _report_calibration_cached
+
+
+def tiny_profile(**overrides) -> Profile:
+    """A fast sizing profile for serving tests (not a named CLI profile)."""
+    params = dict(
+        name="tiny",
+        shots_per_state=10,
+        calibration_shots=100,
+        nn_epochs=8,
+        fnn_epochs=2,
+        batch_size=64,
+        qec_shots=10,
+        qudit_shots=10,
+        spectral_max_points=100,
+        seed=701,
+    )
+    params.update(overrides)
+    return Profile(**params)
+
+
+def tiny_spec(**calibration) -> ServeSpec:
+    """A light two-qubit single-feedline spec for fast service tests."""
+    return ServeSpec(
+        traffic=TrafficSpec(shots=40, chunk_size=20),
+        cluster=ClusterSpec(qubits_per_feedline=2),
+        batching=BatchingSpec(batch_size=20),
+        calibration=CalibrationSpec(**calibration),
+    )
+
+
+class TestServeSpecRoundTrip:
+    def test_default_spec_dict_round_trip(self):
+        spec = ServeSpec()
+        assert ServeSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_serializable(self):
+        payload = json.dumps(ServeSpec().to_dict())
+        assert ServeSpec.from_dict(json.loads(payload)) == ServeSpec()
+
+    def test_non_default_spec_round_trips_every_field(self):
+        spec = ServeSpec(
+            traffic=TrafficSpec(shots=7, chunk_size=3, seed=42),
+            cluster=ClusterSpec(
+                feedlines=3,
+                executor="process",
+                workers=2,
+                channel_workers=4,
+                qubits_per_feedline=2,
+            ),
+            batching=BatchingSpec(
+                batch_size=9,
+                max_pending=2,
+                adaptive=True,
+                max_batch_size=99,
+                target_batch_ms=1.5,
+            ),
+            calibration=CalibrationSpec(
+                profile="full",
+                design="herqules",
+                registry_dir="/tmp/reg",
+                seed=13,
+            ),
+        )
+        assert ServeSpec.from_dict(spec.to_dict()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = ServeSpec(traffic=TrafficSpec(shots=11))
+        path = spec.to_file(tmp_path / "spec.json")
+        assert ServeSpec.from_file(path) == spec
+
+    def test_missing_sections_take_defaults(self):
+        spec = ServeSpec.from_dict({"traffic": {"shots": 5}})
+        assert spec.traffic.shots == 5
+        assert spec.cluster == ClusterSpec()
+        assert spec.batching == BatchingSpec()
+
+    def test_with_traffic_returns_modified_copy(self):
+        spec = ServeSpec()
+        bumped = spec.with_traffic(shots=123)
+        assert bumped.traffic.shots == 123
+        assert spec.traffic.shots == 2000
+        assert bumped.cluster == spec.cluster
+
+
+class TestServeSpecValidation:
+    def test_from_dict_reports_every_problem_at_once(self):
+        bad = {
+            "traffic": {"shots": 0, "chunk_size": -2, "bogus": 1},
+            "cluster": {"feedlines": 0, "executor": "gpu"},
+            "batching": {"batch_size": 0, "adaptive": "yes"},
+            "calibration": {"design": ""},
+            "networking": {},
+        }
+        with pytest.raises(ConfigurationError) as excinfo:
+            ServeSpec.from_dict(bad)
+        message = str(excinfo.value)
+        for fragment in (
+            "traffic.shots",
+            "traffic.chunk_size",
+            "traffic.bogus",
+            "cluster.feedlines",
+            "cluster.executor",
+            "batching.batch_size",
+            "batching.adaptive",
+            "calibration.design",
+            "networking: unknown section",
+        ):
+            assert fragment in message, fragment
+
+    def test_direct_section_construction_reports_all_its_fields(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            TrafficSpec(shots=0, chunk_size=0)
+        assert "shots" in str(excinfo.value)
+        assert "chunk_size" in str(excinfo.value)
+
+    def test_type_errors_are_flagged_not_crashed(self):
+        with pytest.raises(ConfigurationError, match="traffic.shots"):
+            ServeSpec.from_dict({"traffic": {"shots": "many"}})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(ConfigurationError, match="shots"):
+            TrafficSpec(shots=True)
+
+    def test_adaptive_cross_field_bound(self):
+        with pytest.raises(ConfigurationError, match="max_batch_size"):
+            BatchingSpec(adaptive=True, batch_size=64, max_batch_size=8)
+        # Inert without adaptive batching (matches PipelineConfig).
+        BatchingSpec(adaptive=False, batch_size=64, max_batch_size=8)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            ClusterSpec(executor="gpu")
+
+    def test_sections_must_be_spec_instances(self):
+        with pytest.raises(ConfigurationError, match="traffic"):
+            ServeSpec(traffic={"shots": 5})
+
+    def test_from_file_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            ServeSpec.from_file(path)
+
+    def test_from_file_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            ServeSpec.from_file(tmp_path / "nope.json")
+
+
+class TestServeSpecDerivation:
+    def test_resolved_profile_by_name_with_seed(self):
+        spec = ServeSpec(
+            calibration=CalibrationSpec(profile="quick", seed=999)
+        )
+        profile = spec.resolved_profile()
+        assert profile.name == "quick"
+        assert profile.seed == 999
+        assert profile.shots_per_state == QUICK.shots_per_state
+
+    def test_resolved_profile_override_instance_wins(self):
+        spec = ServeSpec(calibration=CalibrationSpec(profile="quick"))
+        override = tiny_profile()
+        assert spec.resolved_profile(override) is override
+
+    def test_resolved_profile_unknown_name_raises(self):
+        spec = ServeSpec(calibration=CalibrationSpec(profile="mega"))
+        with pytest.raises(ConfigurationError, match="unknown profile"):
+            spec.resolved_profile()
+
+    def test_pipeline_config_mapping(self):
+        spec = ServeSpec(
+            cluster=ClusterSpec(channel_workers=3),
+            batching=BatchingSpec(
+                batch_size=32,
+                max_pending=4,
+                adaptive=True,
+                max_batch_size=128,
+                target_batch_ms=2.0,
+            ),
+        )
+        config = spec.pipeline_config()
+        assert config.batch_size == 32
+        assert config.workers == 3
+        assert config.max_pending == 4
+        assert config.adaptive_batching is True
+        assert config.max_batch_size == 128
+        assert config.target_batch_ms == 2.0
+
+
+class TestReadoutServiceWarmReuse:
+    """The fit-once contract, extended to whole serving sessions."""
+
+    def test_second_run_never_refits_single_feedline(
+        self, tmp_path, monkeypatch
+    ):
+        fits: list[int] = []
+        original_fit = MLRDiscriminator.fit
+
+        def counting_fit(self, corpus, indices):
+            fits.append(1)
+            return original_fit(self, corpus, indices)
+
+        monkeypatch.setattr(MLRDiscriminator, "fit", counting_fit)
+        spec = tiny_spec(registry_dir=str(tmp_path / "registry"))
+        with ReadoutService(spec, profile=tiny_profile()) as service:
+            first = service.run()
+            assert len(fits) == 1, "warm-up performs the one cold fit"
+            second = service.run()
+        assert len(fits) == 1, "a warmed service must never refit"
+        assert first.calibration_cached is False
+        assert second.calibration_cached is True
+        # Default traffic seed: both runs replay identical traffic.
+        assert first.assignment_counts == second.assignment_counts
+
+    def test_multi_feedline_session_fits_once_per_feedline(
+        self, tmp_path, monkeypatch
+    ):
+        fits: list[int] = []
+        original_fit = MLRDiscriminator.fit
+
+        def counting_fit(self, corpus, indices):
+            fits.append(1)
+            return original_fit(self, corpus, indices)
+
+        monkeypatch.setattr(MLRDiscriminator, "fit", counting_fit)
+        spec = ServeSpec(
+            traffic=TrafficSpec(shots=30, chunk_size=15),
+            cluster=ClusterSpec(
+                feedlines=2, executor="serial", qubits_per_feedline=2
+            ),
+            batching=BatchingSpec(batch_size=15),
+            calibration=CalibrationSpec(
+                registry_dir=str(tmp_path / "registry")
+            ),
+        )
+        with ReadoutService(spec, profile=tiny_profile()) as service:
+            first = service.run()
+            second = service.run()
+            assert service.stats.cold_fits == 2
+        assert len(fits) == 2, "one fit per feedline, all during warm-up"
+        assert isinstance(first, ClusterReport)
+        # Cycle-cost semantics, identical to the single-feedline path:
+        # the cycle's first run carries its cold fits, later runs are
+        # warm — in the session stats and in the reports themselves.
+        assert [
+            run.calibration_cached for run in service.stats.runs
+        ] == [False, True]
+        assert not any(
+            r.calibration_cached for r in first.feedline_reports.values()
+        )
+        assert all(
+            r.calibration_cached for r in second.feedline_reports.values()
+        )
+
+    def test_sessions_share_a_warm_registry(self, tmp_path, monkeypatch):
+        fits: list[int] = []
+        original_fit = MLRDiscriminator.fit
+
+        def counting_fit(self, corpus, indices):
+            fits.append(1)
+            return original_fit(self, corpus, indices)
+
+        monkeypatch.setattr(MLRDiscriminator, "fit", counting_fit)
+        spec = tiny_spec(registry_dir=str(tmp_path / "registry"))
+        serve_once(spec, profile=tiny_profile())
+        assert len(fits) == 1
+        with ReadoutService(spec, profile=tiny_profile()) as service:
+            report = service.run()
+        assert len(fits) == 1, "second session loads the stored artifact"
+        assert service.stats.cold_fits == 0
+        assert report.calibration_cached is True
+
+    def test_session_private_registry_created_and_cleaned(self):
+        spec = ServeSpec(
+            traffic=TrafficSpec(shots=20, chunk_size=10),
+            cluster=ClusterSpec(
+                feedlines=2, executor="serial", qubits_per_feedline=2
+            ),
+            batching=BatchingSpec(batch_size=10),
+        )
+        service = ReadoutService(spec, profile=tiny_profile())
+        service.warm()
+        private_root = service.registry_dir
+        assert private_root is not None and Path(private_root).is_dir()
+        service.run()
+        service.close()
+        assert not Path(private_root).exists()
+        assert service.registry_dir is None
+
+    def test_failed_warm_releases_pool_and_temp_registry(self, monkeypatch):
+        from repro.exceptions import DataError
+        from repro.pipeline.cluster import MultiFeedlineRunner
+
+        seen = {}
+        def failing_prefit(runner_self):
+            seen["registry"] = runner_self.registry_dir
+            raise DataError("corpus generation exploded")
+
+        monkeypatch.setattr(MultiFeedlineRunner, "prefit", failing_prefit)
+        spec = ServeSpec(
+            cluster=ClusterSpec(
+                feedlines=2, executor="thread", qubits_per_feedline=2
+            )
+        )
+        service = ReadoutService(spec, profile=tiny_profile())
+        with pytest.raises(DataError):
+            service.warm()
+        # The spawned pool and the session-private registry are released.
+        assert service._runner is None
+        assert service.registry_dir is None
+        assert not Path(seen["registry"]).exists()
+
+    def test_run_auto_warms_and_close_allows_rewarm(self, tmp_path):
+        spec = tiny_spec(registry_dir=str(tmp_path / "registry"))
+        service = ReadoutService(spec, profile=tiny_profile())
+        report = service.run()  # implicit warm()
+        assert report.n_shots == 40
+        service.close()
+        rewarmed = service.run(shots=20)
+        assert rewarmed.n_shots == 20
+        service.close()
+
+    def test_rewarmed_session_reports_cold_first_run_again(self):
+        # close() drops the warm state; with no registry the next cycle
+        # refits, and that cycle's first run must report cold — lifetime
+        # run counts from earlier cycles must not mask it.
+        spec = tiny_spec()
+        service = ReadoutService(spec, profile=tiny_profile())
+        assert service.run().calibration_cached is False
+        service.close()
+        assert service.run().calibration_cached is False
+        assert service.run().calibration_cached is True
+        service.close()
+        assert service.stats.cold_fits == 2, "cumulative across cycles"
+
+    def test_rewarm_accumulates_warm_seconds(self, tmp_path):
+        spec = tiny_spec(registry_dir=str(tmp_path / "registry"))
+        service = ReadoutService(spec, profile=tiny_profile())
+        service.warm()
+        first_cycle = service.stats.warm_seconds
+        service.close()
+        service.warm()
+        assert service.stats.warm_seconds > first_cycle
+        service.close()
+
+    def test_run_rejects_bad_shots(self, tmp_path):
+        spec = tiny_spec(registry_dir=str(tmp_path / "registry"))
+        with ReadoutService(spec, profile=tiny_profile()) as service:
+            with pytest.raises(ConfigurationError, match="shots"):
+                service.run(shots=0)
+
+    def test_rejects_non_mlr_design(self):
+        spec = tiny_spec(design="fnn")
+        with pytest.raises(ConfigurationError, match="MLR family"):
+            ReadoutService(spec, profile=tiny_profile()).warm()
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(ConfigurationError, match="ServeSpec"):
+            ReadoutService({"traffic": {}})
+
+
+def _fake_report(n_shots, wall, accuracy=None, cached=None):
+    return PipelineReport(
+        n_shots=n_shots,
+        n_batches=1,
+        wall_seconds=wall,
+        shots_per_second=n_shots / wall,
+        stage_summaries={},
+        accuracy=accuracy,
+        calibration_cached=cached,
+    )
+
+
+class TestServiceStats:
+    def test_cumulative_math(self):
+        stats = ServiceStats()
+        stats.record(_fake_report(100, 0.5, accuracy=0.9, cached=False), 2.0)
+        stats.record(_fake_report(300, 0.5, accuracy=0.8, cached=True), 3.0)
+        assert stats.n_runs == 2
+        assert stats.total_shots == 400
+        assert stats.total_run_seconds == pytest.approx(5.0)
+        assert stats.shots_per_second == pytest.approx(400 / 5.0)
+        assert [run.index for run in stats.runs] == [0, 1]
+        assert stats.runs[0].shots_per_second == pytest.approx(50.0)
+        assert stats.runs[1].calibration_cached is True
+
+    def test_empty_stats_are_zero_not_nan(self):
+        stats = ServiceStats()
+        assert stats.n_runs == 0
+        assert stats.total_shots == 0
+        assert stats.shots_per_second == 0.0
+
+    def test_to_dict_schema(self):
+        stats = ServiceStats(warm_seconds=1.5, cold_fits=2)
+        stats.record(_fake_report(10, 0.1), 0.2)
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["warm_seconds"] == 1.5
+        assert payload["cold_fits"] == 2
+        assert payload["n_runs"] == 1
+        assert payload["total_shots"] == 10
+        assert payload["runs"][0]["index"] == 0
+
+    def test_format_table_mentions_warmup_and_cumulative(self):
+        stats = ServiceStats(warm_seconds=0.5, cold_fits=1)
+        stats.record(_fake_report(10, 0.1, cached=True), 0.2)
+        text = stats.format_table()
+        assert "readout service" in text
+        assert "warm-up" in text
+        assert "cumulative" in text
+
+    def test_cluster_cached_aggregation(self):
+        def cluster(flags):
+            return ClusterReport(
+                executor="serial",
+                workers=1,
+                n_shots=10,
+                wall_seconds=1.0,
+                shots_per_second=10.0,
+                feedline_reports={
+                    f"f{i}": _fake_report(5, 0.1, cached=flag)
+                    for i, flag in enumerate(flags)
+                },
+            )
+
+        assert _report_calibration_cached(cluster([True, True])) is True
+        assert _report_calibration_cached(cluster([True, False])) is False
+        assert _report_calibration_cached(cluster([None, None])) is None
+
+
+class TestServeCli:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        spec = ServeSpec(
+            traffic=TrafficSpec(shots=60, chunk_size=30),
+            cluster=ClusterSpec(qubits_per_feedline=2),
+            batching=BatchingSpec(batch_size=30),
+            calibration=CalibrationSpec(
+                profile="quick", registry_dir=str(tmp_path / "registry")
+            ),
+        )
+        return str(spec.to_file(tmp_path / "spec.json"))
+
+    def test_serve_runs_and_writes_session_json(
+        self, capsys, tmp_path, spec_file
+    ):
+        out_path = tmp_path / "session.json"
+        code = cli.main(
+            ["serve", "--spec", spec_file, "--repeat", "2",
+             "--json", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[serve] warmed in" in out
+        assert "readout service (2 runs)" in out
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"spec", "service", "runs"}
+        assert payload["spec"] == ServeSpec.from_file(spec_file).to_dict()
+        assert payload["service"]["n_runs"] == 2
+        assert payload["service"]["total_shots"] == 120
+        assert payload["service"]["shots_per_second"] > 0
+        assert len(payload["runs"]) == 2
+        assert payload["runs"][1]["calibration_cached"] is True
+        # Fresh registry: cold fit attributed to run 0, warm thereafter.
+        assert [
+            r["calibration_cached"] for r in payload["service"]["runs"]
+        ] == [False, True]
+        # Same spec'd traffic served twice: identical discrimination.
+        assert (
+            payload["runs"][0]["assignment_counts"]
+            == payload["runs"][1]["assignment_counts"]
+        )
+
+    def test_serve_shots_override(self, capsys, tmp_path, spec_file):
+        out_path = tmp_path / "session.json"
+        code = cli.main(
+            ["serve", "--spec", spec_file, "--shots", "40",
+             "--json", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["service"]["total_shots"] == 40
+
+    def test_serve_requires_spec_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["serve"])
+        assert excinfo.value.code == 2
+
+    def test_serve_rejects_bad_repeat(self, spec_file):
+        with pytest.raises(ConfigurationError, match="repeat"):
+            cli.main(["serve", "--spec", spec_file, "--repeat", "0"])
+
+    def test_serve_reports_every_spec_problem(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "traffic": {"shots": 0},
+            "cluster": {"executor": "gpu"},
+        }))
+        with pytest.raises(ConfigurationError) as excinfo:
+            cli.main(["serve", "--spec", str(path)])
+        message = str(excinfo.value)
+        assert "traffic.shots" in message
+        assert "cluster.executor" in message
+
+    def test_legacy_positional_form_forwards_seed(
+        self, capsys, tmp_path, spec_file
+    ):
+        # `repro --seed N serve ...` must reach serve's traffic seed,
+        # exactly like the explicit `repro serve --seed N` form.
+        paths = {name: tmp_path / f"{name}.json" for name in "abc"}
+        assert cli.main(
+            ["--seed", "12345", "serve", "--spec", spec_file,
+             "--json", str(paths["a"])]
+        ) == 0
+        assert cli.main(
+            ["serve", "--spec", spec_file, "--seed", "12345",
+             "--json", str(paths["b"])]
+        ) == 0
+        assert cli.main(
+            ["serve", "--spec", spec_file, "--json", str(paths["c"])]
+        ) == 0
+        counts = {
+            name: json.loads(path.read_text())["runs"][0]["assignment_counts"]
+            for name, path in paths.items()
+        }
+        assert counts["a"] == counts["b"], "legacy form must forward --seed"
+        assert counts["a"] != counts["c"], "seed must change the traffic"
+
+    def test_serve_help_exits_0(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--spec" in out
+        assert "--repeat" in out
+
+    def test_list_mentions_serve(self, capsys):
+        assert cli.main(["list"]) == 0
+        assert "serve" in capsys.readouterr().out
+
+
+def _has_fork() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return False
+    return True
+
+
+class TestCrossProcessFitLock:
+    def test_lock_survives_sidecar_unlink_by_prune(self, tmp_path):
+        # A lock held on an unlinked sidecar must not block a fresh
+        # locker (it locks a new inode), and acquisition on the fresh
+        # file still reports locked.
+        from repro.pipeline.registry import _artifact_file_lock
+
+        artifact = tmp_path / "dev" / "prof" / "all.npz"
+        with _artifact_file_lock(artifact) as locked:
+            assert locked is True
+            # prune/invalidate racing the fit: sidecar disappears.
+            artifact.with_name("all.npz.lock").unlink()
+            with _artifact_file_lock(artifact) as relocked:
+                assert relocked is True  # fresh inode, no deadlock
+
+    def test_lock_sidecar_is_not_enumerated_as_a_key(
+        self, tmp_path, tiny_corpus
+    ):
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-lock", "all", "tiny")
+        registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        assert list(registry.keys()) == [key]
+        lock_path = registry.path_for(key).with_name("all.npz.lock")
+        assert lock_path.is_file(), "cold fit must leave its lock sidecar"
+
+    def test_corrupt_artifact_recovery_keeps_lock_sidecar(
+        self, tmp_path, tiny_corpus
+    ):
+        # The corrupt-refit path runs while the fitter may hold the
+        # sidecar; it must drop only the artifact, never the lock.
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-corrupt", "all", "tiny")
+        registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        registry.path_for(key).write_bytes(b"garbage")
+        _, cached = registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        assert cached is False, "corrupt artifact must trigger a refit"
+        lock_path = registry.path_for(key).with_name("all.npz.lock")
+        assert lock_path.is_file()
+
+    def test_prune_clears_lock_sidecars_and_dirs(self, tmp_path, tiny_corpus):
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-prune", "all", "tiny")
+        registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        report = registry.prune(max_bytes=0)
+        assert report.removed == (key,)
+        assert list(registry.keys()) == []
+        assert list(Path(tmp_path).rglob("*")) == []
+
+    @pytest.mark.skipif(not _has_fork(), reason="needs fork start method")
+    def test_two_processes_fit_once(self, tmp_path, tiny_corpus):
+        """Cold fits for one key dedupe across OS processes.
+
+        Both children reach ``get_or_fit`` cold at the same time (a
+        ready-file barrier lines them up); the advisory file lock must
+        let exactly one fit while the other blocks, re-checks, and loads
+        the stored artifact.
+        """
+        root = tmp_path / "registry"
+        fits_log = tmp_path / "fits.log"
+        key = CalibrationKey("chip-x", "all", "tiny")
+
+        def worker(index: int) -> None:
+            ready = tmp_path / f"ready-{index}"
+            ready.touch()
+            deadline = time.monotonic() + 20.0
+            while not all(
+                (tmp_path / f"ready-{i}").exists() for i in range(2)
+            ):
+                if time.monotonic() > deadline:  # pragma: no cover
+                    raise RuntimeError("barrier timed out")
+                time.sleep(0.005)
+
+            def factory():
+                disc = MLRDiscriminator(epochs=4, seed=9)
+                original = disc.fit
+
+                def counting_fit(corpus, indices):
+                    # O_APPEND: one atomic line per actual fit.
+                    with open(fits_log, "a") as fh:
+                        fh.write(f"{os.getpid()}\n")
+                    time.sleep(0.3)  # widen the cross-process race window
+                    return original(corpus, indices)
+
+                disc.fit = counting_fit
+                return disc
+
+            CalibrationRegistry(root).get_or_fit(key, factory, tiny_corpus)
+
+        ctx = multiprocessing.get_context("fork")
+        children = [
+            ctx.Process(target=worker, args=(index,)) for index in range(2)
+        ]
+        for child in children:
+            child.start()
+        for child in children:
+            child.join(timeout=120)
+        try:
+            assert all(child.exitcode == 0 for child in children)
+        finally:
+            for child in children:
+                if child.is_alive():  # pragma: no cover - hang guard
+                    child.kill()
+        assert key in CalibrationRegistry(root)
+        fit_lines = fits_log.read_text().splitlines()
+        assert len(fit_lines) == 1, (
+            "process shards sharing a cold key must fit exactly once, "
+            f"got fits from pids: {fit_lines}"
+        )
