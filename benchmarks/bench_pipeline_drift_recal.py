@@ -1,0 +1,251 @@
+"""Drift-recalibration bench: staleness cost vs hot-recovery cost.
+
+Three arms over identical seeded traffic on one two-qubit feedline:
+
+- **baseline** — stationary device, warm session: the cold-calibrated
+  accuracy every other arm is scored against.
+- **degrade** — readout-tone detuning injected at a fixed rate per
+  kilo-shot with recalibration off: the session's ``ReadoutService``
+  keeps serving the stale version-0 artifact and accuracy decays run
+  over run (the silent-staleness failure mode).
+- **recover** — same seed, same drift, recalibration on: the online
+  drift monitor trips its alarm, the service refits against the drifted
+  device snapshot and hot-swaps the next artifact version without
+  dropping a run, and the freshly recalibrated run lands back within a
+  point of baseline.
+
+The recorded payload (``pipeline_drift_recal`` in ``BENCH_pipeline
+.json``) is the scenario's scorecard: per-run accuracy and drift score
+for both arms, the recalibration count and wall cost (the price of
+recovery), and the final-run accuracy gap.
+
+Runs standalone too::
+
+    PYTHONPATH=src:. python benchmarks/bench_pipeline_drift_recal.py \
+        [--quick] --json BENCH_pipeline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from benchmarks.conftest import record_bench_result, run_once
+from repro.config import Profile
+from repro.serve import (
+    BatchingSpec,
+    CalibrationSpec,
+    ClusterSpec,
+    DriftSpec,
+    ReadoutService,
+    RecalibrationSpec,
+    ServeSpec,
+    TrafficSpec,
+)
+
+#: Readout-tone detuning rate (GHz per kilo-shot) of the scenario: one
+#: 500-shot run drifts 0.04 MHz — harmless — while six runs accumulate
+#: ~0.25 MHz, enough to wreck matched-filter demodulation.
+DRIFT_RATE_GHZ_PER_KSHOT = 8e-5
+
+#: Drift-score alarm threshold: above the stationary noise floor of the
+#: scenario (~0.021, and ~0.028 after one run of drift), below the
+#: score two runs of unrecovered drift produce (~0.048).
+ALARM_THRESHOLD = 0.035
+
+
+def _bench_profile() -> Profile:
+    """A small but properly trained sizing (QUICK-grade epochs)."""
+    return Profile(
+        name="driftbench",
+        shots_per_state=40,
+        calibration_shots=100,
+        nn_epochs=150,
+        fnn_epochs=2,
+        batch_size=64,
+        qec_shots=10,
+        qudit_shots=10,
+        spectral_max_points=100,
+        seed=701,
+    )
+
+
+def _spec(recalibrate: bool, drifting: bool, shots: int) -> ServeSpec:
+    return ServeSpec(
+        traffic=TrafficSpec(shots=shots, chunk_size=max(1, shots // 2)),
+        cluster=ClusterSpec(qubits_per_feedline=2),
+        batching=BatchingSpec(batch_size=max(1, shots // 4)),
+        calibration=CalibrationSpec(),
+        drift=(
+            DriftSpec(if_detune_ghz_per_kshot=DRIFT_RATE_GHZ_PER_KSHOT)
+            if drifting
+            else DriftSpec()
+        ),
+        recalibration=RecalibrationSpec(
+            enabled=recalibrate, threshold=ALARM_THRESHOLD, cooldown_runs=1
+        ),
+    )
+
+
+def _run_arm(
+    spec: ServeSpec,
+    profile: Profile,
+    n_runs: int,
+    stop_after_recalibration: bool = False,
+) -> dict:
+    """Serve from one warm session; digest the session.
+
+    With ``stop_after_recalibration`` the arm serves until the drift
+    alarm has triggered a hot recalibration, then serves exactly one
+    more run — the freshly recalibrated run the recovery claim is
+    scored on — instead of a fixed count.
+    """
+    with ReadoutService(spec, profile=profile) as service:
+        reports = []
+        for _ in range(n_runs):
+            reports.append(service.run())
+            if (
+                stop_after_recalibration
+                and service.stats.runs[-1].recalibrated
+            ):
+                reports.append(service.run())
+                break
+        stats = service.stats
+        versions = service.artifact_versions()
+    return {
+        "accuracies": [report.accuracy for report in reports],
+        "drift_scores": [report.drift_score for report in reports],
+        "alarms": [bool(report.drift_alarm) for report in reports],
+        "recalibrated_after_run": [run.recalibrated for run in stats.runs],
+        "recalibrations": stats.recalibrations,
+        "recal_seconds": stats.recal_seconds,
+        "warm_seconds": stats.warm_seconds,
+        "n_runs": stats.n_runs,
+        "artifact_versions": versions,
+    }
+
+
+def _drift_recal_scenario(
+    profile: Profile | None = None, shots: int = 500, n_runs: int = 7
+) -> dict:
+    """Run the three arms; returns the JSON-able scorecard."""
+    profile = profile if profile is not None else _bench_profile()
+    baseline = _run_arm(_spec(False, drifting=False, shots=shots), profile, 1)
+    degrade = _run_arm(
+        _spec(False, drifting=True, shots=shots), profile, n_runs
+    )
+    recover = _run_arm(
+        _spec(True, drifting=True, shots=shots),
+        profile,
+        n_runs,
+        stop_after_recalibration=True,
+    )
+    baseline_accuracy = baseline["accuracies"][0]
+    return {
+        "shots_per_run": shots,
+        "n_runs": n_runs,
+        "drift_rate_ghz_per_kshot": DRIFT_RATE_GHZ_PER_KSHOT,
+        "alarm_threshold": ALARM_THRESHOLD,
+        "baseline_accuracy": baseline_accuracy,
+        "degrade": degrade,
+        "recover": recover,
+        "final_accuracy_without_recal": degrade["accuracies"][-1],
+        "final_accuracy_with_recal": recover["accuracies"][-1],
+        "final_gap_without_recal": (
+            baseline_accuracy - degrade["accuracies"][-1]
+        ),
+        "final_gap_with_recal": (
+            baseline_accuracy - recover["accuracies"][-1]
+        ),
+        "refit_cost_seconds": recover["recal_seconds"],
+    }
+
+
+def _check_scenario(result: dict) -> None:
+    """The acceptance shape shared by pytest and the standalone run."""
+    degrade, recover = result["degrade"], result["recover"]
+    # Staleness: with recalibration off the session measurably decays.
+    assert result["final_gap_without_recal"] > 0.05, result
+    assert degrade["recalibrations"] == 0
+    assert degrade["artifact_versions"] == {"feedline-0": 0}
+    # Detection: the monitor saw the drift and said so.
+    assert any(degrade["alarms"]), "drift must raise an alarm"
+    assert degrade["drift_scores"][-1] > degrade["drift_scores"][0]
+    # Recovery: the alarm triggered a refit, versions moved, and every
+    # attempted run completed (zero dropped runs).
+    assert recover["recalibrations"] >= 1
+    assert recover["artifact_versions"]["feedline-0"] >= 1
+    assert recover["n_runs"] == len(recover["accuracies"])
+    assert recover["recalibrated_after_run"][-2] is True
+    # The freshly recalibrated run sits within a point of baseline.
+    assert result["final_gap_with_recal"] <= 0.01, result
+    # And recovery beats staleness where it counts.
+    assert (
+        result["final_accuracy_with_recal"]
+        > result["final_accuracy_without_recal"]
+    )
+
+
+def test_pipeline_drift_recal(benchmark):
+    result = run_once(benchmark, _drift_recal_scenario)
+    _check_scenario(result)
+    record_bench_result("pipeline_drift_recal", result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shots", type=int, default=500)
+    parser.add_argument("--runs", type=int, default=7)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller session (CI smoke): 5 degradation runs",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="merge the scenario payload into PATH (e.g. BENCH_pipeline.json)",
+    )
+    args = parser.parse_args(argv)
+    shots, runs = args.shots, args.runs
+    if args.quick:
+        # Shot count stays at 500: the drift clock (and so every
+        # threshold crossing) is a function of shots per run, and the
+        # quick mode must exercise the same crossings CI asserts on.
+        shots, runs = 500, 5
+
+    result = _drift_recal_scenario(shots=shots, n_runs=runs)
+    _check_scenario(result)
+
+    print("pipeline_drift_recal")
+    print(f"  baseline accuracy      {result['baseline_accuracy']:.4f}")
+    print(
+        "  final w/o recal        "
+        f"{result['final_accuracy_without_recal']:.4f} "
+        f"(gap {result['final_gap_without_recal']:.4f})"
+    )
+    print(
+        "  final with recal       "
+        f"{result['final_accuracy_with_recal']:.4f} "
+        f"(gap {result['final_gap_with_recal']:.4f})"
+    )
+    print(
+        f"  recalibrations         {result['recover']['recalibrations']} "
+        f"in {result['refit_cost_seconds']:.2f} s"
+    )
+    if args.json:
+        try:
+            with open(args.json) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+        payload["pipeline_drift_recal"] = result
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"results merged into {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

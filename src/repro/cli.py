@@ -331,7 +331,89 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "per-run reports) as JSON to PATH"
         ),
     )
+    parser.add_argument(
+        "--drift-demo",
+        action="store_true",
+        help=(
+            "inject the canned device drift (readout-tone detuning + "
+            "T1/contrast decay) and enable drift-alarm hot "
+            "recalibration, overriding the spec's drift/recalibration "
+            "sections — the staleness-and-recovery demo"
+        ),
+    )
+    parser.add_argument(
+        "--drift-if-detune",
+        type=float,
+        default=None,
+        metavar="GHZ_PER_KSHOT",
+        help="override the spec's readout-tone detuning drift rate",
+    )
+    parser.add_argument(
+        "--drift-t1-decay",
+        type=float,
+        default=None,
+        metavar="RATE_PER_KSHOT",
+        help="override the spec's T1 decay drift rate",
+    )
+    parser.add_argument(
+        "--drift-amp-decay",
+        type=float,
+        default=None,
+        metavar="RATE_PER_KSHOT",
+        help="override the spec's drive-amplitude decay drift rate",
+    )
+    parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=None,
+        metavar="SCORE",
+        help="override the drift-alarm threshold",
+    )
+    parser.add_argument(
+        "--drift-no-recal",
+        action="store_true",
+        help=(
+            "with --drift-demo: keep recalibration off (pure "
+            "degradation, for comparison)"
+        ),
+    )
     return parser
+
+
+def _apply_drift_flags(spec, args):
+    """Fold the ``--drift-*`` serve flags into the loaded spec."""
+    import dataclasses
+
+    from repro.physics.drift import DEMO_DRIFT
+
+    drift_fields = {}
+    if args.drift_demo:
+        drift_fields = DEMO_DRIFT.to_dict()
+    for flag, field_name in (
+        ("drift_if_detune", "if_detune_ghz_per_kshot"),
+        ("drift_t1_decay", "t1_decay_per_kshot"),
+        ("drift_amp_decay", "amplitude_decay_per_kshot"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            drift_fields[field_name] = value
+    changes = {}
+    if drift_fields:
+        changes["drift"] = dataclasses.replace(spec.drift, **drift_fields)
+    recal_fields = {}
+    if args.drift_no_recal:
+        # Forces recovery off even when the spec enables it — the flag
+        # promises the pure-degradation comparison arm.
+        recal_fields["enabled"] = False
+    elif args.drift_demo:
+        recal_fields["enabled"] = True
+    if args.drift_threshold is not None:
+        recal_fields["threshold"] = args.drift_threshold
+    if recal_fields:
+        changes["recalibration"] = dataclasses.replace(
+            spec.recalibration, **recal_fields
+        )
+    return dataclasses.replace(spec, **changes) if changes else spec
 
 
 def _run_serve(argv: list[str]) -> int:
@@ -341,7 +423,7 @@ def _run_serve(argv: list[str]) -> int:
     args = build_serve_parser().parse_args(argv)
     if args.repeat < 1:
         raise ConfigurationError(f"--repeat must be >= 1, got {args.repeat}")
-    spec = ServeSpec.from_file(args.spec)
+    spec = _apply_drift_flags(ServeSpec.from_file(args.spec), args)
     reports = []
     with ReadoutService.open(spec) as service:
         print(

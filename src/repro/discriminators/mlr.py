@@ -100,6 +100,13 @@ class MLRDiscriminator(Discriminator):
         )
         self.models: list[MLPClassifier] | None = None
         self.scaler: StandardScaler | None = None
+        # Calibration-time references for online drift detection: the
+        # joint-assignment distribution and mean top-2 probability margin
+        # this model produced on its own training corpus. Carried in the
+        # artifact so a serving monitor can score live traffic against
+        # the device as it looked when the kernels were fitted.
+        self.reference_assignment_: np.ndarray | None = None
+        self.reference_margin_: float | None = None
 
     @property
     def n_parameters(self) -> int:
@@ -146,7 +153,36 @@ class MLRDiscriminator(Discriminator):
             )
             self.models.append(model)
         self._fitted = True
+        self._record_reference(x, corpus.n_levels)
         return self
+
+    def head_levels_and_margin(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Per-qubit argmax levels and the mean top-2 probability margin.
+
+        ``x`` is the scaled feature matrix. The one implementation both
+        fit-time reference recording and the streaming engine use —
+        drift scoring compares the two, so they must never diverge.
+        Argmax over probabilities reproduces :meth:`MLPClassifier
+        .predict` bit for bit (softmax is monotone).
+        """
+        levels = np.empty((x.shape[0], len(self.models)), dtype=np.int64)
+        margin_total = 0.0
+        for q, model in enumerate(self.models):
+            proba = model.predict_proba(self._head_features(x, q))
+            levels[:, q] = np.argmax(proba, axis=1)
+            top2 = np.sort(proba, axis=1)[:, -2:]
+            margin_total += float(np.sum(top2[:, 1] - top2[:, 0]))
+        return levels, margin_total / (x.shape[0] * len(self.models))
+
+    def _record_reference(self, x: np.ndarray, n_levels: int) -> None:
+        """Snapshot the drift-detection references on the training set."""
+        levels, mean_margin = self.head_levels_and_margin(x)
+        joint = digits_to_state(levels, n_levels)
+        counts = np.bincount(joint, minlength=n_levels ** len(self.models))
+        self.reference_assignment_ = counts / counts.sum()
+        self.reference_margin_ = mean_margin
 
     def _features(
         self, corpus: ReadoutCorpus, indices: np.ndarray | None
@@ -206,6 +242,11 @@ class MLRDiscriminator(Discriminator):
         self._pack_scaler(arrays, self.scaler)
         for q, model in enumerate(self.models):
             self._pack_mlp(arrays, model, f"model{q}")
+        if self.reference_assignment_ is not None:
+            arrays["reference_assignment"] = self.reference_assignment_
+            arrays["reference_margin"] = np.asarray(
+                [self.reference_margin_], dtype=np.float64
+            )
         return arrays
 
     @classmethod
@@ -232,6 +273,13 @@ class MLRDiscriminator(Discriminator):
             cls._unpack_mlp(sizes, arrays, f"model{q}")
             for q, sizes in enumerate(meta["layer_sizes"])
         ]
+        # Artifacts written before drift detection landed carry no
+        # references; such models still serve, just without a monitor.
+        if "reference_assignment" in arrays:
+            disc.reference_assignment_ = np.asarray(
+                arrays["reference_assignment"], dtype=np.float64
+            )
+            disc.reference_margin_ = float(arrays["reference_margin"][0])
         disc._fitted = True
         return disc
 

@@ -21,6 +21,7 @@ from repro.physics.device import (
     QubitParams,
     default_five_qubit_chip,
 )
+from repro.physics.drift import DEMO_DRIFT, DriftModel
 from repro.physics.jumps import TransitionRates, sample_level_matrix
 from repro.physics.simulator import ReadoutSimulator, SimulationResult
 
@@ -28,6 +29,8 @@ __all__ = [
     "QubitParams",
     "ChipConfig",
     "ADCConfig",
+    "DEMO_DRIFT",
+    "DriftModel",
     "default_five_qubit_chip",
     "TransitionRates",
     "sample_level_matrix",

@@ -26,7 +26,11 @@ online-decoding premise implies:
   merges the per-feedline reports into one :class:`ClusterReport`.
 """
 
-from repro.pipeline.batching import AdaptiveBatcher, MicroBatcher
+from repro.pipeline.batching import (
+    MIN_PER_SHOT_SECONDS,
+    AdaptiveBatcher,
+    MicroBatcher,
+)
 from repro.pipeline.cluster import (
     EXECUTOR_NAMES,
     ClusterReport,
@@ -39,12 +43,14 @@ from repro.pipeline.cluster import (
     get_shard_executor,
     run_multi_feedline_pipeline,
 )
+from repro.pipeline.drift import DriftMonitor
 from repro.pipeline.metrics import LatencyStats, PipelineReport, StageTimings
 from repro.pipeline.registry import CalibrationKey, CalibrationRegistry, PruneReport
 from repro.pipeline.runner import (
     ADAPTIVE_BUDGET_SLACK,
     PipelineConfig,
     ReadoutPipeline,
+    calibration_key,
     fit_or_load_discriminator,
     run_streaming_pipeline,
     validate_streamable_design,
@@ -57,6 +63,7 @@ from repro.pipeline.sink import (
 )
 from repro.pipeline.source import (
     CorpusTraceSource,
+    DriftingTraceSource,
     ShotChunk,
     SimulatorTraceSource,
     TraceSource,
@@ -67,10 +74,13 @@ __all__ = [
     "ShotChunk",
     "TraceSource",
     "SimulatorTraceSource",
+    "DriftingTraceSource",
     "CorpusTraceSource",
     "MicroBatcher",
     "AdaptiveBatcher",
+    "MIN_PER_SHOT_SECONDS",
     "ADAPTIVE_BUDGET_SLACK",
+    "DriftMonitor",
     "EXECUTOR_NAMES",
     "FeedlineSpec",
     "ShardExecutor",
@@ -95,6 +105,7 @@ __all__ = [
     "PipelineReport",
     "PipelineConfig",
     "ReadoutPipeline",
+    "calibration_key",
     "fit_or_load_discriminator",
     "run_streaming_pipeline",
     "validate_streamable_design",

@@ -24,7 +24,15 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.pipeline.source import ShotChunk
 
-__all__ = ["MicroBatcher", "AdaptiveBatcher"]
+__all__ = ["MicroBatcher", "AdaptiveBatcher", "MIN_PER_SHOT_SECONDS"]
+
+#: Floor on an observed per-shot latency sample. ``perf_counter`` deltas
+#: on a fast batch can quantize to exactly 0.0; feeding those raw into
+#: the EWMA drags the estimate toward zero, and ``target / ~0`` then
+#: explodes the next batch to ``max_size`` regardless of the real
+#: latency. One nanosecond per shot is far below anything the software
+#: stages can do, so clamping there never masks a genuine measurement.
+MIN_PER_SHOT_SECONDS = 1e-9
 
 
 class MicroBatcher:
@@ -196,18 +204,14 @@ class AdaptiveBatcher(MicroBatcher):
             raise ConfigurationError("latency sample must be >= 0")
         if n_shots < 1:
             raise ConfigurationError(f"n_shots must be >= 1, got {n_shots}")
-        per_shot = float(seconds) / int(n_shots)
+        per_shot = max(float(seconds) / int(n_shots), MIN_PER_SHOT_SECONDS)
         if self._ewma_per_shot_s is None:
             self._ewma_per_shot_s = per_shot
         else:
             self._ewma_per_shot_s = (
                 self.alpha * per_shot + (1.0 - self.alpha) * self._ewma_per_shot_s
             )
-        if self._ewma_per_shot_s <= 0.0:
-            # Immeasurably fast stages: nothing constrains the batch.
-            desired = self.max_size
-        else:
-            desired = int(self.target_seconds / self._ewma_per_shot_s)
+        desired = int(self.target_seconds / self._ewma_per_shot_s)
         self.batch_size = min(max(desired, self.min_size), self.max_size)
         self._n_observations += 1
         if self._min_chosen is None:

@@ -48,6 +48,7 @@ from typing import Callable, Sequence
 from repro.config import Profile
 from repro.exceptions import ConfigurationError
 from repro.physics.device import ChipConfig, multi_feedline_chips
+from repro.physics.drift import DriftModel
 from repro.pipeline.metrics import PipelineReport
 from repro.pipeline.runner import (
     DEFAULT_DESIGN,
@@ -115,6 +116,10 @@ class _FeedlineTask:
     config: PipelineConfig
     registry_dir: str | None
     design: str
+    version: int = 0
+    drift_model: DriftModel | None = None
+    drift_shot_offset: int = 0
+    calibration_shot_offset: int = 0
 
 
 @dataclass(frozen=True)
@@ -123,7 +128,10 @@ class _PrefitTask:
 
     The streaming-free sibling of :class:`_FeedlineTask`: resolves the
     feedline's calibration through the shared registry (fitting and
-    storing on a cold key) without serving any traffic.
+    storing on a cold key) without serving any traffic. Hot
+    recalibration reuses it with a bumped ``version`` and the drifted
+    device snapshot as ``calibration_chip`` (the key identity stays the
+    declared chip's).
     """
 
     name: str
@@ -132,6 +140,8 @@ class _PrefitTask:
     profile: Profile
     registry_dir: str
     design: str
+    version: int = 0
+    calibration_chip: ChipConfig | None = None
 
 
 def _prefit_feedline(task: _PrefitTask) -> tuple[str, bool]:
@@ -150,6 +160,8 @@ def _prefit_feedline(task: _PrefitTask) -> tuple[str, bool]:
         chip=task.chip,
         device=task.device,
         design=task.design,
+        version=task.version,
+        calibration_chip=task.calibration_chip,
     )
     return task.name, cached
 
@@ -194,6 +206,10 @@ def _run_feedline(task: _FeedlineTask) -> tuple[str, PipelineReport]:
         seed=task.seed,
         design=task.design,
         config=task.config,
+        version=task.version,
+        drift_model=task.drift_model,
+        drift_shot_offset=task.drift_shot_offset,
+        calibration_shot_offset=task.calibration_shot_offset,
     )
     report.details["feedline"] = task.name
     return task.name, report
@@ -379,6 +395,31 @@ class ClusterReport:
                 shots += report.n_shots
         return weighted / shots if shots else None
 
+    @property
+    def drift_score(self) -> float | None:
+        """Worst (max) per-feedline drift score; None when unmonitored.
+
+        The feedline is the unit of calibration, so one drifting
+        feedline is enough to demand attention — averaging would let a
+        healthy majority mask it.
+        """
+        scores = [
+            report.drift_score
+            for report in self.feedline_reports.values()
+            if report.drift_score is not None
+        ]
+        return max(scores) if scores else None
+
+    @property
+    def drift_alarm(self) -> bool | None:
+        """Whether any monitored feedline tripped its drift alarm."""
+        flags = [
+            report.drift_alarm
+            for report in self.feedline_reports.values()
+            if report.drift_alarm is not None
+        ]
+        return any(flags) if flags else None
+
     def to_dict(self) -> dict:
         """JSON-serializable form (``--json`` / bench output)."""
         return {
@@ -389,6 +430,8 @@ class ClusterReport:
             "wall_seconds": self.wall_seconds,
             "shots_per_second": self.shots_per_second,
             "accuracy": self.accuracy,
+            "drift_score": self.drift_score,
+            "drift_alarm": self.drift_alarm,
             "worst_p99_ms": self.worst_p99_ms(),
             "budget_verdicts": self.budget_verdicts(),
             "feedlines": {
@@ -515,6 +558,20 @@ class MultiFeedlineRunner:
         )
         self.design = design
         self._shard_executor: ShardExecutor | None = None
+        # Calibration-artifact version served per feedline name. Hot
+        # recalibration bumps these atomically (plain dict assignment
+        # under the GIL) so the next run() serves the new artifacts
+        # without touching the pool or the session.
+        self._versions: dict[str, int] = {
+            spec.name: 0 for spec in self.feedlines
+        }
+        # Session clock (shots) each feedline's served version was
+        # calibrated at: 0 for cold calibration, the recalibration
+        # instant thereafter. Serving uses it to demodulate with the
+        # device snapshot the kernels were actually estimated on.
+        self._calibrated_at: dict[str, int] = {
+            spec.name: 0 for spec in self.feedlines
+        }
 
     def _get_executor(self) -> ShardExecutor:
         """The runner's long-lived shard pool (created on first use).
@@ -572,6 +629,99 @@ class MultiFeedlineRunner:
         )
         return sum(0 if cached else 1 for _, cached in results)
 
+    def artifact_versions(self) -> dict[str, int]:
+        """Calibration-artifact version currently served per feedline."""
+        return dict(self._versions)
+
+    def recalibrate(
+        self,
+        drift_model: DriftModel,
+        shots_elapsed: int,
+        profile: Profile | None = None,
+    ) -> int:
+        """Refit every feedline against the drifted device, hot.
+
+        Dispatches calibration tasks through the shard pool — exactly
+        like :meth:`prefit`, so recalibration runs as concurrently as
+        serving — at each feedline's *next* artifact version, with the
+        calibration corpus simulated from the device ``drift_model``
+        predicts after ``shots_elapsed`` session shots. The currently
+        served versions stay on disk and keep serving until every fit
+        lands; only then are the served versions swapped, so a run
+        dispatched mid-recalibration never sees a half-updated cluster.
+
+        Parameters
+        ----------
+        drift_model:
+            The session's drift injection; its ``chip_at`` snapshot is
+            the best available stand-in for "the device now".
+        shots_elapsed:
+            Session shots already served (the drift clock).
+        profile:
+            Optional sizing override for the recalibration fits (e.g. a
+            reduced shot budget); defaults to the serving profile. The
+            profile *name and seed* must match the serving profile's —
+            they are baked into the artifact key.
+
+        Returns the number of cold fits performed.
+        """
+        if self.registry_dir is None:
+            raise ConfigurationError(
+                "recalibrate() needs a registry_dir: versioned artifacts "
+                "are the hand-off between recalibration and serving shards"
+            )
+        from repro.pipeline.registry import CalibrationRegistry
+        from repro.pipeline.runner import calibration_key
+
+        fit_profile = profile if profile is not None else self.profile
+        # The next version must exceed both the version *we* serve and
+        # anything already stored — a persistent registry may hold
+        # versions from earlier sessions, and serving one of those as a
+        # warm hit would be exactly the stale calibration this refit is
+        # supposed to replace.
+        registry = CalibrationRegistry(self.registry_dir)
+        next_versions = {}
+        for spec in self.feedlines:
+            stored = registry.latest_version(
+                calibration_key(
+                    fit_profile,
+                    chip=spec.chip,
+                    device=spec.registry_device,
+                    design=self.design,
+                )
+            )
+            next_versions[spec.name] = (
+                max(
+                    self._versions.get(spec.name, 0),
+                    -1 if stored is None else stored,
+                )
+                + 1
+            )
+        tasks = [
+            _PrefitTask(
+                name=spec.name,
+                chip=spec.chip,
+                device=spec.registry_device,
+                profile=fit_profile,
+                registry_dir=self.registry_dir,
+                design=self.design,
+                version=next_versions[spec.name],
+                calibration_chip=drift_model.chip_at(
+                    spec.chip, shots_elapsed
+                ),
+            )
+            for spec in self.feedlines
+        ]
+        results = self._get_executor().map(
+            _prefit_feedline, _placement_order(tasks)
+        )
+        # Swap only after every feedline's new artifact is on disk.
+        self._versions = next_versions
+        self._calibrated_at = {
+            spec.name: int(shots_elapsed) for spec in self.feedlines
+        }
+        return sum(0 if cached else 1 for _, cached in results)
+
     def close(self) -> None:
         """Shut down the shard pool. Idempotent; :meth:`run` revives it."""
         if self._shard_executor is not None:
@@ -584,7 +734,13 @@ class MultiFeedlineRunner:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _tasks(self, n_shots: int, seed: int | None) -> list[_FeedlineTask]:
+    def _tasks(
+        self,
+        n_shots: int,
+        seed: int | None,
+        drift_model: DriftModel | None = None,
+        drift_shot_offset: int = 0,
+    ) -> list[_FeedlineTask]:
         base_seed = self.profile.seed + 1 if seed is None else int(seed)
         return [
             _FeedlineTask(
@@ -600,11 +756,21 @@ class MultiFeedlineRunner:
                 config=self.config,
                 registry_dir=self.registry_dir,
                 design=self.design,
+                version=self._versions.get(spec.name, 0),
+                drift_model=drift_model,
+                drift_shot_offset=drift_shot_offset,
+                calibration_shot_offset=self._calibrated_at.get(spec.name, 0),
             )
             for index, spec in enumerate(self.feedlines)
         ]
 
-    def run(self, n_shots: int, seed: int | None = None) -> ClusterReport:
+    def run(
+        self,
+        n_shots: int,
+        seed: int | None = None,
+        drift_model: DriftModel | None = None,
+        drift_shot_offset: int = 0,
+    ) -> ClusterReport:
         """Stream ``n_shots`` per feedline; returns the aggregate report.
 
         Parameters
@@ -614,10 +780,17 @@ class MultiFeedlineRunner:
         seed:
             Base traffic seed (default ``profile.seed + 1``); feedline
             ``i`` streams with ``seed + i``.
+        drift_model, drift_shot_offset:
+            Optional device-drift injection: every feedline streams
+            from the time-varying device the model predicts, with the
+            session clock starting at ``drift_shot_offset`` shots.
         """
         if n_shots < 1:
             raise ConfigurationError(f"n_shots must be >= 1, got {n_shots}")
-        tasks = self._tasks(n_shots, seed)
+        tasks = self._tasks(
+            n_shots, seed, drift_model=drift_model,
+            drift_shot_offset=drift_shot_offset,
+        )
         shard_executor = self._get_executor()
         try:
             # The timed window covers dispatch and shard execution only:
@@ -644,7 +817,9 @@ class MultiFeedlineRunner:
             workers=self.workers,
             n_shots=total_shots,
             wall_seconds=wall,
-            shots_per_second=total_shots / wall if wall > 0 else float("inf"),
+            # Never Infinity (unserializable as strict JSON): a
+            # sub-resolution wall reports 0.0, "not measurable".
+            shots_per_second=total_shots / wall if wall > 0 else 0.0,
             feedline_reports=reports,
         )
 

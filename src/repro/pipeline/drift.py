@@ -1,0 +1,236 @@
+"""Online drift detection for streaming discrimination.
+
+A warm serving session never refits — which is only safe while the
+device still looks like it did at calibration time. :class:`DriftMonitor`
+watches two cheap, label-free signals on every discriminated micro-batch
+and turns them into one scalar ``drift_score``:
+
+- **Assignment-distribution shift** — an exponentially weighted moving
+  histogram of the joint-state assignments, scored against the
+  calibration-time reference distribution stored in the artifact with a
+  smoothed symmetric KL divergence over the **per-qubit marginals**. A
+  detuned resonator or decayed T1 skews which levels the heads emit
+  long before anyone inspects accuracy (which live traffic has no
+  labels for anyway). Marginals, not the joint histogram: the joint
+  space grows as ``3^n`` and a finite-sample histogram over hundreds of
+  mostly-empty states carries an O((K-1)/2n) sampling-noise divergence
+  that would swamp any real signal — per-qubit level distributions keep
+  the estimator dense at every qubit count, and a drifting channel
+  moves its own marginal first anyway.
+- **Score-margin erosion** — the EWMA of the heads' mean top-2
+  probability margin relative to the calibration-time margin. Confidence
+  collapses first: a drifting channel pushes shots toward the decision
+  boundary even while the argmax still lands right.
+
+The monitor is per-feedline state owned by one pipeline run (the
+feedline is the unit of calibration, so it is also the unit of drift),
+costs one ``bincount`` per batch, and never touches the discrimination
+path — detection can never change an assignment.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DriftMonitor"]
+
+#: Laplace smoothing mass added to both distributions before the KL so
+#: states the reference never produced cannot blow the divergence up to
+#: infinity on a single stray assignment.
+_SMOOTHING = 1e-4
+
+
+class DriftMonitor:
+    """Scores streamed assignments against calibration-time references.
+
+    Parameters
+    ----------
+    reference_assignment:
+        Joint-state assignment distribution the discriminator produced
+        on its own calibration corpus (sums to 1, size
+        ``n_levels ** n_qubits``).
+    reference_margin:
+        Mean top-2 probability margin at calibration time; ``None``
+        disables the margin signal (old artifacts).
+    threshold:
+        ``drift_score`` at or above which :attr:`alarm` trips.
+    alpha:
+        EWMA weight of the newest batch, in (0, 1].
+    min_shots:
+        Shots the monitor must see before it is willing to alarm —
+        guards against a single unlucky micro-batch tripping
+        recalibration.
+    n_levels:
+        Levels per qubit (3 throughout the paper); with the reference
+        size it fixes the qubit count the marginals are taken over.
+    """
+
+    def __init__(
+        self,
+        reference_assignment: np.ndarray,
+        reference_margin: float | None = None,
+        threshold: float = 0.1,
+        alpha: float = 0.25,
+        min_shots: int = 50,
+        n_levels: int = 3,
+    ) -> None:
+        reference = np.asarray(reference_assignment, dtype=np.float64)
+        if reference.ndim != 1 or reference.size < 2:
+            raise ConfigurationError(
+                "reference_assignment must be a 1-D distribution over "
+                f"joint states, got shape {reference.shape}"
+            )
+        total = reference.sum()
+        if not np.isfinite(total) or total <= 0 or reference.min() < 0:
+            raise ConfigurationError(
+                "reference_assignment must be a non-negative distribution"
+            )
+        if n_levels < 2:
+            raise ConfigurationError(
+                f"n_levels must be >= 2, got {n_levels}"
+            )
+        n_qubits = round(math.log(reference.size, n_levels))
+        if n_levels**n_qubits != reference.size:
+            raise ConfigurationError(
+                f"reference size {reference.size} is not a power of "
+                f"n_levels={n_levels}"
+            )
+        if threshold <= 0:
+            raise ConfigurationError(
+                f"threshold must be positive, got {threshold}"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if min_shots < 0:
+            raise ConfigurationError(
+                f"min_shots must be >= 0, got {min_shots}"
+            )
+        self.reference = reference / total
+        self.n_levels = int(n_levels)
+        self.n_qubits = int(n_qubits)
+        self.reference_margin = (
+            None if reference_margin is None else float(reference_margin)
+        )
+        self.threshold = float(threshold)
+        self.alpha = float(alpha)
+        self.min_shots = int(min_shots)
+        self._ewma_dist: np.ndarray | None = None
+        self._ewma_margin: float | None = None
+        self._n_shots = 0
+        self._n_batches = 0
+
+    @property
+    def n_shots(self) -> int:
+        """Shots observed so far."""
+        return self._n_shots
+
+    def observe(self, joint: np.ndarray, mean_margin: float | None = None) -> None:
+        """Fold one discriminated micro-batch into the monitor state."""
+        joint = np.asarray(joint)
+        if joint.size == 0:
+            return
+        counts = np.bincount(
+            joint.ravel(), minlength=self.reference.size
+        ).astype(np.float64)
+        if counts.size != self.reference.size:
+            raise ConfigurationError(
+                f"joint labels exceed the reference's {self.reference.size} "
+                "states"
+            )
+        batch_dist = counts / counts.sum()
+        if self._ewma_dist is None:
+            self._ewma_dist = batch_dist
+        else:
+            self._ewma_dist = (
+                self.alpha * batch_dist + (1.0 - self.alpha) * self._ewma_dist
+            )
+        if mean_margin is not None and np.isfinite(mean_margin):
+            if self._ewma_margin is None:
+                self._ewma_margin = float(mean_margin)
+            else:
+                self._ewma_margin = (
+                    self.alpha * float(mean_margin)
+                    + (1.0 - self.alpha) * self._ewma_margin
+                )
+        self._n_shots += int(joint.shape[0])
+        self._n_batches += 1
+
+    def _marginals(self, joint_dist: np.ndarray) -> np.ndarray:
+        """Per-qubit level distributions, (n_qubits, n_levels).
+
+        Joint labels follow the :func:`repro.data.basis.digits_to_state`
+        convention (qubit 0 is the most-significant digit).
+        """
+        grid = joint_dist.reshape((self.n_levels,) * self.n_qubits)
+        return np.stack([
+            grid.sum(axis=tuple(a for a in range(self.n_qubits) if a != q))
+            for q in range(self.n_qubits)
+        ])
+
+    def _divergence(self) -> float:
+        """Smoothed symmetric KL vs the reference, worst qubit marginal.
+
+        Marginals keep the estimator dense (``n_levels`` bins per qubit
+        instead of ``n_levels**n_qubits`` joint states), so the
+        finite-sample divergence floor stays negligible at any qubit
+        count; the max over qubits keeps one drifting channel visible
+        on a wide device.
+        """
+        if self._ewma_dist is None:
+            return 0.0
+        worst = 0.0
+        for p, q in zip(
+            self._marginals(self._ewma_dist), self._marginals(self.reference)
+        ):
+            p = p + _SMOOTHING
+            q = q + _SMOOTHING
+            p = p / p.sum()
+            q = q / q.sum()
+            forward = float(np.sum(p * np.log(p / q)))
+            backward = float(np.sum(q * np.log(q / p)))
+            worst = max(worst, 0.5 * (forward + backward))
+        return worst
+
+    def _margin_erosion(self) -> float:
+        """Fractional loss of head confidence vs calibration time."""
+        if (
+            self._ewma_margin is None
+            or self.reference_margin is None
+            or self.reference_margin <= 0
+        ):
+            return 0.0
+        return max(0.0, 1.0 - self._ewma_margin / self.reference_margin)
+
+    @property
+    def drift_score(self) -> float:
+        """Scalar drift evidence: the stronger of the two signals.
+
+        Zero on a stationary device, growing with detuning/decay; both
+        components are dimensionless, so one threshold covers both
+        failure modes.
+        """
+        return max(self._divergence(), self._margin_erosion())
+
+    @property
+    def alarm(self) -> bool:
+        """Whether the score crossed the threshold with enough evidence."""
+        return (
+            self._n_shots >= self.min_shots
+            and self.drift_score >= self.threshold
+        )
+
+    def summary(self) -> dict:
+        """JSON-able digest for reports."""
+        return {
+            "drift_score": self.drift_score,
+            "assignment_divergence": self._divergence(),
+            "margin_erosion": self._margin_erosion(),
+            "threshold": self.threshold,
+            "n_shots": self._n_shots,
+            "n_batches": self._n_batches,
+            "alarm": self.alarm,
+        }

@@ -52,9 +52,14 @@ class LatencyStats:
         return int(sum(self._shots))
 
     def percentile(self, q: float) -> float:
-        """Batch-latency percentile in seconds (q in [0, 100])."""
+        """Batch-latency percentile in seconds (q in [0, 100]).
+
+        With zero recorded samples this is NaN — an empty or stalled
+        stage must read as "no data", never as 0 ms (which would make it
+        look infinitely fast in reports).
+        """
         if not self._samples:
-            raise DataError(f"no latency samples recorded for {self.name!r}")
+            return float("nan")
         return float(np.percentile(np.asarray(self._samples), q))
 
     @property
@@ -67,10 +72,10 @@ class LatencyStats:
 
     @property
     def mean_per_shot_us(self) -> float:
-        """Mean compute time per shot in microseconds."""
+        """Mean compute time per shot in microseconds (NaN if empty)."""
         shots = self.total_shots
         if shots == 0:
-            raise DataError(f"no latency samples recorded for {self.name!r}")
+            return float("nan")
         return self.total_seconds / shots * 1e6
 
     def summary(self) -> dict:
@@ -137,6 +142,8 @@ class PipelineReport:
     calibration_cached: bool | None = None
     assignment_counts: list[int] | None = None
     details: dict = field(default_factory=dict)
+    drift_score: float | None = None
+    drift_alarm: bool | None = None
 
     def to_dict(self) -> dict:
         """JSON-serializable form (for ``--json`` benchmark output)."""
@@ -151,6 +158,8 @@ class PipelineReport:
             "calibration_cached": self.calibration_cached,
             "assignment_counts": self.assignment_counts,
             "details": self.details,
+            "drift_score": self.drift_score,
+            "drift_alarm": self.drift_alarm,
         }
         if self.budget is not None:
             out["budget"] = self.budget.to_dict()
@@ -158,13 +167,21 @@ class PipelineReport:
 
     def format_table(self) -> str:
         """Aligned text report in the house experiment style."""
+
+        def cell(value):
+            # An empty stage reports NaN latencies; render "-" rather
+            # than a numeric 0 that would read as a real measurement.
+            if isinstance(value, float) and np.isnan(value):
+                return "-"
+            return value
+
         rows = [
             [
                 name,
                 summary["batches"],
-                summary["p50_ms"],
-                summary["p99_ms"],
-                summary["mean_per_shot_us"],
+                cell(summary["p50_ms"]),
+                cell(summary["p99_ms"]),
+                cell(summary["mean_per_shot_us"]),
             ]
             for name, summary in self.stage_summaries.items()
         ]
@@ -182,6 +199,11 @@ class PipelineReport:
         ]
         if self.accuracy is not None:
             lines.append(f"joint-state accuracy {self.accuracy:.4f}")
+        if self.drift_score is not None:
+            state = "ALARM" if self.drift_alarm else "ok"
+            lines.append(
+                f"drift                score {self.drift_score:.4f} ({state})"
+            )
         if self.calibration_cached is not None:
             state = "warm (loaded)" if self.calibration_cached else "cold (fitted)"
             lines.append(f"calibration          {state}")

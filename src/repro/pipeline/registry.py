@@ -8,9 +8,13 @@ makes that asymmetry explicit: fitted artifacts are serialized via the
 :meth:`CalibrationRegistry.get_or_fit` turns any pipeline start-up into a
 cache lookup — a warm run never retrains.
 
-Keys are (device, qubit, profile): ``qubit`` is ``"all"`` for joint
-artifacts like the paper's discriminator (whose per-qubit heads share one
-feature front-end) and ``"q<i>"`` for genuinely per-qubit artifacts.
+Keys are (device, qubit, profile, version): ``qubit`` is ``"all"`` for
+joint artifacts like the paper's discriminator (whose per-qubit heads
+share one feature front-end) and ``"q<i>"`` for genuinely per-qubit
+artifacts. ``version`` (default 0) numbers recalibrations of the same
+logical artifact: hot recalibration fits version N+1 while version N
+keeps serving, then atomically swaps — the fit-once contract holds *per
+version* (see :meth:`CalibrationRegistry.supersede`).
 """
 
 from __future__ import annotations
@@ -38,6 +42,10 @@ from repro.exceptions import ConfigurationError, DataError
 __all__ = ["CalibrationKey", "CalibrationRegistry", "PruneReport"]
 
 _SLUG = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: Versioned artifact stems: ``<qubit>.v<N>`` (version 0 stays bare
+#: ``<qubit>`` so pre-versioning registries remain readable in place).
+_VERSIONED_STEM = re.compile(r"^(?P<qubit>.+)\.v(?P<version>\d+)$")
 
 #: Process-wide per-(root, key) fit locks: concurrent ``get_or_fit`` calls
 #: for the same artifact — e.g. identical feedlines sharded across thread
@@ -148,6 +156,45 @@ def _artifact_file_lock(artifact_path: Path) -> Iterator[bool]:
         handle.close()
 
 
+def _unlink_lock_sidecar(artifact_path: Path) -> None:
+    """Remove an artifact's lock sidecar — unless a cold fit holds it.
+
+    ``invalidate``/``prune`` used to unlink sidecars unconditionally.
+    That defeats the cross-process fit dedup: a fitter holds the flock
+    on inode X, the prune unlinks the path, and the next cold caller
+    opens a *fresh* sidecar inode it can lock immediately — two
+    processes then fit the same key concurrently (harmless for artifact
+    integrity thanks to the atomic rename, but exactly the duplicated
+    work the sidecar exists to prevent). A non-blocking probe lock
+    distinguishes the cases: if it cannot be taken, a fit is in flight
+    and the sidecar must stay; if it can, we hold the inode exclusively
+    and re-check (as the fit path does) that the path still names it
+    before unlinking.
+    """
+    lock_path = _lock_file_for(artifact_path)
+    if fcntl is None:
+        lock_path.unlink(missing_ok=True)
+        return
+    try:
+        handle = open(lock_path, "a+b")
+    except OSError:
+        return  # nothing to remove (or unreadable: leave it alone)
+    try:
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            return  # a cold fit holds it; removing would fork the lock
+        try:
+            on_disk = os.stat(lock_path)
+        except OSError:
+            return  # already gone
+        held = os.fstat(handle.fileno())
+        if (on_disk.st_dev, on_disk.st_ino) == (held.st_dev, held.st_ino):
+            lock_path.unlink(missing_ok=True)
+    finally:
+        handle.close()
+
+
 #: Process-local LRU of fitted discriminators fronting the disk tree:
 #: a long-lived serving worker deserializes each artifact once, then
 #: serves it from memory. Each entry remembers the artifact file's
@@ -230,6 +277,7 @@ class CalibrationKey:
     device: str
     qubit: str = "all"
     profile: str = "quick"
+    version: int = 0
 
     def __post_init__(self) -> None:
         for field_name in ("device", "qubit", "profile"):
@@ -239,14 +287,41 @@ class CalibrationKey:
                     f"CalibrationKey.{field_name} must be a filesystem-safe "
                     f"slug, got {value!r}"
                 )
+        if isinstance(self.version, bool) or not isinstance(self.version, int):
+            raise ConfigurationError(
+                f"CalibrationKey.version must be an integer, got "
+                f"{self.version!r}"
+            )
+        if self.version < 0:
+            raise ConfigurationError(
+                f"CalibrationKey.version must be >= 0, got {self.version}"
+            )
+        if _VERSIONED_STEM.match(self.qubit):
+            raise ConfigurationError(
+                f"CalibrationKey.qubit {self.qubit!r} collides with the "
+                "versioned artifact naming scheme; use the version field"
+            )
 
     @classmethod
     def for_qubit(cls, device: str, qubit: int, profile: str) -> "CalibrationKey":
         return cls(device=device, qubit=f"q{int(qubit)}", profile=profile)
 
+    def with_version(self, version: int) -> "CalibrationKey":
+        """Same logical artifact at a different recalibration version."""
+        from dataclasses import replace
+
+        return replace(self, version=version)
+
+    @property
+    def stem(self) -> str:
+        """Artifact file stem: bare for version 0, ``.v<N>`` beyond."""
+        return (
+            self.qubit if self.version == 0 else f"{self.qubit}.v{self.version}"
+        )
+
     @property
     def relative_path(self) -> Path:
-        return Path(self.device) / self.profile / f"{self.qubit}.npz"
+        return Path(self.device) / self.profile / f"{self.stem}.npz"
 
 
 @dataclass(frozen=True)
@@ -266,7 +341,7 @@ class PruneReport:
             f"{self.bytes_remaining} bytes",
         ]
         for key in self.removed:
-            lines.append(f"  - {key.device}/{key.profile}/{key.qubit}")
+            lines.append(f"  - {key.device}/{key.profile}/{key.stem}")
         return "\n".join(lines)
 
 
@@ -299,11 +374,17 @@ class CalibrationRegistry:
         for path in sorted(self.root.glob("*/*/*.npz")):
             if path.name.endswith(".tmp.npz"):
                 continue
+            stem, version = path.stem, 0
+            match = _VERSIONED_STEM.match(stem)
+            if match:
+                stem = match.group("qubit")
+                version = int(match.group("version"))
             try:
                 yield CalibrationKey(
                     device=path.parent.parent.name,
-                    qubit=path.stem,
+                    qubit=stem,
                     profile=path.parent.name,
+                    version=version,
                 )
             except ConfigurationError:
                 continue
@@ -336,14 +417,51 @@ class CalibrationRegistry:
         return Discriminator.load_artifacts(path)
 
     def invalidate(self, key: CalibrationKey) -> bool:
-        """Drop one stored artifact; returns whether it existed."""
+        """Drop one stored artifact; returns whether it existed.
+
+        The artifact file always goes; its lock sidecar is removed only
+        when no cold fit currently holds it (see
+        :func:`_unlink_lock_sidecar`).
+        """
         _cache_evict(self.root, key)
         path = self.path_for(key)
-        _lock_file_for(path).unlink(missing_ok=True)
+        _unlink_lock_sidecar(path)
         if path.is_file():
             path.unlink()
             return True
         return False
+
+    def latest_version(self, key: CalibrationKey) -> int | None:
+        """Highest stored version of ``key``'s logical artifact.
+
+        Versions are compared across every stored artifact sharing the
+        key's (device, profile, qubit); ``None`` when none exist.
+        """
+        versions = [
+            stored.version
+            for stored in self.keys()
+            if (stored.device, stored.profile, stored.qubit)
+            == (key.device, key.profile, key.qubit)
+        ]
+        return max(versions) if versions else None
+
+    def supersede(
+        self, key: CalibrationKey, discriminator: Discriminator
+    ) -> CalibrationKey:
+        """Store a recalibrated artifact as the next version of ``key``.
+
+        The new artifact lands atomically at ``max(stored, key) + 1``
+        while every existing version stays on disk and keeps serving —
+        swapping a live session to the returned key is the caller's
+        (atomic) pointer update, so no reader ever observes a partial
+        recalibration. Fit-once is preserved per version: old versions
+        are never rewritten.
+        """
+        latest = self.latest_version(key)
+        next_version = max(key.version, -1 if latest is None else latest) + 1
+        new_key = key.with_version(next_version)
+        self.save(new_key, discriminator)
+        return new_key
 
     def prune(
         self,
@@ -393,7 +511,7 @@ class CalibrationRegistry:
                 removed.append(key)
                 bytes_freed += size
                 path.unlink(missing_ok=True)
-                _lock_file_for(path).unlink(missing_ok=True)
+                _unlink_lock_sidecar(path)
                 _cache_evict(self.root, key)
             else:
                 survivors.append((mtime, key, path, size))
@@ -406,8 +524,16 @@ class CalibrationRegistry:
                 bytes_freed += size
                 total -= size
                 path.unlink(missing_ok=True)
-                _lock_file_for(path).unlink(missing_ok=True)
+                _unlink_lock_sidecar(path)
                 _cache_evict(self.root, key)
+
+        # Orphaned sidecars: a sidecar that had to be left behind (held
+        # by a fit while its artifact was removed) is reclaimed by the
+        # next prune once released.
+        for lock_path in self.root.glob("*/*/*.npz.lock"):
+            artifact = lock_path.with_name(lock_path.name[: -len(".lock")])
+            if not artifact.exists():
+                _unlink_lock_sidecar(artifact)
 
         self._remove_empty_dirs()
         return PruneReport(

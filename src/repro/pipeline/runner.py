@@ -28,17 +28,24 @@ from repro.discriminators.mlr import MLRDiscriminator
 from repro.exceptions import ConfigurationError
 from repro.fpga.latency import check_cycle_budget, decision_budget_ns
 from repro.physics.device import ChipConfig, default_five_qubit_chip
+from repro.physics.drift import DriftModel
 from repro.pipeline.batching import AdaptiveBatcher, MicroBatcher
+from repro.pipeline.drift import DriftMonitor
 from repro.pipeline.metrics import PipelineReport, StageTimings
 from repro.pipeline.registry import CalibrationKey, CalibrationRegistry
 from repro.pipeline.sink import EraserSpeculationSink, QueueingSink, ResultSink
-from repro.pipeline.source import SimulatorTraceSource, TraceSource
+from repro.pipeline.source import (
+    DriftingTraceSource,
+    SimulatorTraceSource,
+    TraceSource,
+)
 from repro.pipeline.stages import BatchDiscriminationEngine
 
 __all__ = [
     "ADAPTIVE_BUDGET_SLACK",
     "PipelineConfig",
     "ReadoutPipeline",
+    "calibration_key",
     "fit_or_load_discriminator",
     "run_streaming_pipeline",
     "validate_streamable_design",
@@ -84,6 +91,18 @@ class PipelineConfig:
         Per-batch compute-latency target for adaptive mode. ``None``
         derives it from the serving head's FPGA decision budget times
         :data:`ADAPTIVE_BUDGET_SLACK`.
+    drift_detection:
+        Monitor streamed assignments and score margins against the
+        calibration-time references carried in the served artifact (see
+        :class:`~repro.pipeline.drift.DriftMonitor`), surfacing
+        ``drift_score``/``drift_alarm`` in the report. Inert when the
+        artifact predates reference support.
+    drift_threshold:
+        Drift score at which the report's ``drift_alarm`` trips.
+    drift_ewma_alpha:
+        EWMA weight of the newest batch in the drift monitor.
+    drift_min_shots:
+        Shots the monitor must see before it may alarm.
 
     Source chunking is the :class:`TraceSource`'s own knob, not runtime
     configuration — see ``chunk_size`` on the source constructors.
@@ -95,6 +114,10 @@ class PipelineConfig:
     adaptive_batching: bool = False
     max_batch_size: int = 1024
     target_batch_ms: float | None = None
+    drift_detection: bool = True
+    drift_threshold: float = 0.1
+    drift_ewma_alpha: float = 0.25
+    drift_min_shots: int = 50
 
     def __post_init__(self) -> None:
         # Collect every violation before raising, so a config with
@@ -115,6 +138,19 @@ class PipelineConfig:
         if self.target_batch_ms is not None and self.target_batch_ms <= 0:
             problems.append(
                 f"target_batch_ms must be positive, got {self.target_batch_ms}"
+            )
+        if self.drift_threshold <= 0:
+            problems.append(
+                f"drift_threshold must be positive, got {self.drift_threshold}"
+            )
+        if not 0.0 < self.drift_ewma_alpha <= 1.0:
+            problems.append(
+                "drift_ewma_alpha must be in (0, 1], got "
+                f"{self.drift_ewma_alpha}"
+            )
+        if self.drift_min_shots < 0:
+            problems.append(
+                f"drift_min_shots must be >= 0, got {self.drift_min_shots}"
             )
         if problems:
             raise ConfigurationError(
@@ -181,10 +217,29 @@ class ReadoutPipeline:
             max_size=config.max_batch_size,
         )
 
+    def _make_drift_monitor(self) -> DriftMonitor | None:
+        """Per-run drift monitor, when enabled and the artifact can."""
+        if not self.config.drift_detection:
+            return None
+        reference = getattr(self.discriminator, "reference_assignment_", None)
+        if reference is None:
+            return None  # pre-reference artifact: nothing to score against
+        return DriftMonitor(
+            reference,
+            reference_margin=getattr(
+                self.discriminator, "reference_margin_", None
+            ),
+            threshold=self.config.drift_threshold,
+            alpha=self.config.drift_ewma_alpha,
+            min_shots=self.config.drift_min_shots,
+            n_levels=self.chip.n_levels,
+        )
+
     def run(self, source: TraceSource) -> PipelineReport:
         """Drain the source through the stages; returns the run report."""
         timings = StageTimings()
         batcher = self._make_batcher()
+        monitor = self._make_drift_monitor()
         executor = None
         sink = None
 
@@ -228,6 +283,8 @@ class ReadoutPipeline:
                 assignment_counts += np.bincount(
                     result.joint, minlength=assignment_counts.size
                 )
+                if monitor is not None:
+                    monitor.observe(result.joint, result.mean_margin)
                 truth = batch.joint_labels(self.chip.n_levels)
                 if truth is not None:
                     n_correct += int(np.sum(result.joint == truth))
@@ -277,11 +334,15 @@ class ReadoutPipeline:
                     else max_dispatched
                 ),
             }
+        if monitor is not None:
+            details["drift"] = monitor.summary()
         return PipelineReport(
             n_shots=n_shots,
             n_batches=n_batches,
             wall_seconds=wall,
-            shots_per_second=n_shots / wall if wall > 0 else float("inf"),
+            # A sub-resolution wall (tiny fully-cached run) must never
+            # serialize as Infinity; 0.0 reads as "not measurable".
+            shots_per_second=n_shots / wall if wall > 0 else 0.0,
             stage_summaries={
                 stats.name: stats.summary() for stats in timings.ordered()
             },
@@ -290,6 +351,8 @@ class ReadoutPipeline:
             accuracy=(n_correct / n_labeled) if n_labeled else None,
             assignment_counts=assignment_counts.tolist(),
             details=details,
+            drift_score=None if monitor is None else monitor.drift_score,
+            drift_alarm=None if monitor is None else monitor.alarm,
         )
 
 
@@ -333,20 +396,55 @@ def validate_streamable_design(design: str) -> str:
     return design
 
 
+def calibration_key(
+    profile: Profile,
+    chip: ChipConfig | None = None,
+    device: str = DEFAULT_DEVICE,
+    design: str = DEFAULT_DESIGN,
+    version: int = 0,
+) -> CalibrationKey:
+    """The registry key :func:`fit_or_load_discriminator` resolves through.
+
+    Exposed so recalibration can ask the registry about *stored*
+    versions of a logical artifact (``CalibrationRegistry
+    .latest_version``) before choosing the next one.
+    """
+    chip = chip if chip is not None else default_five_qubit_chip()
+    return CalibrationKey(
+        device=_device_slug(device, chip),
+        qubit="all",
+        profile=_profile_slug(profile, design),
+        version=version,
+    )
+
+
 def fit_or_load_discriminator(
     profile: Profile,
     registry: CalibrationRegistry | None,
     chip: ChipConfig | None = None,
     device: str = DEFAULT_DEVICE,
     design: str = DEFAULT_DESIGN,
+    version: int = 0,
+    calibration_chip: ChipConfig | None = None,
 ) -> tuple[MLRDiscriminator, bool]:
     """Resolve the pipeline's discriminator through the registry.
 
-    With a registry, a stored (device+chip-hash, all, profile+seed)
-    artifact is served without retraining; otherwise the named design
-    (default: the paper's, via the discriminator plugin registry) is
-    fitted on a freshly generated calibration corpus (and stored when a
-    registry is given).
+    With a registry, a stored (device+chip-hash, all, profile+seed,
+    version) artifact is served without retraining; otherwise the named
+    design (default: the paper's, via the discriminator plugin registry)
+    is fitted on a freshly generated calibration corpus (and stored when
+    a registry is given).
+
+    Parameters
+    ----------
+    version:
+        Artifact recalibration version. The key identity (device slug,
+        profile slug) stays anchored to the *declared* chip so versions
+        of one logical artifact live side by side.
+    calibration_chip:
+        Device snapshot the calibration corpus is simulated from when
+        the fit is cold; defaults to ``chip``. Hot recalibration passes
+        the drifted device here while ``chip`` keeps naming the key.
 
     Returns
     -------
@@ -354,10 +452,11 @@ def fit_or_load_discriminator(
         The fitted model and whether it was served from the registry.
     """
     chip = chip if chip is not None else default_five_qubit_chip()
+    fit_chip = calibration_chip if calibration_chip is not None else chip
 
     def corpus_factory():
         return generate_corpus(
-            chip, shots_per_state=profile.shots_per_state, seed=profile.seed
+            fit_chip, shots_per_state=profile.shots_per_state, seed=profile.seed
         )
 
     def discriminator_factory():
@@ -369,10 +468,8 @@ def fit_or_load_discriminator(
         discriminator.fit(corpus, np.arange(corpus.n_traces))
         return discriminator, False
 
-    key = CalibrationKey(
-        device=_device_slug(device, chip),
-        qubit="all",
-        profile=_profile_slug(profile, design),
+    key = calibration_key(
+        profile, chip=chip, device=device, design=design, version=version
     )
     return registry.get_or_fit(key, discriminator_factory, corpus_factory)
 
@@ -394,6 +491,10 @@ def run_streaming_pipeline(
     adaptive_batching: bool = False,
     max_batch_size: int = 1024,
     target_batch_ms: float | None = None,
+    drift_model: DriftModel | None = None,
+    drift_shot_offset: int = 0,
+    version: int = 0,
+    calibration_shot_offset: int = 0,
 ) -> PipelineReport:
     """Calibrate (or load calibration), then stream ``n_shots`` end to end.
 
@@ -426,6 +527,20 @@ def run_streaming_pipeline(
         ``max_pending``, ``adaptive_batching``, ...).
     adaptive_batching, max_batch_size, target_batch_ms:
         Adaptive micro-batching knobs, see :class:`PipelineConfig`.
+    drift_model, drift_shot_offset:
+        When a non-null :class:`~repro.physics.drift.DriftModel` is
+        given, traffic streams from the time-varying device it predicts,
+        with the session clock starting at ``drift_shot_offset`` shots
+        (see :class:`~repro.pipeline.source.DriftingTraceSource`).
+        Calibration still targets the declared (undrifted) ``chip``.
+    version:
+        Calibration-artifact version to serve (hot-recalibrated
+        sessions bump this; 0 is the cold-calibration artifact).
+    calibration_shot_offset:
+        Session clock (in shots) at which the served artifact version
+        was calibrated. The engine demodulates with the device snapshot
+        the kernels were estimated at — after a hot recalibration that
+        is the drifted device, not the declared one.
     """
     if n_shots < 1:
         raise ConfigurationError(f"n_shots must be >= 1, got {n_shots}")
@@ -435,7 +550,8 @@ def run_streaming_pipeline(
         CalibrationRegistry(registry_dir) if registry_dir is not None else None
     )
     discriminator, cached = fit_or_load_discriminator(
-        profile, registry, chip=chip, device=device, design=design
+        profile, registry, chip=chip, device=device, design=design,
+        version=version,
     )
     if config is None:
         config = PipelineConfig(
@@ -446,13 +562,29 @@ def run_streaming_pipeline(
             max_batch_size=max_batch_size,
             target_batch_ms=target_batch_ms,
         )
-    source = SimulatorTraceSource(
-        chip,
-        n_shots=n_shots,
-        chunk_size=chunk_size,
-        seed=profile.seed + 1 if seed is None else seed,
-    )
-    pipeline = ReadoutPipeline(discriminator, chip, config, sink=sink)
+    traffic_seed = profile.seed + 1 if seed is None else seed
+    serve_chip = chip
+    if drift_model is not None and not drift_model.is_null:
+        source: TraceSource = DriftingTraceSource(
+            chip,
+            drift_model,
+            n_shots=n_shots,
+            chunk_size=chunk_size,
+            seed=traffic_seed,
+            shot_offset=drift_shot_offset,
+        )
+        # The engine's demod tones must match the device snapshot the
+        # served kernels were calibrated at (the drifted device for a
+        # recalibrated artifact, the declared one for version 0).
+        serve_chip = drift_model.chip_at(chip, calibration_shot_offset)
+    else:
+        source = SimulatorTraceSource(
+            chip,
+            n_shots=n_shots,
+            chunk_size=chunk_size,
+            seed=traffic_seed,
+        )
+    pipeline = ReadoutPipeline(discriminator, serve_chip, config, sink=sink)
     report = pipeline.run(source)
     report.calibration_cached = cached
     return report

@@ -23,7 +23,13 @@ from repro.exceptions import ConfigurationError, ShapeError
 from repro.physics.device import ChipConfig
 from repro.physics.simulator import ReadoutSimulator
 
-__all__ = ["ShotChunk", "TraceSource", "SimulatorTraceSource", "CorpusTraceSource"]
+__all__ = [
+    "ShotChunk",
+    "TraceSource",
+    "SimulatorTraceSource",
+    "DriftingTraceSource",
+    "CorpusTraceSource",
+]
 
 
 @dataclass(frozen=True)
@@ -143,10 +149,20 @@ class SimulatorTraceSource(TraceSource):
     def n_shots(self) -> int:
         return self._n_shots
 
+    def _simulate(self, digits: np.ndarray, delivered: int):
+        """Simulate one chunk; ``delivered`` shots preceded it.
+
+        Hook for sources whose device varies along the stream
+        (:class:`DriftingTraceSource`); the base device is stationary.
+        """
+        del delivered  # a stationary device has no stream clock
+        return self._sim.simulate(digits)
+
     def chunks(self) -> Iterator[ShotChunk]:
         from repro.data.basis import state_to_digits
 
         chunk_id = 0
+        delivered = 0
         remaining = self._n_shots
         while remaining > 0:
             size = min(self.chunk_size, remaining)
@@ -159,14 +175,76 @@ class SimulatorTraceSource(TraceSource):
                 digits = state_to_digits(
                     joint, self.chip.n_qubits, self.chip.n_levels
                 )
-            result = self._sim.simulate(digits)
+            result = self._simulate(digits, delivered)
             yield ShotChunk(
                 feedline=result.feedline,
                 prepared_levels=result.prepared_levels,
                 chunk_id=chunk_id,
             )
             chunk_id += 1
+            delivered += size
             remaining -= size
+
+
+class DriftingTraceSource(SimulatorTraceSource):
+    """Streams shots from a device whose parameters drift mid-session.
+
+    Each chunk is simulated from the chip a :class:`~repro.physics.drift
+    .DriftModel` predicts at that chunk's position on the session clock:
+    ``shot_offset`` (traffic already served before this stream) plus the
+    shots delivered so far. The calibrated discriminator downstream was
+    fitted at clock zero, so a drifting stream is exactly the staleness
+    scenario online drift detection and hot recalibration exist for.
+
+    Everything but the per-chunk device — state draws, chunking, label
+    carriage, RNG sharing — is inherited from
+    :class:`SimulatorTraceSource`, so the two sources are bit-identical
+    under a null drift model.
+
+    Parameters
+    ----------
+    chip:
+        The *calibrated* device; drift evolves away from it.
+    drift:
+        Parameter evolution applied per chunk.
+    n_shots, chunk_size, states, seed:
+        As :class:`SimulatorTraceSource`.
+    shot_offset:
+        Session shots already streamed before this source starts —
+        serving sessions thread their cumulative shot clock through
+        here so drift accumulates *across* runs, not just within one.
+    """
+
+    def __init__(
+        self,
+        chip: ChipConfig,
+        drift,
+        n_shots: int,
+        chunk_size: int = 256,
+        states: np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+        shot_offset: int = 0,
+    ) -> None:
+        if shot_offset < 0:
+            raise ConfigurationError(
+                f"shot_offset must be >= 0, got {shot_offset}"
+            )
+        super().__init__(
+            chip, n_shots=n_shots, chunk_size=chunk_size, states=states,
+            seed=seed,
+        )
+        self.drift = drift
+        self.shot_offset = int(shot_offset)
+
+    def _simulate(self, digits: np.ndarray, delivered: int):
+        chip_now = self.drift.chip_at(
+            self.chip, self.shot_offset + delivered
+        )
+        if chip_now is self.chip:
+            return self._sim.simulate(digits)
+        # A fresh simulator per drifted snapshot, sharing the stream's
+        # RNG so the draw sequence matches the stationary source's.
+        return ReadoutSimulator(chip_now, seed=self._rng).simulate(digits)
 
 
 class CorpusTraceSource(TraceSource):

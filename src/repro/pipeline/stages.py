@@ -45,11 +45,17 @@ class BatchResult:
         Wall time per stage for this batch. Sharded stages report their
         critical path (slowest channel), matching what a parallel deploy
         would observe.
+    mean_margin:
+        Mean top-2 probability margin over every (shot, qubit) head
+        decision in the batch — the confidence signal online drift
+        detection tracks (a drifting device erodes it long before
+        assignments flip en masse).
     """
 
     levels: np.ndarray
     joint: np.ndarray
     stage_seconds: dict[str, float]
+    mean_margin: float = float("nan")
 
     @property
     def n_shots(self) -> int:
@@ -145,9 +151,10 @@ class BatchDiscriminationEngine:
 
         t0 = time.perf_counter()
         x = disc.scaler.transform(np.concatenate(blocks, axis=1))
-        levels = np.empty((x.shape[0], self.chip.n_qubits), dtype=np.int64)
-        for q, model in enumerate(disc.models):
-            levels[:, q] = model.predict(disc._head_features(x, q))
+        # The shared helper keeps serving margins computed exactly like
+        # the calibration-time reference margin drift scoring compares
+        # against (and its argmax matches offline ``predict``).
+        levels, mean_margin = disc.head_levels_and_margin(x)
         joint = digits_to_state(levels, self.chip.n_levels)
         discriminate_s = time.perf_counter() - t0
 
@@ -159,4 +166,5 @@ class BatchDiscriminationEngine:
                 "matched_filter": mf_s,
                 "discriminate": discriminate_s,
             },
+            mean_margin=mean_margin,
         )

@@ -6,15 +6,19 @@ paper's *persistent* datapath explicit:
 
 - :mod:`repro.serve.spec` — :class:`ServeSpec`, the frozen, composable,
   JSON round-trip-stable configuration layer (:class:`TrafficSpec` /
-  :class:`ClusterSpec` / :class:`BatchingSpec` / :class:`CalibrationSpec`)
-  with exhaustive all-errors-at-once validation. Every other
-  configuration surface (``run_pipeline`` kwargs, ``PipelineConfig``,
-  ``repro pipeline`` flags) is derived from it.
+  :class:`ClusterSpec` / :class:`BatchingSpec` / :class:`CalibrationSpec`
+  / :class:`DriftSpec` / :class:`RecalibrationSpec`) with exhaustive
+  all-errors-at-once validation. Every other configuration surface
+  (``run_pipeline`` kwargs, ``PipelineConfig``, ``repro pipeline``
+  flags) is derived from it.
 - :mod:`repro.serve.service` — :class:`ReadoutService`, the long-lived
   session: ``warm()`` once (pre-fit/load all discriminators, pre-spawn
-  shard pools), then ``run()`` repeatedly with zero refits, accumulating
-  cumulative :class:`ServiceStats`. :func:`serve_once` is the one-shot
-  bridge the legacy fronts stand on.
+  shard pools), then ``run()`` repeatedly with zero refits — unless a
+  run's online drift score trips the alarm and the spec's
+  recalibration is enabled, in which case the service refits through
+  the shard pool and hot-swaps the next artifact version without
+  dropping the session — accumulating cumulative :class:`ServiceStats`.
+  :func:`serve_once` is the one-shot bridge the legacy fronts stand on.
 
 CLI: ``repro serve --spec spec.json [--shots N] [--repeat K] [--json]``.
 """
@@ -29,6 +33,8 @@ from repro.serve.spec import (
     BatchingSpec,
     CalibrationSpec,
     ClusterSpec,
+    DriftSpec,
+    RecalibrationSpec,
     ServeSpec,
     TrafficSpec,
 )
@@ -37,7 +43,9 @@ __all__ = [
     "BatchingSpec",
     "CalibrationSpec",
     "ClusterSpec",
+    "DriftSpec",
     "ReadoutService",
+    "RecalibrationSpec",
     "RunStats",
     "ServeSpec",
     "ServiceStats",

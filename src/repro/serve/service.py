@@ -6,9 +6,14 @@ as an API — it resolves a :class:`~repro.serve.spec.ServeSpec` once,
 pre-warms the shard executors, pre-fits or loads every per-feedline
 discriminator (:meth:`ReadoutService.warm`), and then serves repeated
 :meth:`ReadoutService.run` calls against the warm state. A warmed service
-never refits: artifacts live in the calibration registry (a private
-temporary one when the spec names none) and fitted models stay resident
-in memory between runs.
+never refits behind the caller's back: artifacts live in the calibration
+registry (a private temporary one when the spec names none) and fitted
+models stay resident in memory between runs. The one sanctioned
+exception is *hot recalibration*: when the spec's
+:class:`~repro.serve.spec.RecalibrationSpec` is enabled and a run's
+online drift score trips the alarm, the service refits through the
+shard pool against the drifted device and atomically swaps the next
+calibration-artifact version in — without dropping the session.
 
 Cumulative serving telemetry accumulates in :class:`ServiceStats` —
 total shots, aggregate shots/sec over the serving walls, per-run
@@ -75,6 +80,9 @@ class RunStats:
     shots_per_second: float
     accuracy: float | None
     calibration_cached: bool | None
+    drift_score: float | None = None
+    drift_alarm: bool | None = None
+    recalibrated: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -84,6 +92,9 @@ class RunStats:
             "shots_per_second": self.shots_per_second,
             "accuracy": self.accuracy,
             "calibration_cached": self.calibration_cached,
+            "drift_score": self.drift_score,
+            "drift_alarm": self.drift_alarm,
+            "recalibrated": self.recalibrated,
         }
 
 
@@ -101,13 +112,22 @@ class ServiceStats:
     cold_fits:
         Discriminator fits performed during warm-ups (0 on a fully warm
         registry), cumulative across warm cycles. Runs between a warm-up
-        and the next ``close()`` never fit.
+        and the next ``close()`` never fit — hot recalibrations are
+        accounted separately below.
+    recalibrations:
+        Drift-triggered hot recalibrations performed this session
+        (each refits every feedline at the next artifact version).
+    recal_seconds:
+        Wall time spent in those recalibrations — the refit cost the
+        recovered accuracy paid for.
     runs:
         Per-run digests, in serving order.
     """
 
     warm_seconds: float = 0.0
     cold_fits: int = 0
+    recalibrations: int = 0
+    recal_seconds: float = 0.0
     runs: list[RunStats] = field(default_factory=list)
 
     @property
@@ -133,6 +153,7 @@ class ServiceStats:
         report,
         wall_seconds: float,
         calibration_cached: bool | None = None,
+        recalibrated: bool = False,
     ) -> RunStats:
         """Fold one run's report into the cumulative stats.
 
@@ -140,6 +161,8 @@ class ServiceStats:
         report — :class:`ReadoutService` passes its session-cycle view
         (did *this cycle* pay cold fits before this run) so the stats
         mean the same thing for single- and multi-feedline sessions.
+        ``recalibrated`` marks a run whose drift alarm triggered a hot
+        recalibration after it completed.
         """
         if calibration_cached is None:
             calibration_cached = _report_calibration_cached(report)
@@ -152,6 +175,9 @@ class ServiceStats:
             ),
             accuracy=report.accuracy,
             calibration_cached=calibration_cached,
+            drift_score=getattr(report, "drift_score", None),
+            drift_alarm=getattr(report, "drift_alarm", None),
+            recalibrated=recalibrated,
         )
         self.runs.append(run)
         return run
@@ -161,6 +187,8 @@ class ServiceStats:
         return {
             "warm_seconds": self.warm_seconds,
             "cold_fits": self.cold_fits,
+            "recalibrations": self.recalibrations,
+            "recal_seconds": self.recal_seconds,
             "n_runs": self.n_runs,
             "total_shots": self.total_shots,
             "total_run_seconds": self.total_run_seconds,
@@ -181,11 +209,18 @@ class ServiceStats:
                 {True: "warm", False: "cold", None: "-"}[
                     run.calibration_cached
                 ],
+                (
+                    "-"
+                    if run.drift_score is None
+                    else f"{run.drift_score:.3f}"
+                    + (" ALARM" if run.drift_alarm else "")
+                    + (" ->recal" if run.recalibrated else "")
+                ),
             ]
             for run in self.runs
         ]
         table = format_rows(
-            ["run", "shots", "shots/s", "accuracy", "calibration"],
+            ["run", "shots", "shots/s", "accuracy", "calibration", "drift"],
             rows,
             title=f"readout service ({self.n_runs} runs)",
         )
@@ -198,6 +233,11 @@ class ServiceStats:
             f"{self.total_run_seconds:.2f} s serving "
             f"({self.shots_per_second:.0f} shots/s)",
         ]
+        if self.recalibrations:
+            lines.append(
+                f"recalibrations       {self.recalibrations} in "
+                f"{self.recal_seconds:.2f} s"
+            )
         return "\n".join(lines)
 
 
@@ -239,8 +279,16 @@ class ReadoutService:
         self._cycle_runs = 0
         self._pipeline: "ReadoutPipeline | None" = None
         self._chip: "ChipConfig | None" = None
+        self._device: str | None = None
+        self._config = None
         self._runner: "MultiFeedlineRunner | None" = None
         self._tmp_registry: tempfile.TemporaryDirectory | None = None
+        # Drift state (reset each warm cycle): the session shot clock
+        # drift accumulates against, the served artifact version on the
+        # single-feedline path, and recalibration pacing.
+        self._session_shots = 0
+        self._version = 0
+        self._runs_since_recal: int | None = None
 
     @classmethod
     def open(
@@ -271,6 +319,17 @@ class ReadoutService:
         if self._tmp_registry is not None:
             return self._tmp_registry.name
         return self.spec.calibration.registry_dir
+
+    @property
+    def session_shots(self) -> int:
+        """Per-feedline shots served this warm cycle (the drift clock)."""
+        return self._session_shots
+
+    def artifact_versions(self) -> dict[str, int]:
+        """Calibration-artifact version currently served per feedline."""
+        if self._runner is not None:
+            return self._runner.artifact_versions()
+        return {"feedline-0": self._version}
 
     def _qubits_per_feedline(self) -> int:
         """Resolved qubit count per served readout group.
@@ -335,6 +394,11 @@ class ReadoutService:
         self.stats.cold_fits += cold_fits
         self._cycle_cold_fits = cold_fits
         self._cycle_runs = 0
+        # A fresh warm cycle is a fresh calibration: the drift clock and
+        # artifact versioning restart with it.
+        self._session_shots = 0
+        self._version = 0
+        self._runs_since_recal = None
         self._warmed = True
         return self
 
@@ -356,8 +420,19 @@ class ReadoutService:
         design = spec.calibration.design
         cold_fits = 0
         if spec.cluster.feedlines == 1:
+            if (
+                spec.calibration.registry_dir is None
+                and spec.recalibration.enabled
+            ):
+                # Hot recalibration swaps *versioned artifacts*; give a
+                # registry-less session a private one so the versions
+                # have somewhere to live (discarded on close, like the
+                # multi-feedline session registry).
+                self._tmp_registry = tempfile.TemporaryDirectory(
+                    prefix="repro-serve-"
+                )
             chip, device = self._single_feedline_target()
-            registry_dir = spec.calibration.registry_dir
+            registry_dir = self.registry_dir
             registry = (
                 CalibrationRegistry(registry_dir)
                 if registry_dir is not None
@@ -368,6 +443,8 @@ class ReadoutService:
             )
             cold_fits += 0 if cached else 1
             self._chip = chip
+            self._device = device
+            self._config = config
             self._pipeline = ReadoutPipeline(discriminator, chip, config)
         else:
             if spec.calibration.registry_dir is None:
@@ -419,28 +496,46 @@ class ReadoutService:
         if n_shots < 1:
             raise ConfigurationError(f"shots must be >= 1, got {n_shots}")
         traffic_seed = spec.traffic.seed if seed is None else int(seed)
+        drift_model = spec.drift.model()
         # Calibration state as the *caller* experiences it, identical on
         # both serving paths: this warm cycle's first run paid any cold
         # fits during warm(); every later run is served warm.
         cycle_cached = self._cycle_runs > 0 or self._cycle_cold_fits == 0
         wall_start = time.perf_counter()
         if self._pipeline is not None:
-            from repro.pipeline.source import SimulatorTraceSource
-
-            source = SimulatorTraceSource(
-                self._chip,
-                n_shots=n_shots,
-                chunk_size=spec.traffic.chunk_size,
-                seed=(
-                    self.profile.seed + 1
-                    if traffic_seed is None
-                    else traffic_seed
-                ),
+            from repro.pipeline.source import (
+                DriftingTraceSource,
+                SimulatorTraceSource,
             )
+
+            resolved_seed = (
+                self.profile.seed + 1 if traffic_seed is None else traffic_seed
+            )
+            if drift_model is not None:
+                source = DriftingTraceSource(
+                    self._chip,
+                    drift_model,
+                    n_shots=n_shots,
+                    chunk_size=spec.traffic.chunk_size,
+                    seed=resolved_seed,
+                    shot_offset=self._session_shots,
+                )
+            else:
+                source = SimulatorTraceSource(
+                    self._chip,
+                    n_shots=n_shots,
+                    chunk_size=spec.traffic.chunk_size,
+                    seed=resolved_seed,
+                )
             report = self._pipeline.run(source)
             report.calibration_cached = cycle_cached
         else:
-            report = self._runner.run(n_shots, seed=traffic_seed)
+            report = self._runner.run(
+                n_shots,
+                seed=traffic_seed,
+                drift_model=drift_model,
+                drift_shot_offset=self._session_shots,
+            )
             if not cycle_cached:
                 # The feedline chains loaded artifacts this same cycle's
                 # warm() just fitted; to the caller that is a cold call
@@ -450,8 +545,130 @@ class ReadoutService:
                     feedline_report.calibration_cached = False
         wall = time.perf_counter() - wall_start
         self._cycle_runs += 1
-        self.stats.record(report, wall, calibration_cached=cycle_cached)
+        # Advance the session drift clock (per-feedline shots served).
+        self._session_shots += n_shots
+        if self._runs_since_recal is not None:
+            self._runs_since_recal += 1
+        recalibrated = self._maybe_recalibrate(report, drift_model)
+        self.stats.record(
+            report, wall, calibration_cached=cycle_cached,
+            recalibrated=recalibrated,
+        )
         return report
+
+    # -- hot recalibration ---------------------------------------------
+
+    def _recalibration_due(self, report) -> bool:
+        """Whether this run's drift alarm should trigger a refit now."""
+        recal = self.spec.recalibration
+        if not recal.enabled or not getattr(report, "drift_alarm", False):
+            return False
+        if (
+            recal.max_recalibrations is not None
+            and self.stats.recalibrations >= recal.max_recalibrations
+        ):
+            return False
+        return (
+            self._runs_since_recal is None
+            or self._runs_since_recal >= recal.cooldown_runs
+        )
+
+    def _recal_profile(self) -> Profile:
+        """The sizing profile recalibration fits run under.
+
+        The spec's shot budget overrides the corpus size; name and seed
+        stay the serving profile's (both are baked into the artifact
+        key — a recalibrated artifact is a new *version* of the same
+        logical artifact, not a different profile's).
+        """
+        import dataclasses
+
+        profile = self.profile
+        budget = self.spec.recalibration.shot_budget
+        if budget is not None:
+            profile = dataclasses.replace(profile, shots_per_state=budget)
+        return profile
+
+    def _maybe_recalibrate(self, report, drift_model) -> bool:
+        """Refit against the drifted device when the alarm demands it.
+
+        Runs *between* serving runs on the session's own state — the
+        shard pools stay warm, no run is dropped, and the freshly
+        fitted artifacts land as the next version in the registry
+        before the served version pointer moves (see
+        :meth:`CalibrationRegistry.supersede` semantics).
+        """
+        if not self._recalibration_due(report):
+            return False
+        from repro.physics.drift import DriftModel
+
+        model = drift_model if drift_model is not None else DriftModel()
+        recal_start = time.perf_counter()
+        if self._runner is not None:
+            self._runner.recalibrate(
+                model, self._session_shots, profile=self._recal_profile()
+            )
+        else:
+            self._recalibrate_single_feedline(model)
+        self.stats.recal_seconds += time.perf_counter() - recal_start
+        self.stats.recalibrations += 1
+        self._runs_since_recal = 0
+        return True
+
+    def _recalibrate_single_feedline(self, model) -> None:
+        """Fit the next artifact version and hot-swap the one pipeline."""
+        from repro.pipeline.registry import CalibrationRegistry
+        from repro.pipeline.runner import (
+            ReadoutPipeline,
+            fit_or_load_discriminator,
+        )
+
+        from repro.pipeline.runner import calibration_key
+
+        registry_dir = self.registry_dir
+        registry = (
+            CalibrationRegistry(registry_dir)
+            if registry_dir is not None
+            else None
+        )
+        recal_profile = self._recal_profile()
+        # Exceed both the served version and anything already stored: a
+        # persistent registry may hold versions a *previous* session
+        # recalibrated — serving one as a warm hit would re-introduce
+        # the very staleness this refit replaces.
+        stored = (
+            None
+            if registry is None
+            else registry.latest_version(
+                calibration_key(
+                    recal_profile,
+                    chip=self._chip,
+                    device=self._device,
+                    design=self.spec.calibration.design,
+                )
+            )
+        )
+        next_version = (
+            max(self._version, -1 if stored is None else stored) + 1
+        )
+        snapshot = model.chip_at(self._chip, self._session_shots)
+        discriminator, _ = fit_or_load_discriminator(
+            recal_profile,
+            registry,
+            chip=self._chip,
+            device=self._device,
+            design=self.spec.calibration.design,
+            version=next_version,
+            calibration_chip=snapshot,
+        )
+        # Atomic swap: the new pipeline serves the new artifact and
+        # demodulates with the device snapshot it was calibrated at;
+        # the old version was never mutated, so a reader mid-swap sees
+        # either version whole.
+        self._pipeline = ReadoutPipeline(
+            discriminator, snapshot, self._config
+        )
+        self._version = next_version
 
     def close(self) -> None:
         """Release shard pools and any session-private registry.
@@ -464,6 +681,8 @@ class ReadoutService:
             self._runner = None
         self._pipeline = None
         self._chip = None
+        self._device = None
+        self._config = None
         if self._tmp_registry is not None:
             self._tmp_registry.cleanup()
             self._tmp_registry = None

@@ -14,6 +14,10 @@ composable source of truth:
   backpressure, adaptive sizing).
 - :class:`CalibrationSpec` — how discriminators are calibrated (profile,
   design, registry root, seed override).
+- :class:`DriftSpec` — simulated device drift injected across the
+  session (readout-tone detuning, T1/contrast decay per kilo-shot).
+- :class:`RecalibrationSpec` — the drift response: alarm threshold on
+  the online drift score, recalibration shot budget, cooldown, and cap.
 
 Specs serialize losslessly: ``spec == ServeSpec.from_dict(spec.to_dict())``
 holds for every valid spec, and :meth:`ServeSpec.from_file` /
@@ -45,6 +49,8 @@ __all__ = [
     "ClusterSpec",
     "BatchingSpec",
     "CalibrationSpec",
+    "DriftSpec",
+    "RecalibrationSpec",
     "ServeSpec",
 ]
 
@@ -318,12 +324,127 @@ class CalibrationSpec(_Section):
         return problems
 
 
+@dataclass(frozen=True)
+class DriftSpec(_Section):
+    """Simulated device drift injected across the serving session.
+
+    All rates are per kilo-shot of session traffic and map directly
+    onto :class:`repro.physics.drift.DriftModel`; the all-zero default
+    is a stationary device (no injection, no behavior change).
+
+    Parameters
+    ----------
+    if_detune_ghz_per_kshot:
+        Linear readout-tone detuning (GHz per 1000 shots); may be
+        negative.
+    t1_decay_per_kshot:
+        Exponential T1 decay rate per 1000 shots.
+    amplitude_decay_per_kshot:
+        Exponential drive-amplitude (assignment-contrast) decay rate
+        per 1000 shots.
+    """
+
+    if_detune_ghz_per_kshot: float = 0.0
+    t1_decay_per_kshot: float = 0.0
+    amplitude_decay_per_kshot: float = 0.0
+
+    def _problems(self) -> list[str]:
+        problems: list[str] = []
+        _check_number(
+            problems, "if_detune_ghz_per_kshot", self.if_detune_ghz_per_kshot
+        )
+        for name in ("t1_decay_per_kshot", "amplitude_decay_per_kshot"):
+            value = getattr(self, name)
+            _check_number(problems, name, value)
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ) and value < 0:
+                problems.append(f"{name} must be >= 0, got {value}")
+        return problems
+
+    @property
+    def active(self) -> bool:
+        """Whether any drift is actually injected."""
+        return (
+            self.if_detune_ghz_per_kshot != 0.0
+            or self.t1_decay_per_kshot != 0.0
+            or self.amplitude_decay_per_kshot != 0.0
+        )
+
+    def model(self):
+        """The :class:`~repro.physics.drift.DriftModel` this spec names,
+        or ``None`` for a stationary device."""
+        if not self.active:
+            return None
+        from repro.physics.drift import DriftModel
+
+        return DriftModel(
+            if_detune_ghz_per_kshot=self.if_detune_ghz_per_kshot,
+            t1_decay_per_kshot=self.t1_decay_per_kshot,
+            amplitude_decay_per_kshot=self.amplitude_decay_per_kshot,
+        )
+
+
+@dataclass(frozen=True)
+class RecalibrationSpec(_Section):
+    """How a session responds to a drift alarm.
+
+    Parameters
+    ----------
+    enabled:
+        Refit through the shard pool when a run's drift alarm trips,
+        hot-swapping the next calibration-artifact version. Off by
+        default: detection always reports, recovery is opt-in.
+    threshold:
+        Drift score at which the alarm trips (also the per-run
+        ``drift_score`` threshold surfaced in reports).
+    shot_budget:
+        Calibration shots per basis state for recalibration fits;
+        ``None`` reuses the profile's ``shots_per_state`` (a smaller
+        budget trades recovery fidelity for refit latency).
+    cooldown_runs:
+        Runs that must complete after a recalibration before another
+        may trigger — a still-drifting device must not thrash refits.
+    max_recalibrations:
+        Hard cap on recalibrations per session; ``None`` is unlimited.
+    min_shots:
+        Shots a run's monitor must see before it may alarm.
+    """
+
+    enabled: bool = False
+    threshold: float = 0.1
+    shot_budget: int | None = None
+    cooldown_runs: int = 1
+    max_recalibrations: int | None = None
+    min_shots: int = 50
+
+    def _problems(self) -> list[str]:
+        problems: list[str] = []
+        _check_bool(problems, "enabled", self.enabled)
+        _check_number(problems, "threshold", self.threshold, positive=True)
+        _check_int(
+            problems, "shot_budget", self.shot_budget, minimum=1, optional=True
+        )
+        _check_int(problems, "cooldown_runs", self.cooldown_runs, minimum=0)
+        _check_int(
+            problems,
+            "max_recalibrations",
+            self.max_recalibrations,
+            minimum=0,
+            optional=True,
+        )
+        _check_int(problems, "min_shots", self.min_shots, minimum=0)
+        return problems
+
+
 #: Section name -> section class, in canonical serialization order.
 _SECTIONS: dict[str, type[_Section]] = {
     "traffic": TrafficSpec,
     "cluster": ClusterSpec,
     "batching": BatchingSpec,
     "calibration": CalibrationSpec,
+    "drift": DriftSpec,
+    "recalibration": RecalibrationSpec,
 }
 
 
@@ -342,6 +463,10 @@ class ServeSpec:
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     batching: BatchingSpec = field(default_factory=BatchingSpec)
     calibration: CalibrationSpec = field(default_factory=CalibrationSpec)
+    drift: DriftSpec = field(default_factory=DriftSpec)
+    recalibration: RecalibrationSpec = field(
+        default_factory=RecalibrationSpec
+    )
 
     def __post_init__(self) -> None:
         problems = [
@@ -457,4 +582,6 @@ class ServeSpec:
             adaptive_batching=self.batching.adaptive,
             max_batch_size=self.batching.max_batch_size,
             target_batch_ms=self.batching.target_batch_ms,
+            drift_threshold=self.recalibration.threshold,
+            drift_min_shots=self.recalibration.min_shots,
         )

@@ -538,6 +538,37 @@ class TestAdaptiveBatcher:
         with pytest.raises(ConfigurationError):
             AdaptiveBatcher(8, target_seconds=1.0).observe(1.0, 0)
 
+    def test_zero_latency_sample_cannot_poison_the_ewma(self):
+        # Regression: a sub-resolution perf_counter delta observes
+        # seconds == 0.0. Unclamped, such samples drag the EWMA toward
+        # zero and ``int(target / ewma)`` explodes the next batch to
+        # max_size regardless of the real latency; the per-shot floor
+        # keeps the estimate positive and immediately recoverable.
+        from repro.pipeline.batching import MIN_PER_SHOT_SECONDS
+
+        batcher = AdaptiveBatcher(
+            8, target_seconds=8e-3, max_size=4096, alpha=0.5
+        )
+        for _ in range(20):  # establish a real 1 ms/shot latency
+            batcher.observe(1e-3 * batcher.batch_size, batcher.batch_size)
+        assert batcher.batch_size == 8
+        # One quantized-to-zero sample at alpha=0.5 can at most halve
+        # the EWMA (double the size) — it must not jump to max_size.
+        size = batcher.observe(0.0, batcher.batch_size)
+        assert size <= 16
+        assert batcher.ewma_per_shot_s >= MIN_PER_SHOT_SECONDS
+        # A long run of zeros floors the estimate instead of zeroing it
+        # (max_size is then the honest answer for a genuinely
+        # immeasurable stage)...
+        for _ in range(100):
+            batcher.observe(0.0, batcher.batch_size)
+        assert batcher.ewma_per_shot_s >= MIN_PER_SHOT_SECONDS
+        assert batcher.batch_size == 4096
+        # ...and a single real sample immediately re-constrains it.
+        size = batcher.observe(1e-3 * batcher.batch_size, batcher.batch_size)
+        assert size == int(8e-3 / batcher.ewma_per_shot_s)
+        assert size < 4096
+
     @pytest.mark.parametrize(
         "target_ms, per_shot_ms, expected",
         [

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 import time
@@ -167,9 +168,35 @@ class TestLatencyStats:
         assert stats.p99_ms > stats.p50_ms
         assert stats.mean_per_shot_us == pytest.approx(106.0 / 40 * 1e3)
 
-    def test_empty_stats_raise(self):
-        with pytest.raises(DataError):
-            LatencyStats().percentile(50)
+    def test_empty_stats_report_nan_not_zero(self):
+        # Regression: an empty stage used to be reportable as 0.0 ms,
+        # which made a stalled/empty stage look infinitely fast. NaN is
+        # the honest "no data" answer (rendered as "-" in tables).
+        stats = LatencyStats("empty")
+        assert math.isnan(stats.percentile(50))
+        assert math.isnan(stats.p50_ms)
+        assert math.isnan(stats.p99_ms)
+        assert math.isnan(stats.mean_per_shot_us)
+        summary = stats.summary()
+        assert summary["batches"] == 0
+        assert math.isnan(summary["p50_ms"])
+
+    def test_empty_stage_renders_dash_in_table(self):
+        from repro.pipeline.metrics import PipelineReport
+
+        report = PipelineReport(
+            n_shots=0,
+            n_batches=0,
+            wall_seconds=0.0,
+            shots_per_second=0.0,
+            stage_summaries={"demod": LatencyStats("demod").summary()},
+        )
+        row = [
+            line for line in report.format_table().splitlines()
+            if line.startswith("demod")
+        ][0]
+        assert "-" in row
+        assert "nan" not in row
 
     def test_rejects_bad_samples(self):
         with pytest.raises(ConfigurationError):

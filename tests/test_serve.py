@@ -423,6 +423,33 @@ class TestServiceStats:
         assert stats.total_shots == 0
         assert stats.shots_per_second == 0.0
 
+    def test_zero_wall_run_never_serializes_inf(self):
+        # Regression: a tiny fully-cached run can complete inside one
+        # perf_counter tick. Rates must degrade to 0.0, never to
+        # Infinity (which is not strict JSON) or ZeroDivisionError.
+        stats = ServiceStats()
+        run = stats.record(_fake_report(100, 1.0), 0.0)
+        assert run.shots_per_second == 0.0
+        payload = json.dumps(stats.to_dict(), allow_nan=False)
+        assert "Infinity" not in payload
+
+    def test_zero_wall_pipeline_run_is_inf_free(
+        self, monkeypatch, tmp_path
+    ):
+        # Freeze the clock so the streamed run really measures a
+        # zero-second wall: its throughput must report 0.0, not inf.
+        import time as time_module
+
+        monkeypatch.setattr(time_module, "perf_counter", lambda: 5.0)
+        spec = tiny_spec(registry_dir=str(tmp_path / "registry"))
+        with ReadoutService(spec, profile=tiny_profile()) as service:
+            report = service.run()
+        assert report.wall_seconds == 0.0
+        assert report.shots_per_second == 0.0
+        payload = json.dumps(report.to_dict(), allow_nan=False)
+        assert "Infinity" not in payload
+        json.dumps(service.stats.to_dict(), allow_nan=False)
+
     def test_to_dict_schema(self):
         stats = ServiceStats(warm_seconds=1.5, cold_fits=2)
         stats.record(_fake_report(10, 0.1), 0.2)
@@ -633,6 +660,99 @@ class TestCrossProcessFitLock:
         report = registry.prune(max_bytes=0)
         assert report.removed == (key,)
         assert list(registry.keys()) == []
+        assert list(Path(tmp_path).rglob("*")) == []
+
+    def test_prune_keeps_sidecar_held_by_a_fit(self, tmp_path, tiny_corpus):
+        # Regression: prune used to unlink a sidecar a cold fitter was
+        # holding, letting the next cold caller lock a *fresh* inode
+        # and fit the same key concurrently. A held sidecar must
+        # survive prune/invalidate; an unheld one must still go.
+        from repro.pipeline.registry import _artifact_file_lock
+
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-held", "all", "tiny")
+        registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        lock_path = registry.path_for(key).with_name("all.npz.lock")
+        with _artifact_file_lock(registry.path_for(key)) as locked:
+            assert locked is True
+            report = registry.prune(max_bytes=0)
+            assert report.removed == (key,)
+            assert not registry.path_for(key).exists(), "artifact pruned"
+            assert lock_path.is_file(), "held sidecar must survive prune"
+            registry.invalidate(key)
+            assert lock_path.is_file(), "held sidecar survives invalidate"
+        # Released: the next prune really cleans up.
+        registry.prune(max_bytes=0)
+        assert not lock_path.exists()
+        assert list(Path(tmp_path).rglob("*")) == []
+
+    @pytest.mark.skipif(not _has_fork(), reason="needs fork start method")
+    def test_prune_keeps_sidecar_held_by_another_process(
+        self, tmp_path, tiny_corpus
+    ):
+        # Fork variant of the race: the holder is a different process,
+        # so the non-blocking probe lock (not same-process state) is
+        # what must detect it.
+        from repro.pipeline.registry import _artifact_file_lock
+
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-forked", "all", "tiny")
+        registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        lock_path = registry.path_for(key).with_name("all.npz.lock")
+        holding = tmp_path / "holding"
+        release = tmp_path / "release"
+
+        def holder() -> None:
+            with _artifact_file_lock(registry.path_for(key)):
+                holding.touch()
+                deadline = time.monotonic() + 20.0
+                while not release.exists():
+                    if time.monotonic() > deadline:  # pragma: no cover
+                        raise RuntimeError("release barrier timed out")
+                    time.sleep(0.005)
+
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=holder)
+        child.start()
+        try:
+            deadline = time.monotonic() + 20.0
+            while not holding.exists():
+                if time.monotonic() > deadline:  # pragma: no cover
+                    raise RuntimeError("holding barrier timed out")
+                time.sleep(0.005)
+            registry.prune(max_bytes=0)
+            assert lock_path.is_file(), (
+                "sidecar held by another process must survive prune"
+            )
+        finally:
+            release.touch()
+            child.join(timeout=60)
+            if child.is_alive():  # pragma: no cover - hang guard
+                child.kill()
+        assert child.exitcode == 0
+        registry.prune(max_bytes=0)
+        assert not lock_path.exists()
+
+    def test_prune_covers_superseded_artifact_versions(
+        self, tmp_path, tiny_corpus
+    ):
+        # Versioned artifacts (hot recalibration) enumerate, prune, and
+        # clean their sidecars exactly like version 0.
+        registry = CalibrationRegistry(tmp_path)
+        key = CalibrationKey("chip-versions", "all", "tiny")
+        fitted, _ = registry.get_or_fit(
+            key, lambda: MLRDiscriminator(epochs=4, seed=9), tiny_corpus
+        )
+        new_key = registry.supersede(key, fitted)
+        assert new_key.version == 1
+        assert registry.path_for(new_key).name == "all.v1.npz"
+        assert set(registry.keys()) == {key, new_key}
+        report = registry.prune(max_bytes=0)
+        assert set(report.removed) == {key, new_key}
         assert list(Path(tmp_path).rglob("*")) == []
 
     @pytest.mark.skipif(not _has_fork(), reason="needs fork start method")
