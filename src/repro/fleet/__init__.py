@@ -1,0 +1,52 @@
+"""Multi-tenant fleet serving: many ServeSpecs, one substrate.
+
+The fleet counterpart of :mod:`repro.serve` — where a
+:class:`~repro.serve.ReadoutService` owns a private shard pool and
+registry for one spec, this package multiplexes many tenant sessions
+over one shared :class:`~repro.pipeline.cluster.SharedShardPool` and
+one namespaced calibration-registry root:
+
+- :mod:`repro.fleet.spec` — :class:`FleetSpec`, the frozen, JSON
+  round-trip-stable fleet configuration (tenant name →
+  :class:`TenantSpec` = :class:`~repro.serve.ServeSpec` +
+  :class:`FleetSLOSpec`; :class:`FleetPoolSpec` for the substrate) with
+  the same exhaustive all-errors-at-once validation contract as
+  ``ServeSpec``.
+- :mod:`repro.fleet.scheduler` — :class:`FairShareScheduler`, the
+  deterministic weighted fair-share dispatch order (priority strides,
+  min-share floors, max-share caps, starvation-free).
+- :mod:`repro.fleet.stats` — :class:`FleetStats` /
+  :class:`TenantStats` / :class:`TenantRunRecord`: per-tenant SLO
+  scoring against the FPGA decision budget, queue waits, admission
+  rejections, recal storms.
+- :mod:`repro.fleet.service` — :class:`ReadoutFleet`, the lifecycle:
+  ``warm()`` admits tenants against pool capacity and warms each
+  session through its lease; ``submit()`` queues runs; ``drain()``
+  serves them fairly; one gate serializes cross-tenant recalibration.
+
+CLI: ``repro fleet --spec fleet.json [--tenants ...] [--json]``.
+"""
+
+from repro.fleet.scheduler import FairShareScheduler, RunRequest, TenantShare
+from repro.fleet.service import ReadoutFleet
+from repro.fleet.spec import (
+    FleetPoolSpec,
+    FleetSLOSpec,
+    FleetSpec,
+    TenantSpec,
+)
+from repro.fleet.stats import FleetStats, TenantRunRecord, TenantStats
+
+__all__ = [
+    "FairShareScheduler",
+    "FleetPoolSpec",
+    "FleetSLOSpec",
+    "FleetSpec",
+    "FleetStats",
+    "ReadoutFleet",
+    "RunRequest",
+    "TenantRunRecord",
+    "TenantShare",
+    "TenantSpec",
+    "TenantStats",
+]

@@ -1,0 +1,206 @@
+"""Weighted fair-share scheduling of queued tenant run requests.
+
+When aggregate tenant demand exceeds the shared pool's capacity, the
+fleet queues run requests per tenant and dispatches them by *stride
+scheduling* over served shots: each tenant carries a virtual time
+``served_shots / priority``, and the pending tenant with the smallest
+virtual time runs next, so a priority-4 tenant is dispatched ~4x as
+often as a priority-1 tenant under sustained contention. Two bounds
+shape the ordering:
+
+- **min_share floor** — a tenant whose served fraction of fleet shots
+  sits below its guaranteed ``min_share`` preempts the weighted order
+  entirely (most-deficient first). This is what makes priorities safe:
+  no weight can starve a tenant with a floor, and even without one the
+  stride order itself is starvation-free (a waiting tenant's virtual
+  time stands still while every running tenant's grows past it).
+- **max_share cap** — a tenant above its cap is passed over while any
+  uncapped tenant has work, but runs when it is alone with work
+  (work-conserving: capacity is never idled to enforce a cap).
+
+Ties break on declaration order, and each tenant's queue is FIFO, so
+the dispatch sequence is fully deterministic for a given submit
+sequence — the property the fleet's bit-identical isolation tests
+stand on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TenantShare", "RunRequest", "FairShareScheduler"]
+
+
+@dataclass(frozen=True)
+class TenantShare:
+    """One tenant's scheduling contract (from its fleet SLO section)."""
+
+    name: str
+    weight: int = 1
+    min_share: float = 0.0
+    max_share: float = 1.0
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One queued run: a tenant and its run() arguments.
+
+    ``sequence`` is the fleet-wide submission index; ``submitted_at``
+    is the caller's clock at submit time (queue wait is measured from
+    it at dispatch).
+    """
+
+    tenant: str
+    shots: int | None = None
+    seed: int | None = None
+    sequence: int = 0
+    submitted_at: float = 0.0
+
+
+class FairShareScheduler:
+    """Per-tenant FIFO queues drained in weighted fair-share order.
+
+    Construction takes the fleet's :class:`TenantShare` contracts (a
+    mapping or iterable; iteration order is the declaration order used
+    for tie-breaks). ``submit`` enqueues, ``next`` pops the request to
+    dispatch, ``observe`` credits served work — the fleet credits at
+    dispatch time with the planned shot count, so the ordering never
+    depends on wall-clock completion times.
+    """
+
+    def __init__(
+        self, shares: "Mapping[str, TenantShare] | Iterable[TenantShare]"
+    ) -> None:
+        if isinstance(shares, Mapping):
+            shares = list(shares.values())
+        self._shares: dict[str, TenantShare] = {}
+        for share in shares:
+            if share.name in self._shares:
+                raise ConfigurationError(
+                    f"duplicate tenant share {share.name!r}"
+                )
+            if share.weight < 1:
+                raise ConfigurationError(
+                    f"tenant {share.name!r} weight must be >= 1, got "
+                    f"{share.weight}"
+                )
+            self._shares[share.name] = share
+        if not self._shares:
+            raise ConfigurationError("scheduler needs at least one tenant")
+        self._order = {name: i for i, name in enumerate(self._shares)}
+        self._queues: dict[str, deque[RunRequest]] = {
+            name: deque() for name in self._shares
+        }
+        self._served: dict[str, int] = {name: 0 for name in self._shares}
+        self._sequence = 0
+        self._lock = threading.Lock()
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(self._shares)
+
+    def submit(
+        self,
+        tenant: str,
+        shots: int | None = None,
+        seed: int | None = None,
+        submitted_at: float = 0.0,
+    ) -> RunRequest:
+        """Enqueue one run request for ``tenant``; returns it."""
+        with self._lock:
+            if tenant not in self._shares:
+                known = ", ".join(self._shares)
+                raise ConfigurationError(
+                    f"unknown tenant {tenant!r}; expected one of: {known}"
+                )
+            request = RunRequest(
+                tenant=tenant,
+                shots=shots,
+                seed=seed,
+                sequence=self._sequence,
+                submitted_at=submitted_at,
+            )
+            self._sequence += 1
+            self._queues[tenant].append(request)
+            return request
+
+    def pending(self, tenant: str | None = None) -> int:
+        """Queued requests for one tenant, or across the fleet."""
+        with self._lock:
+            if tenant is not None:
+                if tenant not in self._queues:
+                    return 0
+                return len(self._queues[tenant])
+            return sum(len(q) for q in self._queues.values())
+
+    def served(self) -> dict[str, int]:
+        """Shots credited per tenant so far (dispatch-time accounting)."""
+        with self._lock:
+            return dict(self._served)
+
+    def observe(self, tenant: str, shots: int) -> None:
+        """Credit ``shots`` of served work to ``tenant``."""
+        with self._lock:
+            if tenant in self._served:
+                self._served[tenant] += int(shots)
+
+    def next(self, eligible: "set[str] | None" = None) -> RunRequest | None:
+        """Pop the next request to dispatch under weighted fair share.
+
+        ``eligible`` restricts the choice (the fleet passes tenants that
+        are not already in flight and whose lease fits the free pool
+        capacity); ``None`` considers every tenant. Returns ``None``
+        when no eligible tenant has pending work.
+        """
+        with self._lock:
+            candidates = [
+                name
+                for name in self._shares
+                if self._queues[name]
+                and (eligible is None or name in eligible)
+            ]
+            if not candidates:
+                return None
+            total = sum(self._served.values())
+
+            def share_of(name: str) -> float:
+                return self._served[name] / total if total else 0.0
+
+            # Floor first: the most-deficient tenant below its
+            # guaranteed share runs regardless of priorities.
+            deficient = [
+                name
+                for name in candidates
+                if self._shares[name].min_share > 0
+                and share_of(name) < self._shares[name].min_share
+            ]
+            if deficient:
+                pick = min(
+                    deficient,
+                    key=lambda n: (
+                        share_of(n) - self._shares[n].min_share,
+                        self._order[n],
+                    ),
+                )
+            else:
+                uncapped = [
+                    name
+                    for name in candidates
+                    if share_of(name) < self._shares[name].max_share
+                ]
+                # Work-conserving: if everyone eligible is at cap, run
+                # the fairest of them rather than idling the pool.
+                pool = uncapped or candidates
+                pick = min(
+                    pool,
+                    key=lambda n: (
+                        self._served[n] / self._shares[n].weight,
+                        self._order[n],
+                    ),
+                )
+            return self._queues[pick].popleft()

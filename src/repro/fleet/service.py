@@ -1,0 +1,411 @@
+"""Multi-tenant fleet serving over one shared shard-pool substrate.
+
+:class:`ReadoutFleet` runs many :class:`~repro.serve.ReadoutService`
+sessions — one per tenant, each with its own chips, traffic, and drift
+response — over *one* :class:`~repro.pipeline.cluster.SharedShardPool`
+and one shared calibration-registry root:
+
+- **Admission**: at :meth:`warm`, each tenant leases its shard workers
+  from the pool. A tenant demanding more workers than the pool has, or
+  pushing aggregate leases past the pool's oversubscription capacity
+  (or the spec's ``max_tenants``), is *rejected* — recorded in
+  :class:`~repro.fleet.stats.FleetStats` with the reason, while the
+  rest of the fleet warms normally.
+- **Isolation**: every tenant's registry devices are namespaced with
+  its name (``<tenant>.<device>``), so tenants sharing the registry
+  root keep disjoint calibration keys — one tenant's versioned hot
+  recalibration can never alter what another serves. Traffic seeds
+  derive only from each tenant's own profile and feedline indices, so
+  a tenant's assignment counts are bit-identical alone or in the fleet.
+- **Scheduling**: :meth:`submit` queues run requests;
+  :meth:`drain` dispatches them through a
+  :class:`~repro.fleet.scheduler.FairShareScheduler` (weighted by SLO
+  priority, bounded by min/max share, starvation-free), gated by free
+  pool capacity, at most one in-flight run per tenant. Recalibrations
+  triggered by any tenant's drift alarm serialize on a fleet-wide gate
+  so one tenant's drift storm cannot monopolize the pool.
+
+::
+
+    from repro.fleet import FleetSpec, ReadoutFleet
+
+    with ReadoutFleet.open("fleet.json") as fleet:        # warms + admits
+        for tenant in fleet.tenants:
+            for _ in range(4):
+                fleet.submit(tenant)
+        fleet.drain()
+    print(fleet.stats.format_table())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.config import Profile
+from repro.exceptions import ConfigurationError
+from repro.fleet.scheduler import FairShareScheduler, RunRequest, TenantShare
+from repro.fleet.spec import FleetSpec
+from repro.fleet.stats import FleetStats, TenantRunRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.cluster import SharedShardPool, ShardPoolLease
+    from repro.serve.service import ReadoutService
+
+__all__ = ["ReadoutFleet"]
+
+
+class ReadoutFleet:
+    """Many warm tenant sessions multiplexed over one shard substrate.
+
+    Parameters
+    ----------
+    spec:
+        The declarative fleet configuration.
+    profile:
+        Optional ready :class:`~repro.config.Profile` that wins over
+        every tenant's ``calibration.profile`` (ad-hoc sizings; each
+        tenant's spec seed override still applies).
+
+    Lifecycle: :meth:`warm` (idempotent; implicit on ``submit``/
+    ``drain`` and on ``__enter__``) builds the shared pool and registry,
+    admits tenants, and warms each admitted session through its lease;
+    :meth:`submit` queues run requests; :meth:`drain` serves them under
+    fair sharing; :meth:`close` tears every session down and releases
+    the pool. Reusable after ``close`` — the next warm re-admits.
+    """
+
+    def __init__(self, spec: FleetSpec, *, profile: Profile | None = None):
+        if not isinstance(spec, FleetSpec):
+            raise ConfigurationError(
+                f"spec must be a FleetSpec, got {type(spec).__name__}"
+            )
+        self.spec = spec
+        self.stats = FleetStats()
+        self._profile_override = profile
+        self._warmed = False
+        self._pool: "SharedShardPool | None" = None
+        self._tmp_registry: tempfile.TemporaryDirectory | None = None
+        self._services: "dict[str, ReadoutService]" = {}
+        self._leases: "dict[str, ShardPoolLease]" = {}
+        self._demand: dict[str, int] = {}
+        self._scheduler: FairShareScheduler | None = None
+        # One fleet-wide gate: tenant recalibrations serialize on it so
+        # a drift storm refits one tenant at a time through the pool.
+        self._recal_gate = threading.Lock()
+
+    @classmethod
+    def open(
+        cls,
+        spec: "FleetSpec | str | Path",
+        *,
+        profile: Profile | None = None,
+        warm: bool = True,
+    ) -> "ReadoutFleet":
+        """Build a fleet from a spec object or JSON spec file path."""
+        if isinstance(spec, (str, Path)):
+            spec = FleetSpec.from_file(spec)
+        fleet = cls(spec, profile=profile)
+        if warm:
+            fleet.warm()
+        return fleet
+
+    @property
+    def registry_dir(self) -> str | None:
+        """The shared calibration-registry root (set once warmed)."""
+        if self._tmp_registry is not None:
+            return self._tmp_registry.name
+        return self.spec.pool.registry_dir
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Admitted tenant names, in admission order."""
+        return tuple(self._services)
+
+    def service(self, tenant: str) -> "ReadoutService":
+        """The admitted tenant's warm serving session."""
+        if tenant not in self._services:
+            raise ConfigurationError(
+                f"tenant {tenant!r} is not admitted "
+                f"(admitted: {', '.join(self._services) or 'none'})"
+            )
+        return self._services[tenant]
+
+    def _tenant_demand(self, name: str) -> int:
+        """Shard workers the tenant's lease claims.
+
+        Explicit ``cluster.workers`` is a hard requirement (rejected if
+        the pool can never grant it); an unset one adapts to the pool —
+        one worker per feedline, capped at the pool's worker count,
+        exactly as a private runner would cap at the CPU count.
+        """
+        tenant = self.spec.tenants[name]
+        workers = tenant.serve.cluster.workers
+        if workers is not None:
+            return int(workers)
+        assert self._pool is not None
+        return min(tenant.serve.cluster.feedlines, self._pool.workers)
+
+    def warm(self) -> "ReadoutFleet":
+        """Build the substrate, admit tenants, warm sessions. Idempotent."""
+        if self._warmed:
+            return self
+        wall_start = time.perf_counter()
+        try:
+            self._warm_state()
+        except BaseException:
+            # A failed fleet warm-up must not leak the pool, partially
+            # warmed sessions, or the fleet-private registry.
+            self.close()
+            raise
+        self.stats.warm_seconds += time.perf_counter() - wall_start
+        self._warmed = True
+        return self
+
+    def _warm_state(self) -> None:
+        from repro.pipeline.cluster import SharedShardPool
+        from repro.serve.service import ReadoutService
+
+        pool_spec = self.spec.pool
+        if pool_spec.registry_dir is None:
+            # One fleet-private registry root: artifacts are the
+            # hand-off between calibration and serving shards, and the
+            # shared root (namespaced per tenant) is what lets the fleet
+            # prove isolation instead of assuming it.
+            self._tmp_registry = tempfile.TemporaryDirectory(
+                prefix="repro-fleet-"
+            )
+        self._pool = SharedShardPool(
+            pool_spec.executor,
+            pool_spec.workers,
+            oversubscription=pool_spec.oversubscription,
+        )
+        self.stats.pool_executor = self._pool.executor
+        self.stats.pool_workers = self._pool.workers
+        registry_dir = self.registry_dir
+        for name, tenant in self.spec.tenants.items():
+            demand = self._tenant_demand(name)
+            if (
+                pool_spec.max_tenants is not None
+                and len(self._services) >= pool_spec.max_tenants
+            ):
+                self.stats.reject(
+                    name,
+                    f"max_tenants={pool_spec.max_tenants} already admitted",
+                    tenant.slo,
+                )
+                continue
+            try:
+                lease = self._pool.lease(name, demand)
+            except ConfigurationError as exc:
+                self.stats.reject(name, str(exc), tenant.slo)
+                continue
+            # Every tenant calibrates into the shared fleet registry;
+            # its own registry_dir (if any) is superseded here.
+            serve_spec = dataclasses.replace(
+                tenant.serve,
+                calibration=dataclasses.replace(
+                    tenant.serve.calibration, registry_dir=registry_dir
+                ),
+            )
+            service = ReadoutService(
+                serve_spec,
+                profile=self._profile_override,
+                namespace=name,
+                pool=lease,
+                recal_gate=self._recal_gate,
+            )
+            # Register before warm(): a failed warm must tear the
+            # session (and its lease) down with the rest of the fleet.
+            self._services[name] = service
+            self._leases[name] = lease
+            self._demand[name] = demand
+            service.warm()
+            self.stats.admit(name, tenant.slo, workers_leased=demand)
+            self.stats.cold_fits += service.stats.cold_fits
+        if not self._services:
+            reasons = "; ".join(
+                f"{r['tenant']}: {r['reason']}"
+                for r in self.stats.admission_rejections
+            )
+            raise ConfigurationError(
+                f"no tenant was admitted to the fleet ({reasons})"
+            )
+        self._scheduler = FairShareScheduler(
+            [
+                TenantShare(
+                    name=name,
+                    weight=self.spec.tenants[name].slo.priority,
+                    min_share=self.spec.tenants[name].slo.min_share,
+                    max_share=self.spec.tenants[name].slo.max_share,
+                )
+                for name in self._services
+            ]
+        )
+
+    # -- serving -------------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        shots: int | None = None,
+        seed: int | None = None,
+    ) -> RunRequest:
+        """Queue one run request for ``tenant``; serve with :meth:`drain`.
+
+        ``shots``/``seed`` override the tenant spec's traffic section
+        for this run, exactly like :meth:`ReadoutService.run`.
+        """
+        self.warm()
+        if tenant not in self._services:
+            stats = self.stats.tenants.get(tenant)
+            if stats is not None and not stats.admitted:
+                raise ConfigurationError(
+                    f"tenant {tenant!r} was rejected at admission: "
+                    f"{stats.rejection_reason}"
+                )
+            known = ", ".join(self._services)
+            raise ConfigurationError(
+                f"unknown tenant {tenant!r}; admitted tenants: {known}"
+            )
+        assert self._scheduler is not None
+        request = self._scheduler.submit(
+            tenant, shots=shots, seed=seed,
+            submitted_at=time.perf_counter(),
+        )
+        self.stats.submitted += 1
+        return request
+
+    def pending(self, tenant: str | None = None) -> int:
+        """Queued (not yet dispatched) requests, per tenant or total."""
+        if self._scheduler is None:
+            return 0
+        return self._scheduler.pending(tenant)
+
+    def _run_one(
+        self, request: RunRequest, queue_wait: float
+    ) -> TenantRunRecord:
+        service = self._services[request.tenant]
+        recals_before = service.stats.recalibrations
+        report = service.run(shots=request.shots, seed=request.seed)
+        run = service.stats.runs[-1]
+        return self.stats.record_run(
+            request.tenant,
+            report,
+            wall_seconds=run.wall_seconds,
+            queue_wait_seconds=queue_wait,
+            recalibrated=service.stats.recalibrations > recals_before,
+        )
+
+    def drain(self, max_runs: int | None = None) -> list[TenantRunRecord]:
+        """Serve queued requests under fair sharing; returns the records.
+
+        Dispatches while free pool capacity allows (in-flight lease
+        demand never exceeds the pool's worker count; at most one
+        in-flight run per tenant, so each tenant's runs stay sequential
+        and deterministic). ``max_runs`` bounds the dispatches of this
+        call — remaining requests stay queued for a later drain, which
+        is how an oversubscribed fleet throttles (but never starves —
+        the scheduler's min-share floor and stride order see to it) its
+        low-priority tenants.
+        """
+        self.warm()
+        assert self._scheduler is not None and self._pool is not None
+        budget = max_runs
+        records: list[TenantRunRecord] = []
+        failures: list[BaseException] = []
+        in_flight: dict[str, tuple] = {}
+        drain_start = time.perf_counter()
+        with ThreadPoolExecutor(
+            max_workers=max(1, len(self._services)),
+            thread_name_prefix="fleet-drain",
+        ) as dispatcher:
+            while True:
+                while not failures and (budget is None or budget > 0):
+                    free = self._pool.workers - sum(
+                        self._demand[name] for name in in_flight
+                    )
+                    eligible = {
+                        name
+                        for name in self._services
+                        if name not in in_flight
+                        and self._demand[name] <= free
+                    }
+                    request = self._scheduler.next(eligible)
+                    if request is None:
+                        break
+                    # Credit at dispatch with the planned shots so the
+                    # fair-share order is wall-clock independent.
+                    planned = (
+                        request.shots
+                        if request.shots is not None
+                        else self.spec.tenants[
+                            request.tenant
+                        ].serve.traffic.shots
+                    )
+                    self._scheduler.observe(request.tenant, planned)
+                    queue_wait = max(
+                        0.0, time.perf_counter() - request.submitted_at
+                    )
+                    future = dispatcher.submit(
+                        self._run_one, request, queue_wait
+                    )
+                    in_flight[request.tenant] = (future,)
+                    self.stats.dispatched += 1
+                    if budget is not None:
+                        budget -= 1
+                if not in_flight:
+                    break
+                done, _ = wait(
+                    [f for (f,) in in_flight.values()],
+                    return_when=FIRST_COMPLETED,
+                )
+                for name, (future,) in list(in_flight.items()):
+                    if future in done:
+                        del in_flight[name]
+                        try:
+                            records.append(future.result())
+                        except BaseException as exc:  # noqa: BLE001
+                            # Keep draining what is already in flight;
+                            # re-raise once the pool is quiet.
+                            failures.append(exc)
+        self.stats.drain_wall_seconds += time.perf_counter() - drain_start
+        if failures:
+            raise failures[0]
+        return records
+
+    # -- teardown ------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear every session down and release the shared substrate.
+
+        Idempotent; cumulative :attr:`stats` survive, and the next
+        :meth:`warm` re-admits.
+        """
+        for service in self._services.values():
+            service.close()
+        self._services.clear()
+        for lease in self._leases.values():
+            lease.close()
+        self._leases.clear()
+        self._demand.clear()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._scheduler = None
+        if self._tmp_registry is not None:
+            self._tmp_registry.cleanup()
+            self._tmp_registry = None
+        self._warmed = False
+
+    def __enter__(self) -> "ReadoutFleet":
+        self.warm()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,383 @@
+"""Declarative fleet configuration: many tenants, one substrate.
+
+:class:`FleetSpec` scales the :class:`~repro.serve.spec.ServeSpec`
+contract from one serving session to a *fleet* of them: a mapping of
+tenant name → (:class:`~repro.serve.spec.ServeSpec`,
+:class:`FleetSLOSpec`) plus one :class:`FleetPoolSpec` describing the
+shared shard-executor substrate every admitted tenant dispatches
+through. The spec keeps the exact validation and serialization contract
+of ``ServeSpec``:
+
+- frozen and fully validated on construction;
+- exhaustive errors — a spec with several bad fields across several
+  tenants raises one :class:`~repro.exceptions.ConfigurationError`
+  naming all of them (``tenants.<name>.serve.traffic.shots``-style
+  qualified), so a fleet file is fixed in one edit pass;
+- JSON round-trip stable: ``spec == FleetSpec.from_dict(spec.to_dict())``
+  for every valid spec, with :meth:`FleetSpec.from_file` /
+  :meth:`FleetSpec.to_file` as the file form.
+
+Tenant names double as calibration-registry namespaces (the fleet
+prefixes every tenant's registry device with ``<name>.``), so they must
+be registry slugs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.serve.spec import (
+    ServeSpec,
+    _check_int,
+    _check_number,
+    _check_str,
+    _Section,
+)
+
+__all__ = [
+    "FleetSLOSpec",
+    "FleetPoolSpec",
+    "TenantSpec",
+    "FleetSpec",
+]
+
+
+@dataclass(frozen=True)
+class FleetSLOSpec(_Section):
+    """One tenant's service-level objective and scheduling share.
+
+    Parameters
+    ----------
+    p99_budget_multiplier:
+        Per-shot p99 serving-latency budget, as a multiple of the
+        tenant's FPGA decision budget (the
+        :func:`~repro.fpga.latency.check_cycle_budget` baseline). A
+        software runtime serves orders of magnitude above the hardware
+        budget by construction, so the multiplier states how much of
+        that slack the tenant tolerates before a run counts as an SLO
+        violation.
+    min_share:
+        Guaranteed fraction of fleet shots: while the tenant's served
+        share sits below it, the scheduler dispatches it ahead of any
+        priority ordering (this is what bounds priorities — no weight
+        can starve a tenant with a floor).
+    max_share:
+        Cap on the tenant's served fraction; above it the tenant only
+        runs when no uncapped tenant has work (work-conserving).
+    priority:
+        Weight in the fair-share ordering between the min/max bounds;
+        a priority-4 tenant is dispatched ~4x as often as a priority-1
+        one under sustained contention.
+    """
+
+    p99_budget_multiplier: float = 1.0e5
+    min_share: float = 0.0
+    max_share: float = 1.0
+    priority: int = 1
+
+    def _problems(self) -> list[str]:
+        problems: list[str] = []
+        _check_number(
+            problems,
+            "p99_budget_multiplier",
+            self.p99_budget_multiplier,
+            positive=True,
+        )
+        _check_number(problems, "min_share", self.min_share)
+        _check_number(problems, "max_share", self.max_share, positive=True)
+        numbers = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in (self.min_share, self.max_share)
+        )
+        if numbers:
+            if not 0.0 <= self.min_share <= 1.0:
+                problems.append(
+                    f"min_share must be within [0, 1], got {self.min_share}"
+                )
+            if self.max_share > 1.0:
+                problems.append(
+                    f"max_share must be <= 1, got {self.max_share}"
+                )
+            if 0.0 <= self.min_share <= 1.0 and self.max_share <= 1.0 and (
+                self.min_share > self.max_share
+            ):
+                problems.append(
+                    f"min_share must be <= max_share, got "
+                    f"{self.min_share} > {self.max_share}"
+                )
+        _check_int(problems, "priority", self.priority, minimum=1)
+        return problems
+
+
+@dataclass(frozen=True)
+class FleetPoolSpec(_Section):
+    """The shared shard-executor substrate every tenant leases from.
+
+    Parameters
+    ----------
+    executor:
+        Shard backend (``serial``/``thread``/``process``) of the one
+        :class:`~repro.pipeline.cluster.SharedShardPool`.
+    workers:
+        Pool workers; ``None`` uses the usable CPU count. A tenant
+        demanding more workers than this is rejected at admission.
+    oversubscription:
+        Aggregate lease capacity as a multiple of ``workers``; admitted
+        tenants beyond the physical worker count time-share the
+        substrate under the fleet scheduler.
+    registry_dir:
+        Shared calibration-registry root for all tenants (namespaced
+        per tenant); ``None`` gives the fleet a private temporary
+        registry, discarded on close.
+    max_tenants:
+        Hard cap on admitted tenants; ``None`` is unlimited (capacity
+        still gates admission).
+    """
+
+    executor: str = "thread"
+    workers: int | None = None
+    oversubscription: float = 2.0
+    registry_dir: str | None = None
+    max_tenants: int | None = None
+
+    def _problems(self) -> list[str]:
+        problems: list[str] = []
+        _check_str(problems, "executor", self.executor)
+        if isinstance(self.executor, str) and self.executor:
+            from repro.pipeline.cluster import EXECUTOR_NAMES
+
+            if self.executor not in EXECUTOR_NAMES:
+                known = ", ".join(EXECUTOR_NAMES)
+                problems.append(
+                    f"executor must be one of: {known}; got {self.executor!r}"
+                )
+        _check_int(problems, "workers", self.workers, minimum=1, optional=True)
+        _check_number(
+            problems, "oversubscription", self.oversubscription, positive=True
+        )
+        if (
+            isinstance(self.oversubscription, (int, float))
+            and not isinstance(self.oversubscription, bool)
+            and 0 < self.oversubscription < 1.0
+        ):
+            problems.append(
+                "oversubscription must be >= 1.0, got "
+                f"{self.oversubscription}"
+            )
+        _check_str(problems, "registry_dir", self.registry_dir, optional=True)
+        _check_int(
+            problems, "max_tenants", self.max_tenants, minimum=1, optional=True
+        )
+        return problems
+
+
+@dataclass(frozen=True)
+class TenantSpec(_Section):
+    """One tenant of the fleet: its serving spec and its SLO.
+
+    ``serve`` is a complete :class:`~repro.serve.spec.ServeSpec` (the
+    tenant's chips, traffic, batching, drift response); ``slo`` is the
+    fleet-level contract layered on top. The tenant's
+    ``calibration.registry_dir`` is ignored at fleet warm-up — all
+    tenants share the fleet registry root, namespaced by tenant name.
+    """
+
+    serve: ServeSpec = field(default_factory=ServeSpec)
+    slo: FleetSLOSpec = field(default_factory=FleetSLOSpec)
+
+    def _problems(self) -> list[str]:
+        problems: list[str] = []
+        if not isinstance(self.serve, ServeSpec):
+            problems.append(
+                f"serve must be a ServeSpec, got {type(self.serve).__name__}"
+            )
+        if not isinstance(self.slo, FleetSLOSpec):
+            problems.append(
+                f"slo must be a FleetSLOSpec, got {type(self.slo).__name__}"
+            )
+        return problems
+
+    @classmethod
+    def _from_section(
+        cls, data: Mapping, section: str, problems: list[str]
+    ) -> "TenantSpec | None":
+        if not isinstance(data, Mapping):
+            problems.append(
+                f"{section} must be a mapping of fields, got {data!r}"
+            )
+            return None
+        known = {"serve", "slo"}
+        for key in sorted(set(data) - known):
+            problems.append(f"{section}.{key}: unknown field")
+        serve: ServeSpec | None = ServeSpec()
+        if "serve" in data:
+            try:
+                serve = ServeSpec.from_dict(data["serve"])
+            except ConfigurationError as exc:
+                problems.extend(
+                    f"{section}.serve.{p}"
+                    for p in getattr(exc, "problems", (str(exc),))
+                )
+                serve = None
+        slo: FleetSLOSpec | None = FleetSLOSpec()
+        if "slo" in data:
+            slo = FleetSLOSpec._from_section(
+                data["slo"], f"{section}.slo", problems
+            )
+        if serve is None or slo is None:
+            return None
+        return cls(serve=serve, slo=slo)
+
+    def to_dict(self) -> dict:
+        return {"serve": self.serve.to_dict(), "slo": self.slo.to_dict()}
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """The single declarative source of truth for one serving fleet.
+
+    ``tenants`` maps tenant name (a registry slug; also the tenant's
+    calibration namespace) to :class:`TenantSpec`, in admission order.
+    ``pool`` describes the shared substrate. Frozen, fully validated on
+    construction, JSON round-trip stable — the fleet-scale sibling of
+    :class:`~repro.serve.spec.ServeSpec`.
+    """
+
+    tenants: Mapping[str, TenantSpec] = field(default_factory=dict)
+    pool: FleetPoolSpec = field(default_factory=FleetPoolSpec)
+
+    def __post_init__(self) -> None:
+        from repro.pipeline.registry import _SLUG
+
+        problems: list[str] = []
+        if not isinstance(self.pool, FleetPoolSpec):
+            problems.append(
+                f"pool must be a FleetPoolSpec, got "
+                f"{type(self.pool).__name__}"
+            )
+        if not isinstance(self.tenants, Mapping):
+            problems.append(
+                f"tenants must be a mapping of name -> TenantSpec, got "
+                f"{type(self.tenants).__name__}"
+            )
+        else:
+            if not self.tenants:
+                problems.append("tenants must name at least one tenant")
+            min_shares = 0.0
+            for name, tenant in self.tenants.items():
+                if not isinstance(name, str) or not _SLUG.match(name):
+                    problems.append(
+                        f"tenant name {name!r} is not a registry slug "
+                        "(letters, digits, '.', '_', '-'; not starting "
+                        "with punctuation)"
+                    )
+                if not isinstance(tenant, TenantSpec):
+                    problems.append(
+                        f"tenants.{name} must be a TenantSpec, got "
+                        f"{type(tenant).__name__}"
+                    )
+                else:
+                    min_shares += tenant.slo.min_share
+            if min_shares > 1.0 + 1e-9:
+                problems.append(
+                    "tenant min_share guarantees must sum to <= 1, got "
+                    f"{min_shares:g}"
+                )
+            # Freeze insertion order into a plain dict so equality and
+            # serialization are independent of the mapping type passed.
+            object.__setattr__(self, "tenants", dict(self.tenants))
+        if problems:
+            exc = ConfigurationError(
+                "invalid FleetSpec: " + "; ".join(problems)
+            )
+            exc.problems = tuple(problems)
+            raise exc
+
+    @property
+    def tenant_names(self) -> tuple[str, ...]:
+        """Tenant names in admission (declaration) order."""
+        return tuple(self.tenants)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Nested plain-value form; ``json.dumps``-able as is."""
+        return {
+            "pool": self.pool.to_dict(),
+            "tenants": {
+                name: tenant.to_dict()
+                for name, tenant in self.tenants.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FleetSpec":
+        """Inverse of :meth:`to_dict`; exhaustive validation.
+
+        Every unknown section, unknown field, and invalid value across
+        the pool section and *all* tenants is collected and raised as
+        one :class:`ConfigurationError`.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"FleetSpec data must be a mapping of sections, got {data!r}"
+            )
+        problems: list[str] = []
+        for key in sorted(set(data) - {"pool", "tenants"}):
+            problems.append(
+                f"{key}: unknown section (expected one of: pool, tenants)"
+            )
+        pool = (
+            FleetPoolSpec._from_section(data["pool"], "pool", problems)
+            if "pool" in data
+            else FleetPoolSpec()
+        )
+        tenants: dict[str, TenantSpec] = {}
+        raw_tenants = data.get("tenants")
+        if raw_tenants is None:
+            problems.append("tenants: missing section")
+        elif not isinstance(raw_tenants, Mapping):
+            problems.append(
+                f"tenants must be a mapping of name -> tenant, got "
+                f"{raw_tenants!r}"
+            )
+        else:
+            for name, raw in raw_tenants.items():
+                tenant = TenantSpec._from_section(
+                    raw, f"tenants.{name}", problems
+                )
+                if tenant is not None:
+                    tenants[name] = tenant
+        if problems:
+            exc = ConfigurationError(
+                "invalid FleetSpec: " + "; ".join(problems)
+            )
+            exc.problems = tuple(problems)
+            raise exc
+        return cls(tenants=tenants, pool=pool)
+
+    @classmethod
+    def from_file(cls, path: "str | Path") -> "FleetSpec":
+        """Load a fleet spec from a JSON file (see :meth:`to_file`)."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read fleet spec file {path}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"fleet spec file {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+    def to_file(self, path: "str | Path") -> Path:
+        """Write the spec as indented JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path

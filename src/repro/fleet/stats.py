@@ -1,0 +1,417 @@
+"""Fleet-level observability: per-tenant SLO scoring and aggregates.
+
+:class:`FleetStats` is the fleet sibling of
+:class:`~repro.serve.service.ServiceStats`: every dispatched run folds
+into a :class:`TenantRunRecord` (serving rate, queue wait, per-shot
+latency), and each record is scored against the tenant's SLO — the
+per-shot serving latency measured against
+``p99_budget_multiplier x`` the run's FPGA decision budget, reusing the
+:class:`~repro.fpga.latency.CycleBudgetCheck` verdict machinery of
+:func:`~repro.fpga.latency.check_cycle_budget`. Aggregates surface what
+fleet operations needs at a glance: aggregate shots/s over the drain
+wall, per-tenant p50/p99 per-shot latency vs SLO, SLO-violation
+fractions, queue waits, admission rejections, and recalibration storms
+(hot refits per tenant). ``to_dict`` is the ``repro fleet --json``
+payload; ``format_table`` the human form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.latency import CycleBudgetCheck
+
+__all__ = ["TenantRunRecord", "TenantStats", "FleetStats"]
+
+
+def _report_budget_ns(report) -> float | None:
+    """The run's FPGA decision budget (strictest feedline), if scored."""
+    budget = getattr(report, "budget", None)
+    if budget is not None:
+        return float(budget.budget_ns)
+    verdicts = getattr(report, "budget_verdicts", None)
+    if callable(verdicts):
+        values = [v["budget_ns"] for v in verdicts().values()]
+        if values:
+            return float(min(values))
+    return None
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """NaN-safe percentile (NaN on empty, like LatencyStats)."""
+    if not values:
+        return float("nan")
+    import numpy as np
+
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def _json_number(value: float) -> float | None:
+    """NaN -> None: a run-less (e.g. rejected) tenant's percentiles
+    must serialize as null, not as the non-strict-JSON NaN literal."""
+    return None if value != value else value
+
+
+@dataclass(frozen=True)
+class TenantRunRecord:
+    """Digest of one dispatched tenant run, SLO-scored."""
+
+    tenant: str
+    index: int
+    n_shots: int
+    wall_seconds: float
+    shots_per_second: float
+    queue_wait_seconds: float
+    per_shot_ns: float
+    slo_ns: float | None
+    slo_violation: bool | None
+    accuracy: float | None
+    drift_score: float | None
+    drift_alarm: bool | None
+    recalibrated: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "index": self.index,
+            "n_shots": self.n_shots,
+            "wall_seconds": self.wall_seconds,
+            "shots_per_second": self.shots_per_second,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "per_shot_ns": self.per_shot_ns,
+            "slo_ns": self.slo_ns,
+            "slo_violation": self.slo_violation,
+            "accuracy": self.accuracy,
+            "drift_score": self.drift_score,
+            "drift_alarm": self.drift_alarm,
+            "recalibrated": self.recalibrated,
+        }
+
+
+@dataclass
+class TenantStats:
+    """Cumulative per-tenant telemetry inside one fleet session."""
+
+    name: str
+    admitted: bool = True
+    rejection_reason: str | None = None
+    priority: int = 1
+    min_share: float = 0.0
+    max_share: float = 1.0
+    p99_budget_multiplier: float = 1.0
+    slo_ns: float | None = None
+    workers_leased: int = 0
+    recalibrations: int = 0
+    runs: list[TenantRunRecord] = field(default_factory=list)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def total_shots(self) -> int:
+        return sum(run.n_shots for run in self.runs)
+
+    @property
+    def serving_seconds(self) -> float:
+        """Wall time this tenant's runs spent actually serving."""
+        return sum(run.wall_seconds for run in self.runs)
+
+    @property
+    def shots_per_second(self) -> float:
+        """Serving rate over the tenant's own run walls (0.0 before any)."""
+        seconds = self.serving_seconds
+        return self.total_shots / seconds if seconds > 0 else 0.0
+
+    @property
+    def p50_per_shot_ns(self) -> float:
+        return _percentile([run.per_shot_ns for run in self.runs], 50)
+
+    @property
+    def p99_per_shot_ns(self) -> float:
+        return _percentile([run.per_shot_ns for run in self.runs], 99)
+
+    @property
+    def p50_queue_wait_seconds(self) -> float:
+        return _percentile([run.queue_wait_seconds for run in self.runs], 50)
+
+    @property
+    def max_queue_wait_seconds(self) -> float:
+        waits = [run.queue_wait_seconds for run in self.runs]
+        return max(waits) if waits else 0.0
+
+    @property
+    def slo_violations(self) -> int:
+        return sum(1 for run in self.runs if run.slo_violation)
+
+    @property
+    def slo_violation_fraction(self) -> float:
+        """Fraction of scored runs that blew the SLO (0.0 before any)."""
+        scored = [run for run in self.runs if run.slo_violation is not None]
+        if not scored:
+            return 0.0
+        return sum(1 for run in scored if run.slo_violation) / len(scored)
+
+    def to_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejection_reason": self.rejection_reason,
+            "priority": self.priority,
+            "min_share": self.min_share,
+            "max_share": self.max_share,
+            "p99_budget_multiplier": self.p99_budget_multiplier,
+            "slo_ns": self.slo_ns,
+            "workers_leased": self.workers_leased,
+            "recalibrations": self.recalibrations,
+            "n_runs": self.n_runs,
+            "total_shots": self.total_shots,
+            "serving_seconds": self.serving_seconds,
+            "shots_per_second": self.shots_per_second,
+            "p50_per_shot_ns": _json_number(self.p50_per_shot_ns),
+            "p99_per_shot_ns": _json_number(self.p99_per_shot_ns),
+            "p50_queue_wait_seconds": _json_number(
+                self.p50_queue_wait_seconds
+            ),
+            "max_queue_wait_seconds": self.max_queue_wait_seconds,
+            "slo_violations": self.slo_violations,
+            "slo_violation_fraction": self.slo_violation_fraction,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+
+@dataclass
+class FleetStats:
+    """Cumulative telemetry of one fleet session.
+
+    ``tenants`` holds every tenant the fleet saw — admitted ones with
+    their run records, rejected ones with the admission reason — so the
+    rejection history is part of the same report as the serving stats.
+    """
+
+    pool_executor: str = ""
+    pool_workers: int = 0
+    warm_seconds: float = 0.0
+    cold_fits: int = 0
+    drain_wall_seconds: float = 0.0
+    submitted: int = 0
+    dispatched: int = 0
+    tenants: dict[str, TenantStats] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------
+
+    def _tenant(self, name: str) -> TenantStats:
+        # Stats are cumulative across warm cycles (close() then warm()
+        # re-admits), so re-admission updates the existing record in
+        # place instead of discarding its run history.
+        stats = self.tenants.get(name)
+        if stats is None:
+            stats = TenantStats(name=name)
+            self.tenants[name] = stats
+        return stats
+
+    def admit(self, name: str, slo, workers_leased: int) -> TenantStats:
+        """Register an admitted tenant with its SLO contract."""
+        stats = self._tenant(name)
+        stats.admitted = True
+        stats.rejection_reason = None
+        stats.priority = slo.priority
+        stats.min_share = slo.min_share
+        stats.max_share = slo.max_share
+        stats.p99_budget_multiplier = slo.p99_budget_multiplier
+        stats.workers_leased = workers_leased
+        return stats
+
+    def reject(self, name: str, reason: str, slo=None) -> TenantStats:
+        """Register an admission rejection and its reason."""
+        stats = self._tenant(name)
+        stats.admitted = False
+        stats.rejection_reason = reason
+        stats.workers_leased = 0
+        if slo is not None:
+            stats.priority = slo.priority
+            stats.min_share = slo.min_share
+            stats.max_share = slo.max_share
+            stats.p99_budget_multiplier = slo.p99_budget_multiplier
+        return stats
+
+    def record_run(
+        self,
+        name: str,
+        report,
+        wall_seconds: float,
+        queue_wait_seconds: float,
+        recalibrated: bool = False,
+    ) -> TenantRunRecord:
+        """Fold one dispatched run into the tenant's stats, SLO-scored."""
+        tenant = self.tenants[name]
+        n_shots = int(report.n_shots)
+        per_shot_ns = (
+            wall_seconds / n_shots * 1e9 if n_shots > 0 else float("nan")
+        )
+        base_budget = _report_budget_ns(report)
+        slo_ns: float | None = None
+        violation: bool | None = None
+        if base_budget is not None:
+            # The SLO threshold is the FPGA decision budget scaled by
+            # the tenant's tolerated slack; CycleBudgetCheck renders the
+            # same verdict shape check_cycle_budget gives the pipeline.
+            check = CycleBudgetCheck(
+                budget_ns=base_budget * tenant.p99_budget_multiplier,
+                measured_ns=per_shot_ns,
+            )
+            slo_ns = check.budget_ns
+            violation = not check.within_budget
+            if tenant.slo_ns is None:
+                tenant.slo_ns = slo_ns
+        record = TenantRunRecord(
+            tenant=name,
+            index=len(tenant.runs),
+            n_shots=n_shots,
+            wall_seconds=wall_seconds,
+            shots_per_second=(
+                n_shots / wall_seconds if wall_seconds > 0 else 0.0
+            ),
+            queue_wait_seconds=queue_wait_seconds,
+            per_shot_ns=per_shot_ns,
+            slo_ns=slo_ns,
+            slo_violation=violation,
+            accuracy=getattr(report, "accuracy", None),
+            drift_score=getattr(report, "drift_score", None),
+            drift_alarm=getattr(report, "drift_alarm", None),
+            recalibrated=recalibrated,
+        )
+        tenant.runs.append(record)
+        if recalibrated:
+            tenant.recalibrations += 1
+        return record
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def admitted(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, t in self.tenants.items() if t.admitted
+        )
+
+    @property
+    def rejected(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, t in self.tenants.items() if not t.admitted
+        )
+
+    @property
+    def admission_rejections(self) -> list[dict]:
+        return [
+            {"tenant": name, "reason": self.tenants[name].rejection_reason}
+            for name in self.rejected
+        ]
+
+    @property
+    def completed_runs(self) -> int:
+        return sum(t.n_runs for t in self.tenants.values())
+
+    @property
+    def total_shots(self) -> int:
+        return sum(t.total_shots for t in self.tenants.values())
+
+    @property
+    def shots_per_second(self) -> float:
+        """Aggregate fleet throughput over the drain wall (0.0 before)."""
+        wall = self.drain_wall_seconds
+        return self.total_shots / wall if wall > 0 else 0.0
+
+    @property
+    def tenant_serving_shots_per_second(self) -> float:
+        """Summed per-tenant serving rates (each over its own run walls).
+
+        Under time-sliced scheduling this is the figure comparable to
+        the sum of solo single-tenant sessions — each tenant's runs own
+        the substrate while dispatched, so queue wait does not dilute
+        the per-tenant serving rate the way the drain wall does.
+        """
+        return sum(
+            t.shots_per_second for t in self.tenants.values() if t.admitted
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``repro fleet --json``)."""
+        return {
+            "pool_executor": self.pool_executor,
+            "pool_workers": self.pool_workers,
+            "warm_seconds": self.warm_seconds,
+            "cold_fits": self.cold_fits,
+            "drain_wall_seconds": self.drain_wall_seconds,
+            "submitted": self.submitted,
+            "dispatched": self.dispatched,
+            "completed_runs": self.completed_runs,
+            "total_shots": self.total_shots,
+            "shots_per_second": self.shots_per_second,
+            "tenant_serving_shots_per_second": (
+                self.tenant_serving_shots_per_second
+            ),
+            "admitted": list(self.admitted),
+            "admission_rejections": self.admission_rejections,
+            "tenants": {
+                name: stats.to_dict()
+                for name, stats in self.tenants.items()
+            },
+        }
+
+    def format_table(self) -> str:
+        """Aligned text report in the house experiment style."""
+        from repro.experiments.report import format_rows
+
+        rows = []
+        for name, t in self.tenants.items():
+            if not t.admitted:
+                continue
+            p99_us = t.p99_per_shot_ns / 1e3
+            rows.append(
+                [
+                    name,
+                    t.n_runs,
+                    t.total_shots,
+                    f"{t.shots_per_second:.0f}",
+                    "-" if t.n_runs == 0 else f"{p99_us:.0f}",
+                    f"{t.slo_violation_fraction * 100:.0f}%",
+                    f"{t.max_queue_wait_seconds * 1e3:.0f}",
+                    t.priority,
+                    t.recalibrations,
+                ]
+            )
+        table = format_rows(
+            [
+                "tenant",
+                "runs",
+                "shots",
+                "shots/s",
+                "p99 us/shot",
+                "slo viol",
+                "max q-wait ms",
+                "prio",
+                "recals",
+            ],
+            rows,
+            title=(
+                f"readout fleet ({len(self.admitted)} tenants, "
+                f"{self.pool_executor} pool, {self.pool_workers} workers)"
+            ),
+        )
+        lines = [
+            table,
+            "",
+            f"fleet throughput     {self.shots_per_second:.0f} shots/s "
+            f"aggregate ({self.total_shots} shots in "
+            f"{self.drain_wall_seconds:.2f} s drain wall)",
+            f"tenant serving sum   "
+            f"{self.tenant_serving_shots_per_second:.0f} shots/s "
+            "(per-tenant serving rates)",
+            f"warm-up              {self.warm_seconds:.2f} s "
+            f"({self.cold_fits} cold fit(s))",
+        ]
+        for rejection in self.admission_rejections:
+            lines.append(
+                f"rejected             {rejection['tenant']}: "
+                f"{rejection['reason']}"
+            )
+        return "\n".join(lines)

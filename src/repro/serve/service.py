@@ -31,6 +31,7 @@ digests, and the warm-up cost those runs amortize.
 
 from __future__ import annotations
 
+import contextlib
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -213,14 +214,23 @@ class ServiceStats:
                     "-"
                     if run.drift_score is None
                     else f"{run.drift_score:.3f}"
-                    + (" ALARM" if run.drift_alarm else "")
-                    + (" ->recal" if run.recalibrated else "")
                 ),
+                {True: "ALARM", False: "ok", None: "-"}[run.drift_alarm],
+                "yes" if run.recalibrated else "-",
             ]
             for run in self.runs
         ]
         table = format_rows(
-            ["run", "shots", "shots/s", "accuracy", "calibration", "drift"],
+            [
+                "run",
+                "shots",
+                "shots/s",
+                "accuracy",
+                "calibration",
+                "drift",
+                "alarm",
+                "recal",
+            ],
             rows,
             title=f"readout service ({self.n_runs} runs)",
         )
@@ -253,6 +263,23 @@ class ReadoutService:
         over ``spec.calibration.profile`` — for ad-hoc sizings that are
         not registered profile names (the spec's seed override still
         applies).
+    namespace:
+        Optional tenant namespace (a registry slug). Prefixes every
+        registry device name this session fits or serves
+        (``<namespace>.<device>``), so tenants sharing one registry root
+        keep disjoint calibration keys — one tenant's versioned
+        recalibration can never alter what another serves.
+    pool:
+        Optional injected shard executor (a fleet's
+        :class:`~repro.pipeline.cluster.ShardPoolLease`). Multi-feedline
+        sessions then dispatch through the shared substrate instead of
+        spawning a private pool; :meth:`close` leaves it up for its
+        owner. Single-feedline sessions run inline and ignore it.
+    recal_gate:
+        Optional context manager (e.g. a shared ``threading.Lock``)
+        entered around hot-recalibration refits, so a fleet can
+        serialize recalibrations across tenants — one tenant's drift
+        storm queues behind the gate instead of monopolizing the pool.
 
     Lifecycle: :meth:`warm` (idempotent; implicit on the first
     :meth:`run` and on ``__enter__``) resolves the profile, builds the
@@ -263,13 +290,33 @@ class ReadoutService:
     re-warms.
     """
 
-    def __init__(self, spec: ServeSpec, *, profile: Profile | None = None):
+    def __init__(
+        self,
+        spec: ServeSpec,
+        *,
+        profile: Profile | None = None,
+        namespace: str | None = None,
+        pool=None,
+        recal_gate=None,
+    ):
         if not isinstance(spec, ServeSpec):
             raise ConfigurationError(
                 f"spec must be a ServeSpec, got {type(spec).__name__}"
             )
+        if namespace is not None:
+            from repro.pipeline.registry import _SLUG
+
+            if not isinstance(namespace, str) or not _SLUG.match(namespace):
+                raise ConfigurationError(
+                    "namespace must be a registry slug (letters, digits, "
+                    f"'.', '_', '-'; not starting with punctuation), got "
+                    f"{namespace!r}"
+                )
         self.spec = spec
         self.stats = ServiceStats()
+        self._namespace = namespace
+        self._pool = pool
+        self._recal_gate = recal_gate
         self._profile_override = profile
         self._profile: Profile | None = None
         self._warmed = False
@@ -432,6 +479,8 @@ class ReadoutService:
                     prefix="repro-serve-"
                 )
             chip, device = self._single_feedline_target()
+            if self._namespace is not None:
+                device = f"{self._namespace}.{device}"
             registry_dir = self.registry_dir
             registry = (
                 CalibrationRegistry(registry_dir)
@@ -457,8 +506,25 @@ class ReadoutService:
             chips = multi_feedline_chips(
                 spec.cluster.feedlines, n_qubits=self._qubits_per_feedline()
             )
+            if self._namespace is not None:
+                from repro.pipeline.cluster import FeedlineSpec
+
+                # Tenant-namespaced registry devices: the feedline names
+                # (and with them seeds, placement, reports) stay the
+                # canonical feedline-<i>, only the artifact keys move
+                # into the tenant's namespace.
+                feedlines = [
+                    FeedlineSpec(
+                        name=f"feedline-{i}",
+                        chip=chip,
+                        device=f"{self._namespace}.feedline-{i}",
+                    )
+                    for i, chip in enumerate(chips)
+                ]
+            else:
+                feedlines = chips
             runner = MultiFeedlineRunner(
-                chips,
+                feedlines,
                 profile,
                 executor=spec.cluster.executor,
                 workers=spec.cluster.workers,
@@ -466,6 +532,7 @@ class ReadoutService:
                 chunk_size=spec.traffic.chunk_size,
                 registry_dir=self.registry_dir,
                 design=design,
+                pool=self._pool,
             )
             self._runner = runner  # before prefit: errors must close it
             # Pool first, then calibration *through* the pool: cold fits
@@ -501,55 +568,64 @@ class ReadoutService:
         # both serving paths: this warm cycle's first run paid any cold
         # fits during warm(); every later run is served warm.
         cycle_cached = self._cycle_runs > 0 or self._cycle_cold_fits == 0
-        wall_start = time.perf_counter()
-        if self._pipeline is not None:
-            from repro.pipeline.source import (
-                DriftingTraceSource,
-                SimulatorTraceSource,
-            )
+        try:
+            wall_start = time.perf_counter()
+            if self._pipeline is not None:
+                from repro.pipeline.source import (
+                    DriftingTraceSource,
+                    SimulatorTraceSource,
+                )
 
-            resolved_seed = (
-                self.profile.seed + 1 if traffic_seed is None else traffic_seed
-            )
-            if drift_model is not None:
-                source = DriftingTraceSource(
-                    self._chip,
-                    drift_model,
-                    n_shots=n_shots,
-                    chunk_size=spec.traffic.chunk_size,
-                    seed=resolved_seed,
-                    shot_offset=self._session_shots,
+                resolved_seed = (
+                    self.profile.seed + 1
+                    if traffic_seed is None
+                    else traffic_seed
                 )
+                if drift_model is not None:
+                    source = DriftingTraceSource(
+                        self._chip,
+                        drift_model,
+                        n_shots=n_shots,
+                        chunk_size=spec.traffic.chunk_size,
+                        seed=resolved_seed,
+                        shot_offset=self._session_shots,
+                    )
+                else:
+                    source = SimulatorTraceSource(
+                        self._chip,
+                        n_shots=n_shots,
+                        chunk_size=spec.traffic.chunk_size,
+                        seed=resolved_seed,
+                    )
+                report = self._pipeline.run(source)
+                report.calibration_cached = cycle_cached
             else:
-                source = SimulatorTraceSource(
-                    self._chip,
-                    n_shots=n_shots,
-                    chunk_size=spec.traffic.chunk_size,
-                    seed=resolved_seed,
+                report = self._runner.run(
+                    n_shots,
+                    seed=traffic_seed,
+                    drift_model=drift_model,
+                    drift_shot_offset=self._session_shots,
                 )
-            report = self._pipeline.run(source)
-            report.calibration_cached = cycle_cached
-        else:
-            report = self._runner.run(
-                n_shots,
-                seed=traffic_seed,
-                drift_model=drift_model,
-                drift_shot_offset=self._session_shots,
-            )
-            if not cycle_cached:
-                # The feedline chains loaded artifacts this same cycle's
-                # warm() just fitted; to the caller that is a cold call
-                # (one-shot multi-feedline runs kept this semantic
-                # before the serve redesign).
-                for feedline_report in report.feedline_reports.values():
-                    feedline_report.calibration_cached = False
-        wall = time.perf_counter() - wall_start
-        self._cycle_runs += 1
-        # Advance the session drift clock (per-feedline shots served).
-        self._session_shots += n_shots
-        if self._runs_since_recal is not None:
-            self._runs_since_recal += 1
-        recalibrated = self._maybe_recalibrate(report, drift_model)
+                if not cycle_cached:
+                    # The feedline chains loaded artifacts this same
+                    # cycle's warm() just fitted; to the caller that is
+                    # a cold call (one-shot multi-feedline runs kept
+                    # this semantic before the serve redesign).
+                    for feedline_report in report.feedline_reports.values():
+                        feedline_report.calibration_cached = False
+            wall = time.perf_counter() - wall_start
+            self._cycle_runs += 1
+            # Advance the session drift clock (per-feedline shots served).
+            self._session_shots += n_shots
+            if self._runs_since_recal is not None:
+                self._runs_since_recal += 1
+            recalibrated = self._maybe_recalibrate(report, drift_model)
+        except BaseException:
+            # An exception escaping mid-run must not leak the shard pool
+            # or the session-private registry; release both exactly as a
+            # failed warm() does. The session re-warms on the next run.
+            self.close()
+            raise
         self.stats.record(
             report, wall, calibration_cached=cycle_cached,
             recalibrated=recalibrated,
@@ -603,13 +679,22 @@ class ReadoutService:
         from repro.physics.drift import DriftModel
 
         model = drift_model if drift_model is not None else DriftModel()
+        gate = (
+            self._recal_gate
+            if self._recal_gate is not None
+            else contextlib.nullcontext()
+        )
         recal_start = time.perf_counter()
-        if self._runner is not None:
-            self._runner.recalibrate(
-                model, self._session_shots, profile=self._recal_profile()
-            )
-        else:
-            self._recalibrate_single_feedline(model)
+        # The gate (a fleet-shared lock) serializes refits across
+        # tenants: one tenant's drift storm queues here instead of
+        # saturating the shared shard pool with calibration tasks.
+        with gate:
+            if self._runner is not None:
+                self._runner.recalibrate(
+                    model, self._session_shots, profile=self._recal_profile()
+                )
+            else:
+                self._recalibrate_single_feedline(model)
         self.stats.recal_seconds += time.perf_counter() - recal_start
         self.stats.recalibrations += 1
         self._runs_since_recal = 0

@@ -1,0 +1,977 @@
+"""repro.fleet: fleet spec round-trips, fair-share scheduling, shared
+shard pools, multi-tenant isolation, and the `repro fleet` CLI."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.cli as cli
+from repro.config import Profile
+from repro.discriminators.mlr import MLRDiscriminator
+from repro.exceptions import ConfigurationError, DataError
+from repro.fleet import (
+    FairShareScheduler,
+    FleetPoolSpec,
+    FleetSLOSpec,
+    FleetSpec,
+    ReadoutFleet,
+    TenantShare,
+    TenantSpec,
+)
+from repro.pipeline import CalibrationRegistry
+from repro.pipeline.cluster import (
+    MultiFeedlineRunner,
+    SharedShardPool,
+)
+from repro.serve import (
+    BatchingSpec,
+    CalibrationSpec,
+    ClusterSpec,
+    DriftSpec,
+    ReadoutService,
+    RecalibrationSpec,
+    ServeSpec,
+    TrafficSpec,
+)
+
+
+def tiny_profile(**overrides) -> Profile:
+    """A fast sizing profile for fleet tests (not a named CLI profile)."""
+    params = dict(
+        name="tiny",
+        shots_per_state=10,
+        calibration_shots=100,
+        nn_epochs=8,
+        fnn_epochs=2,
+        batch_size=64,
+        qec_shots=10,
+        qudit_shots=10,
+        spectral_max_points=100,
+        seed=701,
+    )
+    params.update(overrides)
+    return Profile(**params)
+
+
+def tiny_serve(
+    feedlines: int = 1, workers: int | None = None, **traffic
+) -> ServeSpec:
+    """A light two-qubit spec for fast tenant sessions."""
+    params = dict(shots=40, chunk_size=20, **traffic)
+    return ServeSpec(
+        traffic=TrafficSpec(**params),
+        cluster=ClusterSpec(
+            feedlines=feedlines, workers=workers, qubits_per_feedline=2
+        ),
+        batching=BatchingSpec(batch_size=20),
+    )
+
+
+def tiny_fleet(tenants: dict[str, TenantSpec], **pool) -> FleetSpec:
+    params = dict(executor="thread", workers=1, oversubscription=4.0)
+    params.update(pool)
+    return FleetSpec(pool=FleetPoolSpec(**params), tenants=tenants)
+
+
+class TestFleetSpecRoundTrip:
+    def test_minimal_spec_dict_round_trip(self):
+        spec = FleetSpec(tenants={"alpha": TenantSpec()})
+        assert FleetSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_serializable(self):
+        spec = FleetSpec(tenants={"alpha": TenantSpec()})
+        payload = json.dumps(spec.to_dict(), allow_nan=False)
+        assert FleetSpec.from_dict(json.loads(payload)) == spec
+
+    def test_non_default_spec_round_trips_every_field(self):
+        spec = FleetSpec(
+            pool=FleetPoolSpec(
+                executor="process",
+                workers=3,
+                oversubscription=1.5,
+                registry_dir="/tmp/fleet-reg",
+                max_tenants=7,
+            ),
+            tenants={
+                "alpha": TenantSpec(
+                    serve=tiny_serve(feedlines=2),
+                    slo=FleetSLOSpec(
+                        p99_budget_multiplier=250.0,
+                        min_share=0.25,
+                        max_share=0.75,
+                        priority=4,
+                    ),
+                ),
+                "beta.v2": TenantSpec(
+                    serve=tiny_serve(seed=99),
+                    slo=FleetSLOSpec(priority=2),
+                ),
+            },
+        )
+        assert FleetSpec.from_dict(spec.to_dict()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = FleetSpec(tenants={"alpha": TenantSpec(serve=tiny_serve())})
+        path = spec.to_file(tmp_path / "fleet.json")
+        assert FleetSpec.from_file(path) == spec
+
+    def test_tenant_declaration_order_is_preserved(self):
+        spec = FleetSpec(
+            tenants={"z": TenantSpec(), "a": TenantSpec(), "m": TenantSpec()}
+        )
+        assert spec.tenant_names == ("z", "a", "m")
+        rebuilt = FleetSpec.from_dict(spec.to_dict())
+        assert rebuilt.tenant_names == ("z", "a", "m")
+
+    def test_example_fleet_spec_file_parses(self):
+        path = Path(__file__).resolve().parents[1] / "examples"
+        spec = FleetSpec.from_file(path / "fleet_spec.json")
+        assert spec.tenant_names == ("alpha", "beta")
+        assert spec.pool.executor == "process"
+
+
+class TestFleetSpecValidation:
+    def test_from_dict_reports_every_problem_at_once(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            FleetSpec.from_dict(
+                {
+                    "pool": {"executor": "gpu", "workers": 0},
+                    "tenants": {
+                        "alpha": {
+                            "serve": {"traffic": {"shots": 0}},
+                            "slo": {"priority": 0, "min_share": 2},
+                        },
+                        "beta": {"bogus": 1},
+                    },
+                    "mystery": {},
+                }
+            )
+        message = str(excinfo.value)
+        for fragment in (
+            "pool.executor",
+            "pool.workers",
+            "tenants.alpha.serve.traffic.shots",
+            "tenants.alpha.slo.priority",
+            "tenants.alpha.slo.min_share",
+            "tenants.beta.bogus",
+            "mystery: unknown section",
+        ):
+            assert fragment in message, fragment
+        assert len(excinfo.value.problems) >= 7
+
+    def test_missing_tenants_section_rejected(self):
+        with pytest.raises(ConfigurationError, match="tenants"):
+            FleetSpec.from_dict({"pool": {}})
+
+    def test_empty_tenants_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            FleetSpec(tenants={})
+
+    def test_tenant_name_must_be_registry_slug(self):
+        with pytest.raises(ConfigurationError, match="registry slug"):
+            FleetSpec(tenants={"-bad/name": TenantSpec()})
+
+    def test_min_shares_must_sum_to_at_most_one(self):
+        with pytest.raises(ConfigurationError, match="sum to <= 1"):
+            FleetSpec(
+                tenants={
+                    "a": TenantSpec(slo=FleetSLOSpec(min_share=0.6)),
+                    "b": TenantSpec(slo=FleetSLOSpec(min_share=0.6)),
+                }
+            )
+
+    def test_min_share_above_max_share_rejected(self):
+        with pytest.raises(ConfigurationError, match="min_share"):
+            FleetSLOSpec(min_share=0.8, max_share=0.5)
+
+    def test_oversubscription_below_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="oversubscription"):
+            FleetPoolSpec(oversubscription=0.5)
+
+    def test_fleet_rejects_non_spec(self):
+        with pytest.raises(ConfigurationError, match="FleetSpec"):
+            ReadoutFleet({"tenants": {}})
+
+
+class TestFairShareScheduler:
+    def shares(self, *specs) -> list[TenantShare]:
+        return [TenantShare(**spec) for spec in specs]
+
+    def drain_order(self, scheduler, shots=10, limit=100) -> list[str]:
+        order = []
+        while len(order) < limit:
+            request = scheduler.next()
+            if request is None:
+                break
+            scheduler.observe(request.tenant, shots)
+            order.append(request.tenant)
+        return order
+
+    def test_weighted_ratio_is_deterministic(self):
+        scheduler = FairShareScheduler(
+            self.shares({"name": "a", "weight": 2}, {"name": "b"})
+        )
+        for _ in range(6):
+            scheduler.submit("a")
+            scheduler.submit("b")
+        order = self.drain_order(scheduler, limit=6)
+        # Stride order over served/weight with declaration-order ties.
+        assert order == ["a", "b", "a", "a", "b", "a"]
+
+    def test_min_share_floor_preempts_priorities(self):
+        scheduler = FairShareScheduler(
+            self.shares(
+                {"name": "heavy", "weight": 100},
+                {"name": "floored", "weight": 1, "min_share": 0.5},
+            )
+        )
+        for _ in range(4):
+            scheduler.submit("heavy")
+            scheduler.submit("floored")
+        order = self.drain_order(scheduler)
+        assert order[0] == "floored", "deficit floor outranks any weight"
+        # The floor holds throughout: floored never drops below half.
+        assert order.count("floored") == 4
+
+    def test_starvation_free_under_extreme_weights(self):
+        scheduler = FairShareScheduler(
+            self.shares(
+                {"name": "vip", "weight": 1000},
+                {"name": "low", "weight": 1, "min_share": 0.05},
+            )
+        )
+        for _ in range(20):
+            scheduler.submit("vip")
+        scheduler.submit("low")
+        order = self.drain_order(scheduler)
+        assert "low" in order[:2], "floored tenant served near the front"
+
+    def test_max_share_cap_is_work_conserving(self):
+        scheduler = FairShareScheduler(
+            self.shares({"name": "capped", "weight": 1, "max_share": 0.5})
+        )
+        for _ in range(3):
+            scheduler.submit("capped")
+        # Alone with work, a capped tenant still runs: capacity is
+        # never idled to enforce a cap.
+        assert self.drain_order(scheduler) == ["capped"] * 3
+
+    def test_max_share_passes_over_while_others_have_work(self):
+        scheduler = FairShareScheduler(
+            self.shares(
+                {"name": "capped", "weight": 10, "max_share": 0.4},
+                {"name": "other", "weight": 1},
+            )
+        )
+        for _ in range(5):
+            scheduler.submit("capped")
+            scheduler.submit("other")
+        order = self.drain_order(scheduler, limit=10)
+        # However heavy, 'capped' cannot exceed ~40% of served shots
+        # while 'other' has pending work.
+        assert order.count("capped") <= 5
+        assert order.count("other") >= 5
+
+    def test_queue_is_fifo_within_a_tenant(self):
+        scheduler = FairShareScheduler(self.shares({"name": "a"}))
+        for seed in (11, 22, 33):
+            scheduler.submit("a", seed=seed)
+        seeds = []
+        while True:
+            request = scheduler.next()
+            if request is None:
+                break
+            seeds.append(request.seed)
+        assert seeds == [11, 22, 33]
+
+    def test_eligible_filter_restricts_choice(self):
+        scheduler = FairShareScheduler(
+            self.shares({"name": "a", "weight": 5}, {"name": "b"})
+        )
+        scheduler.submit("a")
+        scheduler.submit("b")
+        request = scheduler.next(eligible={"b"})
+        assert request.tenant == "b"
+        assert scheduler.next(eligible=set()) is None
+
+    def test_pending_and_served_accounting(self):
+        scheduler = FairShareScheduler(
+            self.shares({"name": "a"}, {"name": "b"})
+        )
+        scheduler.submit("a")
+        scheduler.submit("a")
+        assert scheduler.pending() == 2
+        assert scheduler.pending("a") == 2
+        assert scheduler.pending("b") == 0
+        request = scheduler.next()
+        scheduler.observe(request.tenant, 40)
+        assert scheduler.pending("a") == 1
+        assert scheduler.served() == {"a": 40, "b": 0}
+
+    def test_rejects_duplicates_empty_and_bad_weight(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            FairShareScheduler(self.shares({"name": "a"}, {"name": "a"}))
+        with pytest.raises(ConfigurationError, match="at least one"):
+            FairShareScheduler([])
+        with pytest.raises(ConfigurationError, match="weight"):
+            FairShareScheduler(self.shares({"name": "a", "weight": 0}))
+
+    def test_unknown_tenant_submit_rejected(self):
+        scheduler = FairShareScheduler(self.shares({"name": "a"}))
+        with pytest.raises(ConfigurationError, match="unknown tenant"):
+            scheduler.submit("ghost")
+
+
+class TestSharedShardPool:
+    def test_capacity_and_lease_accounting(self):
+        with SharedShardPool("thread", 2, oversubscription=2.0) as pool:
+            assert pool.capacity == 4
+            first = pool.lease("a", 2)
+            second = pool.lease("b", 2)
+            assert pool.leased_workers == 4
+            assert pool.n_leases == 2
+            with pytest.raises(
+                ConfigurationError, match="already claimed"
+            ):
+                pool.lease("c", 1)
+            first.close()
+            assert pool.leased_workers == 2
+            third = pool.lease("c", 1)
+            assert third.workers == 1
+            second.close()
+            third.close()
+            assert pool.n_leases == 0
+
+    def test_demand_beyond_workers_rejected_outright(self):
+        with SharedShardPool("thread", 1, oversubscription=8.0) as pool:
+            with pytest.raises(ConfigurationError, match="never be"):
+                pool.lease("greedy", 4)
+
+    def test_closed_pool_rejects_leases(self):
+        pool = SharedShardPool("thread", 1)
+        pool.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.lease("late", 1)
+        pool.close()  # idempotent
+
+    def test_lease_map_windows_to_leased_workers(self):
+        # The backend has 2 workers but the lease holds 1: no more than
+        # one task of this lease may ever run concurrently.
+        with SharedShardPool("thread", 2) as pool:
+            lease = pool.lease("narrow", 1)
+            state = {"active": 0, "peak": 0}
+            gate = threading.Lock()
+
+            def tracked(task):
+                with gate:
+                    state["active"] += 1
+                    state["peak"] = max(state["peak"], state["active"])
+                time.sleep(0.01)
+                with gate:
+                    state["active"] -= 1
+                return task
+
+            assert lease.map(tracked, list(range(4))) == [0, 1, 2, 3]
+            assert state["peak"] == 1
+
+    def test_released_lease_map_raises(self):
+        with SharedShardPool("thread", 1) as pool:
+            lease = pool.lease("a", 1)
+            lease.close()
+            with pytest.raises(ConfigurationError, match="released"):
+                lease.map(lambda t: t, [1])
+
+    def test_runner_close_leaves_shared_pool_usable(self):
+        from repro.physics.device import multi_feedline_chips
+
+        chips = multi_feedline_chips(2, n_qubits=2, trace_len=120)
+        with SharedShardPool("thread", 1) as pool:
+            lease = pool.lease("tenant", 1)
+            runner = MultiFeedlineRunner(
+                chips, tiny_profile(), pool=lease
+            )
+            assert runner.executor == pool.executor
+            runner.close()
+            # The runner never tears down an injected lease's backend.
+            assert lease.map(lambda t: t * 2, [1, 2]) == [2, 4]
+            lease.close()
+
+
+class TestClusterReportPlacement:
+    def test_report_records_feedline_placement(self, tmp_path):
+        spec = ServeSpec(
+            traffic=TrafficSpec(shots=20, chunk_size=10),
+            cluster=ClusterSpec(
+                feedlines=2, executor="serial", qubits_per_feedline=2
+            ),
+            batching=BatchingSpec(batch_size=10),
+            calibration=CalibrationSpec(
+                registry_dir=str(tmp_path / "registry")
+            ),
+        )
+        with ReadoutService(spec, profile=tiny_profile()) as service:
+            report = service.run()
+        assert set(report.placement) == {"feedline-0", "feedline-1"}
+        assert sorted(report.placement.values()) == [0, 1]
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["placement"] == report.placement
+
+
+class TestServiceStatsDriftColumns:
+    def test_format_table_has_drift_alarm_recal_columns(self):
+        from repro.pipeline import PipelineReport
+        from repro.serve import ServiceStats
+
+        stats = ServiceStats()
+        quiet = PipelineReport(
+            n_shots=10,
+            n_batches=1,
+            wall_seconds=0.1,
+            shots_per_second=100.0,
+            stage_summaries={},
+            accuracy=0.9,
+            calibration_cached=True,
+        )
+        stats.record(quiet, 0.1)
+        noisy = PipelineReport(
+            n_shots=10,
+            n_batches=1,
+            wall_seconds=0.1,
+            shots_per_second=100.0,
+            stage_summaries={},
+            accuracy=0.8,
+            calibration_cached=True,
+            drift_score=0.123,
+            drift_alarm=True,
+        )
+        stats.record(noisy, 0.1, recalibrated=True)
+        text = stats.format_table()
+        header = text.splitlines()[1]
+        for column in ("drift", "alarm", "recal"):
+            assert column in header, column
+        rows = text.splitlines()[3:5]
+        assert rows[0].split()[-3:] == ["-", "-", "-"]
+        assert rows[1].split()[-3:] == ["0.123", "ALARM", "yes"]
+
+
+class TestRunFailureCleanup:
+    def test_failed_run_releases_pool_and_temp_registry(self, monkeypatch):
+        # Satellite of the failed-warm contract: an exception escaping
+        # mid-run must release the session like a failed warm() does.
+        spec = ServeSpec(
+            traffic=TrafficSpec(shots=20, chunk_size=10),
+            cluster=ClusterSpec(
+                feedlines=2, executor="thread", qubits_per_feedline=2
+            ),
+            batching=BatchingSpec(batch_size=10),
+        )
+        service = ReadoutService(spec, profile=tiny_profile())
+        service.warm()
+        private_root = service.registry_dir
+        assert private_root is not None and Path(private_root).is_dir()
+
+        def exploding_run(runner_self, *args, **kwargs):
+            raise DataError("feedline shard died mid-run")
+
+        monkeypatch.setattr(MultiFeedlineRunner, "run", exploding_run)
+        with pytest.raises(DataError):
+            service.run()
+        assert service._runner is None
+        assert service.registry_dir is None
+        assert not Path(private_root).exists()
+
+    def test_bad_run_args_do_not_tear_down_the_session(self, tmp_path):
+        spec = ServeSpec(
+            traffic=TrafficSpec(shots=20, chunk_size=10),
+            cluster=ClusterSpec(qubits_per_feedline=2),
+            batching=BatchingSpec(batch_size=10),
+            calibration=CalibrationSpec(
+                registry_dir=str(tmp_path / "registry")
+            ),
+        )
+        with ReadoutService(spec, profile=tiny_profile()) as service:
+            service.warm()
+            with pytest.raises(ConfigurationError, match="shots"):
+                service.run(shots=0)
+            # Argument validation is not a serving failure: the session
+            # stays warm and keeps serving.
+            assert service.run().n_shots == 20
+
+
+def _has_fork() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return False
+    return True
+
+
+class TestSharedRegistrySessions:
+    """Two independent sessions over one on-disk registry root."""
+
+    def shared_spec(self, root: Path, **traffic) -> ServeSpec:
+        params = dict(shots=40, chunk_size=20, seed=4242)
+        params.update(traffic)
+        return ServeSpec(
+            traffic=TrafficSpec(**params),
+            cluster=ClusterSpec(qubits_per_feedline=2),
+            batching=BatchingSpec(batch_size=20),
+            calibration=CalibrationSpec(registry_dir=str(root)),
+        )
+
+    def test_concurrent_thread_sessions_fit_once(
+        self, tmp_path, monkeypatch
+    ):
+        fits: list[int] = []
+        original_fit = MLRDiscriminator.fit
+
+        def counting_fit(disc, corpus, indices):
+            fits.append(1)
+            time.sleep(0.2)  # widen the cold-fit race window
+            return original_fit(disc, corpus, indices)
+
+        monkeypatch.setattr(MLRDiscriminator, "fit", counting_fit)
+        spec = self.shared_spec(tmp_path / "registry")
+        services = [
+            ReadoutService(spec, profile=tiny_profile()) for _ in range(2)
+        ]
+        barrier = threading.Barrier(2)
+        errors: list[BaseException] = []
+
+        def warm(service):
+            try:
+                barrier.wait(timeout=30)
+                service.warm()
+            except BaseException as exc:  # pragma: no cover - surfaced
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=warm, args=(service,))
+            for service in services
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        try:
+            assert len(fits) == 1, (
+                "two sessions racing one cold key must fit exactly once"
+            )
+            # Both warmed sessions serve identical seeded traffic.
+            reports = [service.run() for service in services]
+            counts = [r.assignment_counts for r in reports]
+            assert counts[0] == counts[1]
+        finally:
+            for service in services:
+                service.close()
+
+    @pytest.mark.skipif(not _has_fork(), reason="needs fork start method")
+    def test_concurrent_fork_sessions_fit_once(self, tmp_path):
+        root = tmp_path / "registry"
+        spec_file = self.shared_spec(root).to_file(tmp_path / "spec.json")
+
+        def worker(index: int) -> None:
+            ready = tmp_path / f"ready-{index}"
+            ready.touch()
+            deadline = time.monotonic() + 20.0
+            while not all(
+                (tmp_path / f"ready-{i}").exists() for i in range(2)
+            ):
+                if time.monotonic() > deadline:  # pragma: no cover
+                    raise RuntimeError("barrier timed out")
+                time.sleep(0.005)
+            spec = ServeSpec.from_file(spec_file)
+            with ReadoutService(spec, profile=tiny_profile()) as service:
+                report = service.run()
+            out = {
+                "cold_fits": service.stats.cold_fits,
+                "assignment_counts": report.assignment_counts,
+            }
+            (tmp_path / f"out-{index}.json").write_text(json.dumps(out))
+
+        ctx = multiprocessing.get_context("fork")
+        children = [
+            ctx.Process(target=worker, args=(index,)) for index in range(2)
+        ]
+        for child in children:
+            child.start()
+        for child in children:
+            child.join(timeout=300)
+        try:
+            assert all(child.exitcode == 0 for child in children)
+        finally:
+            for child in children:
+                if child.is_alive():  # pragma: no cover - hang guard
+                    child.kill()
+        outs = [
+            json.loads((tmp_path / f"out-{i}.json").read_text())
+            for i in range(2)
+        ]
+        assert sum(out["cold_fits"] for out in outs) == 1, (
+            "flock dedup: exactly one process pays the cold fit"
+        )
+        assert outs[0]["assignment_counts"] == outs[1]["assignment_counts"]
+
+    def test_recal_by_one_session_never_changes_the_other(self, tmp_path):
+        root = tmp_path / "registry"
+        quiet_spec = self.shared_spec(root)
+        with ReadoutService(
+            quiet_spec, profile=tiny_profile()
+        ) as quiet:
+            before = quiet.run().assignment_counts
+            assert quiet.artifact_versions() == {"feedline-0": 0}
+
+            # A second session on the same key drifts, alarms, and hot
+            # recalibrates: version 1 lands in the shared registry.
+            noisy_spec = ServeSpec(
+                traffic=TrafficSpec(shots=60, chunk_size=30),
+                cluster=ClusterSpec(qubits_per_feedline=2),
+                batching=BatchingSpec(batch_size=30),
+                calibration=CalibrationSpec(registry_dir=str(root)),
+                drift=DriftSpec(if_detune_ghz_per_kshot=8e-5),
+                recalibration=RecalibrationSpec(
+                    enabled=True,
+                    threshold=1e-6,
+                    min_shots=0,
+                    max_recalibrations=1,
+                ),
+            )
+            with ReadoutService(
+                noisy_spec, profile=tiny_profile()
+            ) as noisy:
+                noisy.run()
+                assert noisy.stats.recalibrations == 1
+                assert noisy.artifact_versions() == {"feedline-0": 1}
+
+            versions_on_disk = {
+                key.version for key in CalibrationRegistry(root).keys()
+            }
+            assert versions_on_disk == {0, 1}
+            # The warm first session is untouched mid-run: same served
+            # artifact version, bit-identical seeded traffic results.
+            assert quiet.artifact_versions() == {"feedline-0": 0}
+            assert quiet.run().assignment_counts == before
+
+
+class TestReadoutFleet:
+    def test_warm_submit_drain_lifecycle(self):
+        spec = tiny_fleet(
+            {
+                "alpha": TenantSpec(serve=tiny_serve()),
+                "beta": TenantSpec(serve=tiny_serve()),
+            }
+        )
+        with ReadoutFleet(spec, profile=tiny_profile()) as fleet:
+            assert fleet.tenants == ("alpha", "beta")
+            root = Path(fleet.registry_dir)
+            assert root.is_dir()
+            for name in fleet.tenants:
+                fleet.submit(name)
+            records = fleet.drain()
+            assert [r.tenant for r in records] == ["alpha", "beta"]
+            assert fleet.stats.completed_runs == 2
+            assert fleet.pending() == 0
+            # Namespaced artifacts: each tenant owns a disjoint device
+            # directory under the one shared root.
+            prefixes = {
+                d.name.split(".")[0] for d in root.iterdir() if d.is_dir()
+            }
+            assert prefixes == {"alpha", "beta"}
+        assert not root.exists(), "fleet-private registry cleaned on close"
+
+    def test_admission_rejects_demand_beyond_pool(self):
+        spec = tiny_fleet(
+            {
+                "fits": TenantSpec(serve=tiny_serve()),
+                "greedy": TenantSpec(
+                    serve=tiny_serve(feedlines=4, workers=4)
+                ),
+            }
+        )
+        with ReadoutFleet(spec, profile=tiny_profile()) as fleet:
+            assert fleet.tenants == ("fits",)
+            assert fleet.stats.rejected == ("greedy",)
+            reason = fleet.stats.tenants["greedy"].rejection_reason
+            assert "4 workers" in reason
+            with pytest.raises(ConfigurationError, match="rejected"):
+                fleet.submit("greedy")
+            with pytest.raises(ConfigurationError, match="unknown tenant"):
+                fleet.submit("ghost")
+            table = fleet.stats.format_table()
+            assert "rejected" in table and "greedy" in table
+
+    def test_max_tenants_caps_admission(self):
+        spec = tiny_fleet(
+            {
+                "a": TenantSpec(serve=tiny_serve()),
+                "b": TenantSpec(serve=tiny_serve()),
+            },
+            max_tenants=1,
+        )
+        with ReadoutFleet(spec, profile=tiny_profile()) as fleet:
+            assert fleet.tenants == ("a",)
+            assert "max_tenants" in (
+                fleet.stats.tenants["b"].rejection_reason
+            )
+
+    def test_no_admissible_tenant_raises_with_reasons(self):
+        spec = tiny_fleet(
+            {"greedy": TenantSpec(serve=tiny_serve(feedlines=4, workers=4))}
+        )
+        fleet = ReadoutFleet(spec, profile=tiny_profile())
+        with pytest.raises(ConfigurationError, match="no tenant"):
+            fleet.warm()
+        assert fleet.registry_dir is None, "failed warm leaks nothing"
+
+    def test_assignment_counts_bit_identical_alone_vs_in_fleet(
+        self, tmp_path
+    ):
+        serve_spec = ServeSpec(
+            traffic=TrafficSpec(shots=40, chunk_size=20, seed=2026),
+            cluster=ClusterSpec(qubits_per_feedline=2),
+            batching=BatchingSpec(batch_size=20),
+            calibration=CalibrationSpec(
+                registry_dir=str(tmp_path / "solo-registry")
+            ),
+        )
+        with ReadoutService(
+            serve_spec, profile=tiny_profile()
+        ) as solo:
+            alone = solo.run().assignment_counts
+        spec = tiny_fleet(
+            {
+                "target": TenantSpec(serve=serve_spec),
+                "neighbor": TenantSpec(serve=tiny_serve(seed=777)),
+            }
+        )
+        with ReadoutFleet(spec, profile=tiny_profile()) as fleet:
+            fleet.submit("neighbor")
+            fleet.drain()
+            in_fleet = fleet.service("target").run().assignment_counts
+        assert in_fleet == alone, (
+            "tenant traffic must not depend on fleet co-residents"
+        )
+
+    def test_tenant_recal_never_alters_other_tenants_artifacts(self):
+        noisy_serve = ServeSpec(
+            traffic=TrafficSpec(shots=60, chunk_size=30),
+            cluster=ClusterSpec(qubits_per_feedline=2),
+            batching=BatchingSpec(batch_size=30),
+            drift=DriftSpec(if_detune_ghz_per_kshot=8e-5),
+            recalibration=RecalibrationSpec(
+                enabled=True,
+                threshold=1e-6,
+                min_shots=0,
+                max_recalibrations=1,
+            ),
+        )
+        spec = tiny_fleet(
+            {
+                "quiet": TenantSpec(serve=tiny_serve(seed=31)),
+                "noisy": TenantSpec(serve=noisy_serve),
+            }
+        )
+        with ReadoutFleet(spec, profile=tiny_profile()) as fleet:
+            fleet.submit("quiet")
+            fleet.drain()
+            before = fleet.service("quiet").run().assignment_counts
+            fleet.submit("noisy")
+            fleet.drain()
+            assert fleet.stats.tenants["noisy"].recalibrations == 1
+            assert fleet.service("noisy").artifact_versions() == {
+                "feedline-0": 1
+            }
+            # The other tenant's namespace is untouched: same version,
+            # bit-identical seeded results after the neighbor's recal.
+            assert fleet.service("quiet").artifact_versions() == {
+                "feedline-0": 0
+            }
+            assert fleet.service("quiet").run().assignment_counts == before
+            registry = CalibrationRegistry(fleet.registry_dir)
+            quiet_versions = {
+                key.version
+                for key in registry.keys()
+                if key.device.startswith("quiet.")
+            }
+            assert quiet_versions == {0}
+
+    def test_oversubscribed_drain_throttles_but_never_starves(self):
+        spec = tiny_fleet(
+            {
+                "high": TenantSpec(
+                    serve=tiny_serve(), slo=FleetSLOSpec(priority=4)
+                ),
+                "mid": TenantSpec(
+                    serve=tiny_serve(), slo=FleetSLOSpec(priority=2)
+                ),
+                "low": TenantSpec(
+                    serve=tiny_serve(),
+                    slo=FleetSLOSpec(priority=1, min_share=0.1),
+                ),
+            }
+        )
+        with ReadoutFleet(spec, profile=tiny_profile()) as fleet:
+            for _ in range(3):
+                for name in fleet.tenants:
+                    fleet.submit(name)
+            records = fleet.drain(max_runs=5)
+            assert len(records) == 5
+            assert fleet.pending() == 4, "budget leaves the rest queued"
+            runs = {
+                name: fleet.stats.tenants[name].n_runs
+                for name in fleet.tenants
+            }
+            assert runs["high"] >= runs["mid"] >= runs["low"] >= 1
+            # The floor dispatched 'low' first, so its queue wait stays
+            # bounded by the drain that served it.
+            low = fleet.stats.tenants["low"]
+            assert (
+                low.max_queue_wait_seconds
+                <= fleet.stats.drain_wall_seconds + 1.0
+            )
+            # A later drain serves the remainder: throttled, not lost.
+            fleet.drain()
+            assert fleet.pending() == 0
+            assert fleet.stats.completed_runs == 9
+
+    def test_stats_to_dict_is_strict_json(self):
+        spec = tiny_fleet(
+            {
+                "served": TenantSpec(serve=tiny_serve()),
+                "greedy": TenantSpec(
+                    serve=tiny_serve(feedlines=4, workers=4)
+                ),
+            }
+        )
+        with ReadoutFleet(spec, profile=tiny_profile()) as fleet:
+            fleet.submit("served")
+            fleet.drain()
+            payload = json.loads(
+                json.dumps(fleet.stats.to_dict(), allow_nan=False)
+            )
+        assert payload["completed_runs"] == 1
+        assert payload["admitted"] == ["served"]
+        assert payload["admission_rejections"][0]["tenant"] == "greedy"
+        tenant = payload["tenants"]["served"]
+        assert tenant["slo_violation_fraction"] == 0.0
+        assert tenant["runs"][0]["slo_violation"] is False
+        # The rejected tenant serializes null percentiles, never NaN.
+        assert payload["tenants"]["greedy"]["p99_per_shot_ns"] is None
+
+    def test_close_then_rewarm_readmits(self):
+        spec = tiny_fleet({"solo": TenantSpec(serve=tiny_serve())})
+        fleet = ReadoutFleet(spec, profile=tiny_profile())
+        fleet.submit("solo")
+        fleet.drain()
+        fleet.close()
+        fleet.submit("solo")
+        fleet.drain()
+        fleet.close()
+        assert fleet.stats.tenants["solo"].n_runs == 2
+
+
+class TestFleetCLI:
+    @pytest.fixture
+    def fleet_spec_file(self, tmp_path):
+        serve = ServeSpec(
+            traffic=TrafficSpec(shots=60, chunk_size=30),
+            cluster=ClusterSpec(qubits_per_feedline=2),
+            batching=BatchingSpec(batch_size=30),
+            calibration=CalibrationSpec(profile="quick"),
+        )
+        spec = FleetSpec(
+            pool=FleetPoolSpec(
+                executor="thread",
+                workers=1,
+                oversubscription=2.0,
+                registry_dir=str(tmp_path / "registry"),
+            ),
+            tenants={
+                "alpha": TenantSpec(
+                    serve=serve, slo=FleetSLOSpec(priority=2)
+                ),
+                "beta": TenantSpec(serve=serve),
+            },
+        )
+        return str(spec.to_file(tmp_path / "fleet.json"))
+
+    def test_fleet_runs_and_writes_json(
+        self, capsys, tmp_path, fleet_spec_file
+    ):
+        out_path = tmp_path / "fleet-session.json"
+        code = cli.main(
+            [
+                "fleet",
+                "--spec",
+                fleet_spec_file,
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "readout fleet" in out
+        assert "warmed in" in out
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"spec", "fleet"}
+        assert FleetSpec.from_dict(payload["spec"]).tenant_names == (
+            "alpha",
+            "beta",
+        )
+        fleet = payload["fleet"]
+        assert fleet["admitted"] == ["alpha", "beta"]
+        assert fleet["completed_runs"] == 2
+        for name in ("alpha", "beta"):
+            tenant = fleet["tenants"][name]
+            assert tenant["n_runs"] == 1
+            assert tenant["runs"][0]["n_shots"] == 60
+            assert "slo_violation_fraction" in tenant
+
+    def test_fleet_tenant_filter_and_unknown_name(
+        self, capsys, tmp_path, fleet_spec_file
+    ):
+        out_path = tmp_path / "filtered.json"
+        code = cli.main(
+            [
+                "fleet",
+                "--spec",
+                fleet_spec_file,
+                "--tenants",
+                "beta",
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["fleet"]["tenants"]["beta"]["n_runs"] == 1
+        assert payload["fleet"]["tenants"]["alpha"]["n_runs"] == 0
+        with pytest.raises(ConfigurationError, match="ghost"):
+            cli.main(
+                ["fleet", "--spec", fleet_spec_file, "--tenants", "ghost"]
+            )
+
+    def test_fleet_rejects_bad_runs(self, fleet_spec_file):
+        with pytest.raises(ConfigurationError, match="runs"):
+            cli.main(
+                ["fleet", "--spec", fleet_spec_file, "--runs", "0"]
+            )
+
+    def test_fleet_help_exits_0(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["fleet", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--spec" in out
+        assert "--tenants" in out
+
+    def test_list_mentions_fleet(self, capsys):
+        assert cli.main(["list"]) == 0
+        assert "fleet" in capsys.readouterr().out
