@@ -8,7 +8,33 @@ import numpy as np
 
 from repro.exceptions import ShapeError
 
-__all__ = ["check_random_state", "as_2d_float", "as_1d_int", "child_rng"]
+__all__ = [
+    "check_random_state",
+    "as_2d_float",
+    "as_1d_int",
+    "child_rng",
+    "json_finite",
+]
+
+
+def json_finite(value):
+    """Make ``value`` strict-JSON safe: non-finite floats become ``None``.
+
+    Strict JSON has no NaN/Infinity, and several report paths compute
+    percentiles or rates over possibly-empty windows. This recursively
+    maps ``nan``/``±inf`` floats to ``None`` (dicts, lists and tuples are
+    walked; everything else passes through), so every ``to_dict`` output
+    survives ``json.dumps(..., allow_nan=False)``.
+    """
+    if isinstance(value, float):
+        return value if np.isfinite(value) else None
+    if isinstance(value, np.floating):
+        return float(value) if np.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: json_finite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_finite(item) for item in value]
+    return value
 
 
 def check_random_state(seed: int | np.random.Generator | None) -> np.random.Generator:

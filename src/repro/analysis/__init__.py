@@ -1,0 +1,52 @@
+"""Contract-aware static analysis and lock-order detection.
+
+Two complementary correctness tools for the serving stack:
+
+- The AST lint framework (:mod:`repro.analysis.checker`,
+  :mod:`repro.analysis.rules`) machine-checks the project contracts —
+  fit-once calibration, frozen spec immutability, strict-JSON
+  finiteness, artifact-only process hand-off, exception hygiene, and
+  ``__all__`` consistency — with per-line
+  ``# repro: allow(<rule>)`` pragmas for accepted violations. Run it as
+  ``repro lint [--rules ...] [--json] [paths]``.
+- The runtime lock-order detector (:mod:`repro.analysis.lockgraph`)
+  instruments the stack's locks (armed by the ``REPRO_LOCK_DEBUG``
+  environment flag) to record the per-thread lock-acquisition graph,
+  flag cycles and acquire-while-holding inversions — the flock
+  calibration sidecar included — and dump witness traces.
+"""
+
+from repro.analysis.checker import (
+    Checker,
+    check_source,
+    get_rules,
+    lint_paths,
+    register_rule,
+    rule_names,
+)
+from repro.analysis.findings import Finding, pragma_allowances
+from repro.analysis.lockgraph import (
+    GLOBAL_GRAPH,
+    LockGraph,
+    LockOrderError,
+    LockOrderViolation,
+    TracedLock,
+    trace_lock,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "check_source",
+    "get_rules",
+    "lint_paths",
+    "pragma_allowances",
+    "register_rule",
+    "rule_names",
+    "GLOBAL_GRAPH",
+    "LockGraph",
+    "LockOrderError",
+    "LockOrderViolation",
+    "TracedLock",
+    "trace_lock",
+]

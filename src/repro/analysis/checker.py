@@ -1,0 +1,178 @@
+"""The lint framework: :class:`Checker` base, rule registry, drivers.
+
+A rule is a subclass of :class:`Checker` (an ``ast.NodeVisitor``)
+registered with :func:`register_rule`. The drivers —
+:func:`check_source` for one in-memory module, :func:`lint_paths` for
+files and directory trees — parse each module once, run every selected
+rule over the shared AST, and filter the collected findings through the
+per-line ``# repro: allow(<rule>)`` pragmas of
+:mod:`repro.analysis.findings`.
+
+Rules that need cross-statement context (the module's ``__all__``, the
+enclosing function name) gather it in ``visit_*`` methods and may also
+override :meth:`Checker.finish` for whole-module checks that only make
+sense once the full tree has been walked.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, pragma_allowances
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Checker",
+    "register_rule",
+    "rule_names",
+    "get_rules",
+    "check_source",
+    "iter_python_files",
+    "lint_paths",
+]
+
+#: Registered rule name -> checker class, in registration order.
+_RULES: dict[str, type["Checker"]] = {}
+
+
+def register_rule(cls: type["Checker"]) -> type["Checker"]:
+    """Class decorator adding a :class:`Checker` to the rule registry."""
+    if not cls.rule or cls.rule == Checker.rule:
+        raise ConfigurationError(
+            f"{cls.__name__} must define a non-default 'rule' name"
+        )
+    if cls.rule in _RULES:
+        raise ConfigurationError(f"duplicate lint rule {cls.rule!r}")
+    _RULES[cls.rule] = cls
+    return cls
+
+
+def rule_names() -> tuple[str, ...]:
+    """Registered rule names, in registration order."""
+    _ensure_rules_loaded()
+    return tuple(_RULES)
+
+
+def get_rules(names: "Sequence[str] | None" = None) -> list[type["Checker"]]:
+    """Resolve rule names to checker classes (all rules when ``None``)."""
+    _ensure_rules_loaded()
+    if names is None:
+        return list(_RULES.values())
+    resolved = []
+    for name in names:
+        if name not in _RULES:
+            known = ", ".join(_RULES)
+            raise ConfigurationError(
+                f"unknown lint rule {name!r}; registered rules: {known}"
+            )
+        resolved.append(_RULES[name])
+    return resolved
+
+
+def _ensure_rules_loaded() -> None:
+    # The project rules live in their own module; importing it populates
+    # the registry exactly once (idempotent thanks to sys.modules).
+    from repro.analysis import rules  # noqa: F401
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for one lint rule over one module's AST.
+
+    Subclasses set ``rule`` (the registry/pragma name) and
+    ``description`` (one line, shown by ``repro lint --rules help``
+    style listings), implement ``visit_*`` methods, and call
+    :meth:`report` for each violation.
+    """
+
+    rule: str = "abstract"
+    description: str = ""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.findings: list[Finding] = []
+
+    def run(self) -> list[Finding]:
+        """Walk the tree, then finish; returns the collected findings."""
+        self.visit(self.tree)
+        self.finish()
+        return self.findings
+
+    def finish(self) -> None:
+        """Whole-module checks run after the tree walk (default: none)."""
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record one violation at ``node``'s location."""
+        self.findings.append(
+            Finding(
+                rule=self.rule,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    rules: "Sequence[str] | None" = None,
+) -> list[Finding]:
+    """Lint one module's source text; returns pragma-filtered findings.
+
+    A module that does not parse yields a single ``parse-error`` finding
+    rather than aborting the whole lint run — a broken file is itself a
+    finding, not a crash.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="parse-error",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"module does not parse: {exc.msg}",
+            )
+        ]
+    allowances = pragma_allowances(source)
+    findings: list[Finding] = []
+    for checker_cls in get_rules(rules):
+        for finding in checker_cls(path, source, tree).run():
+            if finding.rule in allowances.get(finding.line, ()):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files and directory trees to a sorted ``.py`` file list."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py" and path.is_file():
+            files.add(path)
+        elif not path.exists():
+            raise ConfigurationError(f"lint path does not exist: {path}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: "Sequence[str] | None" = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` with the selected rules."""
+    get_rules(rules)  # validate rule names before any file IO
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(check_source(source, str(file_path), rules))
+    return findings

@@ -1,0 +1,116 @@
+"""The ``repro lint`` subcommand: contract-aware static analysis.
+
+::
+
+    repro lint                       # lint src/ with every rule
+    repro lint src/repro/serve       # specific paths
+    repro lint --rules fit-once,broad-except src/
+    repro lint --json lint.json src/
+    repro lint --list-rules
+
+Exit status: 0 when clean, 1 when findings remain (CI gates on it),
+2 on usage errors — the compiler convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.analysis.checker import lint_paths, rule_names
+
+__all__ = ["build_lint_parser", "run_lint"]
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro lint`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Check source trees against the project's serving-stack "
+            "contracts (fit-once calibration, frozen specs, strict-JSON "
+            "finiteness, artifact-only process hand-off, exception "
+            "hygiene, __all__ consistency). Suppress accepted findings "
+            "per line with '# repro: allow(<rule>) <reason>'."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help=(
+            "files or directory trees to lint (default: ./src when it "
+            "exists, else .)"
+        ),
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help=(
+            "comma-separated subset of rules to run "
+            f"(default: all — {', '.join(rule_names())})"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=(
+            "emit findings as a JSON record instead of text; to stdout "
+            "with no PATH"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules with their descriptions and exit",
+    )
+    return parser
+
+
+def run_lint(argv: list[str]) -> int:
+    """Entry point for ``repro lint``; returns the process exit code."""
+    from repro.analysis.checker import get_rules
+
+    args = build_lint_parser().parse_args(argv)
+    if args.list_rules:
+        for checker in get_rules():
+            print(f"{checker.rule:18s} {checker.description}")
+        return 0
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    rules = (
+        None
+        if args.rules is None
+        else [name.strip() for name in args.rules.split(",") if name.strip()]
+    )
+    findings = lint_paths(paths, rules)
+    if args.json is not None:
+        record = {
+            "paths": [str(p) for p in paths],
+            "rules": list(rules) if rules is not None else list(rule_names()),
+            "n_findings": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        payload = json.dumps(record, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+            print(f"lint record written to {args.json}")
+    else:
+        for finding in findings:
+            print(finding.format())
+    n_files = len(
+        {finding.path for finding in findings}
+    )
+    summary = (
+        "lint: clean"
+        if not findings
+        else f"lint: {len(findings)} finding(s) in {n_files} file(s)"
+    )
+    print(summary)
+    return 1 if findings else 0

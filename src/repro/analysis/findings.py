@@ -1,0 +1,67 @@
+"""Lint findings and the ``# repro: allow(<rule>)`` pragma protocol.
+
+A :class:`Finding` names one contract violation at one source location.
+Findings are suppressed per line with an inline pragma::
+
+    except Exception:  # repro: allow(broad-except) corrupt artifact recovery
+
+The pragma names one or more comma-separated rules; anything after the
+closing parenthesis is a free-text reason (recorded nowhere, but the
+convention is that a pragma without a reason is a review smell). A
+pragma on the line a statement *starts* on covers findings reported
+against that line only — blanket file-level suppression is deliberately
+not offered, so every accepted violation stays visible at its site.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Finding", "pragma_allowances"]
+
+#: Inline suppression pragma: ``# repro: allow(rule-a, rule-b) reason...``
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\(\s*([^)]*?)\s*\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """The ``path:line:col: [rule] message`` compiler-style form."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def pragma_allowances(source: str) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule names allowed on them.
+
+    Only lines carrying a pragma appear in the result. Malformed rule
+    lists (empty parentheses) yield an empty set, which allows nothing —
+    a typo'd pragma never silently widens into allow-everything.
+    """
+    allowances: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        rules = {
+            rule.strip() for rule in match.group(1).split(",") if rule.strip()
+        }
+        allowances[lineno] = rules
+    return allowances

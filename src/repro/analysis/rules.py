@@ -1,0 +1,439 @@
+"""Project-contract lint rules for the serving stack.
+
+Each rule machine-checks one invariant the runtime's correctness
+arguments lean on (see ROADMAP "Calibration-registry contract"):
+
+- ``fit-once`` — discriminator training happens only in the calibration
+  layers; serving code must go through the registry.
+- ``frozen-spec`` — frozen spec dataclasses are immutable outside their
+  own ``__post_init__``.
+- ``json-finite`` — ``to_dict``/``summary`` payloads route NaN-capable
+  floats through the :func:`repro._util.json_finite` helper so strict
+  JSON never sees a ``NaN``/``Infinity`` literal.
+- ``no-pickle-fitted`` — fitted models cross process boundaries only as
+  registry artifacts (``save_artifacts``/``load_artifacts``), never via
+  pickle.
+- ``broad-except`` — bare and blanket exception handlers are accepted
+  only with an explicit pragma (or when they re-raise).
+- ``all-consistency`` — module ``__all__`` lists match the names the
+  module actually binds.
+
+False positives are suppressed at the site with
+``# repro: allow(<rule>) <reason>`` (see :mod:`repro.analysis.findings`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import PurePosixPath
+
+from repro.analysis.checker import Checker, register_rule
+
+__all__ = [
+    "FitOnceChecker",
+    "FrozenSpecChecker",
+    "JsonFiniteChecker",
+    "NoPickleFittedChecker",
+    "BroadExceptChecker",
+    "AllConsistencyChecker",
+]
+
+
+def _module_path(path: str) -> str:
+    """The path in posix form, for suffix/segment matching."""
+    return PurePosixPath(path).as_posix()
+
+
+class _FunctionStackChecker(Checker):
+    """Checker tracking the enclosing (possibly nested) function names."""
+
+    def __init__(self, path, source, tree):
+        super().__init__(path, source, tree)
+        self._function_stack: list[str] = []
+
+    def _visit_function(self, node):
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+#: Directories/modules where discriminator training is the *job*:
+#: the discriminator implementations, the classical-ML primitives they
+#: build on, the offline experiment calibrations, and the two pipeline
+#: modules that are the sanctioned prefit/recalibration paths.
+_FIT_ALLOWED_SEGMENTS = ("repro/ml/", "repro/discriminators/", "repro/experiments/")
+_FIT_ALLOWED_SUFFIXES = ("repro/pipeline/registry.py", "repro/pipeline/runner.py")
+
+
+@register_rule
+class FitOnceChecker(_FunctionStackChecker):
+    """Training calls are confined to the calibration layers.
+
+    Serving code (``serve/``, ``fleet/``, ``pipeline/cluster.py``, the
+    CLI, ...) must obtain fitted models through
+    ``CalibrationRegistry.get_or_fit`` / ``fit_or_load_discriminator``
+    so the fit-once contract stays enforceable in one place. A ``.fit``
+    method call or a ``get_trained`` call anywhere else is a finding.
+    """
+
+    rule = "fit-once"
+    description = (
+        "no Discriminator.fit()/get_trained outside the calibration layers"
+    )
+
+    def _allowed_here(self) -> bool:
+        path = _module_path(self.path)
+        return any(seg in path for seg in _FIT_ALLOWED_SEGMENTS) or any(
+            path.endswith(suffix) for suffix in _FIT_ALLOWED_SUFFIXES
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._allowed_here():
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "fit":
+                self.report(
+                    node,
+                    "direct .fit() call outside the calibration layers; "
+                    "serve fitted models through CalibrationRegistry."
+                    "get_or_fit / fit_or_load_discriminator",
+                )
+            elif isinstance(func, ast.Name) and func.id == "get_trained":
+                self.report(
+                    node,
+                    "get_trained() outside the calibration layers; warm "
+                    "serving paths must load registry artifacts instead "
+                    "of retraining",
+                )
+        self.generic_visit(node)
+
+
+#: Spec-looking receiver names: ``spec.shots = 3``, ``serve_spec.x = y``.
+_SPEC_NAME = re.compile(r"^(spec|[a-z0-9_]*_spec)$")
+
+
+@register_rule
+class FrozenSpecChecker(_FunctionStackChecker):
+    """No mutation of frozen spec dataclasses outside ``__post_init__``.
+
+    ``object.__setattr__`` is the one sanctioned way to initialize a
+    frozen dataclass field, and only from ``__post_init__``; anywhere
+    else it is an end-run around immutability. Plain attribute
+    assignment onto a spec-named receiver (``spec.shots = n``) is the
+    same bug without the ceremony — new values must go through
+    ``dataclasses.replace``.
+    """
+
+    rule = "frozen-spec"
+    description = (
+        "no object.__setattr__ outside __post_init__, no spec field "
+        "assignment"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+            and "__post_init__" not in self._function_stack
+        ):
+            self.report(
+                node,
+                "object.__setattr__ outside __post_init__ defeats frozen-"
+                "dataclass immutability; build a new instance with "
+                "dataclasses.replace instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def _check_target(self, target: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and _SPEC_NAME.match(target.value.id)
+        ):
+            self.report(
+                target,
+                f"assignment to {target.value.id}.{target.attr} mutates a "
+                "spec; specs are frozen — derive a new one with "
+                "dataclasses.replace",
+            )
+
+
+#: Attribute/call names whose values are NaN- or inf-capable floats.
+_NAN_CAPABLE = re.compile(
+    r"(?:^|_)(?:p50|p95|p99|percentile|nan|inf|margin)(?:_|$)|per_shot",
+    re.IGNORECASE,
+)
+
+#: Call names accepted as the NaN/inf-safe JSON routing helper.
+_SAFE_WRAPPERS = {"json_finite", "_json_finite"}
+
+
+@register_rule
+class JsonFiniteChecker(_FunctionStackChecker):
+    """``to_dict``/``summary`` payloads wrap NaN-capable floats.
+
+    Percentiles, per-shot latencies, and margins are NaN by design on
+    empty runs; ``json.dumps`` happily renders them as the non-strict
+    ``NaN`` literal that downstream strict parsers reject. Any dict
+    value inside a ``to_dict``/``summary`` function that references a
+    NaN-capable name must route through
+    :func:`repro._util.json_finite` (or a ``_json_finite`` shim).
+    """
+
+    rule = "json-finite"
+    description = (
+        "to_dict/summary dict values route NaN-capable floats through "
+        "json_finite"
+    )
+
+    _PAYLOAD_FUNCTIONS = ("to_dict", "summary")
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        if any(
+            name in self._function_stack for name in self._PAYLOAD_FUNCTIONS
+        ):
+            for value in node.values:
+                culprit = self._unwrapped_nan_source(value)
+                if culprit is not None:
+                    self.report(
+                        value,
+                        f"dict value references NaN-capable {culprit!r} "
+                        "without routing through json_finite — strict "
+                        "JSON cannot carry NaN/Infinity",
+                    )
+        self.generic_visit(node)
+
+    def _unwrapped_nan_source(self, node: ast.expr) -> str | None:
+        """The first NaN-capable reference not inside a safe wrapper."""
+        if isinstance(node, ast.Call):
+            func = node.func
+            func_name = (
+                func.attr if isinstance(func, ast.Attribute) else
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if func_name in _SAFE_WRAPPERS:
+                return None  # wrapped: everything inside is routed
+            if func_name == "float" and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    if arg.value.lstrip("+-").lower() in ("nan", "inf", "infinity"):
+                        return f"float({arg.value!r})"
+        name = None
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        if name is not None and _NAN_CAPABLE.search(name):
+            return name
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                culprit = self._unwrapped_nan_source(child)
+                if culprit is not None:
+                    return culprit
+        return None
+
+
+@register_rule
+class NoPickleFittedChecker(Checker):
+    """Fitted models never travel by pickle.
+
+    The process-shard design rebuilds discriminators from calibration
+    artifacts (``save_artifacts``/``load_artifacts``); pickling fitted
+    state couples workers to in-memory object layout and silently
+    bypasses the registry's versioning. Any ``pickle`` import or
+    ``pickle.*`` call is a finding.
+    """
+
+    rule = "no-pickle-fitted"
+    description = (
+        "no pickle use; fitted state crosses processes as registry "
+        "artifacts"
+    )
+
+    _MESSAGE = (
+        "pickle is banned in the serving stack: fitted discriminators "
+        "cross process boundaries only via save_artifacts/load_artifacts"
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if any(alias.name.split(".")[0] == "pickle" for alias in node.names):
+            self.report(node, self._MESSAGE)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None and node.module.split(".")[0] == "pickle":
+            self.report(node, self._MESSAGE)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "pickle"
+        ):
+            self.report(node, self._MESSAGE)
+        self.generic_visit(node)
+
+
+@register_rule
+class BroadExceptChecker(Checker):
+    """Blanket exception handlers need an explicit pragma.
+
+    Bare ``except:``, ``except Exception``, and ``except BaseException``
+    swallow programming errors with the failures they meant to contain.
+    A handler whose body re-raises (a bare ``raise`` statement) is the
+    sanctioned cleanup-then-propagate idiom and passes; everything else
+    must carry ``# repro: allow(broad-except) <reason>`` on the
+    ``except`` line.
+    """
+
+    rule = "broad-except"
+    description = "bare/except Exception handlers require a pragma"
+
+    _BROAD = ("Exception", "BaseException")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._is_broad(node.type) and not self._reraises(node):
+            caught = "bare except" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+            )
+            self.report(
+                node,
+                f"{caught} without re-raise; narrow the exception or "
+                "pragma the site with the reason it must stay broad",
+            )
+        self.generic_visit(node)
+
+    def _is_broad(self, annotation: ast.expr | None) -> bool:
+        if annotation is None:
+            return True
+        names = (
+            annotation.elts
+            if isinstance(annotation, ast.Tuple)
+            else [annotation]
+        )
+        return any(
+            isinstance(name, ast.Name) and name.id in self._BROAD
+            for name in names
+        )
+
+    def _reraises(self, handler: ast.ExceptHandler) -> bool:
+        for stmt in ast.walk(handler):
+            if isinstance(stmt, ast.Raise) and stmt.exc is None:
+                return True
+        return False
+
+
+@register_rule
+class AllConsistencyChecker(Checker):
+    """``__all__`` matches the names the module actually binds.
+
+    Two drifts are findings: an ``__all__`` entry naming nothing the
+    module binds at top level (dead export — an importer gets
+    ``AttributeError`` from ``import *``), and a public top-level class
+    or function missing from an ``__all__`` the module declares (a
+    silent non-export). Modules without ``__all__`` are not checked.
+    """
+
+    rule = "all-consistency"
+    description = "__all__ entries exist; public defs are exported"
+
+    def finish(self) -> None:
+        exported = self._declared_all()
+        if exported is None:
+            return
+        all_node, names = exported
+        bound = self._bound_names()
+        for name in names:
+            if name not in bound:
+                self.report(
+                    all_node,
+                    f"__all__ exports {name!r} but the module never binds "
+                    "it at top level",
+                )
+        for node in self.tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if not node.name.startswith("_") and node.name not in names:
+                    self.report(
+                        node,
+                        f"public {type(node).__name__.replace('Def', '').lower()} "
+                        f"{node.name!r} is missing from __all__",
+                    )
+
+    def _declared_all(self) -> "tuple[ast.AST, list[str]] | None":
+        for node in self.tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            if any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+            ):
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = [
+                        elt.value
+                        for elt in value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)
+                    ]
+                    return node, names
+        return None
+
+    def _bound_names(self) -> set[str]:
+        """Names bound at module top level (one level into If/Try)."""
+        bound: set[str] = set()
+
+        def scan(body) -> None:
+            for node in body:
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    bound.add(node.name)
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        for name in ast.walk(target):
+                            if isinstance(name, ast.Name):
+                                bound.add(name.id)
+                elif isinstance(node, ast.AnnAssign):
+                    if isinstance(node.target, ast.Name):
+                        bound.add(node.target.id)
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        bound.add(
+                            alias.asname or alias.name.split(".")[0]
+                        )
+                elif isinstance(node, ast.ImportFrom):
+                    for alias in node.names:
+                        bound.add(alias.asname or alias.name)
+                elif isinstance(node, ast.If):
+                    scan(node.body)
+                    scan(node.orelse)
+                elif isinstance(node, ast.Try):
+                    scan(node.body)
+                    scan(node.orelse)
+                    scan(node.finalbody)
+                    for handler in node.handlers:
+                        scan(handler.body)
+
+        scan(self.tree.body)
+        return bound

@@ -95,10 +95,12 @@ class ExperimentResult:
 
     def _bind(self, name: str, profile) -> None:
         # The subclasses are frozen dataclasses, whose __setattr__ raises
-        # even for non-field attributes.
-        object.__setattr__(self, "_experiment_name", name)
-        object.__setattr__(self, "_profile_name", getattr(profile, "name", None))
-        object.__setattr__(self, "_profile_seed", getattr(profile, "seed", None))
+        # even for non-field attributes. Binding metadata (not spec
+        # fields) once, right after construction, is the sanctioned
+        # exception to the frozen-spec contract.
+        object.__setattr__(self, "_experiment_name", name)  # repro: allow(frozen-spec) one-time metadata bind
+        object.__setattr__(self, "_profile_name", getattr(profile, "name", None))  # repro: allow(frozen-spec) one-time metadata bind
+        object.__setattr__(self, "_profile_seed", getattr(profile, "seed", None))  # repro: allow(frozen-spec) one-time metadata bind
 
     # -- measured / paper views -----------------------------------------
 

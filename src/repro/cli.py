@@ -7,6 +7,7 @@ Subcommands::
     repro pipeline [--shots N] [--workers N] [...] [--prune]
     repro serve --spec spec.json [--shots N] [--repeat K] [--json PATH]
     repro fleet --spec fleet.json [--tenants A B] [--runs K] [--json PATH]
+    repro lint [--rules R1,R2] [--json [PATH]] [paths...]
 
 The pre-subcommand positional form (``repro table1 --profile quick``,
 ``repro all``, ``repro list``) is still accepted and routed through the
@@ -29,6 +30,7 @@ Examples::
     repro pipeline --prune --max-age-s 604800
     repro serve --spec examples/serve_spec.json --repeat 5 --json serve.json
     repro fleet --spec examples/fleet_spec.json --runs 3 --json fleet.json
+    repro lint src/ --json lint.json
 """
 
 from __future__ import annotations
@@ -54,7 +56,7 @@ __all__ = [
 ]
 
 #: First positionals dispatched to their own parser.
-_SUBCOMMANDS = ("run", "list", "pipeline", "serve", "fleet")
+_SUBCOMMANDS = ("run", "list", "pipeline", "serve", "fleet", "lint")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -684,6 +686,7 @@ def _list_experiments(argv: list[str]) -> int:
     print("  pipeline  (streaming runtime; see 'repro pipeline --help')")
     print("  serve     (warm serving sessions; see 'repro serve --help')")
     print("  fleet     (multi-tenant serving; see 'repro fleet --help')")
+    print("  lint      (contract static analysis; see 'repro lint --help')")
     return 0
 
 
@@ -701,6 +704,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(argv[1:])
     if argv and argv[0] == "fleet":
         return _run_fleet(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(argv[1:])
 
     # Legacy positional form. Peek at the experiment positional:
     # 'pipeline' routes to its own parser with the shared flags
@@ -723,6 +730,10 @@ def main(argv: list[str] | None = None) -> int:
         # The fleet spec carries profiles and seeds per tenant; nothing
         # shared forwards.
         return _run_fleet(list(extra))
+    if peek.experiment == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(list(extra))
     if peek.experiment == "list":
         return _list_experiments(list(extra))
 

@@ -42,6 +42,7 @@ __all__ = [
     "register",
     "get",
     "names",
+    "specs",
     "build",
     "artifact_class",
     "record_artifact_class",

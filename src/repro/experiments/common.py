@@ -15,11 +15,11 @@ name → class mapping shared with the pipeline runner and artifact loader.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.lockgraph import trace_lock
 from repro.config import Profile
 from repro.data import generate_corpus
 from repro.data.dataset import ReadoutCorpus
@@ -70,13 +70,15 @@ _TRAINED_CACHE: dict[tuple[str, int, str], TrainedDesign] = {}
 
 # One lock per cache key so concurrent suite workers never fit the same
 # (profile, design) twice, while distinct keys still fill in parallel.
-_KEY_LOCKS: dict[tuple, threading.Lock] = {}
-_KEY_LOCKS_GUARD = threading.Lock()
+_KEY_LOCKS: dict[tuple, object] = {}
+_KEY_LOCKS_GUARD = trace_lock("experiments.key-locks-guard")
 
 
-def _key_lock(key: tuple) -> threading.Lock:
+def _key_lock(key: tuple):
     with _KEY_LOCKS_GUARD:
-        return _KEY_LOCKS.setdefault(key, threading.Lock())
+        return _KEY_LOCKS.setdefault(
+            key, trace_lock(f"experiments.key-lock:{'/'.join(map(str, key))}")
+        )
 
 
 def clear_caches() -> None:

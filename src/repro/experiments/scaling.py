@@ -35,6 +35,7 @@ __all__ = [
     "fnn_architecture",
     "herqules_architecture",
     "ours_architecture",
+    "total_parameters",
 ]
 
 

@@ -26,11 +26,11 @@ stand on.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.analysis.lockgraph import trace_lock
 from repro.exceptions import ConfigurationError
 
 __all__ = ["TenantShare", "RunRequest", "FairShareScheduler"]
@@ -98,7 +98,7 @@ class FairShareScheduler:
         }
         self._served: dict[str, int] = {name: 0 for name in self._shares}
         self._sequence = 0
-        self._lock = threading.Lock()
+        self._lock = trace_lock("fleet.scheduler")
 
     @property
     def tenants(self) -> tuple[str, ...]:

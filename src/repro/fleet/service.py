@@ -41,12 +41,12 @@ from __future__ import annotations
 
 import dataclasses
 import tempfile
-import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.analysis.lockgraph import trace_lock
 from repro.config import Profile
 from repro.exceptions import ConfigurationError
 from repro.fleet.scheduler import FairShareScheduler, RunRequest, TenantShare
@@ -97,7 +97,7 @@ class ReadoutFleet:
         self._scheduler: FairShareScheduler | None = None
         # One fleet-wide gate: tenant recalibrations serialize on it so
         # a drift storm refits one tenant at a time through the pool.
-        self._recal_gate = threading.Lock()
+        self._recal_gate = trace_lock("fleet.recal-gate")
 
     @classmethod
     def open(
@@ -370,7 +370,7 @@ class ReadoutFleet:
                         del in_flight[name]
                         try:
                             records.append(future.result())
-                        except BaseException as exc:  # noqa: BLE001
+                        except BaseException as exc:  # repro: allow(broad-except) collected; first failure re-raised after drain
                             # Keep draining what is already in flight;
                             # re-raise once the pool is quiet.
                             failures.append(exc)

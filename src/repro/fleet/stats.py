@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro._util import json_finite
 from repro.fpga.latency import CycleBudgetCheck
 
 __all__ = ["TenantRunRecord", "TenantStats", "FleetStats"]
@@ -44,12 +45,6 @@ def _percentile(values: list[float], q: float) -> float:
     import numpy as np
 
     return float(np.percentile(np.asarray(values, dtype=float), q))
-
-
-def _json_number(value: float) -> float | None:
-    """NaN -> None: a run-less (e.g. rejected) tenant's percentiles
-    must serialize as null, not as the non-strict-JSON NaN literal."""
-    return None if value != value else value
 
 
 @dataclass(frozen=True)
@@ -78,7 +73,7 @@ class TenantRunRecord:
             "wall_seconds": self.wall_seconds,
             "shots_per_second": self.shots_per_second,
             "queue_wait_seconds": self.queue_wait_seconds,
-            "per_shot_ns": self.per_shot_ns,
+            "per_shot_ns": json_finite(self.per_shot_ns),
             "slo_ns": self.slo_ns,
             "slo_violation": self.slo_violation,
             "accuracy": self.accuracy,
@@ -159,7 +154,7 @@ class TenantStats:
             "priority": self.priority,
             "min_share": self.min_share,
             "max_share": self.max_share,
-            "p99_budget_multiplier": self.p99_budget_multiplier,
+            "p99_budget_multiplier": self.p99_budget_multiplier,  # repro: allow(json-finite) spec-validated finite multiplier
             "slo_ns": self.slo_ns,
             "workers_leased": self.workers_leased,
             "recalibrations": self.recalibrations,
@@ -167,9 +162,9 @@ class TenantStats:
             "total_shots": self.total_shots,
             "serving_seconds": self.serving_seconds,
             "shots_per_second": self.shots_per_second,
-            "p50_per_shot_ns": _json_number(self.p50_per_shot_ns),
-            "p99_per_shot_ns": _json_number(self.p99_per_shot_ns),
-            "p50_queue_wait_seconds": _json_number(
+            "p50_per_shot_ns": json_finite(self.p50_per_shot_ns),
+            "p99_per_shot_ns": json_finite(self.p99_per_shot_ns),
+            "p50_queue_wait_seconds": json_finite(
                 self.p50_queue_wait_seconds
             ),
             "max_queue_wait_seconds": self.max_queue_wait_seconds,

@@ -38,7 +38,6 @@ in declared order.
 from __future__ import annotations
 
 import os
-import threading
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -46,6 +45,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro._util import json_finite
+from repro.analysis.lockgraph import trace_lock
 from repro.config import Profile
 from repro.exceptions import ConfigurationError
 from repro.physics.device import ChipConfig, multi_feedline_chips
@@ -382,7 +383,7 @@ class SharedShardPool:
         self.oversubscription = float(oversubscription)
         self._shard_executor = get_shard_executor(executor, self.workers)
         self._leases: dict[int, ShardPoolLease] = {}
-        self._lock = threading.Lock()
+        self._lock = trace_lock("cluster.shared-pool")
         self._closed = False
 
     @property
@@ -534,6 +535,8 @@ class ClusterReport:
         worst: dict[str, float] = {}
         for report in self.feedline_reports.values():
             for stage, summary in report.stage_summaries.items():
+                if summary["p99_ms"] is None:  # empty stage: no data
+                    continue
                 p99 = float(summary["p99_ms"])
                 if p99 > worst.get(stage, float("-inf")):
                     worst[stage] = p99
@@ -595,7 +598,7 @@ class ClusterReport:
             "accuracy": self.accuracy,
             "drift_score": self.drift_score,
             "drift_alarm": self.drift_alarm,
-            "worst_p99_ms": self.worst_p99_ms(),
+            "worst_p99_ms": json_finite(self.worst_p99_ms()),
             "budget_verdicts": self.budget_verdicts(),
             "placement": dict(self.placement),
             "feedlines": {
@@ -611,7 +614,11 @@ class ClusterReport:
         rows = []
         for name, report in self.feedline_reports.items():
             worst_stage_p99 = max(
-                (s["p99_ms"] for s in report.stage_summaries.values()),
+                (
+                    s["p99_ms"]
+                    for s in report.stage_summaries.values()
+                    if s["p99_ms"] is not None
+                ),
                 default=float("nan"),
             )
             rows.append(

@@ -228,7 +228,7 @@ class DriftMonitor:
         return {
             "drift_score": self.drift_score,
             "assignment_divergence": self._divergence(),
-            "margin_erosion": self._margin_erosion(),
+            "margin_erosion": self._margin_erosion(),  # repro: allow(json-finite) clamped to [0, 1] by construction
             "threshold": self.threshold,
             "n_shots": self._n_shots,
             "n_batches": self._n_batches,

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._util import json_finite
 from repro.exceptions import ConfigurationError, DataError
 from repro.experiments.report import format_rows
 from repro.fpga.latency import CycleBudgetCheck
@@ -79,12 +80,17 @@ class LatencyStats:
         return self.total_seconds / shots * 1e6
 
     def summary(self) -> dict:
-        """JSON-able digest of this stage's timing distribution."""
+        """JSON-able digest of this stage's timing distribution.
+
+        Percentiles over an empty stage are NaN (see :meth:`percentile`);
+        :func:`json_finite` maps them to ``None`` so the digest stays
+        strict-JSON serializable.
+        """
         return {
             "batches": self.count,
-            "p50_ms": self.p50_ms,
-            "p99_ms": self.p99_ms,
-            "mean_per_shot_us": self.mean_per_shot_us,
+            "p50_ms": json_finite(self.p50_ms),
+            "p99_ms": json_finite(self.p99_ms),
+            "mean_per_shot_us": json_finite(self.mean_per_shot_us),
             "total_seconds": self.total_seconds,
         }
 
@@ -169,9 +175,10 @@ class PipelineReport:
         """Aligned text report in the house experiment style."""
 
         def cell(value):
-            # An empty stage reports NaN latencies; render "-" rather
-            # than a numeric 0 that would read as a real measurement.
-            if isinstance(value, float) and np.isnan(value):
+            # An empty stage reports no-data latencies (None in the JSON
+            # digest, NaN at the property level); render "-" rather than
+            # a numeric 0 that would read as a real measurement.
+            if value is None or (isinstance(value, float) and np.isnan(value)):
                 return "-"
             return value
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import os
 import re
-import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -35,6 +34,11 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 import numpy as np
 
+from repro.analysis.lockgraph import (
+    note_flock_acquire,
+    note_flock_release,
+    trace_lock,
+)
 from repro.data.dataset import ReadoutCorpus
 from repro.discriminators.base import Discriminator
 from repro.exceptions import ConfigurationError, DataError
@@ -57,14 +61,18 @@ _VERSIONED_STEM = re.compile(r"^(?P<qubit>.+)\.v(?P<version>\d+)$")
 #: the atomic rename in :meth:`CalibrationRegistry.save` where locking
 #: is unavailable (a duplicated fit there is wasted work, never a
 #: corrupt artifact).
-_FIT_LOCKS: dict[tuple[str, "CalibrationKey"], threading.Lock] = {}
-_FIT_LOCKS_GUARD = threading.Lock()
+_FIT_LOCKS: dict[tuple[str, "CalibrationKey"], object] = {}
+_FIT_LOCKS_GUARD = trace_lock("registry.fit-locks-guard")
 
 
-def _fit_lock(root: Path, key: "CalibrationKey") -> threading.Lock:
+def _fit_lock(root: Path, key: "CalibrationKey"):
     with _FIT_LOCKS_GUARD:
         return _FIT_LOCKS.setdefault(
-            (str(root.resolve()), key), threading.Lock()
+            (str(root.resolve()), key),
+            trace_lock(
+                "registry.fit-lock:"
+                f"{key.device}/{key.qubit}/{key.profile}.v{key.version}"
+            ),
         )
 
 
@@ -146,9 +154,14 @@ def _artifact_file_lock(artifact_path: Path) -> Iterator[bool]:
     if handle is None:  # pragma: no cover - needs adversarial churn
         yield False
         return
+    # The sidecar participates in the lock-order graph as its own node,
+    # so an inversion between a thread lock and the cross-process flock
+    # is just as visible as one between two thread locks.
+    note_flock_acquire(artifact_path)
     try:
         yield True
     finally:
+        note_flock_release(artifact_path)
         try:
             fcntl.flock(handle, fcntl.LOCK_UN)
         except OSError:  # pragma: no cover - unlock cannot really fail
@@ -209,7 +222,7 @@ def _unlink_lock_sidecar(artifact_path: Path) -> None:
 _MEMORY_CACHE: dict[
     tuple[str, "CalibrationKey"], tuple[tuple[int, int], Discriminator]
 ] = {}
-_MEMORY_CACHE_GUARD = threading.Lock()
+_MEMORY_CACHE_GUARD = trace_lock("registry.memory-cache-guard")
 _MEMORY_CACHE_MAX = 16
 
 
@@ -601,7 +614,7 @@ class CalibrationRegistry:
                     return cached
                 try:
                     loaded = self.load(key)
-                except Exception:
+                except Exception:  # repro: allow(broad-except) corrupt artifact of any vintage is a miss
                     # A corrupt or unreadable artifact (e.g. written by
                     # an older incompatible version) is a cache miss,
                     # not a permanently poisoned key: drop it and refit.

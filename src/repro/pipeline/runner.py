@@ -297,7 +297,7 @@ class ReadoutPipeline:
             if sink is not None:
                 try:
                     sink.close()
-                except Exception:
+                except Exception:  # repro: allow(broad-except) stage error outranks deferred sink error
                     pass
             raise
         finally:

@@ -105,7 +105,7 @@ class QueueingSink(ResultSink):
                 levels, joint, batch_id = item
                 if self._error is None:
                     self.inner.consume(levels, joint, batch_id)
-            except BaseException as exc:  # surfaced on close()
+            except BaseException as exc:  # repro: allow(broad-except) captured and re-raised by close()
                 self._error = exc
             finally:
                 self._queue.task_done()

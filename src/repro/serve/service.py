@@ -31,13 +31,13 @@ digests, and the warm-up cost those runs amortize.
 
 from __future__ import annotations
 
-import contextlib
 import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.analysis.lockgraph import trace_lock
 from repro.config import Profile
 from repro.exceptions import ConfigurationError
 from repro.serve.spec import ServeSpec
@@ -280,6 +280,8 @@ class ReadoutService:
         entered around hot-recalibration refits, so a fleet can
         serialize recalibrations across tenants — one tenant's drift
         storm queues behind the gate instead of monopolizing the pool.
+        Defaults to a session-private lock (uncontended, but visible to
+        the ``REPRO_LOCK_DEBUG`` lock-order detector).
 
     Lifecycle: :meth:`warm` (idempotent; implicit on the first
     :meth:`run` and on ``__enter__``) resolves the profile, builds the
@@ -316,7 +318,11 @@ class ReadoutService:
         self.stats = ServiceStats()
         self._namespace = namespace
         self._pool = pool
-        self._recal_gate = recal_gate
+        self._recal_gate = (
+            recal_gate
+            if recal_gate is not None
+            else trace_lock("serve.recal-gate")
+        )
         self._profile_override = profile
         self._profile: Profile | None = None
         self._warmed = False
@@ -679,11 +685,7 @@ class ReadoutService:
         from repro.physics.drift import DriftModel
 
         model = drift_model if drift_model is not None else DriftModel()
-        gate = (
-            self._recal_gate
-            if self._recal_gate is not None
-            else contextlib.nullcontext()
-        )
+        gate = self._recal_gate
         recal_start = time.perf_counter()
         # The gate (a fleet-shared lock) serializes refits across
         # tenants: one tenant's drift storm queues here instead of

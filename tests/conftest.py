@@ -71,3 +71,24 @@ def five_qubit_corpus(five_qubit_chip):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(7)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Fail an armed run (REPRO_LOCK_DEBUG=1) if the lock graph is cyclic.
+
+    Every traced lock in the serving stack reported its acquisitions into
+    the process-wide graph while the suite ran; a cycle means two code
+    paths disagree about acquisition order — a potential deadlock even if
+    this run never blocked. Tests that deliberately seed inversions use
+    private LockGraph instances, so the global graph stays clean.
+    """
+    from repro.analysis import lockgraph
+
+    if not lockgraph.enabled():
+        return
+    violations = lockgraph.GLOBAL_GRAPH.violations()
+    if violations:
+        print("\nlock-order violations in the global acquisition graph:")
+        for violation in violations:
+            print(violation.format())
+        session.exitstatus = 1

@@ -1,0 +1,517 @@
+"""Tests for repro.analysis: lint rules, pragmas, CLI, lock-order graph."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_source, lint_paths, rule_names
+from repro.analysis.checker import iter_python_files
+from repro.analysis.cli import run_lint
+from repro.analysis.findings import Finding, pragma_allowances
+from repro.analysis.lockgraph import (
+    ENV_FLAG,
+    LockGraph,
+    LockOrderError,
+    TracedLock,
+    enabled,
+    trace_lock,
+)
+from repro.exceptions import ConfigurationError
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def rules_of(findings: list[Finding]) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+class TestPragmas:
+    def test_parses_rules_and_ignores_reason(self):
+        source = (
+            "x = 1  # repro: allow(broad-except) recovery path\n"
+            "y = 2\n"
+            "z = 3  # repro: allow(fit-once, json-finite)\n"
+        )
+        allowances = pragma_allowances(source)
+        assert allowances == {
+            1: {"broad-except"},
+            3: {"fit-once", "json-finite"},
+        }
+
+    def test_empty_pragma_allows_nothing(self):
+        assert pragma_allowances("x = 1  # repro: allow()\n") == {1: set()}
+
+    def test_suppresses_only_named_rule_on_its_line(self):
+        source = textwrap.dedent(
+            """
+            try:
+                pass
+            except Exception:  # repro: allow(broad-except) test fixture
+                pass
+            try:
+                pass
+            except Exception:
+                pass
+            """
+        )
+        findings = check_source(source, "x.py", rules=["broad-except"])
+        assert len(findings) == 1
+        assert findings[0].line == 8
+
+
+class TestFitOnceRule:
+    def test_flags_fit_call_outside_calibration_layers(self):
+        source = "def serve(model, X, y):\n    model.fit(X, y)\n"
+        findings = check_source(
+            source, "src/repro/serve/bad.py", rules=["fit-once"]
+        )
+        assert rules_of(findings) == ["fit-once"]
+
+    def test_flags_get_trained_outside_calibration_layers(self):
+        source = "def warm():\n    return get_trained('quick', 'ours')\n"
+        findings = check_source(
+            source, "src/repro/fleet/bad.py", rules=["fit-once"]
+        )
+        assert rules_of(findings) == ["fit-once"]
+
+    def test_allows_fit_in_discriminators_and_registry(self):
+        source = "def calibrate(model, X, y):\n    model.fit(X, y)\n"
+        for path in (
+            "src/repro/discriminators/nn.py",
+            "src/repro/ml/logistic.py",
+            "src/repro/pipeline/registry.py",
+        ):
+            assert check_source(source, path, rules=["fit-once"]) == []
+
+    def test_pragma_suppresses(self):
+        source = "model.fit(X, y)  # repro: allow(fit-once) bench fixture\n"
+        assert check_source(
+            source, "src/repro/serve/bad.py", rules=["fit-once"]
+        ) == []
+
+
+class TestFrozenSpecRule:
+    def test_flags_setattr_outside_post_init(self):
+        source = textwrap.dedent(
+            """
+            def rebind(spec):
+                object.__setattr__(spec, "shots", 3)
+            """
+        )
+        findings = check_source(source, "x.py", rules=["frozen-spec"])
+        assert rules_of(findings) == ["frozen-spec"]
+
+    def test_allows_setattr_in_post_init(self):
+        source = textwrap.dedent(
+            """
+            class ServeSpec:
+                def __post_init__(self):
+                    object.__setattr__(self, "shots", 3)
+            """
+        )
+        assert check_source(source, "x.py", rules=["frozen-spec"]) == []
+
+    def test_flags_spec_field_assignment(self):
+        source = "serve_spec.shots = 500\n"
+        findings = check_source(source, "x.py", rules=["frozen-spec"])
+        assert rules_of(findings) == ["frozen-spec"]
+
+    def test_pragma_suppresses(self):
+        source = (
+            'object.__setattr__(r, "_name", n)'
+            "  # repro: allow(frozen-spec) one-time bind\n"
+        )
+        assert check_source(source, "x.py", rules=["frozen-spec"]) == []
+
+
+class TestJsonFiniteRule:
+    def test_flags_unwrapped_nan_capable_value(self):
+        source = textwrap.dedent(
+            """
+            class Stats:
+                def to_dict(self):
+                    return {"p99_ms": self.p99_ms}
+            """
+        )
+        findings = check_source(source, "x.py", rules=["json-finite"])
+        assert rules_of(findings) == ["json-finite"]
+
+    def test_flags_nan_literal(self):
+        source = textwrap.dedent(
+            """
+            def summary():
+                return {"latency": float("nan")}
+            """
+        )
+        findings = check_source(source, "x.py", rules=["json-finite"])
+        assert rules_of(findings) == ["json-finite"]
+
+    def test_wrapped_value_passes(self):
+        source = textwrap.dedent(
+            """
+            class Stats:
+                def to_dict(self):
+                    return {"p99_ms": json_finite(self.p99_ms)}
+            """
+        )
+        assert check_source(source, "x.py", rules=["json-finite"]) == []
+
+    def test_only_payload_functions_are_checked(self):
+        source = textwrap.dedent(
+            """
+            def debug_view(self):
+                return {"p99_ms": self.p99_ms}
+            """
+        )
+        assert check_source(source, "x.py", rules=["json-finite"]) == []
+
+    def test_pragma_suppresses(self):
+        source = textwrap.dedent(
+            """
+            def to_dict(self):
+                return {
+                    "margin": self.margin,  # repro: allow(json-finite) clamped
+                }
+            """
+        )
+        assert check_source(source, "x.py", rules=["json-finite"]) == []
+
+
+class TestNoPickleRule:
+    def test_flags_import_and_call(self):
+        source = "import pickle\n\npayload = pickle.dumps(model)\n"
+        findings = check_source(source, "x.py", rules=["no-pickle-fitted"])
+        assert rules_of(findings) == ["no-pickle-fitted", "no-pickle-fitted"]
+
+    def test_flags_from_import(self):
+        source = "from pickle import dumps\n"
+        findings = check_source(source, "x.py", rules=["no-pickle-fitted"])
+        assert rules_of(findings) == ["no-pickle-fitted"]
+
+    def test_pragma_suppresses(self):
+        source = "import pickle  # repro: allow(no-pickle-fitted) test aid\n"
+        assert check_source(source, "x.py", rules=["no-pickle-fitted"]) == []
+
+
+class TestBroadExceptRule:
+    def test_flags_bare_and_blanket_handlers(self):
+        source = textwrap.dedent(
+            """
+            try:
+                work()
+            except Exception:
+                pass
+            try:
+                work()
+            except:
+                pass
+            try:
+                work()
+            except (ValueError, BaseException):
+                pass
+            """
+        )
+        findings = check_source(source, "x.py", rules=["broad-except"])
+        assert rules_of(findings) == ["broad-except"] * 3
+
+    def test_reraising_handler_passes(self):
+        source = textwrap.dedent(
+            """
+            try:
+                work()
+            except BaseException:
+                cleanup()
+                raise
+            """
+        )
+        assert check_source(source, "x.py", rules=["broad-except"]) == []
+
+    def test_narrow_handler_passes(self):
+        source = "try:\n    work()\nexcept ValueError:\n    pass\n"
+        assert check_source(source, "x.py", rules=["broad-except"]) == []
+
+    def test_pragma_suppresses(self):
+        source = textwrap.dedent(
+            """
+            try:
+                work()
+            except Exception:  # repro: allow(broad-except) deferred to close()
+                pass
+            """
+        )
+        assert check_source(source, "x.py", rules=["broad-except"]) == []
+
+
+class TestAllConsistencyRule:
+    def test_flags_dead_export(self):
+        source = '__all__ = ["missing"]\n\nx = 1\n'
+        findings = check_source(source, "x.py", rules=["all-consistency"])
+        assert rules_of(findings) == ["all-consistency"]
+        assert "missing" in findings[0].message
+
+    def test_flags_unexported_public_def(self):
+        source = '__all__ = ["f"]\n\n\ndef f():\n    pass\n\n\ndef g():\n    pass\n'
+        findings = check_source(source, "x.py", rules=["all-consistency"])
+        assert rules_of(findings) == ["all-consistency"]
+        assert "'g'" in findings[0].message
+
+    def test_private_defs_and_gated_imports_pass(self):
+        source = textwrap.dedent(
+            """
+            __all__ = ["flocked"]
+
+            try:
+                import fcntl as flocked
+            except ImportError:
+                flocked = None
+
+
+            def _helper():
+                pass
+            """
+        )
+        assert check_source(source, "x.py", rules=["all-consistency"]) == []
+
+    def test_module_without_all_is_unchecked(self):
+        assert check_source(
+            "def anything():\n    pass\n", "x.py", rules=["all-consistency"]
+        ) == []
+
+
+class TestCheckerDrivers:
+    def test_syntax_error_is_a_parse_error_finding(self):
+        findings = check_source("def broken(:\n", "x.py")
+        assert rules_of(findings) == ["parse-error"]
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_source("x = 1\n", "x.py", rules=["no-such-rule"])
+
+    def test_rule_names_cover_the_contract_set(self):
+        assert set(rule_names()) >= {
+            "fit-once",
+            "frozen-spec",
+            "json-finite",
+            "no-pickle-fitted",
+            "broad-except",
+            "all-consistency",
+        }
+
+    def test_iter_python_files_rejects_missing_path(self):
+        with pytest.raises(ConfigurationError):
+            iter_python_files(["definitely/not/here"])
+
+    def test_finding_format_is_compiler_style(self):
+        finding = Finding("fit-once", "a.py", 3, 7, "boom")
+        assert finding.format() == "a.py:3:7: [fit-once] boom"
+
+    def test_src_tree_is_clean(self):
+        # The repo's own source must satisfy its own contracts; any new
+        # finding here is either a real bug or needs a reasoned pragma.
+        findings = lint_paths([REPO_SRC])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+
+class TestLintCli:
+    def test_self_scan_exits_zero(self, capsys):
+        assert run_lint([str(REPO_SRC)]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\n")
+        assert run_lint([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "[no-pickle-fitted]" in out
+        assert "lint: 1 finding(s) in 1 file(s)" in out
+
+    def test_rule_subset_filters(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\n")
+        assert run_lint(["--rules", "broad-except", str(bad)]) == 0
+        capsys.readouterr()
+
+    def test_json_record_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\n")
+        out_path = tmp_path / "lint.json"
+        assert run_lint(["--json", str(out_path), str(bad)]) == 1
+        capsys.readouterr()
+        record = json.loads(out_path.read_text())
+        assert record["n_findings"] == 1
+        (finding,) = record["findings"]
+        assert finding["rule"] == "no-pickle-fitted"
+        assert finding["path"].endswith("bad.py")
+        assert {"line", "col", "message"} <= set(finding)
+        # Strict JSON round-trip: the payload itself obeys json-finite.
+        json.dumps(record, allow_nan=False)
+
+    def test_list_rules(self, capsys):
+        assert run_lint(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "fit-once" in out and "all-consistency" in out
+
+
+class TestLockGraph:
+    def test_inversion_detected_with_witnesses(self):
+        # Seed the classic A -> B / B -> A inversion on a private graph
+        # (the global graph must stay clean for the armed-suite check).
+        graph = LockGraph()
+        a = TracedLock("A", graph)
+        b = TracedLock("B", graph)
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        (violation,) = graph.violations()
+        assert violation.cycle == ("A", "B")
+        assert {(w.source, w.target) for w in violation.witnesses} == {
+            ("A", "B"),
+            ("B", "A"),
+        }
+        witness = next(w for w in violation.witnesses if w.source == "A")
+        assert witness.held == ("A",)
+        assert witness.thread
+        assert ":" in witness.site
+        formatted = violation.format()
+        assert "lock-order cycle: A -> B -> A" in formatted
+        assert "witness:" in formatted
+
+    def test_check_raises_with_witness_text(self):
+        graph = LockGraph()
+        a, b = TracedLock("A", graph), TracedLock("B", graph)
+        with a, b:
+            pass
+        with b, a:
+            pass
+        with pytest.raises(LockOrderError) as excinfo:
+            graph.check()
+        assert "A -> B -> A" in str(excinfo.value)
+
+    def test_consistent_order_is_clean(self):
+        graph = LockGraph()
+        a, b, c = (TracedLock(n, graph) for n in "ABC")
+        for _ in range(3):
+            with a, b, c:
+                pass
+        assert graph.violations() == []
+        graph.check()
+
+    def test_three_node_cycle_reported_once(self):
+        graph = LockGraph()
+        a, b, c = (TracedLock(n, graph) for n in "ABC")
+        with a, b:
+            pass
+        with b, c:
+            pass
+        with c, a:
+            pass
+        (violation,) = graph.violations()
+        assert violation.cycle == ("A", "B", "C")
+        assert len(violation.witnesses) == 3
+
+    def test_rlock_reentry_adds_no_self_edge(self):
+        graph = LockGraph()
+        lock = TracedLock("R", graph, rlock=True)
+        with lock:
+            with lock:
+                pass
+        assert graph.edges() == {}
+        assert graph.violations() == []
+
+    def test_release_restores_held_stack(self):
+        graph = LockGraph()
+        a, b = TracedLock("A", graph), TracedLock("B", graph)
+        with a:
+            with b:
+                assert graph.held_by_current_thread() == ("A", "B")
+            assert graph.held_by_current_thread() == ("A",)
+        assert graph.held_by_current_thread() == ()
+
+    def test_edges_recorded_across_threads(self):
+        graph = LockGraph()
+        a, b = TracedLock("A", graph), TracedLock("B", graph)
+
+        def worker():
+            with b:
+                with a:
+                    pass
+
+        with a:
+            with b:
+                pass
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        (violation,) = graph.violations()
+        threads = {w.thread for w in violation.witnesses}
+        assert len(threads) == 2
+
+    def test_traced_lock_mutual_exclusion(self):
+        lock = TracedLock("X", LockGraph())
+        assert lock.acquire()
+        assert lock.locked()
+        assert not lock.acquire(blocking=False)
+        lock.release()
+        assert not lock.locked()
+
+
+class TestTraceLockFactory:
+    def test_plain_lock_when_disabled(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not enabled()
+        lock = trace_lock("plain")
+        assert not isinstance(lock, TracedLock)
+        with lock:
+            pass
+
+    def test_traced_when_armed(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert enabled()
+        graph = LockGraph()
+        lock = trace_lock("armed", graph=graph)
+        assert isinstance(lock, TracedLock)
+
+    def test_explicit_graph_always_traces(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        lock = trace_lock("seeded", graph=LockGraph())
+        assert isinstance(lock, TracedLock)
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "OFF"])
+    def test_flag_off_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert not enabled()
+
+    def test_flock_notes_respect_flag(self, monkeypatch):
+        import repro.analysis.lockgraph as lockgraph
+
+        graph = LockGraph()
+        monkeypatch.setattr(lockgraph, "GLOBAL_GRAPH", graph)
+        monkeypatch.setenv(ENV_FLAG, "1")
+        gate = TracedLock("registry.fit-lock:dev/all/quick.v0", graph)
+        with gate:
+            lockgraph.note_flock_acquire("/store/dev/all.v1.npz")
+            lockgraph.note_flock_release("/store/dev/all.v1.npz")
+        edges = graph.edges()
+        assert (
+            "registry.fit-lock:dev/all/quick.v0",
+            "flock:store/dev/all.v1.npz",
+        ) in edges
+        assert graph.violations() == []
+
+    def test_flock_notes_noop_when_disarmed(self, monkeypatch):
+        import repro.analysis.lockgraph as lockgraph
+
+        graph = LockGraph()
+        monkeypatch.setattr(lockgraph, "GLOBAL_GRAPH", graph)
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        lockgraph.note_flock_acquire("/store/dev/all.npz")
+        assert graph.held_by_current_thread() == ()
+        assert graph.edges() == {}

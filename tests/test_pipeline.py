@@ -171,7 +171,8 @@ class TestLatencyStats:
     def test_empty_stats_report_nan_not_zero(self):
         # Regression: an empty stage used to be reportable as 0.0 ms,
         # which made a stalled/empty stage look infinitely fast. NaN is
-        # the honest "no data" answer (rendered as "-" in tables).
+        # the honest "no data" answer (rendered as "-" in tables); the
+        # JSON summary maps it to None (strict JSON has no NaN literal).
         stats = LatencyStats("empty")
         assert math.isnan(stats.percentile(50))
         assert math.isnan(stats.p50_ms)
@@ -179,7 +180,9 @@ class TestLatencyStats:
         assert math.isnan(stats.mean_per_shot_us)
         summary = stats.summary()
         assert summary["batches"] == 0
-        assert math.isnan(summary["p50_ms"])
+        assert summary["p50_ms"] is None
+        assert summary["p99_ms"] is None
+        assert summary["mean_per_shot_us"] is None
 
     def test_empty_stage_renders_dash_in_table(self):
         from repro.pipeline.metrics import PipelineReport
