@@ -19,6 +19,13 @@ calls: the session must perform zero refits after warm-up and beat the
 cold calls' aggregate shots/sec (which pay calibration every time) —
 the amortization story of the serving redesign.
 
+The zero-copy bench (``pipeline_zero_copy``) replays one pre-generated
+corpus through shared memory under the legacy per-channel engine and
+the fused zero-copy engine — identical assignment counts required, and
+the fused engine must not be slower. With the simulator out of the
+timed window, this is the serving-throughput headline of the fused
+kernel + buffer-ring + shared-memory refactor.
+
 Runs standalone too (that is how the perf trajectory is recorded)::
 
     PYTHONPATH=src:. python benchmarks/bench_pipeline_throughput.py \
@@ -202,6 +209,87 @@ def _cluster_sweep(
     return results
 
 
+def _zero_copy(profile, shots=2000, batch_size=256, rounds=3):
+    """Fused zero-copy serving vs the legacy per-channel chain, replayed.
+
+    Traffic is pre-generated once and replayed through shared memory
+    (:meth:`MultiFeedlineRunner.run_replay`), so the timed window
+    contains discrimination only — the honest serving number, with the
+    simulator out of the loop. Both engines replay the *same* corpus
+    through the same warm registry artifact; their assignment counts
+    must match exactly, and the fused engine must not be slower.
+    """
+    from repro.data import generate_corpus
+    from repro.physics.device import default_five_qubit_chip
+    from repro.pipeline import MultiFeedlineRunner
+
+    chip = default_five_qubit_chip()
+    corpus = generate_corpus(
+        chip,
+        shots_per_state=max(1, shots // chip.n_levels**chip.n_qubits),
+        seed=profile.seed + 7,
+    )
+    results = {}
+    with tempfile.TemporaryDirectory() as registry_dir:
+        for engine in ("legacy", "fused"):
+            with MultiFeedlineRunner(
+                [chip],
+                profile,
+                executor="serial",
+                config=PipelineConfig(batch_size=batch_size, engine=engine),
+                registry_dir=registry_dir,
+            ) as runner:
+                runner.prefit()  # cold fit lands before any timed replay
+                best = None
+                for _ in range(rounds):
+                    report = runner.run_replay([corpus])
+                    if (
+                        best is None
+                        or report.shots_per_second > best.shots_per_second
+                    ):
+                        best = report
+            results[engine] = best
+
+    def digest(report):
+        (feedline,) = report.feedline_reports.values()
+        return {
+            "shots_per_second": report.shots_per_second,
+            "wall_seconds": report.wall_seconds,
+            "accuracy": report.accuracy,
+            "assignment_counts": feedline.assignment_counts,
+        }
+
+    legacy, fused = digest(results["legacy"]), digest(results["fused"])
+    return {
+        "n_shots": corpus.n_traces,
+        "batch_size": batch_size,
+        "rounds": rounds,
+        "legacy": legacy,
+        "fused": fused,
+        "counts_identical": (
+            legacy["assignment_counts"] == fused["assignment_counts"]
+        ),
+        "speedup": (
+            fused["shots_per_second"] / legacy["shots_per_second"]
+        ),
+    }
+
+
+def test_pipeline_zero_copy(benchmark, profile):
+    result = run_once(benchmark, _zero_copy, profile, shots=1000, rounds=2)
+
+    # Same traffic, same artifact: the fused engine must be a pure
+    # optimization — identical assignments, never slower.
+    assert result["counts_identical"] is True
+    assert result["fused"]["accuracy"] == result["legacy"]["accuracy"]
+    assert (
+        result["fused"]["shots_per_second"]
+        >= result["legacy"]["shots_per_second"]
+    )
+
+    record_bench_result("pipeline_zero_copy", result)
+
+
 def test_pipeline_throughput(benchmark, profile):
     cold, warm = run_once(benchmark, _stream_cold_and_warm, profile)
     print("\n" + warm.format_table())
@@ -337,6 +425,17 @@ def main(argv=None) -> int:
         repeat=args.repeat,
         batch_size=args.batch_size,
     )
+    zero_copy = _zero_copy(
+        profile, shots=args.shots, batch_size=args.batch_size * 4
+    )
+    payload["pipeline_zero_copy"] = zero_copy
+    print("\nzero-copy replay (fused vs legacy engine, shots/s):")
+    print(f"  legacy per-channel      "
+          f"{zero_copy['legacy']['shots_per_second']:>10.0f}")
+    print(f"  fused zero-copy         "
+          f"{zero_copy['fused']['shots_per_second']:>10.0f}  "
+          f"({zero_copy['speedup']:.1f}x, counts identical: "
+          f"{zero_copy['counts_identical']})")
     payload["pipeline_serve_warm"] = serve
     print("\nwarm service vs cold calls (aggregate shots/s):")
     print(f"  cold run_pipeline x{serve['repeat']}  "

@@ -27,9 +27,14 @@ import numpy as np
 
 from repro.data.dataset import ReadoutCorpus
 from repro.discriminators.error_traces import tag_error_traces
-from repro.dsp.demod import demodulate
+from repro.dsp.demod import demod_tone, demodulate
 from repro.dsp.filters import boxcar_decimate
-from repro.dsp.matched_filter import MatchedFilterBank, matched_filter_kernel
+from repro.dsp.matched_filter import (
+    FusedKernelBank,
+    MatchedFilterBank,
+    fuse_demod_decimation,
+    matched_filter_kernel,
+)
 from repro.dsp.mtv import mtv_points
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
 
@@ -135,6 +140,52 @@ class MatchedFilterFeatureExtractor:
         if n_bins < bank.trace_len:
             bank = bank.truncated(n_bins)
         return bank.transform(traces)
+
+    def fused_kernel_bank(self, chip, trace_len: int) -> FusedKernelBank:
+        """All qubits' kernels with demod tone and decimation folded in.
+
+        Builds the stacked :class:`~repro.dsp.matched_filter
+        .FusedKernelBank` for a raw readout window of ``trace_len``
+        samples on ``chip``: row block ``q`` is qubit ``q``'s fitted
+        kernels (truncated to the window, the no-retraining fast-readout
+        mode) multiplied through by its demod tone and the boxcar
+        weights. Applying the bank to a raw feedline batch reproduces
+        ``score_baseband(q, channel_baseband(...))`` for every channel
+        in one matmul — the serving engine's zero-copy front half.
+        """
+        if self.banks_ is None:
+            raise NotFittedError("extractor is not fitted")
+        if len(chip.qubits) != len(self.banks_):
+            raise DataError(
+                f"extractor calibrated for {len(self.banks_)} qubits, "
+                f"chip has {len(chip.qubits)}"
+            )
+        n_bins = trace_len // self.decimation
+        if n_bins == 0:
+            raise DataError(
+                f"trace length {trace_len} shorter than decimation "
+                f"factor {self.decimation}"
+            )
+        fitted_bins = self.banks_[0].trace_len
+        if n_bins > fitted_bins:
+            raise DataError(
+                f"corpus window ({n_bins} bins) exceeds fitted window "
+                f"({fitted_bins} bins)"
+            )
+        times = chip.sample_times(trace_len)[: n_bins * self.decimation]
+        rows = [
+            fuse_demod_decimation(
+                bank.kernels[:, :n_bins],
+                demod_tone(chip.qubits[q].if_frequency_ghz, times),
+                self.decimation,
+            )
+            for q, bank in enumerate(self.banks_)
+        ]
+        return FusedKernelBank(
+            weights=np.vstack(rows),
+            filters_per_qubit=self.filters_per_qubit,
+            decimation=self.decimation,
+        )
 
     def _demodulated(self, corpus: ReadoutCorpus, qubit: int) -> np.ndarray:
         return self.channel_baseband(

@@ -15,9 +15,22 @@ import numpy as np
 from repro.exceptions import ShapeError
 from repro.physics.device import ChipConfig
 
-__all__ = ["demodulate", "demodulate_all_qubits"]
+__all__ = ["demod_tone", "demodulate", "demodulate_all_qubits"]
 
 TWO_PI = 2.0 * math.pi
+
+
+def demod_tone(if_frequency_ghz: float, times_ns: np.ndarray) -> np.ndarray:
+    """The down-conversion tone ``exp(-i 2 pi f t)`` for one qubit.
+
+    Exposed separately from :func:`demodulate` so serving paths can
+    compute the tone once per (frequency, window) and fold it into
+    precomputed kernels (see
+    :func:`repro.dsp.matched_filter.fuse_demod_decimation`) instead of
+    re-evaluating the complex exponential on every batch.
+    """
+    times_ns = np.asarray(times_ns)
+    return np.exp(-1j * TWO_PI * if_frequency_ghz * times_ns)
 
 
 def demodulate(
@@ -40,8 +53,7 @@ def demodulate(
         raise ShapeError(
             f"trace length {feedline.shape[-1]} != {times_ns.shape[0]} timestamps"
         )
-    tone = np.exp(-1j * TWO_PI * if_frequency_ghz * times_ns)
-    return feedline * tone
+    return feedline * demod_tone(if_frequency_ghz, times_ns)
 
 
 def demodulate_all_qubits(

@@ -26,7 +26,13 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, DataError, ShapeError
 
-__all__ = ["matched_filter_kernel", "apply_matched_filter", "MatchedFilterBank"]
+__all__ = [
+    "matched_filter_kernel",
+    "apply_matched_filter",
+    "fuse_demod_decimation",
+    "MatchedFilterBank",
+    "FusedKernelBank",
+]
 
 _VARIANCE_MODES = ("sum", "difference", "unit")
 
@@ -98,6 +104,131 @@ def apply_matched_filter(kernel: np.ndarray, traces: np.ndarray) -> np.ndarray:
             f"trace length {traces.shape[-1]} != kernel length {kernel.shape[0]}"
         )
     return np.real(traces @ np.conj(kernel))
+
+
+def fuse_demod_decimation(
+    kernels: np.ndarray, tone: np.ndarray, factor: int
+) -> np.ndarray:
+    """Fold demod tone and boxcar decimation into matched-filter kernels.
+
+    The legacy per-channel chain computes, per trace ``z``,
+
+        score_k = Re < K_k, boxcar(z * tone, factor) >,
+
+    which is linear in ``z`` — so the whole chain collapses into one
+    weight row per filter operating on the *raw* feedline:
+
+        score_k = Re( z[:m] @ W_k ),   W_k[j] = tone[j] conj(K_k[j//d]) / d,
+
+    with ``m = n_bins * factor`` (trailing samples beyond the last full
+    boxcar group drop out, matching :func:`repro.dsp.filters
+    .boxcar_decimate`). Returns the pre-conjugated weight matrix ``W``
+    of shape ``(n_filters, n_bins * factor)`` — scores are
+    ``np.real(feedline[:, :m] @ W.T)`` with no demodulated or decimated
+    intermediates.
+    """
+    if factor < 1:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    kernels = np.atleast_2d(np.asarray(kernels))
+    tone = np.asarray(tone)
+    n_bins = kernels.shape[1]
+    if tone.shape[0] != n_bins * factor:
+        raise ShapeError(
+            f"tone length {tone.shape[0]} != {n_bins} bins x factor {factor}"
+        )
+    expanded = np.repeat(np.conj(kernels), factor, axis=1)
+    return expanded * (tone / factor)
+
+
+@dataclass(frozen=True)
+class FusedKernelBank:
+    """All channels' demod+decimate+matched-filter weights, stacked.
+
+    One weight row per (qubit, filter), qubit-major — applying the bank
+    to a raw feedline batch is a single matmul producing the exact
+    feature layout :class:`~repro.discriminators.features
+    .MatchedFilterFeatureExtractor` defines, with no per-qubit
+    ``feedline * tone`` copies and no decimated intermediates.
+
+    Attributes
+    ----------
+    weights:
+        Pre-conjugated complex weights ``(n_qubits * filters_per_qubit,
+        n_samples)`` built by :func:`fuse_demod_decimation`.
+    filters_per_qubit:
+        Filters per channel (the per-qubit row block height).
+    decimation:
+        Boxcar factor folded into the weights.
+    """
+
+    weights: np.ndarray
+    filters_per_qubit: int
+    decimation: int
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights)
+        if weights.ndim != 2:
+            raise ShapeError(f"weights must be 2-D, got {weights.shape}")
+        if self.filters_per_qubit < 1:
+            raise ConfigurationError("filters_per_qubit must be >= 1")
+        if weights.shape[0] % self.filters_per_qubit:
+            raise ShapeError(
+                f"{weights.shape[0]} rows not divisible by "
+                f"{self.filters_per_qubit} filters per qubit"
+            )
+        # Row-major weights make ``feedline @ weights.T`` hit the fast
+        # BLAS path without an internal transpose copy per batch.
+        object.__setattr__(
+            self, "weights", np.ascontiguousarray(weights)
+        )
+
+    @property
+    def n_filters(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def n_qubits(self) -> int:
+        return self.weights.shape[0] // self.filters_per_qubit
+
+    @property
+    def n_samples(self) -> int:
+        """Raw feedline samples consumed (``n_bins * decimation``)."""
+        return self.weights.shape[1]
+
+    def scores(
+        self,
+        feedline: np.ndarray,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+    ):
+        """Score a raw feedline batch: ``Re(feedline[:, :m] @ W.T)``.
+
+        ``out`` — an optional preallocated float row block the real
+        scores are written into (the zero-copy serving path); a fresh
+        array is returned when omitted. ``scratch`` — an optional
+        complex ``(n_shots, n_filters)`` workspace for the matmul, so a
+        warm serving loop performs no per-batch allocation at all.
+        """
+        feedline = np.atleast_2d(np.asarray(feedline))
+        if feedline.shape[1] < self.n_samples:
+            raise ShapeError(
+                f"trace length {feedline.shape[1]} shorter than fused "
+                f"window {self.n_samples}"
+            )
+        view = feedline[:, : self.n_samples]
+        expected = (feedline.shape[0], self.n_filters)
+        if (
+            scratch is not None
+            and scratch.shape == expected
+            and scratch.dtype == np.result_type(view.dtype, self.weights.dtype)
+        ):
+            complex_scores = np.matmul(view, self.weights.T, out=scratch)
+        else:
+            complex_scores = view @ self.weights.T
+        if out is None:
+            return np.ascontiguousarray(complex_scores.real)
+        np.copyto(out, complex_scores.real)
+        return out
 
 
 @dataclass(frozen=True)

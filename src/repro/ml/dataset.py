@@ -84,6 +84,31 @@ class StandardScaler:
             )
         return (x - self.mean_) / self.scale_
 
+    def transform_inplace(self, x: np.ndarray) -> np.ndarray:
+        """Standardize a float feature block in place; returns it.
+
+        The zero-copy serving path: the caller owns a reusable float
+        buffer the raw features were written into, and the
+        standardization mutates it rather than allocating a fresh array
+        per batch. ``x`` must already be 2-D float (no coercion — a
+        coerced copy would defeat the point).
+        """
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        x = np.asarray(x)
+        if x.ndim != 2 or not np.issubdtype(x.dtype, np.floating):
+            raise DataError(
+                f"transform_inplace needs a 2-D float array, got "
+                f"{x.dtype} with shape {x.shape}"
+            )
+        if x.shape[1] != self.mean_.shape[0]:
+            raise DataError(
+                f"expected {self.mean_.shape[0]} features, got {x.shape[1]}"
+            )
+        x -= self.mean_
+        x /= self.scale_
+        return x
+
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         """Fit on ``x`` and return its standardized copy."""
         return self.fit(x).transform(x)

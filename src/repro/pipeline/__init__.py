@@ -31,6 +31,7 @@ from repro.pipeline.batching import (
     AdaptiveBatcher,
     MicroBatcher,
 )
+from repro.pipeline.buffers import BufferRing
 from repro.pipeline.cluster import (
     EXECUTOR_NAMES,
     ClusterReport,
@@ -55,6 +56,11 @@ from repro.pipeline.runner import (
     run_streaming_pipeline,
     validate_streamable_design,
 )
+from repro.pipeline.shm import (
+    SharedMemoryTraceSource,
+    SharedTraceBlock,
+    SharedTraceDescriptor,
+)
 from repro.pipeline.sink import (
     CollectingSink,
     EraserSpeculationSink,
@@ -68,7 +74,11 @@ from repro.pipeline.source import (
     SimulatorTraceSource,
     TraceSource,
 )
-from repro.pipeline.stages import BatchDiscriminationEngine, BatchResult
+from repro.pipeline.stages import (
+    ENGINE_MODES,
+    BatchDiscriminationEngine,
+    BatchResult,
+)
 
 __all__ = [
     "ShotChunk",
@@ -76,9 +86,14 @@ __all__ = [
     "SimulatorTraceSource",
     "DriftingTraceSource",
     "CorpusTraceSource",
+    "SharedTraceDescriptor",
+    "SharedTraceBlock",
+    "SharedMemoryTraceSource",
     "MicroBatcher",
     "AdaptiveBatcher",
+    "BufferRing",
     "MIN_PER_SHOT_SECONDS",
+    "ENGINE_MODES",
     "ADAPTIVE_BUDGET_SLACK",
     "DriftMonitor",
     "EXECUTOR_NAMES",

@@ -17,12 +17,16 @@ fast (better vectorization and throughput).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.pipeline.source import ShotChunk
+
+if TYPE_CHECKING:
+    from repro.pipeline.buffers import BufferRing
 
 __all__ = ["MicroBatcher", "AdaptiveBatcher", "MIN_PER_SHOT_SECONDS"]
 
@@ -50,7 +54,17 @@ class MicroBatcher:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = int(batch_size)
 
-    def rebatch(self, chunks: Iterable[ShotChunk]) -> Iterator[ShotChunk]:
+    @property
+    def max_emit_size(self) -> int:
+        """Upper bound on the shot count of any batch :meth:`rebatch`
+        emits — what a reusable buffer ring must be sized for."""
+        return self.batch_size
+
+    def rebatch(
+        self,
+        chunks: Iterable[ShotChunk],
+        ring: "BufferRing | None" = None,
+    ) -> Iterator[ShotChunk]:
         """Yield uniform micro-batches from an arbitrary chunk stream.
 
         Batch ids are re-numbered from zero. Ground-truth labels are
@@ -61,42 +75,60 @@ class MicroBatcher:
         ``self.batch_size`` is re-read before every emission, so a
         subclass mutating it between batches (:class:`AdaptiveBatcher`)
         resizes the stream on the fly.
+
+        With a :class:`~repro.pipeline.buffers.BufferRing`, each batch's
+        shots are assembled directly into a reused ring slot instead of
+        a freshly allocated ``np.concatenate`` — the consumer must
+        finish with a batch before the ring wraps back around to its
+        slot (one-in-flight for the default two-slot ring).
         """
-        # Buffered (feedline, levels-or-None) segments, in arrival order.
-        segments: list[tuple[np.ndarray, np.ndarray | None]] = []
+        # Buffered (feedline, levels-or-None) segments, in arrival
+        # order. Deque: a chunk stream much finer than the batch size
+        # drains many segments per emission, and list.pop(0) made that
+        # quadratic in the segment count.
+        segments: deque[tuple[np.ndarray, np.ndarray | None]] = deque()
         buffered = 0
         batch_id = 0
 
         def emit(take: int) -> ShotChunk:
             nonlocal buffered, batch_id
+            dest = None
+            if ring is not None:
+                dest = ring.acquire(take, segments[0][0].shape[1])
             feeds: list[np.ndarray] = []
             levels: list[np.ndarray] = []
             labeled = True
             need = take
+            pos = 0
             while need:
                 feed, lev = segments[0]
                 n = feed.shape[0]
-                if n <= need:
-                    segments.pop(0)
-                    feeds.append(feed)
-                    if lev is None:
-                        labeled = False
-                    else:
-                        levels.append(lev)
-                    need -= n
+                take_n = min(n, need)
+                if dest is None:
+                    feeds.append(feed if take_n == n else feed[:take_n])
                 else:
-                    feeds.append(feed[:need])
-                    if lev is None:
-                        labeled = False
-                    else:
-                        levels.append(lev[:need])
+                    dest[pos : pos + take_n] = feed[:take_n]
+                pos += take_n
+                if lev is None:
+                    labeled = False
+                else:
+                    levels.append(lev if take_n == n else lev[:take_n])
+                if take_n == n:
+                    segments.popleft()
+                else:
                     segments[0] = (
-                        feed[need:],
-                        None if lev is None else lev[need:],
+                        feed[take_n:],
+                        None if lev is None else lev[take_n:],
                     )
-                    need = 0
+                need -= take_n
+            if dest is not None:
+                feedline = dest
+            elif len(feeds) == 1:
+                feedline = feeds[0]
+            else:
+                feedline = np.concatenate(feeds)
             batch = ShotChunk(
-                feedline=feeds[0] if len(feeds) == 1 else np.concatenate(feeds),
+                feedline=feedline,
                 prepared_levels=(
                     (levels[0] if len(levels) == 1 else np.concatenate(levels))
                     if labeled
@@ -173,6 +205,11 @@ class AdaptiveBatcher(MicroBatcher):
         self._n_observations = 0
         self._min_chosen: int | None = None
         self._max_chosen: int | None = None
+
+    @property
+    def max_emit_size(self) -> int:
+        """The adaptive controller never dispatches above ``max_size``."""
+        return self.max_size
 
     @property
     def ewma_per_shot_s(self) -> float | None:

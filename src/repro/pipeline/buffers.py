@@ -1,0 +1,120 @@
+"""Reusable batch buffers for the zero-copy serving loop.
+
+A warm pipeline used to allocate three arrays per micro-batch: the
+concatenated feedline block, the raw feature block, and its standardized
+copy. :class:`BufferRing` preallocates a small ring of paired
+(feedline, features) slots sized for the batcher's largest possible
+emission; :meth:`MicroBatcher.rebatch <repro.pipeline.batching
+.MicroBatcher.rebatch>` assembles each batch directly into a slot's
+feedline buffer, and the engine writes raw scores into the paired
+feature buffer and standardizes them in place — so a steady-state
+serving loop performs no per-batch array allocation at all.
+
+Ownership contract: a slot is valid from :meth:`BufferRing.acquire`
+until the ring wraps back around to it (``slots`` acquisitions later).
+The default two-slot ring therefore supports exactly one batch in
+flight while the next is being assembled; anything holding a batch
+longer — a sink retaining raw traces, a test comparing batches — must
+copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["BufferRing"]
+
+
+class _Slot:
+    """One (feedline, features) buffer pair, grown lazily to fit."""
+
+    __slots__ = ("feedline", "features")
+
+    def __init__(self) -> None:
+        self.feedline: np.ndarray | None = None
+        self.features: np.ndarray | None = None
+
+
+class BufferRing:
+    """A fixed ring of reusable (feedline, features) batch buffers.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest batch any slot must hold — the batcher's
+        ``max_emit_size``.
+    n_features:
+        Feature columns of the paired float buffer (``n_qubits *
+        filters_per_qubit``).
+    slots:
+        Ring depth; 2 covers the one-in-flight serving loop.
+
+    Buffers are allocated lazily on first :meth:`acquire` (the trace
+    length is a stream property, not a construction-time one) and
+    reallocated only if a longer trace window ever appears.
+    """
+
+    def __init__(
+        self, max_batch: int, n_features: int, slots: int = 2
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if n_features < 1:
+            raise ConfigurationError(
+                f"n_features must be >= 1, got {n_features}"
+            )
+        if slots < 2:
+            raise ConfigurationError(f"slots must be >= 2, got {slots}")
+        self.max_batch = int(max_batch)
+        self.n_features = int(n_features)
+        self._slots = [_Slot() for _ in range(slots)]
+        self._next = 0
+        self._acquired = 0
+
+    @property
+    def slots(self) -> int:
+        return len(self._slots)
+
+    @property
+    def acquired(self) -> int:
+        """Total acquisitions so far (for reuse diagnostics)."""
+        return self._acquired
+
+    def acquire(self, n_shots: int, trace_len: int) -> np.ndarray | None:
+        """Advance the ring; return a ``(n_shots, trace_len)`` feedline view.
+
+        Returns ``None`` when the batch exceeds ``max_batch`` — the
+        caller falls back to a plain allocation rather than corrupting a
+        neighboring slot.
+        """
+        if n_shots > self.max_batch:
+            return None
+        slot = self._slots[self._next]
+        self._next = (self._next + 1) % len(self._slots)
+        self._acquired += 1
+        if slot.feedline is None or slot.feedline.shape[1] < trace_len:
+            slot.feedline = np.empty(
+                (self.max_batch, trace_len), dtype=np.complex128
+            )
+            slot.features = np.empty(
+                (self.max_batch, self.n_features), dtype=np.float64
+            )
+        return slot.feedline[:n_shots, :trace_len]
+
+    def paired_features(self, feedline: np.ndarray) -> np.ndarray | None:
+        """The feature buffer paired with a ring-owned feedline view.
+
+        Matches by buffer identity (the view's ``.base``), so only
+        batches actually assembled into this ring get a paired feature
+        block; foreign arrays return ``None`` and the engine falls back
+        to its own scratch.
+        """
+        base = feedline.base
+        if base is None:
+            return None
+        for slot in self._slots:
+            if slot.feedline is base:
+                return slot.features[: feedline.shape[0]]
+        return None

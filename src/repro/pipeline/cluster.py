@@ -48,6 +48,7 @@ from typing import Callable, Sequence
 from repro._util import json_finite
 from repro.analysis.lockgraph import trace_lock
 from repro.config import Profile
+from repro.data.dataset import ReadoutCorpus
 from repro.exceptions import ConfigurationError
 from repro.physics.device import ChipConfig, multi_feedline_chips
 from repro.physics.drift import DriftModel
@@ -56,6 +57,11 @@ from repro.pipeline.runner import (
     DEFAULT_DESIGN,
     PipelineConfig,
     run_streaming_pipeline,
+)
+from repro.pipeline.shm import (
+    SharedMemoryTraceSource,
+    SharedTraceBlock,
+    SharedTraceDescriptor,
 )
 
 __all__ = [
@@ -124,6 +130,11 @@ class _FeedlineTask:
     drift_model: DriftModel | None = None
     drift_shot_offset: int = 0
     calibration_shot_offset: int = 0
+    # Shared-memory replay hand-off: when set, the worker attaches to
+    # the parent's published trace segment by name and streams zero-copy
+    # views instead of simulating traffic. Kilobytes of descriptor in
+    # the task payload replace megabytes of pickled trace arrays.
+    replay: SharedTraceDescriptor | None = None
 
 
 @dataclass(frozen=True)
@@ -199,22 +210,35 @@ def _run_feedline(task: _FeedlineTask) -> tuple[str, PipelineReport]:
     The discriminator is resolved through the calibration registry by
     key — a process worker rebuilds it from stored artifacts rather than
     unpickling a fitted object, and a cold worker fits and stores it.
+    A replay task attaches to the parent's shared-memory trace segment
+    instead of simulating traffic (the mapping is dropped on the way
+    out; the parent owns the unlink).
     """
-    report = run_streaming_pipeline(
-        task.profile,
-        n_shots=task.n_shots,
-        chunk_size=task.chunk_size,
-        registry_dir=task.registry_dir,
-        chip=task.chip,
-        device=task.device,
-        seed=task.seed,
-        design=task.design,
-        config=task.config,
-        version=task.version,
-        drift_model=task.drift_model,
-        drift_shot_offset=task.drift_shot_offset,
-        calibration_shot_offset=task.calibration_shot_offset,
-    )
+    source = None
+    if task.replay is not None:
+        source = SharedMemoryTraceSource(
+            task.replay, task.chip, chunk_size=task.chunk_size
+        )
+    try:
+        report = run_streaming_pipeline(
+            task.profile,
+            n_shots=task.n_shots,
+            chunk_size=task.chunk_size,
+            registry_dir=task.registry_dir,
+            chip=task.chip,
+            device=task.device,
+            seed=task.seed,
+            design=task.design,
+            config=task.config,
+            version=task.version,
+            drift_model=task.drift_model,
+            drift_shot_offset=task.drift_shot_offset,
+            calibration_shot_offset=task.calibration_shot_offset,
+            source=source,
+        )
+    finally:
+        if source is not None:
+            source.close()
     report.details["feedline"] = task.name
     return task.name, report
 
@@ -1013,6 +1037,107 @@ class MultiFeedlineRunner:
             wall_seconds=wall,
             # Never Infinity (unserializable as strict JSON): a
             # sub-resolution wall reports 0.0, "not measurable".
+            shots_per_second=total_shots / wall if wall > 0 else 0.0,
+            feedline_reports=reports,
+            placement={task.name: slot for slot, task in enumerate(ordered)},
+        )
+
+    def run_replay(
+        self,
+        corpora: (
+            dict[str, ReadoutCorpus] | Sequence[ReadoutCorpus]
+        ),
+    ) -> ClusterReport:
+        """Replay pre-built corpora over shared memory; aggregate report.
+
+        Each feedline's traces are published once as a shared-memory
+        :class:`~repro.pipeline.shm.SharedTraceBlock`; shard workers —
+        in-process or forked — attach by descriptor and stream zero-copy
+        views, so dispatch ships kilobytes of coordinates instead of
+        pickling the trace arrays. This is also the honest serving
+        benchmark: the traffic already exists, so the measured window
+        contains discrimination only, not simulator time.
+
+        Parameters
+        ----------
+        corpora:
+            One :class:`~repro.data.dataset.ReadoutCorpus` per feedline,
+            as a name-keyed dict or a sequence in declared feedline
+            order. Every corpus must match its feedline's chip geometry.
+
+        Segments are unlinked before returning, success or not.
+        """
+        if not isinstance(corpora, dict):
+            if len(corpora) != len(self.feedlines):
+                raise ConfigurationError(
+                    f"{len(corpora)} corpora for {len(self.feedlines)} "
+                    "feedlines"
+                )
+            corpora = {
+                spec.name: corpus
+                for spec, corpus in zip(self.feedlines, corpora)
+            }
+        missing = [
+            spec.name for spec in self.feedlines if spec.name not in corpora
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"run_replay is missing corpora for feedlines: {missing}"
+            )
+        blocks: dict[str, SharedTraceBlock] = {}
+        try:
+            for spec in self.feedlines:
+                corpus = corpora[spec.name]
+                if corpus.chip.n_qubits != spec.chip.n_qubits:
+                    raise ConfigurationError(
+                        f"corpus for feedline {spec.name!r} has "
+                        f"{corpus.chip.n_qubits} qubits, spec chip has "
+                        f"{spec.chip.n_qubits}"
+                    )
+                blocks[spec.name] = SharedTraceBlock.from_corpus(corpus)
+            tasks = [
+                _FeedlineTask(
+                    name=spec.name,
+                    chip=spec.chip,
+                    device=spec.registry_device,
+                    profile=self.profile,
+                    n_shots=corpora[spec.name].n_traces,
+                    seed=self.profile.seed + 1 + index,
+                    chunk_size=self.chunk_size,
+                    config=self.config,
+                    registry_dir=self.registry_dir,
+                    design=self.design,
+                    version=self._versions.get(spec.name, 0),
+                    calibration_shot_offset=self._calibrated_at.get(
+                        spec.name, 0
+                    ),
+                    replay=blocks[spec.name].descriptor,
+                )
+                for index, spec in enumerate(self.feedlines)
+            ]
+            shard_executor = self._get_executor()
+            ordered = _placement_order(tasks)
+            try:
+                wall_start = time.perf_counter()
+                results = shard_executor.map(_run_feedline, ordered)
+                wall = time.perf_counter() - wall_start
+            except BaseException:
+                # Same policy as run(): a failed dispatch may leave the
+                # pool wedged; rebuild it next time.
+                self.close()
+                raise
+        finally:
+            for block in blocks.values():
+                block.unlink()
+
+        by_name = dict(results)
+        reports = {task.name: by_name[task.name] for task in tasks}
+        total_shots = sum(r.n_shots for r in reports.values())
+        return ClusterReport(
+            executor=self.executor,
+            workers=self.workers,
+            n_shots=total_shots,
+            wall_seconds=wall,
             shots_per_second=total_shots / wall if wall > 0 else 0.0,
             feedline_reports=reports,
             placement={task.name: slot for slot, task in enumerate(ordered)},

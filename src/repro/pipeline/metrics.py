@@ -11,6 +11,7 @@ operating point.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,13 +24,36 @@ from repro.fpga.latency import CycleBudgetCheck
 __all__ = ["LatencyStats", "StageTimings", "PipelineReport"]
 
 
-class LatencyStats:
-    """Streaming collection of per-batch latency samples (seconds)."""
+#: Default per-stage sample window for percentile estimation. 4096
+#: batches at the default dispatch size is hundreds of thousands of
+#: shots — plenty for stable p50/p99 — while bounding a long-lived
+#: serving session's footprint at a few tens of kilobytes per stage.
+DEFAULT_LATENCY_WINDOW = 4096
 
-    def __init__(self, name: str = "stage") -> None:
+
+class LatencyStats:
+    """Streaming collection of per-batch latency samples (seconds).
+
+    Totals (:attr:`count`, :attr:`total_seconds`, :attr:`total_shots`)
+    are exact scalar accumulators over the whole stream; percentiles are
+    estimated over a bounded sliding window of the most recent
+    ``window`` samples. A serving session is open-ended, so appending
+    every sample forever would grow memory linearly with uptime — and
+    recent samples are also the honest basis for latency percentiles on
+    a drifting machine.
+    """
+
+    def __init__(
+        self, name: str = "stage", window: int = DEFAULT_LATENCY_WINDOW
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
         self.name = name
-        self._samples: list[float] = []
-        self._shots: list[int] = []
+        self.window = int(window)
+        self._samples: deque[float] = deque(maxlen=self.window)
+        self._count = 0
+        self._total_seconds = 0.0
+        self._total_shots = 0
 
     def record(self, seconds: float, n_shots: int = 1) -> None:
         """Add one batch's wall time and its shot count."""
@@ -38,26 +62,34 @@ class LatencyStats:
         if n_shots < 1:
             raise ConfigurationError("n_shots must be >= 1")
         self._samples.append(float(seconds))
-        self._shots.append(int(n_shots))
+        self._count += 1
+        self._total_seconds += float(seconds)
+        self._total_shots += int(n_shots)
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def total_seconds(self) -> float:
-        return float(sum(self._samples))
+        return self._total_seconds
 
     @property
     def total_shots(self) -> int:
-        return int(sum(self._shots))
+        return self._total_shots
+
+    @property
+    def window_count(self) -> int:
+        """Samples currently inside the percentile window."""
+        return len(self._samples)
 
     def percentile(self, q: float) -> float:
         """Batch-latency percentile in seconds (q in [0, 100]).
 
-        With zero recorded samples this is NaN — an empty or stalled
-        stage must read as "no data", never as 0 ms (which would make it
-        look infinitely fast in reports).
+        Computed over the bounded recent-sample window. With zero
+        recorded samples this is NaN — an empty or stalled stage must
+        read as "no data", never as 0 ms (which would make it look
+        infinitely fast in reports).
         """
         if not self._samples:
             return float("nan")

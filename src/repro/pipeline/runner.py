@@ -30,6 +30,7 @@ from repro.fpga.latency import check_cycle_budget, decision_budget_ns
 from repro.physics.device import ChipConfig, default_five_qubit_chip
 from repro.physics.drift import DriftModel
 from repro.pipeline.batching import AdaptiveBatcher, MicroBatcher
+from repro.pipeline.buffers import BufferRing
 from repro.pipeline.drift import DriftMonitor
 from repro.pipeline.metrics import PipelineReport, StageTimings
 from repro.pipeline.registry import CalibrationKey, CalibrationRegistry
@@ -39,7 +40,7 @@ from repro.pipeline.source import (
     SimulatorTraceSource,
     TraceSource,
 )
-from repro.pipeline.stages import BatchDiscriminationEngine
+from repro.pipeline.stages import ENGINE_MODES, BatchDiscriminationEngine
 
 __all__ = [
     "ADAPTIVE_BUDGET_SLACK",
@@ -103,6 +104,12 @@ class PipelineConfig:
         EWMA weight of the newest batch in the drift monitor.
     drift_min_shots:
         Shots the monitor must see before it may alarm.
+    engine:
+        Discrimination engine mode: ``"fused"`` (default) scores every
+        channel with one matmul over precomputed fused kernels, writing
+        into reused ring buffers; ``"legacy"`` runs the per-channel
+        demod → decimate → matched-filter reference chain (the mode
+        ``workers`` shards across threads).
 
     Source chunking is the :class:`TraceSource`'s own knob, not runtime
     configuration — see ``chunk_size`` on the source constructors.
@@ -118,6 +125,7 @@ class PipelineConfig:
     drift_threshold: float = 0.1
     drift_ewma_alpha: float = 0.25
     drift_min_shots: int = 50
+    engine: str = "fused"
 
     def __post_init__(self) -> None:
         # Collect every violation before raising, so a config with
@@ -151,6 +159,10 @@ class PipelineConfig:
         if self.drift_min_shots < 0:
             problems.append(
                 f"drift_min_shots must be >= 0, got {self.drift_min_shots}"
+            )
+        if self.engine not in ENGINE_MODES:
+            problems.append(
+                f"engine must be one of {ENGINE_MODES}, got {self.engine!r}"
             )
         if problems:
             raise ConfigurationError(
@@ -254,16 +266,31 @@ class ReadoutPipeline:
         )
         wall_start = time.perf_counter()
         try:
-            if self.config.workers > 1:
+            # The fused engine is one BLAS call per batch; channel-shard
+            # threads only help the legacy per-channel chain.
+            if self.config.workers > 1 and self.config.engine == "legacy":
                 executor = ThreadPoolExecutor(max_workers=self.config.workers)
             engine = BatchDiscriminationEngine(
-                self.discriminator, self.chip, executor=executor
+                self.discriminator,
+                self.chip,
+                executor=executor,
+                mode=self.config.engine,
             )
+            ring = None
+            if self.config.engine == "fused":
+                ring = BufferRing(batcher.max_emit_size, engine.n_features)
             # Built only after the engine checks out, so a construction
             # error cannot leak the default sink's consumer thread.
             sink = self._make_sink()
-            for batch in batcher.rebatch(source.chunks()):
-                result = engine.process(batch.feedline)
+            for batch in batcher.rebatch(source.chunks(), ring=ring):
+                result = engine.process(
+                    batch.feedline,
+                    out_features=(
+                        None
+                        if ring is None
+                        else ring.paired_features(batch.feedline)
+                    ),
+                )
                 compute_s = 0.0
                 for stage, seconds in result.stage_seconds.items():
                     timings.record(stage, seconds, batch.n_shots)
@@ -315,6 +342,7 @@ class ReadoutPipeline:
             "batch_size": self.config.batch_size,
             "workers": self.config.workers,
             "adaptive_batching": self.config.adaptive_batching,
+            "engine": self.config.engine,
         }
         if isinstance(batcher, AdaptiveBatcher):
             # Sizes actually streamed (includes the initial batch and the
@@ -495,6 +523,8 @@ def run_streaming_pipeline(
     drift_shot_offset: int = 0,
     version: int = 0,
     calibration_shot_offset: int = 0,
+    source: TraceSource | None = None,
+    engine: str = "fused",
 ) -> PipelineReport:
     """Calibrate (or load calibration), then stream ``n_shots`` end to end.
 
@@ -541,9 +571,24 @@ def run_streaming_pipeline(
         was calibrated. The engine demodulates with the device snapshot
         the kernels were estimated at — after a hot recalibration that
         is the drifted device, not the declared one.
+    source:
+        Replay an existing :class:`TraceSource` (e.g. a
+        :class:`~repro.pipeline.shm.SharedMemoryTraceSource` attached to
+        a parent's segment) instead of simulating fresh traffic.
+        ``n_shots``/``chunk_size``/``seed`` describe simulated traffic
+        only and are ignored; mutually exclusive with ``drift_model``
+        (a pre-built stream cannot also be drift-simulated).
+    engine:
+        Engine mode when ``config`` is not given; see
+        :class:`PipelineConfig`.
     """
     if n_shots < 1:
         raise ConfigurationError(f"n_shots must be >= 1, got {n_shots}")
+    if source is not None and drift_model is not None and not drift_model.is_null:
+        raise ConfigurationError(
+            "source and drift_model are mutually exclusive: a replayed "
+            "stream's traces are already fixed"
+        )
     validate_streamable_design(design)
     chip = chip if chip is not None else default_five_qubit_chip()
     registry = (
@@ -561,10 +606,13 @@ def run_streaming_pipeline(
             adaptive_batching=adaptive_batching,
             max_batch_size=max_batch_size,
             target_batch_ms=target_batch_ms,
+            engine=engine,
         )
     traffic_seed = profile.seed + 1 if seed is None else seed
     serve_chip = chip
-    if drift_model is not None and not drift_model.is_null:
+    if source is not None:
+        pass  # replayed stream: the caller owns chunking and lifetime
+    elif drift_model is not None and not drift_model.is_null:
         source: TraceSource = DriftingTraceSource(
             chip,
             drift_model,

@@ -1,0 +1,239 @@
+"""Shared-memory trace hand-off between cluster processes.
+
+Dispatching a pre-built trace corpus to a worker process used to mean
+pickling the full ``(n_shots, trace_len)`` complex array into the task
+payload — megabytes serialized, copied through a pipe, and deserialized
+per feedline. This module moves the hand-off to POSIX shared memory:
+the parent publishes each feedline's arrays once as a
+:class:`SharedTraceBlock`, ships only the tiny picklable
+:class:`SharedTraceDescriptor` (segment name + dtypes + shapes), and
+workers attach by name and stream zero-copy chunk views straight out of
+the mapping via :class:`SharedMemoryTraceSource`.
+
+Lifecycle contract: the creating process owns the segment and must call
+:meth:`SharedTraceBlock.unlink` when every consumer is done (the runner
+does this in a ``finally``); attached readers only ever :meth:`close
+<SharedMemoryTraceSource.close>` their mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import ReadoutCorpus
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.physics.device import ChipConfig
+from repro.pipeline.source import ShotChunk, TraceSource
+
+__all__ = [
+    "SharedTraceDescriptor",
+    "SharedTraceBlock",
+    "SharedMemoryTraceSource",
+]
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    On Python < 3.13 ``SharedMemory`` has no ``track=False``: every
+    attach re-registers the segment with the resource tracker. That is
+    safe here — shard workers are forked, so they share the creator's
+    tracker process, and re-registering an already-tracked name is an
+    idempotent set-add that the creator's single ``unlink`` clears.
+    Explicitly *unregistering* after attach (the common workaround)
+    would be wrong for the same reason: in the serial executor the
+    attacher IS the creator, and stripping the registration makes the
+    later ``unlink`` double-unregister and spew tracker KeyErrors.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class SharedTraceDescriptor:
+    """Picklable handle to one feedline's shared trace arrays.
+
+    The feedline traces and their prepared-level labels live
+    back-to-back in a single segment; offsets are implied (labels start
+    at ``feedline_nbytes``).
+    """
+
+    name: str
+    n_shots: int
+    trace_len: int
+    n_qubits: int
+    feedline_dtype: str
+    levels_dtype: str
+
+    def __post_init__(self) -> None:
+        if self.n_shots < 1:
+            raise ConfigurationError(f"n_shots must be >= 1, got {self.n_shots}")
+        if self.trace_len < 1:
+            raise ConfigurationError(
+                f"trace_len must be >= 1, got {self.trace_len}"
+            )
+        if self.n_qubits < 1:
+            raise ConfigurationError(
+                f"n_qubits must be >= 1, got {self.n_qubits}"
+            )
+
+    @property
+    def feedline_nbytes(self) -> int:
+        return (
+            self.n_shots
+            * self.trace_len
+            * np.dtype(self.feedline_dtype).itemsize
+        )
+
+    @property
+    def levels_nbytes(self) -> int:
+        return (
+            self.n_shots * self.n_qubits * np.dtype(self.levels_dtype).itemsize
+        )
+
+
+class SharedTraceBlock:
+    """Creator-side shared-memory publication of one trace corpus.
+
+    Parameters
+    ----------
+    feedline:
+        Complex traces ``(n_shots, trace_len)`` to publish.
+    prepared_levels:
+        Ground-truth labels ``(n_shots, n_qubits)``.
+
+    The arrays are copied into the segment once at construction; workers
+    attach by :attr:`descriptor` and read views. Call :meth:`unlink`
+    (idempotent) when all consumers are done.
+    """
+
+    def __init__(
+        self, feedline: np.ndarray, prepared_levels: np.ndarray
+    ) -> None:
+        feedline = np.ascontiguousarray(feedline)
+        prepared_levels = np.ascontiguousarray(prepared_levels)
+        if feedline.ndim != 2:
+            raise ShapeError(f"feedline must be 2-D, got {feedline.shape}")
+        if (
+            prepared_levels.ndim != 2
+            or prepared_levels.shape[0] != feedline.shape[0]
+        ):
+            raise ShapeError(
+                "prepared_levels must be (n_shots, n_qubits) matching feedline"
+            )
+        self._shm = shared_memory.SharedMemory(
+            create=True,
+            size=feedline.nbytes + prepared_levels.nbytes,
+        )
+        self.descriptor = SharedTraceDescriptor(
+            name=self._shm.name,
+            n_shots=feedline.shape[0],
+            trace_len=feedline.shape[1],
+            n_qubits=prepared_levels.shape[1],
+            feedline_dtype=feedline.dtype.str,
+            levels_dtype=prepared_levels.dtype.str,
+        )
+        dst_feed = np.ndarray(
+            feedline.shape, dtype=feedline.dtype, buffer=self._shm.buf
+        )
+        dst_feed[:] = feedline
+        dst_levels = np.ndarray(
+            prepared_levels.shape,
+            dtype=prepared_levels.dtype,
+            buffer=self._shm.buf,
+            offset=feedline.nbytes,
+        )
+        dst_levels[:] = prepared_levels
+
+    @classmethod
+    def from_corpus(cls, corpus: ReadoutCorpus) -> "SharedTraceBlock":
+        """Publish an existing corpus's arrays."""
+        return cls(corpus.feedline, corpus.prepared_levels)
+
+    def unlink(self) -> None:
+        """Release the segment (idempotent; creator-side only)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        shm.unlink()
+
+
+class SharedMemoryTraceSource(TraceSource):
+    """Streams zero-copy chunks out of an attached shared segment.
+
+    Built from a :class:`SharedTraceDescriptor` inside a worker (or the
+    parent itself — attaching locally is equally valid and is how the
+    serial executor replays). Every yielded chunk's arrays are views
+    into the mapping: nothing on the read path allocates trace storage.
+
+    The chip is passed alongside the descriptor because the segment
+    carries raw arrays only; the caller already ships chip configs in
+    its task payload.
+    """
+
+    def __init__(
+        self,
+        descriptor: SharedTraceDescriptor,
+        chip: ChipConfig,
+        chunk_size: int = 256,
+    ) -> None:
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        if chip.n_qubits != descriptor.n_qubits:
+            raise ShapeError(
+                f"descriptor labels {descriptor.n_qubits} qubits, chip has "
+                f"{chip.n_qubits}"
+            )
+        self.chip = chip
+        self.descriptor = descriptor
+        self.chunk_size = int(chunk_size)
+        self._shm = _attach(descriptor.name)
+        self.feedline = np.ndarray(
+            (descriptor.n_shots, descriptor.trace_len),
+            dtype=np.dtype(descriptor.feedline_dtype),
+            buffer=self._shm.buf,
+        )
+        self.prepared_levels = np.ndarray(
+            (descriptor.n_shots, descriptor.n_qubits),
+            dtype=np.dtype(descriptor.levels_dtype),
+            buffer=self._shm.buf,
+            offset=descriptor.feedline_nbytes,
+        )
+
+    @property
+    def n_shots(self) -> int:
+        return self.descriptor.n_shots
+
+    def chunks(self) -> Iterator[ShotChunk]:
+        for chunk_id, start in enumerate(
+            range(0, self.n_shots, self.chunk_size)
+        ):
+            stop = start + self.chunk_size
+            yield ShotChunk(
+                feedline=self.feedline[start:stop],
+                prepared_levels=self.prepared_levels[start:stop],
+                chunk_id=chunk_id,
+            )
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent; never unlinks)."""
+        if self._shm is None:
+            return
+        # Views into the mapping keep the buffer alive; releasing the
+        # arrays first lets close() unmap without ``BufferError``.
+        self.feedline = None
+        self.prepared_levels = None
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        except BufferError:
+            # A consumer still holds a chunk view; the mapping is
+            # reclaimed at process exit instead, and the creator's
+            # unlink is unaffected.
+            pass

@@ -251,7 +251,10 @@ class CorpusTraceSource(TraceSource):
     """Replays an existing corpus as a stream (optionally shuffled).
 
     Useful for regression runs on saved datasets and for tests that need a
-    deterministic stream.
+    deterministic stream. Unshuffled replay yields contiguous *views*
+    into the corpus arrays — the downstream stages never write into a
+    chunk's feedline, so copying every chunk (what fancy indexing with a
+    shuffled order does unavoidably) was pure hot-path overhead.
     """
 
     def __init__(
@@ -265,9 +268,13 @@ class CorpusTraceSource(TraceSource):
         self.chip = corpus.chip
         self.corpus = corpus
         self.chunk_size = int(chunk_size)
-        self._order = np.arange(corpus.n_traces)
+        # None marks in-order replay (the zero-copy path); an index
+        # permutation exists only when a shuffle actually reorders.
+        self._order: np.ndarray | None = None
         if shuffle:
-            check_random_state(seed).shuffle(self._order)
+            order = np.arange(corpus.n_traces)
+            check_random_state(seed).shuffle(order)
+            self._order = order
 
     @property
     def n_shots(self) -> int:
@@ -277,9 +284,16 @@ class CorpusTraceSource(TraceSource):
         for chunk_id, start in enumerate(
             range(0, self.corpus.n_traces, self.chunk_size)
         ):
-            idx = self._order[start : start + self.chunk_size]
+            stop = start + self.chunk_size
+            if self._order is None:
+                feedline = self.corpus.feedline[start:stop]
+                levels = self.corpus.prepared_levels[start:stop]
+            else:
+                idx = self._order[start:stop]
+                feedline = self.corpus.feedline[idx]
+                levels = self.corpus.prepared_levels[idx]
             yield ShotChunk(
-                feedline=self.corpus.feedline[idx],
-                prepared_levels=self.corpus.prepared_levels[idx],
+                feedline=feedline,
+                prepared_levels=levels,
                 chunk_id=chunk_id,
             )

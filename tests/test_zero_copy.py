@@ -1,0 +1,574 @@
+"""Tests for the zero-copy hot path: fused kernels, buffer reuse,
+shared-memory replay, and the hot-path bugfix sweep that rode along."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.config import Profile
+from repro.data import generate_corpus
+from repro.discriminators import MLRDiscriminator
+from repro.dsp.demod import demod_tone, demodulate
+from repro.dsp.filters import boxcar_decimate
+from repro.dsp.matched_filter import FusedKernelBank, fuse_demod_decimation
+from repro.exceptions import ConfigurationError, DataError, ShapeError
+from repro.ml import stratified_split
+from repro.physics.device import multi_feedline_chips
+from repro.pipeline import (
+    EXECUTOR_NAMES,
+    BatchDiscriminationEngine,
+    BufferRing,
+    CorpusTraceSource,
+    LatencyStats,
+    MicroBatcher,
+    MultiFeedlineRunner,
+    PipelineConfig,
+    ReadoutPipeline,
+    SharedMemoryTraceSource,
+    SharedTraceBlock,
+    ShotChunk,
+)
+
+
+def tiny_profile(**overrides) -> Profile:
+    """A fast sizing profile for zero-copy tests (not a named profile)."""
+    params = dict(
+        name="tiny",
+        shots_per_state=10,
+        calibration_shots=100,
+        nn_epochs=8,
+        fnn_epochs=2,
+        batch_size=64,
+        qec_shots=10,
+        qudit_shots=10,
+        spectral_max_points=100,
+        seed=701,
+    )
+    params.update(overrides)
+    return Profile(**params)
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_corpus):
+    train, _ = stratified_split(tiny_corpus.labels, 0.5, seed=31)
+    return MLRDiscriminator(epochs=10, learning_rate=3e-3, seed=32).fit(
+        tiny_corpus, train
+    )
+
+
+class TestFusedKernelMath:
+    def test_fused_weights_reproduce_legacy_chain(self, rng):
+        """One weight row == demod -> boxcar -> Re<K, .> exactly (to fp)."""
+        n_shots, trace_len, factor = 7, 60, 4
+        n_bins = trace_len // factor
+        kernels = rng.normal(size=(3, n_bins)) + 1j * rng.normal(
+            size=(3, n_bins)
+        )
+        times = np.arange(trace_len) * 0.5
+        tone = demod_tone(-0.17, times)
+        feed = rng.normal(size=(n_shots, trace_len)) + 1j * rng.normal(
+            size=(n_shots, trace_len)
+        )
+
+        demodulated = demodulate(feed, -0.17, times)
+        decimated = boxcar_decimate(demodulated, factor)
+        legacy = np.real(decimated @ np.conj(kernels).T)
+
+        weights = fuse_demod_decimation(kernels, tone, factor)
+        fused = np.real(feed @ weights.T)
+        np.testing.assert_allclose(fused, legacy, rtol=1e-12, atol=1e-12)
+
+    def test_fused_weights_drop_trailing_partial_boxcar_group(self, rng):
+        """trace_len not divisible by factor: trailing samples drop out,
+        exactly like boxcar_decimate."""
+        trace_len, factor = 61, 4
+        n_bins = trace_len // factor
+        kernels = rng.normal(size=(2, n_bins)) + 1j * rng.normal(
+            size=(2, n_bins)
+        )
+        times = np.arange(trace_len) * 0.5
+        feed = rng.normal(size=(5, trace_len)) + 1j * rng.normal(
+            size=(5, trace_len)
+        )
+        tone = demod_tone(0.21, times)[: n_bins * factor]
+        weights = fuse_demod_decimation(kernels, tone, factor)
+        assert weights.shape == (2, n_bins * factor)
+        legacy = np.real(
+            boxcar_decimate(demodulate(feed, 0.21, times), factor)
+            @ np.conj(kernels).T
+        )
+        np.testing.assert_allclose(
+            np.real(feed[:, : n_bins * factor] @ weights.T),
+            legacy,
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+    def test_tone_length_mismatch_rejected(self, rng):
+        kernels = rng.normal(size=(2, 10)) * (1 + 0j)
+        with pytest.raises(ShapeError):
+            fuse_demod_decimation(kernels, np.ones(39, dtype=complex), 4)
+
+    def test_bank_scores_into_preallocated_buffers(self, rng):
+        weights = rng.normal(size=(6, 40)) + 1j * rng.normal(size=(6, 40))
+        bank = FusedKernelBank(
+            weights=weights, filters_per_qubit=3, decimation=4
+        )
+        feed = rng.normal(size=(9, 40)) + 1j * rng.normal(size=(9, 40))
+        expected = bank.scores(feed)
+        out = np.empty((9, 6))
+        scratch = np.empty((9, 6), dtype=np.complex128)
+        got = bank.scores(feed, out=out, scratch=scratch)
+        assert got is out
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestFusedEngineInvariance:
+    """The tentpole's correctness gate: fused == legacy assignments."""
+
+    def test_fused_matches_legacy_assignments(self, fitted, tiny_corpus):
+        feed = tiny_corpus.feedline[:300]
+        chip = tiny_corpus.chip
+        fused = BatchDiscriminationEngine(fitted, chip, mode="fused")
+        legacy = BatchDiscriminationEngine(fitted, chip, mode="legacy")
+        rf = fused.process(feed)
+        rl = legacy.process(feed)
+        np.testing.assert_array_equal(rf.levels, rl.levels)
+        np.testing.assert_array_equal(rf.joint, rl.joint)
+
+    def test_fused_matches_legacy_on_truncated_window(
+        self, fitted, tiny_corpus
+    ):
+        """Truncated-window serving: a shorter raw window uses a prefix
+        bank and must still agree with the legacy chain on that window."""
+        feed = tiny_corpus.feedline[:200, :150]
+        chip = tiny_corpus.chip
+        rf = BatchDiscriminationEngine(fitted, chip, mode="fused").process(
+            feed
+        )
+        rl = BatchDiscriminationEngine(fitted, chip, mode="legacy").process(
+            feed
+        )
+        np.testing.assert_array_equal(rf.levels, rl.levels)
+        np.testing.assert_array_equal(rf.joint, rl.joint)
+
+    def test_fused_stage_schema_and_zero_demod(self, fitted, tiny_corpus):
+        result = BatchDiscriminationEngine(
+            fitted, tiny_corpus.chip, mode="fused"
+        ).process(tiny_corpus.feedline[:32])
+        assert set(result.stage_seconds) == {
+            "demod",
+            "matched_filter",
+            "discriminate",
+        }
+        assert result.stage_seconds["demod"] == 0.0
+        assert result.stage_seconds["matched_filter"] > 0.0
+
+    def test_window_longer_than_fitted_rejected(self, fitted, tiny_corpus):
+        chip = tiny_corpus.chip
+        engine = BatchDiscriminationEngine(fitted, chip, mode="fused")
+        long_feed = np.zeros(
+            (4, tiny_corpus.feedline.shape[1] + 8), dtype=complex
+        )
+        with pytest.raises(DataError):
+            engine.process(long_feed)
+
+    def test_unknown_mode_rejected(self, fitted, tiny_corpus):
+        with pytest.raises(ConfigurationError):
+            BatchDiscriminationEngine(
+                fitted, tiny_corpus.chip, mode="turbo"
+            )
+
+    def test_fused_bank_cached_per_window(self, fitted, tiny_corpus):
+        engine = BatchDiscriminationEngine(
+            fitted, tiny_corpus.chip, mode="fused"
+        )
+        engine.process(tiny_corpus.feedline[:8])
+        engine.process(tiny_corpus.feedline[:8, :150])
+        engine.process(tiny_corpus.feedline[:8])
+        assert sorted(engine._fused_banks) == [
+            150,
+            tiny_corpus.feedline.shape[1],
+        ]
+
+
+class TestLegacyExecutorDispatch:
+    """Regression: channel dispatch must survive every executor kind."""
+
+    def test_legacy_engine_with_process_pool(self, fitted, tiny_corpus):
+        """The old lambda star-dispatch was unpicklable and crashed any
+        process-pool executor handed to the engine."""
+        inline = BatchDiscriminationEngine(
+            fitted, tiny_corpus.chip, mode="legacy"
+        ).process(tiny_corpus.feedline[:64])
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            engine = BatchDiscriminationEngine(
+                fitted, tiny_corpus.chip, executor=pool, mode="legacy"
+            )
+            sharded = engine.process(tiny_corpus.feedline[:64])
+        np.testing.assert_array_equal(sharded.levels, inline.levels)
+        np.testing.assert_array_equal(sharded.joint, inline.joint)
+
+    def test_legacy_engine_with_thread_pool(self, fitted, tiny_corpus):
+        inline = BatchDiscriminationEngine(
+            fitted, tiny_corpus.chip, mode="legacy"
+        ).process(tiny_corpus.feedline[:64])
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            sharded = BatchDiscriminationEngine(
+                fitted, tiny_corpus.chip, executor=pool, mode="legacy"
+            ).process(tiny_corpus.feedline[:64])
+        np.testing.assert_array_equal(sharded.levels, inline.levels)
+
+
+class TestRebatchLinearity:
+    """Regression: list.pop(0) made fine-grained rebatching quadratic."""
+
+    @staticmethod
+    def _one_shot_chunks(n, trace_len=4):
+        feed = np.zeros((1, trace_len), dtype=complex)
+        levels = np.zeros((1, 2), dtype=np.int64)
+        return [
+            ShotChunk(feedline=feed, prepared_levels=levels, chunk_id=i)
+            for i in range(n)
+        ]
+
+    def test_ten_thousand_one_shot_chunks_stay_linear(self):
+        n = 10_000
+        chunks = self._one_shot_chunks(n)
+        start = time.perf_counter()
+        batches = list(MicroBatcher(256).rebatch(chunks))
+        elapsed = time.perf_counter() - start
+        assert sum(b.n_shots for b in batches) == n
+        assert all(b.n_shots == 256 for b in batches[:-1])
+        # Generous absolute bound: linear drains in well under a second
+        # even on a loaded CI box; the old quadratic path took minutes.
+        assert elapsed < 5.0
+
+    def test_rebatch_splits_and_labels_unchanged(self, rng):
+        """Behavioral pin against the deque rewrite: same batches, same
+        label carriage, same remainder flush."""
+        sizes = [3, 7, 1, 12, 5, 2]
+        chunks = []
+        cursor = 0
+        for i, size in enumerate(sizes):
+            feed = (cursor + np.arange(size))[:, None] * (1 + 0j) * np.ones(4)
+            levels = (
+                None
+                if i == 2
+                else np.full((size, 2), i, dtype=np.int64)
+            )
+            chunks.append(
+                ShotChunk(feedline=feed, prepared_levels=levels, chunk_id=i)
+            )
+            cursor += size
+        batches = list(MicroBatcher(8).rebatch(chunks))
+        assert [b.n_shots for b in batches] == [8, 8, 8, 6]
+        merged = np.concatenate([b.feedline for b in batches])
+        np.testing.assert_array_equal(
+            merged[:, 0].real, np.arange(sum(sizes))
+        )
+        # The unlabeled chunk (shots 10..10) lands in batch 1 only.
+        assert batches[0].prepared_levels is not None
+        assert batches[1].prepared_levels is None
+        assert batches[2].prepared_levels is not None
+        assert batches[3].prepared_levels is not None
+
+
+class TestCorpusSourceViews:
+    """Regression: unshuffled replay copied every chunk via fancy
+    indexing; it must yield contiguous views."""
+
+    def test_unshuffled_chunks_are_views(self, tiny_corpus):
+        source = CorpusTraceSource(tiny_corpus, chunk_size=64)
+        for chunk in source.chunks():
+            assert np.shares_memory(chunk.feedline, tiny_corpus.feedline)
+            assert np.shares_memory(
+                chunk.prepared_levels, tiny_corpus.prepared_levels
+            )
+
+    def test_shuffled_chunks_still_copy_and_permute(self, tiny_corpus):
+        source = CorpusTraceSource(tiny_corpus, chunk_size=64, shuffle=True,
+                                   seed=5)
+        chunks = list(source.chunks())
+        assert not any(
+            np.shares_memory(c.feedline, tiny_corpus.feedline)
+            for c in chunks
+        )
+        merged = np.concatenate([c.feedline for c in chunks])
+        assert merged.shape == tiny_corpus.feedline.shape
+        assert not np.array_equal(merged, tiny_corpus.feedline)
+        np.testing.assert_array_equal(
+            np.sort(merged.view(np.float64).ravel()),
+            np.sort(tiny_corpus.feedline.view(np.float64).ravel()),
+        )
+
+
+class TestBoundedLatencyStats:
+    """Regression: per-batch samples accumulated forever."""
+
+    def test_totals_exact_past_the_window(self):
+        stats = LatencyStats("demod", window=16)
+        n = 100
+        for i in range(n):
+            stats.record(0.001 * (i + 1), n_shots=3)
+        assert stats.count == n
+        assert stats.total_shots == 3 * n
+        assert stats.total_seconds == pytest.approx(
+            0.001 * n * (n + 1) / 2
+        )
+        assert stats.window_count == 16
+        # Percentiles reflect the bounded recent window only.
+        assert stats.percentile(0.0) == pytest.approx(0.001 * (n - 15))
+        assert stats.percentile(100.0) == pytest.approx(0.001 * n)
+
+    def test_memory_is_bounded(self):
+        stats = LatencyStats(window=8)
+        for _ in range(10_000):
+            stats.record(0.5)
+        assert stats.window_count == 8
+        assert stats.count == 10_000
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            LatencyStats(window=0)
+
+
+class TestBufferRing:
+    def test_slots_are_reused_round_robin(self):
+        ring = BufferRing(max_batch=32, n_features=6, slots=2)
+        a = ring.acquire(16, 40)
+        b = ring.acquire(16, 40)
+        c = ring.acquire(16, 40)
+        assert a.base is not b.base
+        assert c.base is a.base  # wrapped around
+        assert ring.acquired == 3
+
+    def test_paired_features_matches_by_buffer_identity(self):
+        ring = BufferRing(max_batch=32, n_features=6)
+        feed = ring.acquire(10, 40)
+        features = ring.paired_features(feed)
+        assert features.shape == (10, 6)
+        foreign = np.zeros((10, 40), dtype=complex)
+        assert ring.paired_features(foreign) is None
+
+    def test_oversized_batch_falls_back(self):
+        ring = BufferRing(max_batch=8, n_features=6)
+        assert ring.acquire(9, 40) is None
+
+    def test_rebatch_assembles_into_ring_slots(self, rng):
+        ring = BufferRing(max_batch=8, n_features=6)
+        feed = rng.normal(size=(20, 10)) + 1j * rng.normal(size=(20, 10))
+        chunks = [
+            ShotChunk(
+                feedline=feed[i : i + 5],
+                prepared_levels=None,
+                chunk_id=i,
+            )
+            for i in range(0, 20, 5)
+        ]
+        batches = []
+        for batch in MicroBatcher(8).rebatch(chunks, ring=ring):
+            assert ring.paired_features(batch.feedline) is not None
+            batches.append(batch.feedline.copy())
+        np.testing.assert_array_equal(np.concatenate(batches), feed)
+
+    def test_results_never_alias_live_buffers(self, fitted, tiny_corpus):
+        """Pipeline outputs must survive the ring wrapping: levels and
+        joint are fresh arrays, not views of reused scratch."""
+        chip = tiny_corpus.chip
+        engine = BatchDiscriminationEngine(fitted, chip, mode="fused")
+        ring = BufferRing(max_batch=16, n_features=engine.n_features)
+        source = CorpusTraceSource(tiny_corpus, chunk_size=16)
+        results = []
+        for batch in MicroBatcher(16).rebatch(source.chunks(), ring=ring):
+            out = ring.paired_features(batch.feedline)
+            results.append(engine.process(batch.feedline, out_features=out))
+        # Re-run and check the retained outputs were not clobbered.
+        joints = [r.joint.copy() for r in results]
+        for batch in MicroBatcher(16).rebatch(
+            CorpusTraceSource(tiny_corpus, chunk_size=16).chunks(), ring=ring
+        ):
+            engine.process(
+                batch.feedline,
+                out_features=ring.paired_features(batch.feedline),
+            )
+        for kept, again in zip(results, joints):
+            np.testing.assert_array_equal(kept.joint, again)
+            assert kept.joint.base is None or not np.shares_memory(
+                kept.joint, engine._feature_scratch
+            )
+
+
+class TestPipelineEngineParity:
+    """End-to-end: the fused pipeline default equals the legacy chain."""
+
+    @pytest.fixture(scope="class")
+    def replay_corpus(self, tiny_corpus):
+        return tiny_corpus
+
+    def _run(self, fitted, corpus, engine_mode, **config_kw):
+        config = PipelineConfig(
+            batch_size=48, engine=engine_mode, **config_kw
+        )
+        pipeline = ReadoutPipeline(fitted, corpus.chip, config)
+        return pipeline.run(CorpusTraceSource(corpus, chunk_size=64))
+
+    def test_fused_and_legacy_reports_agree(self, fitted, replay_corpus):
+        fused = self._run(fitted, replay_corpus, "fused")
+        legacy = self._run(fitted, replay_corpus, "legacy")
+        assert fused.assignment_counts == legacy.assignment_counts
+        assert fused.accuracy == legacy.accuracy
+        assert fused.details["engine"] == "fused"
+        assert legacy.details["engine"] == "legacy"
+
+    def test_fused_with_adaptive_batching(self, fitted, replay_corpus):
+        fused = self._run(
+            fitted,
+            replay_corpus,
+            "fused",
+            adaptive_batching=True,
+            max_batch_size=128,
+        )
+        legacy = self._run(fitted, replay_corpus, "legacy")
+        assert fused.assignment_counts == legacy.assignment_counts
+
+    def test_bad_engine_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(engine="warp")
+
+
+class TestSharedMemoryReplay:
+    def test_block_round_trip_and_views(self, tiny_corpus):
+        block = SharedTraceBlock.from_corpus(tiny_corpus)
+        try:
+            source = SharedMemoryTraceSource(
+                block.descriptor, tiny_corpus.chip, chunk_size=64
+            )
+            chunks = list(source.chunks())
+            assert sum(c.n_shots for c in chunks) == tiny_corpus.n_traces
+            # Zero-copy: every chunk is a view into the attached mapping.
+            for chunk in chunks:
+                assert np.shares_memory(chunk.feedline, source.feedline)
+            np.testing.assert_array_equal(
+                np.concatenate([c.feedline for c in chunks]),
+                tiny_corpus.feedline,
+            )
+            np.testing.assert_array_equal(
+                np.concatenate([c.prepared_levels for c in chunks]),
+                tiny_corpus.prepared_levels,
+            )
+            source.close()
+            source.close()  # idempotent
+        finally:
+            block.unlink()
+            block.unlink()  # idempotent
+
+    def test_descriptor_is_small_and_picklable(self, tiny_corpus):
+        import pickle
+
+        block = SharedTraceBlock.from_corpus(tiny_corpus)
+        try:
+            payload = pickle.dumps(block.descriptor)
+            # The whole point: descriptor bytes << trace bytes.
+            assert len(payload) < 1024
+            assert tiny_corpus.feedline.nbytes > 100 * len(payload)
+            clone = pickle.loads(payload)
+            assert clone == block.descriptor
+        finally:
+            block.unlink()
+
+    def test_qubit_mismatch_rejected(self, tiny_corpus, five_qubit_chip):
+        block = SharedTraceBlock.from_corpus(tiny_corpus)
+        try:
+            with pytest.raises(ShapeError):
+                SharedMemoryTraceSource(block.descriptor, five_qubit_chip)
+        finally:
+            block.unlink()
+
+
+class TestClusterReplay:
+    """run_replay must agree with in-process replay on every executor."""
+
+    @pytest.fixture(scope="class")
+    def feedline_chips(self):
+        return multi_feedline_chips(2, n_qubits=2, trace_len=120)
+
+    @pytest.fixture(scope="class")
+    def replay_corpora(self, feedline_chips):
+        return [
+            generate_corpus(chip, shots_per_state=8, seed=811 + i)
+            for i, chip in enumerate(feedline_chips)
+        ]
+
+    @pytest.fixture(scope="class")
+    def warm_registry(self, tmp_path_factory, feedline_chips):
+        registry_dir = tmp_path_factory.mktemp("replay-registry")
+        with MultiFeedlineRunner(
+            feedline_chips,
+            tiny_profile(),
+            executor="serial",
+            registry_dir=registry_dir,
+        ) as runner:
+            runner.prefit()
+        return registry_dir
+
+    def test_replay_matches_direct_run_across_executors(
+        self, feedline_chips, replay_corpora, warm_registry, fitted
+    ):
+        del fitted  # unused; keeps fixture ordering obvious
+        reference = None
+        for executor in EXECUTOR_NAMES:
+            with MultiFeedlineRunner(
+                feedline_chips,
+                tiny_profile(),
+                executor=executor,
+                workers=2,
+                config=PipelineConfig(batch_size=32),
+                registry_dir=warm_registry,
+            ) as runner:
+                report = runner.run_replay(replay_corpora)
+            counts = {
+                name: fl.assignment_counts
+                for name, fl in report.feedline_reports.items()
+            }
+            assert report.n_shots == sum(
+                c.n_traces for c in replay_corpora
+            )
+            for fl in report.feedline_reports.values():
+                assert fl.accuracy is not None
+            if reference is None:
+                reference = counts
+            else:
+                assert counts == reference
+
+    def test_replay_accepts_name_keyed_corpora(
+        self, feedline_chips, replay_corpora, warm_registry
+    ):
+        with MultiFeedlineRunner(
+            feedline_chips,
+            tiny_profile(),
+            executor="serial",
+            registry_dir=warm_registry,
+        ) as runner:
+            by_name = {
+                spec.name: corpus
+                for spec, corpus in zip(runner.feedlines, replay_corpora)
+            }
+            report = runner.run_replay(by_name)
+        assert report.n_shots == sum(c.n_traces for c in replay_corpora)
+
+    def test_replay_count_mismatch_rejected(
+        self, feedline_chips, replay_corpora, warm_registry
+    ):
+        with MultiFeedlineRunner(
+            feedline_chips,
+            tiny_profile(),
+            executor="serial",
+            registry_dir=warm_registry,
+        ) as runner:
+            with pytest.raises(ConfigurationError):
+                runner.run_replay(replay_corpora[:1])
