@@ -1,0 +1,129 @@
+"""The instrument-backend contract: where shot traffic comes from.
+
+Every trace the runtime serves used to originate in the in-process
+simulator — :class:`~repro.pipeline.source.SimulatorTraceSource`
+constructed inline wherever traffic was needed. :class:`InstrumentBackend`
+decouples that: a backend is a *session-scoped* traffic endpoint
+(``open()``/``close()``/context manager) that answers repeated
+:meth:`~InstrumentBackend.acquire` calls with streams of
+:class:`~repro.pipeline.source.ShotChunk` batches, the same unit the
+pipeline already consumes. The serving layer never needs to know whether
+the chunks were simulated in-process, replayed from a recorded corpus, or
+framed in over a socket from an external digitizer process.
+
+The existing :class:`~repro.pipeline.source.TraceSource` stays the
+pipeline-facing streaming unit; :meth:`InstrumentBackend.trace_source`
+adapts one acquisition into that shape so ``ReadoutPipeline.run`` is
+untouched.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.exceptions import ConfigurationError
+from repro.physics.device import ChipConfig
+from repro.pipeline.source import ShotChunk, TraceSource
+
+__all__ = ["InstrumentBackend", "AcquisitionTraceSource"]
+
+
+class InstrumentBackend(ABC):
+    """A session-scoped source of readout shot traffic.
+
+    Lifecycle: :meth:`open` (idempotent; also the context-manager entry)
+    acquires whatever the backend needs — a socket connection, a mapped
+    corpus, a recording directory — and :meth:`close` (idempotent)
+    releases it. Between the two, every :meth:`acquire` call streams one
+    run's worth of :class:`~repro.pipeline.source.ShotChunk` batches.
+
+    Subclasses set :attr:`name` (the registry identifier) and
+    :attr:`chip` (the device the traffic is for; may be resolved at
+    :meth:`open` for backends that learn it from the remote side).
+    """
+
+    #: Registry identifier of the backend kind.
+    name: str = "abstract"
+
+    #: Device the streamed traffic belongs to.
+    chip: ChipConfig | None = None
+
+    def open(self) -> "InstrumentBackend":
+        """Acquire backend resources. Idempotent; returns ``self``."""
+        return self
+
+    def close(self) -> None:
+        """Release backend resources. Idempotent."""
+
+    def __enter__(self) -> "InstrumentBackend":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @abstractmethod
+    def acquire(
+        self, shots: int, seed: int | None = None
+    ) -> Iterator[ShotChunk]:
+        """Stream one run of traffic as chunk batches, in chunk_id order.
+
+        ``shots`` is the *requested* shot count; backends bound to a
+        fixed stream (a recorded corpus, a remote frame sequence) may
+        deliver their own count instead — :meth:`resolve_shots` tells
+        the caller what to expect. ``seed`` selects the traffic stream
+        where the backend generates traffic; replay-style backends
+        ignore it (their stream is already fixed).
+        """
+
+    def resolve_shots(self, shots: int) -> int:
+        """Shots an ``acquire(shots)`` call will actually deliver."""
+        if shots < 1:
+            raise ConfigurationError(f"shots must be >= 1, got {shots}")
+        return int(shots)
+
+    def describe(self) -> dict:
+        """Capability description (JSON-able; extended by subclasses)."""
+        chip = self.chip
+        info: dict = {"backend": self.name}
+        if chip is not None:
+            info["n_qubits"] = chip.n_qubits
+            info["n_levels"] = chip.n_levels
+            info["trace_len"] = chip.trace_len
+        return info
+
+    def trace_source(
+        self, shots: int, seed: int | None = None
+    ) -> "AcquisitionTraceSource":
+        """One acquisition, shaped as the pipeline's ``TraceSource``."""
+        return AcquisitionTraceSource(self, shots, seed=seed)
+
+
+class AcquisitionTraceSource(TraceSource):
+    """Adapts one backend acquisition to the ``TraceSource`` protocol.
+
+    The pipeline pulls :meth:`chunks` exactly once per run; the adapter
+    delegates to :meth:`InstrumentBackend.acquire` so the backend owns
+    chunking, determinism, and resource lifetime. The backend stays
+    open across runs — closing it is the owning session's job, not the
+    source's.
+    """
+
+    def __init__(
+        self,
+        backend: InstrumentBackend,
+        shots: int,
+        seed: int | None = None,
+    ) -> None:
+        self.backend = backend
+        self.chip = backend.chip
+        self.seed = seed
+        self._n_shots = backend.resolve_shots(shots)
+        self._requested = int(shots)
+
+    @property
+    def n_shots(self) -> int:
+        return self._n_shots
+
+    def chunks(self) -> Iterator[ShotChunk]:
+        return self.backend.acquire(self._requested, seed=self.seed)

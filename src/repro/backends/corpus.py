@@ -1,0 +1,470 @@
+"""Versioned on-disk trace corpora: the record/replay storage format.
+
+A recorded corpus is a directory::
+
+    corpus/
+      manifest.json            # strict JSON, format-versioned
+      chunk-00000.feedline.npy # complex64 (n_shots, trace_len)
+      chunk-00000.levels.npy   # int8 (n_shots, n_qubits), labeled only
+      chunk-00001.feedline.npy
+      ...
+
+The manifest pins everything replay needs to be *bit-deterministic and
+safe*: the format version, the full chip config plus its SHA-1 (the same
+digest the calibration registry keys on, so a replayed corpus can never
+silently feed a discriminator calibrated for another chip), the
+recording seed and source description (backend name, drift section), and
+a SHA-256 per chunk file. :func:`load_corpus` verifies all of it and
+raises a precise :class:`~repro.exceptions.ConfigurationError` naming
+the offending file on any mismatch.
+
+Replayed arrays are read-only (``flags.writeable = False``): a corpus is
+shared evidence, and no downstream stage may silently corrupt it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.physics.device import ChipConfig
+from repro.pipeline.source import ShotChunk
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "CORPUS_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "chip_sha",
+    "CorpusWriter",
+    "RecordedCorpus",
+    "load_corpus",
+]
+
+#: Manifest ``format`` tag — a corpus directory self-identifies.
+CORPUS_FORMAT = "repro-trace-corpus"
+
+#: Current manifest schema version; bumped on layout changes.
+CORPUS_FORMAT_VERSION = 1
+
+#: Manifest file name inside a corpus directory.
+MANIFEST_NAME = "manifest.json"
+
+_FEEDLINE_DTYPE = "complex64"
+_LEVELS_DTYPE = "int8"
+
+
+def chip_sha(chip: ChipConfig) -> str:
+    """Full SHA-1 of the chip config (sorted-key JSON of ``to_dict``).
+
+    The same payload the calibration registry's device slug truncates —
+    a corpus and an artifact recorded for the same chip agree on it.
+    """
+    payload = json.dumps(chip.to_dict(), sort_keys=True).encode()
+    return hashlib.sha1(payload).hexdigest()
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+class CorpusWriter:
+    """Appends shot chunks to a corpus directory, manifest-last.
+
+    The target directory must not already hold a corpus (fresh or empty
+    directories only — recording never silently overwrites evidence).
+    Chunk files land as they are appended; the manifest is (re)written
+    by :meth:`close` and after every :meth:`checkpoint`, so a crashed
+    recording leaves either a loadable prefix or no manifest at all —
+    never a manifest describing missing data.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        chip: ChipConfig,
+        *,
+        seed: int | None = None,
+        source: dict | None = None,
+    ) -> None:
+        path = Path(path)
+        if path.exists():
+            if not path.is_dir():
+                raise ConfigurationError(
+                    f"corpus path {path} exists and is not a directory"
+                )
+            if any(path.iterdir()):
+                raise ConfigurationError(
+                    f"corpus directory {path} is not empty; refusing to "
+                    "overwrite an existing recording"
+                )
+        path.mkdir(parents=True, exist_ok=True)
+        self.path = path
+        self.chip = chip
+        self.seed = seed
+        self.source = dict(source) if source else {}
+        self._entries: list[dict] = []
+        self._n_shots = 0
+        self._labeled: bool | None = None
+        self._closed = False
+
+    @property
+    def n_shots(self) -> int:
+        return self._n_shots
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._entries)
+
+    def append(self, chunk: ShotChunk) -> None:
+        """Write one chunk's arrays and register them in the manifest."""
+        if self._closed:
+            raise ConfigurationError(
+                f"corpus writer for {self.path} is closed"
+            )
+        labeled = chunk.prepared_levels is not None
+        if self._labeled is None:
+            self._labeled = labeled
+        elif labeled != self._labeled:
+            raise ConfigurationError(
+                "corpus chunks must be uniformly labeled or unlabeled; "
+                f"chunk {len(self._entries)} breaks the stream"
+            )
+        index = len(self._entries)
+        feedline = np.ascontiguousarray(
+            chunk.feedline, dtype=np.dtype(_FEEDLINE_DTYPE)
+        )
+        entry = {"index": index, "n_shots": int(chunk.n_shots)}
+        feed_name = f"chunk-{index:05d}.feedline.npy"
+        np.save(self.path / feed_name, feedline)
+        entry["feedline"] = {
+            "file": feed_name,
+            "sha256": _sha256_file(self.path / feed_name),
+        }
+        if labeled:
+            levels = np.ascontiguousarray(
+                chunk.prepared_levels, dtype=np.dtype(_LEVELS_DTYPE)
+            )
+            levels_name = f"chunk-{index:05d}.levels.npy"
+            np.save(self.path / levels_name, levels)
+            entry["levels"] = {
+                "file": levels_name,
+                "sha256": _sha256_file(self.path / levels_name),
+            }
+        self._entries.append(entry)
+        self._n_shots += int(chunk.n_shots)
+
+    def manifest(self) -> dict:
+        """The manifest for everything appended so far."""
+        return {
+            "format": CORPUS_FORMAT,
+            "format_version": CORPUS_FORMAT_VERSION,
+            "chip": self.chip.to_dict(),
+            "chip_sha": chip_sha(self.chip),
+            "seed": self.seed,
+            "source": self.source,
+            "labeled": bool(self._labeled),
+            "n_shots": self._n_shots,
+            "trace_len": self.chip.trace_len,
+            "n_qubits": self.chip.n_qubits,
+            "feedline_dtype": _FEEDLINE_DTYPE,
+            "levels_dtype": _LEVELS_DTYPE,
+            "chunks": self._entries,
+        }
+
+    def checkpoint(self) -> None:
+        """Atomically (re)write the manifest for the chunks on disk."""
+        tmp = self.path / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(self.manifest(), indent=2) + "\n")
+        tmp.replace(self.path / MANIFEST_NAME)
+
+    def close(self) -> Path:
+        """Finalize the manifest; returns the corpus path. Idempotent."""
+        if not self._closed:
+            self.checkpoint()
+            self._closed = True
+        return self.path
+
+
+class RecordedCorpus:
+    """A loaded, integrity-checked corpus, ready for replay.
+
+    All trace data lives in two read-only contiguous arrays
+    (:attr:`feedline`, :attr:`prepared_levels`) — the shapes
+    :class:`~repro.pipeline.shm.SharedTraceBlock.from_corpus` publishes
+    for process-shard replay — and :meth:`chunks` yields the *original*
+    chunk boundaries as zero-copy views into them, so in-process replay
+    is bit-identical to the recorded stream.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        manifest: dict,
+        chip: ChipConfig,
+        feedline: np.ndarray,
+        prepared_levels: np.ndarray | None,
+        chunk_shots: Sequence[int],
+    ) -> None:
+        self.path = path
+        self.manifest = manifest
+        self.chip = chip
+        feedline.flags.writeable = False
+        self.feedline = feedline
+        if prepared_levels is not None:
+            prepared_levels.flags.writeable = False
+        self.prepared_levels = prepared_levels
+        self.chunk_shots = tuple(int(n) for n in chunk_shots)
+
+    @property
+    def n_shots(self) -> int:
+        return self.feedline.shape[0]
+
+    #: Alias matching :class:`~repro.data.dataset.ReadoutCorpus`, so a
+    #: recorded corpus drops into every replay API a ReadoutCorpus fits.
+    @property
+    def n_traces(self) -> int:
+        return self.n_shots
+
+    @property
+    def trace_len(self) -> int:
+        return self.feedline.shape[1]
+
+    @property
+    def labeled(self) -> bool:
+        return self.prepared_levels is not None
+
+    @property
+    def chip_sha(self) -> str:
+        return self.manifest["chip_sha"]
+
+    @property
+    def seed(self) -> int | None:
+        return self.manifest.get("seed")
+
+    def summary(self) -> dict:
+        """JSON-able digest (CLI/report payloads)."""
+        return {
+            "path": str(self.path),
+            "format_version": self.manifest["format_version"],
+            "chip_sha": self.chip_sha,
+            "seed": self.seed,
+            "labeled": self.labeled,
+            "n_shots": self.n_shots,
+            "n_chunks": len(self.chunk_shots),
+            "trace_len": self.trace_len,
+            "n_qubits": self.chip.n_qubits,
+        }
+
+    def chunks(self) -> Iterator[ShotChunk]:
+        """Replay the recorded chunk stream as read-only views."""
+        start = 0
+        for chunk_id, size in enumerate(self.chunk_shots):
+            stop = start + size
+            levels = (
+                None
+                if self.prepared_levels is None
+                else self.prepared_levels[start:stop]
+            )
+            yield ShotChunk(
+                feedline=self.feedline[start:stop],
+                prepared_levels=levels,
+                chunk_id=chunk_id,
+            )
+            start = stop
+
+    def require_chip(self, chip: ChipConfig) -> None:
+        """Demand the serving chip be *exactly* the recorded one."""
+        serving = chip_sha(chip)
+        if serving != self.chip_sha:
+            raise ConfigurationError(
+                f"corpus {self.path / MANIFEST_NAME} was recorded for chip "
+                f"{self.chip_sha[:12]}, the serving chip is {serving[:12]}; "
+                "replaying traces onto a different device is refused"
+            )
+
+    def require_geometry(self, chip: ChipConfig) -> None:
+        """Demand shape compatibility (cluster replay onto sibling chips)."""
+        problems = []
+        if chip.n_qubits != self.chip.n_qubits:
+            problems.append(
+                f"{self.chip.n_qubits} recorded qubits vs {chip.n_qubits}"
+            )
+        if chip.trace_len != self.trace_len:
+            problems.append(
+                f"trace_len {self.trace_len} recorded vs {chip.trace_len}"
+            )
+        if chip.n_levels != self.chip.n_levels:
+            problems.append(
+                f"{self.chip.n_levels} recorded levels vs {chip.n_levels}"
+            )
+        if problems:
+            raise ConfigurationError(
+                f"corpus {self.path / MANIFEST_NAME} does not fit the "
+                "serving chip: " + "; ".join(problems)
+            )
+
+
+def _manifest_error(path: Path, detail: str) -> ConfigurationError:
+    return ConfigurationError(f"corpus manifest {path}: {detail}")
+
+
+def _load_manifest(manifest_path: Path) -> dict:
+    if not manifest_path.is_file():
+        raise ConfigurationError(
+            f"corpus manifest not found: {manifest_path}"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise _manifest_error(
+            manifest_path, f"not valid JSON ({exc})"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise _manifest_error(
+            manifest_path, f"must be a JSON object, got {type(manifest).__name__}"
+        )
+    if manifest.get("format") != CORPUS_FORMAT:
+        raise _manifest_error(
+            manifest_path,
+            f"format must be {CORPUS_FORMAT!r}, got "
+            f"{manifest.get('format')!r}",
+        )
+    if manifest.get("format_version") != CORPUS_FORMAT_VERSION:
+        raise _manifest_error(
+            manifest_path,
+            f"format_version {manifest.get('format_version')!r} is not "
+            f"supported (expected {CORPUS_FORMAT_VERSION})",
+        )
+    required = (
+        "chip", "chip_sha", "labeled", "n_shots", "trace_len", "n_qubits",
+        "feedline_dtype", "levels_dtype", "chunks",
+    )
+    missing = [key for key in required if key not in manifest]
+    if missing:
+        raise _manifest_error(
+            manifest_path, f"missing required keys: {', '.join(missing)}"
+        )
+    if not isinstance(manifest["chunks"], list) or not manifest["chunks"]:
+        raise _manifest_error(
+            manifest_path, "chunks must be a non-empty list"
+        )
+    return manifest
+
+
+def _load_chunk_array(
+    path: Path,
+    spec: dict,
+    manifest_path: Path,
+    *,
+    dtype: str,
+    shape: tuple[int, int],
+    verify: bool,
+) -> np.ndarray:
+    """One chunk file: checksum first, then load and shape-check."""
+    file_path = path / spec["file"]
+    if not file_path.is_file():
+        raise ConfigurationError(
+            f"corpus chunk file missing: {file_path} (named by "
+            f"{manifest_path})"
+        )
+    if verify:
+        actual = _sha256_file(file_path)
+        if actual != spec["sha256"]:
+            raise ConfigurationError(
+                f"corpus chunk {file_path} fails its checksum: manifest "
+                f"records sha256 {spec['sha256'][:12]}…, file hashes to "
+                f"{actual[:12]}…"
+            )
+    array = np.load(file_path)
+    if array.dtype != np.dtype(dtype) or array.shape != shape:
+        raise ConfigurationError(
+            f"corpus chunk {file_path} is {array.dtype}{array.shape}, "
+            f"manifest declares {dtype}{shape}"
+        )
+    return array
+
+
+def load_corpus(path: str | Path, *, verify: bool = True) -> RecordedCorpus:
+    """Load and integrity-check a corpus directory.
+
+    Every chunk file is checksummed against the manifest (disable with
+    ``verify=False`` for trusted benchmarking reloads) and shape-checked
+    against the declared geometry; the chip config is rebuilt and its
+    SHA revalidated. Any violation raises a
+    :class:`~repro.exceptions.ConfigurationError` naming the offending
+    file.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    manifest = _load_manifest(manifest_path)
+    try:
+        chip = ChipConfig.from_dict(manifest["chip"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _manifest_error(
+            manifest_path, f"chip section does not parse ({exc})"
+        ) from exc
+    if chip_sha(chip) != manifest["chip_sha"]:
+        raise _manifest_error(
+            manifest_path,
+            f"chip_sha {manifest['chip_sha'][:12]}… does not match the "
+            "manifest's own chip section — the manifest was altered",
+        )
+    labeled = bool(manifest["labeled"])
+    trace_len = int(manifest["trace_len"])
+    n_qubits = int(manifest["n_qubits"])
+    feedline_parts: list[np.ndarray] = []
+    levels_parts: list[np.ndarray] = []
+    chunk_shots: list[int] = []
+    for spec in manifest["chunks"]:
+        size = int(spec["n_shots"])
+        feedline_parts.append(
+            _load_chunk_array(
+                path, spec["feedline"], manifest_path,
+                dtype=manifest["feedline_dtype"],
+                shape=(size, trace_len),
+                verify=verify,
+            )
+        )
+        if labeled:
+            if "levels" not in spec:
+                raise _manifest_error(
+                    manifest_path,
+                    f"chunk {spec.get('index')} is missing its levels "
+                    "entry in a labeled corpus",
+                )
+            levels_parts.append(
+                _load_chunk_array(
+                    path, spec["levels"], manifest_path,
+                    dtype=manifest["levels_dtype"],
+                    shape=(size, n_qubits),
+                    verify=verify,
+                )
+            )
+        chunk_shots.append(size)
+    feedline = np.concatenate(feedline_parts, axis=0)
+    if feedline.shape[0] != int(manifest["n_shots"]):
+        raise _manifest_error(
+            manifest_path,
+            f"chunks hold {feedline.shape[0]} shots, n_shots declares "
+            f"{manifest['n_shots']}",
+        )
+    prepared_levels = (
+        np.concatenate(levels_parts, axis=0) if labeled else None
+    )
+    return RecordedCorpus(
+        path=path,
+        manifest=manifest,
+        chip=chip,
+        feedline=feedline,
+        prepared_levels=prepared_levels,
+        chunk_shots=chunk_shots,
+    )

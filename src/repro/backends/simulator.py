@@ -1,0 +1,110 @@
+"""Simulator-instrument backend: the in-process dispersive simulator.
+
+Wraps the existing :class:`~repro.pipeline.source.SimulatorTraceSource` /
+:class:`~repro.pipeline.source.DriftingTraceSource` pair behind the
+:class:`~repro.backends.base.InstrumentBackend` contract, so the serving
+layer resolves simulated traffic through the same registry as recorded
+or external traffic. The backend owns the *session shot clock*: each
+acquisition's drift offset continues where the previous one stopped, so
+drift accumulates across runs exactly as
+:class:`~repro.serve.service.ReadoutService` threaded it by hand before.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.backends.base import InstrumentBackend
+from repro.exceptions import ConfigurationError
+from repro.physics.device import ChipConfig
+from repro.pipeline.source import (
+    DriftingTraceSource,
+    ShotChunk,
+    SimulatorTraceSource,
+)
+
+__all__ = ["SimulatorBackend"]
+
+
+class SimulatorBackend(InstrumentBackend):
+    """Generates traffic on demand from the dispersive-readout simulator.
+
+    Parameters
+    ----------
+    chip:
+        Device to simulate (the *calibrated* device when drifting).
+    chunk_size:
+        Shots per simulated chunk.
+    drift:
+        Optional :class:`~repro.physics.drift.DriftModel`; a null model
+        behaves exactly like no model.
+    shot_offset:
+        Session shots already served before this backend opened — the
+        starting position of the drift clock.
+    """
+
+    name = "simulator"
+
+    def __init__(
+        self,
+        chip: ChipConfig,
+        chunk_size: int = 256,
+        drift=None,
+        shot_offset: int = 0,
+    ) -> None:
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        if shot_offset < 0:
+            raise ConfigurationError(
+                f"shot_offset must be >= 0, got {shot_offset}"
+            )
+        self.chip = chip
+        self.chunk_size = int(chunk_size)
+        self.drift = drift if drift is not None and not drift.is_null else None
+        self._delivered = int(shot_offset)
+
+    @property
+    def session_shots(self) -> int:
+        """Shots delivered so far (the drift clock position)."""
+        return self._delivered
+
+    def acquire(
+        self, shots: int, seed: int | None = None
+    ) -> Iterator[ShotChunk]:
+        shots = self.resolve_shots(shots)
+        if self.drift is not None:
+            source = DriftingTraceSource(
+                self.chip,
+                self.drift,
+                n_shots=shots,
+                chunk_size=self.chunk_size,
+                seed=seed,
+                shot_offset=self._delivered,
+            )
+        else:
+            source = SimulatorTraceSource(
+                self.chip,
+                n_shots=shots,
+                chunk_size=self.chunk_size,
+                seed=seed,
+            )
+        for chunk in source.chunks():
+            yield chunk
+            # Advance per chunk: an abandoned acquisition leaves the
+            # clock at the shots it actually streamed.
+            self._delivered += chunk.n_shots
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            {
+                "labeled": True,
+                "deterministic": True,
+                "chunk_size": self.chunk_size,
+                "drift": None if self.drift is None else self.drift.to_dict(),
+                "session_shots": self._delivered,
+            }
+        )
+        return info

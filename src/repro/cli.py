@@ -7,6 +7,8 @@ Subcommands::
     repro pipeline [--shots N] [--workers N] [...] [--prune]
     repro serve --spec spec.json [--shots N] [--repeat K] [--json PATH]
     repro fleet --spec fleet.json [--tenants A B] [--runs K] [--json PATH]
+    repro record --out DIR [--shots N] [--backend B] [--json PATH]
+    repro replay --corpus DIR [--feedlines N] [--json PATH]
     repro lint [--rules R1,R2] [--json [PATH]] [paths...]
 
 The pre-subcommand positional form (``repro table1 --profile quick``,
@@ -30,6 +32,8 @@ Examples::
     repro pipeline --prune --max-age-s 604800
     repro serve --spec examples/serve_spec.json --repeat 5 --json serve.json
     repro fleet --spec examples/fleet_spec.json --runs 3 --json fleet.json
+    repro record --out corpus/ --shots 2000 --json record.json
+    repro replay --corpus corpus/ --json replay.json
     repro lint src/ --json lint.json
 """
 
@@ -53,10 +57,14 @@ __all__ = [
     "build_pipeline_parser",
     "build_serve_parser",
     "build_fleet_parser",
+    "build_record_parser",
+    "build_replay_parser",
 ]
 
 #: First positionals dispatched to their own parser.
-_SUBCOMMANDS = ("run", "list", "pipeline", "serve", "fleet", "lint")
+_SUBCOMMANDS = (
+    "run", "list", "pipeline", "serve", "fleet", "record", "replay", "lint",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -560,6 +568,202 @@ def _run_serve(argv: list[str]) -> int:
     return 0
 
 
+def build_record_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro record`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro record",
+        description=(
+            "Serve one run of traffic and tee every chunk into a "
+            "versioned on-disk corpus (per-chunk .npy files plus a "
+            "checksummed manifest), replayable bit-deterministically "
+            "with 'repro replay'"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="corpus directory to create (must not already hold one)",
+    )
+    parser.add_argument(
+        "--shots",
+        type=int,
+        default=2000,
+        help="shots of traffic to record (default: 2000)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("simulator", "dummy"),
+        default="simulator",
+        help="generating backend to record from (default: simulator)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=256, help="shots per source chunk"
+    )
+    parser.add_argument(
+        "--qubits-per-feedline",
+        type=int,
+        default=None,
+        help="qubits on the recorded feedline (default: the full chip)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        help="calibration sizing profile: quick, full, or paper",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="traffic seed for the recording"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the corpus summary and run report as JSON to PATH",
+    )
+    return parser
+
+
+def build_replay_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro replay`` subcommand (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description=(
+            "Serve a recorded corpus back through the streaming runtime, "
+            "bit-deterministically: the manifest's chip SHA is validated "
+            "against the serving chip, every chunk file against its "
+            "checksum, and the replayed stream is the recorded one"
+        ),
+    )
+    parser.add_argument(
+        "--corpus",
+        required=True,
+        metavar="DIR",
+        help="corpus directory written by 'repro record'",
+    )
+    parser.add_argument(
+        "--feedlines",
+        type=int,
+        default=1,
+        help=(
+            "feedlines to broadcast the corpus to; > 1 replays over "
+            "shared-memory process shards (default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="shard backend for --feedlines > 1 (default: thread)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=256, help="shots per source chunk"
+    )
+    parser.add_argument(
+        "--qubits-per-feedline",
+        type=int,
+        default=None,
+        help="qubits per served feedline (must match the recording)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        help="calibration sizing profile: quick, full, or paper",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the corpus summary and run report as JSON to PATH",
+    )
+    return parser
+
+
+def _run_record(argv: list[str]) -> int:
+    """The ``repro record`` subcommand: serve once, tee to a corpus."""
+    from repro.backends import load_corpus
+    from repro.serve import (
+        CalibrationSpec,
+        ClusterSpec,
+        ServeSpec,
+        TrafficSpec,
+        serve_once,
+    )
+
+    args = build_record_parser().parse_args(argv)
+    spec = ServeSpec(
+        traffic=TrafficSpec(
+            shots=args.shots,
+            chunk_size=args.chunk_size,
+            seed=args.seed,
+            backend=args.backend,
+            record_path=args.out,
+        ),
+        cluster=ClusterSpec(
+            qubits_per_feedline=args.qubits_per_feedline
+        ),
+        calibration=CalibrationSpec(profile=args.profile),
+    )
+    report = serve_once(spec)
+    # Reload what was just written: the summary printed (and dumped) is
+    # the *verified* on-disk corpus, not the writer's intent.
+    corpus = load_corpus(args.out)
+    print(report.format_table())
+    summary = corpus.summary()
+    print(
+        f"[record] corpus written to {summary['path']} "
+        f"({summary['n_chunks']} chunk(s), {summary['n_shots']} shots, "
+        f"chip {summary['chip_sha'][:12]})"
+    )
+    if args.json is not None:
+        payload = {"corpus": summary, "report": report.to_dict()}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"record written to {args.json}")
+    return 0
+
+
+def _run_replay_corpus(argv: list[str]) -> int:
+    """The ``repro replay`` subcommand: serve a recorded corpus back."""
+    from repro.backends import load_corpus
+    from repro.serve import (
+        CalibrationSpec,
+        ClusterSpec,
+        ServeSpec,
+        TrafficSpec,
+        serve_once,
+    )
+
+    args = build_replay_parser().parse_args(argv)
+    spec = ServeSpec(
+        traffic=TrafficSpec(
+            chunk_size=args.chunk_size,
+            backend="replay",
+            corpus_path=args.corpus,
+        ),
+        cluster=ClusterSpec(
+            feedlines=args.feedlines,
+            executor=args.executor,
+            qubits_per_feedline=args.qubits_per_feedline,
+        ),
+        calibration=CalibrationSpec(profile=args.profile),
+    )
+    report = serve_once(spec)
+    corpus = load_corpus(args.corpus, verify=False)  # serving verified it
+    print(report.format_table())
+    summary = corpus.summary()
+    print(
+        f"[replay] served corpus {summary['path']} "
+        f"({summary['n_shots']} shots, chip {summary['chip_sha'][:12]}) "
+        f"on {args.feedlines} feedline(s)"
+    )
+    if args.json is not None:
+        payload = {"corpus": summary, "report": report.to_dict()}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"replay record written to {args.json}")
+    return 0
+
+
 def _prune_registry(args) -> int:
     from repro.pipeline import CalibrationRegistry
 
@@ -686,6 +890,8 @@ def _list_experiments(argv: list[str]) -> int:
     print("  pipeline  (streaming runtime; see 'repro pipeline --help')")
     print("  serve     (warm serving sessions; see 'repro serve --help')")
     print("  fleet     (multi-tenant serving; see 'repro fleet --help')")
+    print("  record    (capture traffic to a corpus; see 'repro record --help')")
+    print("  replay    (serve a recorded corpus; see 'repro replay --help')")
     print("  lint      (contract static analysis; see 'repro lint --help')")
     return 0
 
@@ -704,6 +910,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(argv[1:])
     if argv and argv[0] == "fleet":
         return _run_fleet(argv[1:])
+    if argv and argv[0] == "record":
+        return _run_record(argv[1:])
+    if argv and argv[0] == "replay":
+        return _run_replay_corpus(argv[1:])
     if argv and argv[0] == "lint":
         from repro.analysis.cli import run_lint
 
@@ -730,6 +940,14 @@ def main(argv: list[str] | None = None) -> int:
         # The fleet spec carries profiles and seeds per tenant; nothing
         # shared forwards.
         return _run_fleet(list(extra))
+    if peek.experiment == "record":
+        forwarded = list(extra) + ["--profile", peek.profile]
+        if peek.seed is not None:
+            forwarded += ["--seed", str(peek.seed)]
+        return _run_record(forwarded)
+    if peek.experiment == "replay":
+        # The corpus fixes the traffic; only the profile forwards.
+        return _run_replay_corpus(list(extra) + ["--profile", peek.profile])
     if peek.experiment == "lint":
         from repro.analysis.cli import run_lint
 

@@ -1045,7 +1045,9 @@ class MultiFeedlineRunner:
     def run_replay(
         self,
         corpora: (
-            dict[str, ReadoutCorpus] | Sequence[ReadoutCorpus]
+            dict[str, ReadoutCorpus]
+            | Sequence[ReadoutCorpus]
+            | ReadoutCorpus
         ),
     ) -> ClusterReport:
         """Replay pre-built corpora over shared memory; aggregate report.
@@ -1063,10 +1065,18 @@ class MultiFeedlineRunner:
         corpora:
             One :class:`~repro.data.dataset.ReadoutCorpus` per feedline,
             as a name-keyed dict or a sequence in declared feedline
-            order. Every corpus must match its feedline's chip geometry.
+            order — or a *single* corpus (a ``ReadoutCorpus`` or a
+            loaded :class:`~repro.backends.corpus.RecordedCorpus`),
+            broadcast to every feedline. Every corpus must match its
+            feedline's chip geometry and carry labels (the shared block
+            ships traces and ground truth together).
 
         Segments are unlinked before returning, success or not.
         """
+        if hasattr(corpora, "feedline") and hasattr(corpora, "n_traces"):
+            # A single corpus object: every feedline replays the same
+            # recorded traffic (the record -> replay serving path).
+            corpora = {spec.name: corpora for spec in self.feedlines}
         if not isinstance(corpora, dict):
             if len(corpora) != len(self.feedlines):
                 raise ConfigurationError(
@@ -1093,6 +1103,12 @@ class MultiFeedlineRunner:
                         f"corpus for feedline {spec.name!r} has "
                         f"{corpus.chip.n_qubits} qubits, spec chip has "
                         f"{spec.chip.n_qubits}"
+                    )
+                if getattr(corpus, "prepared_levels", None) is None:
+                    raise ConfigurationError(
+                        f"corpus for feedline {spec.name!r} carries no "
+                        "prepared-level labels; shared-memory replay "
+                        "needs a labeled corpus"
                     )
                 blocks[spec.name] = SharedTraceBlock.from_corpus(corpus)
             tasks = [

@@ -35,11 +35,7 @@ from repro.pipeline.drift import DriftMonitor
 from repro.pipeline.metrics import PipelineReport, StageTimings
 from repro.pipeline.registry import CalibrationKey, CalibrationRegistry
 from repro.pipeline.sink import EraserSpeculationSink, QueueingSink, ResultSink
-from repro.pipeline.source import (
-    DriftingTraceSource,
-    SimulatorTraceSource,
-    TraceSource,
-)
+from repro.pipeline.source import TraceSource
 from repro.pipeline.stages import ENGINE_MODES, BatchDiscriminationEngine
 
 __all__ = [
@@ -612,26 +608,25 @@ def run_streaming_pipeline(
     serve_chip = chip
     if source is not None:
         pass  # replayed stream: the caller owns chunking and lifetime
-    elif drift_model is not None and not drift_model.is_null:
-        source: TraceSource = DriftingTraceSource(
+    else:
+        # Simulated traffic resolves through the instrument-backend
+        # seam (lazy import: repro.backends sits above the pipeline).
+        # SimulatorBackend wraps the exact same trace sources, so the
+        # streams are bit-identical to the former inline construction.
+        from repro.backends.simulator import SimulatorBackend
+
+        backend = SimulatorBackend(
             chip,
-            drift_model,
-            n_shots=n_shots,
             chunk_size=chunk_size,
-            seed=traffic_seed,
+            drift=drift_model,
             shot_offset=drift_shot_offset,
         )
-        # The engine's demod tones must match the device snapshot the
-        # served kernels were calibrated at (the drifted device for a
-        # recalibrated artifact, the declared one for version 0).
-        serve_chip = drift_model.chip_at(chip, calibration_shot_offset)
-    else:
-        source = SimulatorTraceSource(
-            chip,
-            n_shots=n_shots,
-            chunk_size=chunk_size,
-            seed=traffic_seed,
-        )
+        source = backend.trace_source(n_shots, seed=traffic_seed)
+        if drift_model is not None and not drift_model.is_null:
+            # The engine's demod tones must match the device snapshot
+            # the served kernels were calibrated at (the drifted device
+            # for a recalibrated artifact, the declared one for v0).
+            serve_chip = drift_model.chip_at(chip, calibration_shot_offset)
     pipeline = ReadoutPipeline(discriminator, serve_chip, config, sink=sink)
     report = pipeline.run(source)
     report.calibration_cached = cached

@@ -215,9 +215,15 @@ class SharedMemoryTraceSource(TraceSource):
             range(0, self.n_shots, self.chunk_size)
         ):
             stop = start + self.chunk_size
+            # Read-only views: the segment is shared with the creator
+            # and every sibling shard — no stage may write into it.
+            feedline = self.feedline[start:stop]
+            feedline.flags.writeable = False
+            levels = self.prepared_levels[start:stop]
+            levels.flags.writeable = False
             yield ShotChunk(
-                feedline=self.feedline[start:stop],
-                prepared_levels=self.prepared_levels[start:stop],
+                feedline=feedline,
+                prepared_levels=levels,
                 chunk_id=chunk_id,
             )
 

@@ -286,8 +286,13 @@ class CorpusTraceSource(TraceSource):
         ):
             stop = start + self.chunk_size
             if self._order is None:
+                # Zero-copy views are shared with the corpus (and every
+                # other replay of it): hand them out read-only so a
+                # downstream stage can never silently corrupt it.
                 feedline = self.corpus.feedline[start:stop]
+                feedline.flags.writeable = False
                 levels = self.corpus.prepared_levels[start:stop]
+                levels.flags.writeable = False
             else:
                 idx = self._order[start:stop]
                 feedline = self.corpus.feedline[idx]

@@ -335,6 +335,8 @@ class ReadoutService:
         self._device: str | None = None
         self._config = None
         self._runner: "MultiFeedlineRunner | None" = None
+        self._backend = None
+        self._replay_corpus = None
         self._tmp_registry: tempfile.TemporaryDirectory | None = None
         # Drift state (reset each warm cycle): the session shot clock
         # drift accumulates against, the served artifact version on the
@@ -377,6 +379,11 @@ class ReadoutService:
     def session_shots(self) -> int:
         """Per-feedline shots served this warm cycle (the drift clock)."""
         return self._session_shots
+
+    @property
+    def backend(self):
+        """The resolved instrument backend (single-feedline; once warm)."""
+        return self._backend
 
     def artifact_versions(self) -> dict[str, int]:
         """Calibration-artifact version currently served per feedline."""
@@ -501,6 +508,21 @@ class ReadoutService:
             self._device = device
             self._config = config
             self._pipeline = ReadoutPipeline(discriminator, chip, config)
+            # Resolve the traffic endpoint through the backend registry
+            # — opening validates it (replay checks the corpus against
+            # the serving chip, socket handshakes with its peer) before
+            # the session reports itself warm.
+            from repro.backends import create_backend
+
+            self._backend = create_backend(
+                spec.traffic.backend,
+                chip,
+                chunk_size=spec.traffic.chunk_size,
+                drift=spec.drift.model(),
+                corpus_path=spec.traffic.corpus_path,
+                record_path=spec.traffic.record_path,
+                socket_path=spec.traffic.socket_path,
+            ).open()
         else:
             if spec.calibration.registry_dir is None:
                 # A session-private registry: process shards need the
@@ -545,6 +567,17 @@ class ReadoutService:
             # for distinct feedlines run as concurrently as serving.
             runner.prewarm()
             cold_fits += runner.prefit()
+            if spec.traffic.backend == "replay":
+                # Load and integrity-check the corpus once at warm-up;
+                # run() broadcasts it to every feedline over shared
+                # memory. Sibling feedline chips differ by design
+                # spread, so the check is geometric, not SHA-strict.
+                from repro.backends import load_corpus
+
+                corpus = load_corpus(spec.traffic.corpus_path)
+                for chip in chips:
+                    corpus.require_geometry(chip)
+                self._replay_corpus = corpus
         return cold_fits
 
     def run(
@@ -577,34 +610,24 @@ class ReadoutService:
         try:
             wall_start = time.perf_counter()
             if self._pipeline is not None:
-                from repro.pipeline.source import (
-                    DriftingTraceSource,
-                    SimulatorTraceSource,
-                )
-
                 resolved_seed = (
                     self.profile.seed + 1
                     if traffic_seed is None
                     else traffic_seed
                 )
-                if drift_model is not None:
-                    source = DriftingTraceSource(
-                        self._chip,
-                        drift_model,
-                        n_shots=n_shots,
-                        chunk_size=spec.traffic.chunk_size,
-                        seed=resolved_seed,
-                        shot_offset=self._session_shots,
-                    )
-                else:
-                    source = SimulatorTraceSource(
-                        self._chip,
-                        n_shots=n_shots,
-                        chunk_size=spec.traffic.chunk_size,
-                        seed=resolved_seed,
-                    )
+                # The backend owns the drift clock and stream lifetime;
+                # a replay/socket backend delivers its own shot count
+                # (the source resolves it) regardless of the request.
+                source = self._backend.trace_source(
+                    n_shots, seed=resolved_seed
+                )
                 report = self._pipeline.run(source)
                 report.calibration_cached = cycle_cached
+            elif self._replay_corpus is not None:
+                report = self._runner.run_replay(self._replay_corpus)
+                if not cycle_cached:
+                    for feedline_report in report.feedline_reports.values():
+                        feedline_report.calibration_cached = False
             else:
                 report = self._runner.run(
                     n_shots,
@@ -621,8 +644,11 @@ class ReadoutService:
                         feedline_report.calibration_cached = False
             wall = time.perf_counter() - wall_start
             self._cycle_runs += 1
-            # Advance the session drift clock (per-feedline shots served).
-            self._session_shots += n_shots
+            # Advance the session drift clock by the shots *delivered*
+            # (stream-bound backends may not honor the request).
+            self._session_shots += (
+                report.n_shots if self._pipeline is not None else n_shots
+            )
             if self._runs_since_recal is not None:
                 self._runs_since_recal += 1
             recalibrated = self._maybe_recalibrate(report, drift_model)
@@ -766,6 +792,11 @@ class ReadoutService:
         if self._runner is not None:
             self._runner.close()
             self._runner = None
+        if self._backend is not None:
+            # Closing a recording backend finalizes its corpus manifest.
+            self._backend.close()
+            self._backend = None
+        self._replay_corpus = None
         self._pipeline = None
         self._chip = None
         self._device = None

@@ -7,7 +7,9 @@ flags. :class:`ServeSpec` replaces that duplication with one frozen,
 composable source of truth:
 
 - :class:`TrafficSpec` — what is streamed (shots per run, source
-  chunking, traffic seed).
+  chunking, traffic seed) and which instrument backend it comes from
+  (``simulator``/``dummy``/``replay``/``socket``, with record/replay
+  corpus paths).
 - :class:`ClusterSpec` — where it runs (feedlines, shard executor and
   workers, channel workers, qubits per feedline).
 - :class:`BatchingSpec` — how it is batched (micro-batch size,
@@ -154,29 +156,92 @@ class _Section:
 
 @dataclass(frozen=True)
 class TrafficSpec(_Section):
-    """What one serving run streams.
+    """What one serving run streams, and which instrument it comes from.
 
     Parameters
     ----------
     shots:
-        Shots of simulated traffic per :meth:`ReadoutService.run` call
-        (per feedline in a cluster).
+        Shots of traffic per :meth:`ReadoutService.run` call (per
+        feedline in a cluster). Stream-bound backends (``replay``,
+        ``socket``) deliver their own fixed shot count instead.
     chunk_size:
         Shots per source chunk (the :class:`TraceSource` granularity).
     seed:
-        Traffic seed. ``None`` uses the resolved profile's seed + 1, so
-        live traffic never replays the calibration corpus stream.
+        Traffic seed (non-negative — it feeds ``np.random``). ``None``
+        uses the resolved profile's seed + 1, so live traffic never
+        replays the calibration corpus stream.
+    backend:
+        Instrument backend serving the traffic — one of
+        :data:`repro.backends.BACKEND_NAMES` (``simulator``/``dummy``/
+        ``replay``/``socket``).
+    corpus_path:
+        Recorded-corpus directory to replay (required by, and only
+        meaningful with, the ``replay`` backend).
+    record_path:
+        Tee the served traffic into a versioned corpus at this
+        directory (any generating backend; invalid with ``replay``).
+    socket_path:
+        ``AF_UNIX`` socket path the ``socket`` backend connects to
+        (required by, and only meaningful with, that backend).
     """
 
     shots: int = 2000
     chunk_size: int = 256
     seed: int | None = None
+    backend: str = "simulator"
+    corpus_path: str | None = None
+    record_path: str | None = None
+    socket_path: str | None = None
 
     def _problems(self) -> list[str]:
         problems: list[str] = []
         _check_int(problems, "shots", self.shots, minimum=1)
         _check_int(problems, "chunk_size", self.chunk_size, minimum=1)
-        _check_int(problems, "seed", self.seed, optional=True)
+        _check_int(problems, "seed", self.seed, minimum=0, optional=True)
+        _check_str(problems, "backend", self.backend)
+        _check_str(problems, "corpus_path", self.corpus_path, optional=True)
+        _check_str(problems, "record_path", self.record_path, optional=True)
+        _check_str(problems, "socket_path", self.socket_path, optional=True)
+        if isinstance(self.backend, str) and self.backend:
+            from repro.backends.registry import BACKEND_NAMES
+
+            if self.backend not in BACKEND_NAMES:
+                known = ", ".join(BACKEND_NAMES)
+                problems.append(
+                    f"backend must be one of: {known}; got {self.backend!r}"
+                )
+            else:
+                problems.extend(self._backend_problems())
+        return problems
+
+    def _backend_problems(self) -> list[str]:
+        """Cross-field requirements of a valid backend selection."""
+        problems: list[str] = []
+        if self.backend == "replay":
+            if self.corpus_path is None:
+                problems.append(
+                    "corpus_path is required by the replay backend"
+                )
+            if self.record_path is not None:
+                problems.append(
+                    "record_path cannot be combined with the replay "
+                    "backend: a replayed stream is already a recording"
+                )
+        elif self.corpus_path is not None:
+            problems.append(
+                "corpus_path is only meaningful with the replay backend, "
+                f"got backend={self.backend!r}"
+            )
+        if self.backend == "socket":
+            if self.socket_path is None:
+                problems.append(
+                    "socket_path is required by the socket backend"
+                )
+        elif self.socket_path is not None:
+            problems.append(
+                "socket_path is only meaningful with the socket backend, "
+                f"got backend={self.backend!r}"
+            )
         return problems
 
 
@@ -320,7 +385,8 @@ class CalibrationSpec(_Section):
         _check_str(problems, "profile", self.profile)
         _check_str(problems, "design", self.design)
         _check_str(problems, "registry_dir", self.registry_dir, optional=True)
-        _check_int(problems, "seed", self.seed, optional=True)
+        # np.random seeds must be non-negative, same as traffic.seed.
+        _check_int(problems, "seed", self.seed, minimum=0, optional=True)
         return problems
 
 
@@ -475,12 +541,38 @@ class ServeSpec:
             for name, cls in _SECTIONS.items()
             if not isinstance(getattr(self, name), cls)
         ]
+        if not problems:
+            problems = self._cross_section_problems()
         if problems:
             exc = ConfigurationError(
                 "invalid ServeSpec: " + "; ".join(problems)
             )
             exc.problems = tuple(problems)
             raise exc
+
+    def _cross_section_problems(self) -> list[str]:
+        """Constraints spanning sections (each section is already valid)."""
+        problems: list[str] = []
+        backend = self.traffic.backend
+        if self.drift.active and backend != "simulator":
+            problems.append(
+                "drift: drift injection requires traffic.backend "
+                f"'simulator', got {backend!r}"
+            )
+        if self.cluster.feedlines > 1:
+            if backend in ("dummy", "socket"):
+                problems.append(
+                    f"traffic.backend: the {backend!r} backend serves a "
+                    f"single feedline only, got cluster.feedlines="
+                    f"{self.cluster.feedlines}"
+                )
+            if self.traffic.record_path is not None:
+                problems.append(
+                    "traffic.record_path: recording requires "
+                    "cluster.feedlines == 1, got "
+                    f"{self.cluster.feedlines}"
+                )
+        return problems
 
     # -- serialization -------------------------------------------------
 

@@ -248,3 +248,92 @@ class TestPipelineSubcommand:
         out = capsys.readouterr().out
         assert "removed 1 artifact(s)" in out
         assert "remaining: 0 artifact(s), 0 bytes" in out
+
+
+class TestRecordReplaySubcommands:
+    @pytest.fixture(scope="class")
+    def recorded_cli(self, tmp_path_factory):
+        """One `repro record` run shared by the round-trip tests."""
+        root = tmp_path_factory.mktemp("cli-record")
+        corpus = root / "corpus"
+        json_path = root / "record.json"
+        code = cli.main(
+            ["record", "--out", str(corpus), "--shots", "120",
+             "--chunk-size", "60", "--qubits-per-feedline", "2",
+             "--json", str(json_path)]
+        )
+        assert code == 0
+        return corpus, json.loads(json_path.read_text())
+
+    def test_record_writes_corpus_and_json_schema(
+        self, recorded_cli, capsys
+    ):
+        corpus, payload = recorded_cli
+        assert set(payload) == {"corpus", "report"}
+        assert payload["corpus"]["format_version"] == 1
+        assert payload["corpus"]["n_shots"] == 120
+        assert payload["corpus"]["labeled"] is True
+        assert payload["report"]["n_shots"] == 120
+        assert (corpus / "manifest.json").is_file()
+
+    def test_replay_reproduces_recorded_counts(
+        self, recorded_cli, tmp_path, capsys
+    ):
+        corpus, recorded_payload = recorded_cli
+        json_path = tmp_path / "replay.json"
+        code = cli.main(
+            ["replay", "--corpus", str(corpus),
+             "--qubits-per-feedline", "2", "--json", str(json_path)]
+        )
+        assert code == 0
+        assert "[replay]" in capsys.readouterr().out
+        payload = json.loads(json_path.read_text())
+        assert set(payload) == {"corpus", "report"}
+        assert (
+            payload["corpus"]["chip_sha"]
+            == recorded_payload["corpus"]["chip_sha"]
+        )
+        assert (
+            payload["report"]["assignment_counts"]
+            == recorded_payload["report"]["assignment_counts"]
+        )
+
+    def test_replay_broadcasts_over_feedlines(self, recorded_cli, capsys):
+        corpus, recorded_payload = recorded_cli
+        code = cli.main(
+            ["replay", "--corpus", str(corpus), "--feedlines", "2",
+             "--executor", "serial", "--qubits-per-feedline", "2"]
+        )
+        assert code == 0
+        assert "[replay]" in capsys.readouterr().out
+
+    def test_record_prints_corpus_location(self, recorded_cli, capsys):
+        corpus, _ = recorded_cli
+        # The fixture already ran; a fresh run must refuse to overwrite.
+        with pytest.raises(ConfigurationError):
+            cli.main(
+                ["record", "--out", str(corpus), "--shots", "60",
+                 "--qubits-per-feedline", "2"]
+            )
+
+    def test_replay_missing_corpus_names_manifest(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="manifest.json"):
+            cli.main(["replay", "--corpus", str(tmp_path / "nowhere")])
+
+    def test_record_help_exits_0(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["record", "--help"])
+        assert excinfo.value.code == 0
+        assert "--out" in capsys.readouterr().out
+
+    def test_replay_help_exits_0(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["replay", "--help"])
+        assert excinfo.value.code == 0
+        assert "--corpus" in capsys.readouterr().out
+
+    def test_record_listed_in_repro_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "repro record" in out
+        assert "repro replay" in out

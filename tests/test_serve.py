@@ -102,6 +102,20 @@ class TestServeSpecRoundTrip:
         path = spec.to_file(tmp_path / "spec.json")
         assert ServeSpec.from_file(path) == spec
 
+    def test_backend_fields_round_trip(self):
+        spec = ServeSpec(
+            traffic=TrafficSpec(
+                shots=7,
+                chunk_size=3,
+                backend="replay",
+                corpus_path="/tmp/corpus",
+            )
+        )
+        clone = ServeSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.traffic.backend == "replay"
+        assert clone.traffic.corpus_path == "/tmp/corpus"
+
     def test_missing_sections_take_defaults(self):
         spec = ServeSpec.from_dict({"traffic": {"shots": 5}})
         assert spec.traffic.shots == 5
@@ -154,6 +168,92 @@ class TestServeSpecValidation:
     def test_bool_is_not_an_integer(self):
         with pytest.raises(ConfigurationError, match="shots"):
             TrafficSpec(shots=True)
+
+    @pytest.mark.parametrize("seed", [-1, -42, -(2**31)])
+    @pytest.mark.parametrize(
+        "section", [TrafficSpec, CalibrationSpec], ids=["traffic", "calib"]
+    )
+    def test_negative_seed_rejected(self, section, seed):
+        with pytest.raises(ConfigurationError, match="seed must be >= 0"):
+            section(seed=seed)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2**31])
+    def test_non_negative_seed_accepted(self, seed):
+        assert TrafficSpec(seed=seed).seed == seed
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(
+            ConfigurationError, match="backend must be one of"
+        ):
+            TrafficSpec(backend="warp-core")
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"backend": "replay"}, "corpus_path"),
+            (
+                {"backend": "simulator", "corpus_path": "/c"},
+                "corpus_path",
+            ),
+            ({"backend": "socket"}, "socket_path"),
+            (
+                {"backend": "dummy", "socket_path": "/s"},
+                "socket_path",
+            ),
+            (
+                {
+                    "backend": "replay",
+                    "corpus_path": "/c",
+                    "record_path": "/r",
+                },
+                "record_path",
+            ),
+        ],
+    )
+    def test_backend_cross_field_validation(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            TrafficSpec(**kwargs)
+
+    def test_backend_problems_reported_alongside_field_problems(self):
+        bad = {"traffic": {"shots": 0, "backend": "replay"}}
+        with pytest.raises(ConfigurationError) as excinfo:
+            ServeSpec.from_dict(bad)
+        message = str(excinfo.value)
+        assert "traffic.shots" in message
+        assert "corpus_path" in message
+
+    def test_drift_requires_simulator_backend(self):
+        from repro.serve import DriftSpec
+
+        with pytest.raises(ConfigurationError, match="drift"):
+            ServeSpec(
+                traffic=TrafficSpec(backend="dummy"),
+                drift=DriftSpec(t1_decay_per_kshot=0.1),
+            )
+
+    @pytest.mark.parametrize(
+        "traffic_kwargs,match",
+        [
+            ({"backend": "dummy"}, "backend"),
+            ({"backend": "socket", "socket_path": "/s"}, "backend"),
+            ({"record_path": "/r"}, "record_path"),
+        ],
+    )
+    def test_multi_feedline_backend_restrictions(
+        self, traffic_kwargs, match
+    ):
+        with pytest.raises(ConfigurationError, match=match):
+            ServeSpec(
+                traffic=TrafficSpec(**traffic_kwargs),
+                cluster=ClusterSpec(feedlines=2, qubits_per_feedline=2),
+            )
+
+    def test_multi_feedline_replay_is_allowed(self):
+        spec = ServeSpec(
+            traffic=TrafficSpec(backend="replay", corpus_path="/c"),
+            cluster=ClusterSpec(feedlines=2, qubits_per_feedline=2),
+        )
+        assert spec.traffic.backend == "replay"
 
     def test_adaptive_cross_field_bound(self):
         with pytest.raises(ConfigurationError, match="max_batch_size"):
