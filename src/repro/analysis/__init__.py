@@ -14,6 +14,13 @@ Two complementary correctness tools for the serving stack:
   environment flag) to record the per-thread lock-acquisition graph,
   flag cycles and acquire-while-holding inversions — the flock
   calibration sidecar included — and dump witness traces.
+- The runtime memory sanitizers (:mod:`repro.analysis.sanitizers`,
+  armed by ``REPRO_SANITIZE``): BufferRing use-after-recycle detection
+  with generation-tagged handles and poison-filled recycled slots,
+  read-only sealing of assembled batch views, and a shared-memory
+  segment lifetime auditor (leaks, double-unlink, attach-after-unlink),
+  all reporting witnessed violations through the same ``Finding`` shape
+  the lint side prints.
 """
 
 from repro.analysis.checker import (
@@ -33,6 +40,11 @@ from repro.analysis.lockgraph import (
     TracedLock,
     trace_lock,
 )
+from repro.analysis.sanitizers import (
+    ReportLog,
+    SanitizerReport,
+    session_reports,
+)
 
 __all__ = [
     "Checker",
@@ -49,4 +61,7 @@ __all__ = [
     "LockOrderViolation",
     "TracedLock",
     "trace_lock",
+    "ReportLog",
+    "SanitizerReport",
+    "session_reports",
 ]

@@ -7,18 +7,22 @@
     repro lint --rules fit-once,broad-except src/
     repro lint --json lint.json src/
     repro lint --list-rules
+    repro lint --list-rules --json      # machine-readable rule schema
 
 Exit status: 0 when clean, 1 when findings remain (CI gates on it),
-2 on usage errors — the compiler convention.
+2 on usage errors (including an unknown ``--rules`` name) — the
+compiler convention.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 
 from repro.analysis.checker import lint_paths, rule_names
+from repro.exceptions import ConfigurationError
 
 __all__ = ["build_lint_parser", "run_lint"]
 
@@ -31,8 +35,10 @@ def build_lint_parser() -> argparse.ArgumentParser:
             "Check source trees against the project's serving-stack "
             "contracts (fit-once calibration, frozen specs, strict-JSON "
             "finiteness, artifact-only process hand-off, exception "
-            "hygiene, __all__ consistency). Suppress accepted findings "
-            "per line with '# repro: allow(<rule>) <reason>'."
+            "hygiene, __all__ consistency, lock-guarded shared state, "
+            "no blocking calls under locks, no hidden hot-path copies). "
+            "Suppress accepted findings per line with "
+            "'# repro: allow(<rule>) <reason>'."
         ),
     )
     parser.add_argument(
@@ -67,7 +73,10 @@ def build_lint_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="list registered rules with their descriptions and exit",
+        help=(
+            "list registered rules with their descriptions and exit "
+            "(with --json, as a machine-readable schema)"
+        ),
     )
     return parser
 
@@ -78,8 +87,24 @@ def run_lint(argv: list[str]) -> int:
 
     args = build_lint_parser().parse_args(argv)
     if args.list_rules:
-        for checker in get_rules():
-            print(f"{checker.rule:18s} {checker.description}")
+        checkers = get_rules()
+        if args.json is not None:
+            record = {
+                "n_rules": len(checkers),
+                "rules": [
+                    {"name": checker.rule, "description": checker.description}
+                    for checker in checkers
+                ],
+            }
+            payload = json.dumps(record, indent=2)
+            if args.json == "-":
+                print(payload)
+            else:
+                Path(args.json).write_text(payload + "\n")
+                print(f"rule schema written to {args.json}")
+        else:
+            for checker in checkers:
+                print(f"{checker.rule:18s} {checker.description}")
         return 0
     paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
     rules = (
@@ -87,7 +112,13 @@ def run_lint(argv: list[str]) -> int:
         if args.rules is None
         else [name.strip() for name in args.rules.split(",") if name.strip()]
     )
-    findings = lint_paths(paths, rules)
+    try:
+        findings = lint_paths(paths, rules)
+    except ConfigurationError as exc:
+        # Usage error, not a lint verdict: --rules named something the
+        # registry doesn't know. The message names the unknown rule.
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
     if args.json is not None:
         record = {
             "paths": [str(p) for p in paths],

@@ -17,6 +17,14 @@ arguments lean on (see ROADMAP "Calibration-registry contract"):
   only with an explicit pragma (or when they re-raise).
 - ``all-consistency`` — module ``__all__`` lists match the names the
   module actually binds.
+- ``guarded-by`` — attributes a lock-owning class mutates under
+  ``with self.<lock>`` are never mutated outside it (a data race).
+- ``blocking-under-lock`` — executor ``.map``/``.result``, ``flock``,
+  socket ``recv``, and ``sleep`` never sit lexically inside a lock body.
+- ``no-hidden-copy`` — the hot-path modules (``repro.dsp``,
+  ``repro.pipeline.{stages,buffers,shm}``) perform no allocating array
+  ops (``np.concatenate``, fancy indexing, ``.copy()``/``.astype``)
+  without a pragma.
 
 False positives are suppressed at the site with
 ``# repro: allow(<rule>) <reason>`` (see :mod:`repro.analysis.findings`).
@@ -37,6 +45,9 @@ __all__ = [
     "NoPickleFittedChecker",
     "BroadExceptChecker",
     "AllConsistencyChecker",
+    "GuardedByChecker",
+    "BlockingUnderLockChecker",
+    "NoHiddenCopyChecker",
 ]
 
 
@@ -437,3 +448,344 @@ class AllConsistencyChecker(Checker):
 
         scan(self.tree.body)
         return bound
+
+
+#: Call names that construct locks: the project's ``trace_lock`` factory
+#: plus the stdlib constructors it wraps.
+_LOCK_FACTORY_NAMES = frozenset({"trace_lock", "Lock", "RLock"})
+
+#: Receiver names that read as locks when used as ``with`` contexts
+#: (``self._lock``, ``gate``, ``_MEMORY_CACHE_GUARD``, ``_fit_lock(...)``).
+_LOCKISH_NAME = re.compile(
+    r"(?:^|_)(?:lock|gate|guard|mutex)s?$", re.IGNORECASE
+)
+
+
+def _creates_lock(value: ast.expr) -> bool:
+    """Whether an assigned value constructs a lock (possibly nested in
+    an ``IfExp``, e.g. ``x if debug else trace_lock(...)``)."""
+    for sub in ast.walk(value):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name)
+                else ""
+            )
+            if name in _LOCK_FACTORY_NAMES:
+                return True
+    return False
+
+
+def _lockish_context(expr: ast.expr) -> bool:
+    """Whether a ``with`` item's context expression reads as a lock."""
+    if isinstance(expr, ast.Call):
+        return _lockish_context(expr.func)
+    if isinstance(expr, ast.Attribute):
+        return bool(_LOCKISH_NAME.search(expr.attr))
+    if isinstance(expr, ast.Name):
+        return bool(_LOCKISH_NAME.search(expr.id))
+    return False
+
+
+@register_rule
+class GuardedByChecker(Checker):
+    """Attributes guarded by a class's lock are never mutated bare.
+
+    For every class that constructs a lock into a ``self`` attribute
+    (``self._lock = trace_lock(...)`` / ``threading.Lock()``), collect
+    each instance attribute the class mutates both *inside* a lexical
+    ``with self.<lock>:`` body and *outside* one (``__init__`` and the
+    other constructors are exempt — publication happens-before any
+    reader). An attribute written on both sides is a data race: the
+    unguarded writes are the findings. The matching is lexical —
+    aliasing the lock into a local first hides it from this rule — so
+    holding the idiom ``with self._lock:`` keeps the contract checkable.
+    """
+
+    rule = "guarded-by"
+    description = (
+        "attributes mutated under a class's own lock are never mutated "
+        "outside it"
+    )
+
+    _CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_class(node)
+        self.generic_visit(node)
+
+    def _check_class(self, cls: ast.ClassDef) -> None:
+        methods = [
+            item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        lock_attrs = {
+            target.attr
+            for method in methods
+            for stmt in ast.walk(method)
+            if isinstance(stmt, ast.Assign) and _creates_lock(stmt.value)
+            for target in stmt.targets
+            if isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        }
+        if not lock_attrs:
+            return
+        guarded: dict[str, list[ast.Attribute]] = {}
+        unguarded: dict[str, list[ast.Attribute]] = {}
+        for method in methods:
+            if method.name in self._CONSTRUCTORS:
+                continue
+            self._scan(method.body, lock_attrs, guarded, unguarded, False)
+        for attr in sorted(set(guarded) & set(unguarded)):
+            for site in unguarded[attr]:
+                self.report(
+                    site,
+                    f"self.{attr} is mutated under {cls.name}'s lock "
+                    f"elsewhere but written here without it — a data "
+                    "race; hold the lock here too (or pragma with the "
+                    "happens-before argument)",
+                )
+
+    def _scan(
+        self,
+        body: list[ast.stmt],
+        lock_attrs: set[str],
+        guarded: dict[str, list[ast.Attribute]],
+        unguarded: dict[str, list[ast.Attribute]],
+        under_lock: bool,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                locked = under_lock or any(
+                    self._is_self_lock(item.context_expr, lock_attrs)
+                    for item in stmt.items
+                )
+                self._scan(stmt.body, lock_attrs, guarded, unguarded, locked)
+                continue
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # closures run later, outside this lexical region
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AugAssign):
+                targets = [stmt.target]
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            for target in targets:
+                for leaf in self._self_attribute_targets(target):
+                    if leaf.attr in lock_attrs:
+                        continue
+                    sink = guarded if under_lock else unguarded
+                    sink.setdefault(leaf.attr, []).append(leaf)
+            for field in ("body", "orelse", "finalbody"):
+                block = getattr(stmt, field, None)
+                if block:
+                    self._scan(
+                        block, lock_attrs, guarded, unguarded, under_lock
+                    )
+            for handler in getattr(stmt, "handlers", ()):
+                self._scan(
+                    handler.body, lock_attrs, guarded, unguarded, under_lock
+                )
+            for case in getattr(stmt, "cases", ()):
+                self._scan(
+                    case.body, lock_attrs, guarded, unguarded, under_lock
+                )
+
+    def _self_attribute_targets(self, target: ast.expr):
+        if isinstance(target, ast.Attribute):
+            if (
+                isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield target
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from self._self_attribute_targets(elt)
+        elif isinstance(target, ast.Starred):
+            yield from self._self_attribute_targets(target.value)
+
+    @staticmethod
+    def _is_self_lock(expr: ast.expr, lock_attrs: set[str]) -> bool:
+        return (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in lock_attrs
+        )
+
+
+#: Method calls that block on I/O, another task, or the clock.
+_BLOCKING_METHOD_NAMES = frozenset(
+    {"map", "result", "flock", "recv", "recv_into", "sleep"}
+)
+
+#: Bare-name calls that block (``from time import sleep``, ``from fcntl
+#: import flock``).
+_BLOCKING_BARE_NAMES = frozenset({"sleep", "flock"})
+
+
+@register_rule
+class BlockingUnderLockChecker(Checker):
+    """No slow/blocking calls lexically inside a lock body.
+
+    A critical section that dispatches to an executor (``.map`` /
+    ``.result``), takes a file lock (``flock``), reads a socket
+    (``recv``/``recv_into``), or sleeps holds every other thread out for
+    the duration — and, when the blocked operation itself needs a lock,
+    is one inversion away from deadlock. The detector is lexical: a
+    ``with`` statement whose context reads as a lock (``self._lock``,
+    ``gate``, ``_fit_lock(...)``) opens a region; the named blocking
+    calls inside it are findings. Closures defined (not called) under
+    the lock are exempt.
+    """
+
+    rule = "blocking-under-lock"
+    description = (
+        "no executor .map/.result, flock, socket recv, or sleep inside "
+        "a lock body"
+    )
+
+    def __init__(self, path, source, tree):
+        super().__init__(path, source, tree)
+        self._lock_depth = 0
+
+    def _visit_with(self, node):
+        lockish = any(
+            _lockish_context(item.context_expr) for item in node.items
+        )
+        if lockish:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if lockish:
+            self._lock_depth -= 1
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def _visit_function(self, node):
+        saved, self._lock_depth = self._lock_depth, 0
+        self.generic_visit(node)
+        self._lock_depth = saved
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._lock_depth and self._is_blocking(node.func):
+            self.report(
+                node,
+                f"blocking call {ast.unparse(node.func)}() lexically "
+                "inside a lock body; move the slow operation outside "
+                "the critical section",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_blocking(func: ast.expr) -> bool:
+        if isinstance(func, ast.Attribute):
+            return func.attr in _BLOCKING_METHOD_NAMES
+        if isinstance(func, ast.Name):
+            return func.id in _BLOCKING_BARE_NAMES
+        return False
+
+
+#: Hot-path modules: every per-batch array allocation here is paid on
+#: the serving fast path.
+_HOT_PATH_SEGMENTS = ("repro/dsp/",)
+_HOT_PATH_SUFFIXES = (
+    "repro/pipeline/stages.py",
+    "repro/pipeline/buffers.py",
+    "repro/pipeline/shm.py",
+)
+
+#: Concatenation-family constructors that always allocate.
+_COPYING_CONSTRUCTORS = frozenset({"concatenate", "vstack", "hstack"})
+
+
+@register_rule
+class NoHiddenCopyChecker(Checker):
+    """No allocating array ops in the zero-copy hot-path modules.
+
+    PR 8's speedup argument is that the warm serving loop performs no
+    per-batch allocation: batches assemble into ``BufferRing`` slots and
+    scores standardize in place. ``np.concatenate``/``vstack``/
+    ``hstack``, ``.copy()``, ``.astype(...)``, and fancy indexing with a
+    list literal all silently allocate and copy, so in ``repro.dsp`` and
+    ``repro.pipeline.{stages,buffers,shm}`` each such call is a finding.
+    Intentional cold-path sites (load-time kernel prep, the legacy
+    reference chain) carry a pragma naming why the copy is off the hot
+    path.
+    """
+
+    rule = "no-hidden-copy"
+    description = (
+        "no np.concatenate/.copy()/.astype/fancy-index allocation in "
+        "hot-path modules"
+    )
+
+    def __init__(self, path, source, tree):
+        super().__init__(path, source, tree)
+        module = _module_path(path)
+        self._hot = any(seg in module for seg in _HOT_PATH_SEGMENTS) or any(
+            module.endswith(suffix) for suffix in _HOT_PATH_SUFFIXES
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._hot:
+            func = node.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name)
+                else ""
+            )
+            if name in _COPYING_CONSTRUCTORS:
+                self.report(
+                    node,
+                    f"{ast.unparse(func)}() allocates and copies every "
+                    "batch; assemble into a BufferRing slot, or pragma a "
+                    "cold-path site",
+                )
+            elif (
+                name == "copy"
+                and isinstance(func, ast.Attribute)
+                and not node.args
+                and not node.keywords
+            ):
+                self.report(
+                    node,
+                    f"{ast.unparse(func)}() duplicates the array; hot-"
+                    "path stages reuse preallocated buffers — pragma if "
+                    "this site is cold",
+                )
+            elif name == "astype" and isinstance(func, ast.Attribute):
+                self.report(
+                    node,
+                    f"{ast.unparse(func)}(...) allocates a converted "
+                    "copy; convert once at load time, or pragma a cold "
+                    "site",
+                )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._hot and self._is_fancy_index(node.slice):
+            self.report(
+                node,
+                "fancy indexing materializes a copy (unlike basic "
+                "slicing); gather once off the hot path, or pragma",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_fancy_index(index: ast.expr) -> bool:
+        if isinstance(index, ast.List):
+            return True
+        return isinstance(index, ast.Tuple) and any(
+            isinstance(elt, ast.List) for elt in index.elts
+        )

@@ -1,0 +1,66 @@
+"""Runtime memory & concurrency sanitizers for the serving stack.
+
+The static rules in :mod:`repro.analysis.rules` catch contract breaches
+visible in source; this package catches the ones only visible at
+runtime, mirroring the :mod:`repro.analysis.lockgraph` idiom — one
+environment flag (``REPRO_SANITIZE``), zero overhead unarmed, and every
+violation recorded as a witnessed report that converts into the same
+:class:`~repro.analysis.findings.Finding` shape the lint side prints.
+
+Three sanitizers:
+
+- :mod:`.ring` — :class:`~repro.analysis.sanitizers.ring
+  .GuardedBufferRing`: generation-tagged slot handles (use-after-recycle
+  raises with the original acquisition site), poison-filled recycled
+  slots, and read-only sealed batch views. Armed construction goes
+  through :func:`repro.pipeline.buffers.make_buffer_ring`.
+- :mod:`.shmaudit` — a create/attach/close/unlink ledger for
+  shared-memory trace segments; leaks, double-unlinks, and
+  attach-after-unlink each produce a witnessed report.
+- :mod:`.reports` — the shared :class:`~repro.analysis.sanitizers
+  .reports.ReportLog` sink both write into, and the arming flag.
+
+Arming the tier-1 suite (CI runs this alongside the lock detector)::
+
+    REPRO_SANITIZE=1 REPRO_LOCK_DEBUG=1 python -m pytest -x -q
+
+The pytest ``sessionfinish`` hook in ``tests/conftest.py`` calls
+:func:`session_reports` and fails the session if anything is
+outstanding. Seeded-bug tests pass private :class:`ReportLog` /
+:class:`~repro.analysis.sanitizers.shmaudit.ShmLedger` instances so the
+global sinks stay clean.
+"""
+
+from __future__ import annotations
+
+from .reports import (
+    ENV_FLAG,
+    GLOBAL_LOG,
+    ReportLog,
+    SanitizerReport,
+    enabled,
+)
+
+__all__ = [
+    "ENV_FLAG",
+    "enabled",
+    "SanitizerReport",
+    "ReportLog",
+    "GLOBAL_LOG",
+    "session_reports",
+]
+
+
+def session_reports() -> tuple[SanitizerReport, ...]:
+    """Everything an armed session must answer for at exit.
+
+    Outstanding reports from the global log (use-after-recycle,
+    double-unlink, attach-after-unlink — even when the accompanying
+    exception was swallowed) plus a leak report per shm segment still
+    live in the global ledger.
+    """
+    from . import shmaudit
+
+    return GLOBAL_LOG.outstanding() + tuple(
+        shmaudit.GLOBAL_LEDGER.leak_reports()
+    )

@@ -1,0 +1,127 @@
+"""The shared report sink every runtime sanitizer writes into.
+
+A :class:`SanitizerReport` is the runtime twin of the static
+:class:`~repro.analysis.findings.Finding`: one witnessed contract
+violation, carrying the sanitizer name, a human-readable message, and
+the ``file.py:line`` call site where the violated object was created or
+misused. Reports convert losslessly into findings
+(:meth:`SanitizerReport.to_finding`), so armed test sessions and CLI
+consumers print both sides of the analysis through one formatter.
+
+Sanitizers append to the process-wide :data:`GLOBAL_LOG`; the pytest
+``sessionfinish`` hook fails armed runs when :meth:`ReportLog.outstanding`
+is non-empty. Tests that *seed* violations pass a private
+:class:`ReportLog` (the same idiom as private ``LockGraph`` instances),
+or :meth:`ReportLog.drain` what they provoked, so the global log stays
+clean for the rest of the session.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..findings import Finding
+
+__all__ = [
+    "ENV_FLAG",
+    "enabled",
+    "SanitizerReport",
+    "ReportLog",
+    "GLOBAL_LOG",
+    "call_site",
+]
+
+#: Environment flag arming the runtime sanitizers (any value but
+#: ''/'0'/'false'/'off'), checked at ring construction and on every shm
+#: lifecycle hook — the ``REPRO_LOCK_DEBUG`` idiom.
+ENV_FLAG = "REPRO_SANITIZE"
+
+
+def enabled() -> bool:
+    """Whether the runtime sanitizers are armed for this process."""
+    return os.environ.get(ENV_FLAG, "").strip().lower() not in (
+        "", "0", "false", "off",
+    )
+
+
+def call_site() -> str:
+    """``file.py:line`` of the nearest caller outside the sanitizers."""
+    package = str(Path(__file__).parent)
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename.startswith(package):
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - the stack always has a caller
+        return "<unknown>"
+    return f"{Path(frame.f_code.co_filename).name}:{frame.f_lineno}"
+
+
+@dataclass(frozen=True)
+class SanitizerReport:
+    """One witnessed runtime contract violation."""
+
+    sanitizer: str
+    message: str
+    site: str
+
+    def format(self) -> str:
+        return self.to_finding().format()
+
+    def to_finding(self) -> Finding:
+        """The :class:`Finding` form, so both analysis sides print alike.
+
+        The witness site (``file.py:line``) becomes the finding
+        location; sanitizer reports carry no column, so ``col`` is 0.
+        """
+        path, _, line = self.site.rpartition(":")
+        lineno = int(line) if line.isdigit() else 0
+        return Finding(
+            rule=f"sanitize:{self.sanitizer}",
+            path=path or self.site,
+            line=lineno,
+            col=0,
+            message=self.message,
+        )
+
+
+class ReportLog:
+    """A thread-safe append-only sink for sanitizer reports."""
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._reports: list[SanitizerReport] = []
+
+    def report(
+        self, sanitizer: str, message: str, site: str | None = None
+    ) -> SanitizerReport:
+        """Record (and return) one violation witnessed at ``site``."""
+        entry = SanitizerReport(
+            sanitizer=sanitizer,
+            message=message,
+            site=site if site is not None else call_site(),
+        )
+        with self._guard:
+            self._reports.append(entry)
+        return entry
+
+    def outstanding(self) -> tuple[SanitizerReport, ...]:
+        with self._guard:
+            return tuple(self._reports)
+
+    def drain(self) -> tuple[SanitizerReport, ...]:
+        """Return all reports and clear the log (seeded-bug tests)."""
+        with self._guard:
+            drained = tuple(self._reports)
+            self._reports.clear()
+        return drained
+
+    def clear(self) -> None:
+        with self._guard:
+            self._reports.clear()
+
+
+#: The process-wide log every armed sanitizer reports into.
+GLOBAL_LOG = ReportLog()

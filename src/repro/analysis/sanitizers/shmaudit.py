@@ -1,0 +1,212 @@
+"""Lifetime auditing for shared-memory trace segments.
+
+The shm hand-off contract (:mod:`repro.pipeline.shm`) is
+creator-unlinks-once, readers-only-close. Violations are quiet in the
+happy path — a leaked segment just lingers in ``/dev/shm`` until the
+resource tracker reaps it at exit — so armed runs keep a ledger instead:
+:mod:`repro.pipeline.shm` calls the :func:`note_create` /
+:func:`note_attach` / :func:`note_close` / :func:`note_unlink` hooks
+(no-ops unless ``REPRO_SANITIZE`` is set), and the ledger turns each
+contract breach into a witnessed
+:class:`~repro.analysis.sanitizers.reports.SanitizerReport`:
+
+- **leaked segment** — created but never unlinked; surfaced by
+  :meth:`ShmLedger.leak_reports`, which the pytest ``sessionfinish``
+  hook calls so a leak anywhere in an armed suite fails the session,
+  naming the segment, its label, and the creating call site;
+- **double-unlink** — unlinking a name the ledger already saw unlinked
+  (or never saw created) reports immediately;
+- **attach-after-unlink** — attaching (or failing to attach) a name the
+  creator already released reports with both the attach site and the
+  original creation site.
+
+The ledger is per-process; forked shard workers inherit a snapshot, and
+the session verdict comes from the parent's ledger, where every
+creator-side ``unlink`` happens.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .reports import (
+    GLOBAL_LOG,
+    ReportLog,
+    SanitizerReport,
+    call_site,
+    enabled,
+)
+
+__all__ = [
+    "SegmentRecord",
+    "ShmLedger",
+    "GLOBAL_LEDGER",
+    "note_create",
+    "note_attach",
+    "note_failed_attach",
+    "note_close",
+    "note_unlink",
+]
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One shared-memory segment's creation witness."""
+
+    name: str
+    nbytes: int
+    label: str | None
+    site: str
+
+    def describe(self) -> str:
+        label = f" ({self.label})" if self.label else ""
+        return f"segment {self.name}{label}, {self.nbytes} bytes, created at {self.site}"
+
+
+class ShmLedger:
+    """Create/attach/close/unlink bookkeeping for shm segments."""
+
+    def __init__(self, *, log: ReportLog | None = None) -> None:
+        self._guard = threading.Lock()
+        self._log = GLOBAL_LOG if log is None else log
+        self._live: dict[str, SegmentRecord] = {}
+        self._unlinked: dict[str, SegmentRecord] = {}
+        self._attachments: dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def note_create(
+        self,
+        name: str,
+        nbytes: int,
+        label: str | None = None,
+        site: str | None = None,
+    ) -> None:
+        record = SegmentRecord(
+            name=name,
+            nbytes=int(nbytes),
+            label=label,
+            site=site if site is not None else call_site(),
+        )
+        with self._guard:
+            self._live[name] = record
+            self._unlinked.pop(name, None)
+
+    def note_attach(self, name: str, site: str | None = None) -> None:
+        site = site if site is not None else call_site()
+        with self._guard:
+            stale = self._unlinked.get(name)
+            if stale is None:
+                self._attachments[name] = self._attachments.get(name, 0) + 1
+                return
+        self._log.report(
+            "shm-attach-after-unlink",
+            f"attach to unlinked {stale.describe()}; the creator already "
+            f"released it — hand descriptors off before unlink",
+            site=site,
+        )
+
+    def note_failed_attach(self, name: str, site: str | None = None) -> None:
+        """A by-name attach raised; witness it if we know why."""
+        site = site if site is not None else call_site()
+        with self._guard:
+            stale = self._unlinked.get(name)
+        if stale is not None:
+            self._log.report(
+                "shm-attach-after-unlink",
+                f"attach failed: {stale.describe()} was already unlinked",
+                site=site,
+            )
+
+    def note_close(self, name: str) -> None:
+        with self._guard:
+            count = self._attachments.get(name, 0)
+            if count > 1:
+                self._attachments[name] = count - 1
+            else:
+                self._attachments.pop(name, None)
+
+    def note_unlink(self, name: str, site: str | None = None) -> None:
+        site = site if site is not None else call_site()
+        with self._guard:
+            record = self._live.pop(name, None)
+            if record is not None:
+                self._unlinked[name] = record
+                return
+            stale = self._unlinked.get(name)
+        if stale is not None:
+            self._log.report(
+                "shm-double-unlink",
+                f"second unlink of {stale.describe()}",
+                site=site,
+            )
+        else:
+            self._log.report(
+                "shm-double-unlink",
+                f"unlink of unknown segment {name!r} (never created in this "
+                f"process, or already reaped)",
+                site=site,
+            )
+
+    # -- analysis ------------------------------------------------------
+
+    def live(self) -> tuple[SegmentRecord, ...]:
+        with self._guard:
+            return tuple(self._live.values())
+
+    def leak_reports(self) -> list[SanitizerReport]:
+        """One report per segment created but never unlinked.
+
+        Read-only: repeated calls (a mid-test probe, then the session
+        hook) see the same verdict, and a segment unlinked after a probe
+        stops being a leak.
+        """
+        return [
+            SanitizerReport(
+                sanitizer="shm-leak",
+                message=f"leaked {record.describe()}; the creator never "
+                f"called unlink()",
+                site=record.site,
+            )
+            for record in self.live()
+        ]
+
+    def reset(self) -> None:
+        with self._guard:
+            self._live.clear()
+            self._unlinked.clear()
+            self._attachments.clear()
+
+
+#: The process-wide ledger the armed shm hooks report into.
+GLOBAL_LEDGER = ShmLedger()
+
+
+def note_create(name: str, nbytes: int, label: str | None = None) -> None:
+    """Record segment creation (armed runs only)."""
+    if enabled():
+        GLOBAL_LEDGER.note_create(name, nbytes, label=label)
+
+
+def note_attach(name: str) -> None:
+    """Record a successful by-name attach (armed runs only)."""
+    if enabled():
+        GLOBAL_LEDGER.note_attach(name)
+
+
+def note_failed_attach(name: str) -> None:
+    """Record a failed by-name attach (armed runs only)."""
+    if enabled():
+        GLOBAL_LEDGER.note_failed_attach(name)
+
+
+def note_close(name: str) -> None:
+    """Record one mapping being dropped (armed runs only)."""
+    if enabled():
+        GLOBAL_LEDGER.note_close(name)
+
+
+def note_unlink(name: str) -> None:
+    """Record the creator releasing a segment (armed runs only)."""
+    if enabled():
+        GLOBAL_LEDGER.note_unlink(name)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterator
 
+from repro.analysis.sanitizers import enabled as _sanitize_enabled
 from repro.exceptions import ConfigurationError
 from repro.physics.device import ChipConfig
 from repro.pipeline.source import ShotChunk, TraceSource
@@ -126,4 +127,30 @@ class AcquisitionTraceSource(TraceSource):
         return self._n_shots
 
     def chunks(self) -> Iterator[ShotChunk]:
-        return self.backend.acquire(self._requested, seed=self.seed)
+        stream = self.backend.acquire(self._requested, seed=self.seed)
+        if not _sanitize_enabled():
+            return stream
+        return self._read_only(stream)
+
+    @staticmethod
+    def _read_only(stream: Iterator[ShotChunk]) -> Iterator[ShotChunk]:
+        """Sanitizer-armed runs: backend traffic crosses the seam frozen.
+
+        Chunks are acquisition records, not scratch space — a stage that
+        mutates one corrupts replay determinism (and, for shared-memory
+        replay, every sibling shard). Re-wrapping each array as a
+        read-only view turns such a write into an immediate
+        ``ValueError`` at the writing line.
+        """
+        for chunk in stream:
+            feedline = chunk.feedline.view()
+            feedline.flags.writeable = False
+            levels = chunk.prepared_levels
+            if levels is not None:
+                levels = levels.view()
+                levels.flags.writeable = False
+            yield ShotChunk(
+                feedline=feedline,
+                prepared_levels=levels,
+                chunk_id=chunk.chunk_id,
+            )

@@ -273,4 +273,7 @@ class MatchedFilterBank:
             raise DataError(
                 f"trace_len must be in [1, {self.trace_len}], got {trace_len}"
             )
-        return MatchedFilterBank(self.names, self.kernels[:, :trace_len].copy())
+        return MatchedFilterBank(
+            self.names,
+            self.kernels[:, :trace_len].copy(),  # repro: allow(no-hidden-copy) load-time kernel prep, not per-batch
+        )

@@ -122,7 +122,9 @@ class MicroBatcher:
                     )
                 need -= take_n
             if dest is not None:
-                feedline = dest
+                # Assembly is done; hand ownership downstream (a
+                # sanitizer ring seals the view read-only here).
+                feedline = ring.seal(dest)
             elif len(feeds) == 1:
                 feedline = feeds[0]
             else:

@@ -16,6 +16,14 @@ The default two-slot ring therefore supports exactly one batch in
 flight while the next is being assembled; anything holding a batch
 longer — a sink retaining raw traces, a test comparing batches — must
 copy.
+
+That contract is *enforced* when ``REPRO_SANITIZE`` is set:
+:func:`make_buffer_ring` (the construction point the runner uses)
+returns a :class:`~repro.analysis.sanitizers.ring.GuardedBufferRing`
+whose slot handles are generation-tagged (use-after-recycle raises with
+the original acquisition site), whose recycled slots are poison-filled,
+and whose assembled batches are sealed read-only. Unarmed, the plain
+ring here has zero bookkeeping overhead.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["BufferRing"]
+__all__ = ["BufferRing", "make_buffer_ring"]
 
 
 class _Slot:
@@ -103,18 +111,50 @@ class BufferRing:
             )
         return slot.feedline[:n_shots, :trace_len]
 
+    def seal(self, view: np.ndarray) -> np.ndarray:
+        """Hand-off hook the batcher calls once a batch is assembled.
+
+        A no-op here; the sanitizer ring overrides it to flip the view
+        ``writeable=False`` so downstream stages cannot scribble on the
+        feedline block they were handed.
+        """
+        return view
+
     def paired_features(self, feedline: np.ndarray) -> np.ndarray | None:
         """The feature buffer paired with a ring-owned feedline view.
 
-        Matches by buffer identity (the view's ``.base``), so only
-        batches actually assembled into this ring get a paired feature
-        block; foreign arrays return ``None`` and the engine falls back
-        to its own scratch.
+        Matches by buffer identity — the view's ``.base`` chain is
+        walked to its allocation (sanitizer handles add a view layer) —
+        so only batches actually assembled into this ring get a paired
+        feature block; foreign arrays return ``None`` and the engine
+        falls back to its own scratch.
         """
         base = feedline.base
         if base is None:
             return None
+        while base.base is not None:
+            base = base.base
         for slot in self._slots:
             if slot.feedline is base:
                 return slot.features[: feedline.shape[0]]
         return None
+
+
+def make_buffer_ring(
+    max_batch: int, n_features: int, slots: int = 2
+) -> BufferRing:
+    """The ring the serving loop should construct.
+
+    Returns the plain :class:`BufferRing` normally; with the
+    ``REPRO_SANITIZE`` environment flag set, a
+    :class:`~repro.analysis.sanitizers.ring.GuardedBufferRing` reporting
+    into the global sanitizer log — the ``trace_lock`` creation-time
+    arming idiom.
+    """
+    from repro.analysis.sanitizers import enabled
+
+    if not enabled():
+        return BufferRing(max_batch, n_features, slots)
+    from repro.analysis.sanitizers.ring import GuardedBufferRing
+
+    return GuardedBufferRing(max_batch, n_features, slots)

@@ -1110,7 +1110,11 @@ class MultiFeedlineRunner:
                         "prepared-level labels; shared-memory replay "
                         "needs a labeled corpus"
                     )
-                blocks[spec.name] = SharedTraceBlock.from_corpus(corpus)
+                # The label names the owning feedline in sanitizer
+                # lifetime-audit witnesses (REPRO_SANITIZE runs).
+                blocks[spec.name] = SharedTraceBlock.from_corpus(
+                    corpus, label=spec.name
+                )
             tasks = [
                 _FeedlineTask(
                     name=spec.name,

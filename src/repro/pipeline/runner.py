@@ -30,7 +30,7 @@ from repro.fpga.latency import check_cycle_budget, decision_budget_ns
 from repro.physics.device import ChipConfig, default_five_qubit_chip
 from repro.physics.drift import DriftModel
 from repro.pipeline.batching import AdaptiveBatcher, MicroBatcher
-from repro.pipeline.buffers import BufferRing
+from repro.pipeline.buffers import make_buffer_ring
 from repro.pipeline.drift import DriftMonitor
 from repro.pipeline.metrics import PipelineReport, StageTimings
 from repro.pipeline.registry import CalibrationKey, CalibrationRegistry
@@ -274,7 +274,11 @@ class ReadoutPipeline:
             )
             ring = None
             if self.config.engine == "fused":
-                ring = BufferRing(batcher.max_emit_size, engine.n_features)
+                # make_buffer_ring arms the use-after-recycle sanitizer
+                # when REPRO_SANITIZE is set; plain ring otherwise.
+                ring = make_buffer_ring(
+                    batcher.max_emit_size, engine.n_features
+                )
             # Built only after the engine checks out, so a construction
             # error cannot leak the default sink's consumer thread.
             sink = self._make_sink()

@@ -24,6 +24,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.analysis.sanitizers import shmaudit
 from repro.data.dataset import ReadoutCorpus
 from repro.exceptions import ConfigurationError, ShapeError
 from repro.physics.device import ChipConfig
@@ -49,7 +50,15 @@ def _attach(name: str) -> shared_memory.SharedMemory:
     attacher IS the creator, and stripping the registration makes the
     later ``unlink`` double-unregister and spew tracker KeyErrors.
     """
-    return shared_memory.SharedMemory(name=name)
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        # Armed runs witness attach-after-unlink instead of leaving the
+        # reader with only a bare FileNotFoundError.
+        shmaudit.note_failed_attach(name)
+        raise
+    shmaudit.note_attach(name)
+    return shm
 
 
 @dataclass(frozen=True)
@@ -104,6 +113,9 @@ class SharedTraceBlock:
         Complex traces ``(n_shots, trace_len)`` to publish.
     prepared_levels:
         Ground-truth labels ``(n_shots, n_qubits)``.
+    label:
+        Optional human-readable owner tag (e.g. the feedline name);
+        sanitizer-armed runs include it in lifetime-audit witnesses.
 
     The arrays are copied into the segment once at construction; workers
     attach by :attr:`descriptor` and read views. Call :meth:`unlink`
@@ -111,7 +123,10 @@ class SharedTraceBlock:
     """
 
     def __init__(
-        self, feedline: np.ndarray, prepared_levels: np.ndarray
+        self,
+        feedline: np.ndarray,
+        prepared_levels: np.ndarray,
+        label: str | None = None,
     ) -> None:
         feedline = np.ascontiguousarray(feedline)
         prepared_levels = np.ascontiguousarray(prepared_levels)
@@ -136,6 +151,8 @@ class SharedTraceBlock:
             feedline_dtype=feedline.dtype.str,
             levels_dtype=prepared_levels.dtype.str,
         )
+        self.label = label
+        shmaudit.note_create(self._shm.name, self._shm.size, label=label)
         dst_feed = np.ndarray(
             feedline.shape, dtype=feedline.dtype, buffer=self._shm.buf
         )
@@ -149,9 +166,11 @@ class SharedTraceBlock:
         dst_levels[:] = prepared_levels
 
     @classmethod
-    def from_corpus(cls, corpus: ReadoutCorpus) -> "SharedTraceBlock":
+    def from_corpus(
+        cls, corpus: ReadoutCorpus, label: str | None = None
+    ) -> "SharedTraceBlock":
         """Publish an existing corpus's arrays."""
-        return cls(corpus.feedline, corpus.prepared_levels)
+        return cls(corpus.feedline, corpus.prepared_levels, label=label)
 
     def unlink(self) -> None:
         """Release the segment (idempotent; creator-side only)."""
@@ -160,6 +179,7 @@ class SharedTraceBlock:
         shm, self._shm = self._shm, None
         shm.close()
         shm.unlink()
+        shmaudit.note_unlink(shm.name)
 
 
 class SharedMemoryTraceSource(TraceSource):
@@ -236,6 +256,7 @@ class SharedMemoryTraceSource(TraceSource):
         self.feedline = None
         self.prepared_levels = None
         shm, self._shm = self._shm, None
+        shmaudit.note_close(shm.name)
         try:
             shm.close()
         except BufferError:

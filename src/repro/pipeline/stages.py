@@ -253,7 +253,9 @@ class BatchDiscriminationEngine:
             demod_s = max(t for _, t, _ in sharded)
             mf_s = max(t for _, _, t in sharded)
             t1 = time.perf_counter()
-            x = np.concatenate([scores for scores, _, _ in sharded], axis=1)
+            x = np.concatenate(  # repro: allow(no-hidden-copy) legacy reference chain, not the fused hot path
+                [scores for scores, _, _ in sharded], axis=1
+            )
 
         t2 = time.perf_counter()
         if self.mode == "fused":

@@ -74,21 +74,33 @@ def rng():
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Fail an armed run (REPRO_LOCK_DEBUG=1) if the lock graph is cyclic.
+    """Fail armed runs on outstanding lock-order or sanitizer reports.
 
-    Every traced lock in the serving stack reported its acquisitions into
-    the process-wide graph while the suite ran; a cycle means two code
-    paths disagree about acquisition order — a potential deadlock even if
-    this run never blocked. Tests that deliberately seed inversions use
-    private LockGraph instances, so the global graph stays clean.
+    With ``REPRO_LOCK_DEBUG=1``, every traced lock in the serving stack
+    reported its acquisitions into the process-wide graph while the
+    suite ran; a cycle means two code paths disagree about acquisition
+    order — a potential deadlock even if this run never blocked.
+
+    With ``REPRO_SANITIZE=1``, the runtime sanitizers logged every
+    use-after-recycle, shm lifetime breach, and still-live segment; any
+    outstanding report fails the session with its witness. Tests that
+    deliberately seed violations use private LockGraph / ReportLog /
+    ShmLedger instances (or drain what they provoked), so the global
+    sinks stay clean.
     """
-    from repro.analysis import lockgraph
+    from repro.analysis import lockgraph, sanitizers
 
-    if not lockgraph.enabled():
-        return
-    violations = lockgraph.GLOBAL_GRAPH.violations()
-    if violations:
-        print("\nlock-order violations in the global acquisition graph:")
-        for violation in violations:
-            print(violation.format())
-        session.exitstatus = 1
+    if lockgraph.enabled():
+        violations = lockgraph.GLOBAL_GRAPH.violations()
+        if violations:
+            print("\nlock-order violations in the global acquisition graph:")
+            for violation in violations:
+                print(violation.format())
+            session.exitstatus = 1
+    if sanitizers.enabled():
+        reports = sanitizers.session_reports()
+        if reports:
+            print("\noutstanding sanitizer reports:")
+            for report in reports:
+                print(report.format())
+            session.exitstatus = 1
